@@ -1,0 +1,146 @@
+(* sias_cli: run TPC-C workloads and capture block traces from the
+   command line.
+
+     dune exec bin/sias_cli.exe -- run --engine sias --warehouses 50
+     dune exec bin/sias_cli.exe -- trace --engine si --duration 30
+*)
+
+open Cmdliner
+open Harness.Experiments
+module W = Tpcc.Tpcc_workload
+module B = Flashsim.Blocktrace
+
+let engine_conv =
+  let parse = function
+    | "si" -> Ok SI
+    | "sias" | "chains" -> Ok SIAS
+    | "sias-v" | "vectors" -> Ok SIASV
+    | "si-cv" -> Ok SICV
+    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (si|si-cv|sias|sias-v)" s))
+  in
+  let print fmt e = Format.pp_print_string fmt (engine_name e) in
+  Arg.conv (parse, print)
+
+let device_conv =
+  let parse = function
+    | "ssd" -> Ok Ssd_single
+    | "hdd" -> Ok Hdd_single
+    | s when String.length s > 4 && String.sub s 0 4 = "ssd:" -> (
+        match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+        | Some blocks when blocks > 8 -> Ok (Ssd_sized blocks)
+        | _ -> Error (`Msg "ssd:<blocks> needs a positive block count"))
+    | "raid2" -> Ok (Ssd_raid 2)
+    | "raid6" -> Ok (Ssd_raid 6)
+    | s -> Error (`Msg (Printf.sprintf "unknown device %S (ssd|hdd|raid2|raid6)" s))
+  in
+  let print fmt = function
+    | Ssd_single -> Format.pp_print_string fmt "ssd"
+    | Ssd_sized b -> Format.fprintf fmt "ssd:%d" b
+    | Hdd_single -> Format.pp_print_string fmt "hdd"
+    | Ssd_raid n -> Format.fprintf fmt "raid%d" n
+  in
+  Arg.conv (parse, print)
+
+let engine_arg =
+  Arg.(value & opt engine_conv SIAS & info [ "e"; "engine" ] ~doc:"Engine: si, si-cv, sias, sias-v.")
+
+let device_arg =
+  Arg.(value & opt device_conv Ssd_single & info [ "device" ] ~doc:"ssd, ssd:<blocks>, hdd, raid2, raid6.")
+
+let warehouses_arg =
+  Arg.(value & opt int 20 & info [ "w"; "warehouses" ] ~doc:"TPC-C warehouses.")
+
+let duration_arg =
+  Arg.(value & opt float 30.0 & info [ "d"; "duration" ] ~doc:"Simulated seconds.")
+
+let buffer_arg =
+  Arg.(value & opt int 2048 & info [ "buffer" ] ~doc:"Buffer pool pages (8 KB each).")
+
+let flush_conv =
+  Arg.conv
+    ( (function
+      | "t1" -> Ok T1
+      | "t2" -> Ok T2
+      | s -> Error (`Msg (Printf.sprintf "unknown flush policy %S (t1|t2)" s))),
+      fun fmt f -> Format.pp_print_string fmt (match f with T1 -> "t1" | T2 -> "t2") )
+
+let flush_arg =
+  Arg.(value & opt flush_conv T2 & info [ "flush" ] ~doc:"t1 (bgwriter) or t2 (checkpoint).")
+
+let gc_arg =
+  Arg.(
+    value
+    & opt (some float) (Some 10.0)
+    & info [ "gc" ] ~doc:"GC interval (sim s); 0 disables.")
+
+let scale_arg =
+  Arg.(value & opt int 100 & info [ "scale-div" ] ~doc:"Cardinality divisor vs spec TPC-C.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
+
+let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed keep =
+  {
+    (default_setup ~engine ~warehouses) with
+    device;
+    duration_s;
+    buffer_pages;
+    flush;
+    gc_interval_s = (match gc with Some g when g > 0.0 -> Some g | _ -> None);
+    scale_div;
+    seed;
+    keep_trace_records = keep;
+  }
+
+let run_cmd =
+  let run engine device warehouses duration buffer flush gc scale seed =
+    let o =
+      run_tpcc (mk_setup engine device warehouses duration buffer flush gc scale seed false)
+    in
+    Format.printf "%a@.@." pp_output_summary o;
+    Format.printf "%a@." W.pp_result o.result;
+    List.iter
+      (fun k ->
+        if W.resp_mean o.result k > 0.0 then
+          Format.printf "  %-12s resp mean %.4fs p90 %.4fs max %.4fs@."
+            (W.tx_kind_to_string k) (W.resp_mean o.result k) (W.resp_p90 o.result k)
+            (W.resp_max o.result k))
+      W.all_kinds;
+    Format.printf "buffer: %d hits, %d misses, %d evictions, %d flushes@."
+      o.buf_stats.Sias_storage.Bufpool.hits o.buf_stats.Sias_storage.Bufpool.misses
+      o.buf_stats.Sias_storage.Bufpool.evictions o.buf_stats.Sias_storage.Bufpool.flushes;
+    List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run a TPC-C benchmark and report throughput, latency and I/O.")
+    Term.(
+      const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
+      $ flush_arg $ gc_arg $ scale_arg $ seed_arg)
+
+let trace_cmd =
+  let csv_arg =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the trace to $(docv).")
+  in
+  let run engine device warehouses duration buffer flush gc scale seed csv =
+    let o =
+      run_tpcc (mk_setup engine device warehouses duration buffer flush gc scale seed true)
+    in
+    print_endline (B.render_scatter o.trace);
+    Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
+      o.run_read_mb (B.write_count o.trace) o.run_write_mb;
+    match csv with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (B.to_csv o.trace);
+        close_out oc;
+        Format.printf "trace written to %s@." path
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Run a workload and render its block trace (paper Figures 3/4).")
+    Term.(
+      const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
+      $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ csv_arg)
+
+let () =
+  let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd ]))

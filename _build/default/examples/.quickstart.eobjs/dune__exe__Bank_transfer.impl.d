@@ -1,0 +1,1 @@
+examples/bank_transfer.ml: Array Format Mvcc Result Sias_util

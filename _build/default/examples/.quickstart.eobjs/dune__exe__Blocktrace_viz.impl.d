@@ -1,0 +1,1 @@
+examples/blocktrace_viz.ml: Flashsim Format Harness

@@ -1,0 +1,1 @@
+examples/blocktrace_viz.mli:

@@ -1,0 +1,1 @@
+examples/orders_workload.ml: Harness List Sias_util Tpcc

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Flashsim Format List Mvcc Result Sias_storage

@@ -1,0 +1,1 @@
+examples/recovery_demo.ml: Array Format Mvcc Result Sias_storage

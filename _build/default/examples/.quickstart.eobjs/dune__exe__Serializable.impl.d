@@ -1,0 +1,1 @@
+examples/serializable.ml: Array Format List Mvcc Option Result

@@ -1,0 +1,1 @@
+examples/time_travel.ml: Array Format List Mvcc Result

@@ -1,0 +1,59 @@
+(* Crash recovery end to end: commit work, crash (losing every page that
+   had not reached stable storage), recover from the surviving pages plus
+   the WAL, and verify the committed state — including the paper's point
+   that SIAS rebuilds its VID_map purely from on-tuple information.
+
+     dune exec examples/recovery_demo.exe
+*)
+
+module E = Mvcc.Sias_engine
+module Db = Mvcc.Db
+module Value = Mvcc.Value
+module Bufpool = Sias_storage.Bufpool
+
+let () =
+  let db = Db.create ~buffer_pages:256 () in
+  let eng = E.create db in
+  let accounts = E.create_table eng ~name:"accounts" ~pk_col:0 () in
+
+  let txn = E.begin_txn eng in
+  for id = 1 to 100 do
+    E.insert eng txn accounts [| Value.Int id; Value.Int 1000 |] |> Result.get_ok
+  done;
+  E.commit eng txn;
+
+  (* checkpoint part of the state... *)
+  Bufpool.flush_all db.Db.pool ~sync:false;
+  Format.printf "checkpoint done (100 accounts on stable storage)@.";
+
+  (* ...then more committed work that only lives in buffers + WAL *)
+  let txn = E.begin_txn eng in
+  for id = 1 to 50 do
+    E.update eng txn accounts ~pk:id (fun r ->
+        let r = Array.copy r in
+        r.(1) <- Value.Int 2000;
+        r)
+    |> Result.get_ok
+  done;
+  E.commit eng txn;
+
+  (* and one transaction that never commits *)
+  let doomed = E.begin_txn eng in
+  E.insert eng doomed accounts [| Value.Int 999; Value.Int 1 |] |> Result.get_ok;
+
+  Format.printf "CRASH: dropping %d buffered pages (uncommitted txn in flight)@."
+    (Bufpool.dirty_count db.Db.pool);
+  Bufpool.drop_cache db.Db.pool;
+
+  E.recover eng;
+  let txn = E.begin_txn eng in
+  let total = ref 0 and n = ref 0 in
+  let _ = E.scan eng txn accounts (fun r ->
+      incr n;
+      total := !total + Value.int r.(1)) in
+  Format.printf "recovered: %d accounts, total balance %d (expected %d)@." !n !total
+    ((50 * 2000) + (50 * 1000));
+  (match E.read eng txn accounts ~pk:999 with
+  | None -> Format.printf "uncommitted insert correctly rolled back@."
+  | Some _ -> Format.printf "ERROR: phantom uncommitted row!@.");
+  E.commit eng txn

@@ -1,0 +1,1 @@
+lib/flashsim/blocktrace.ml: Array Buffer List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/flashsim/device.ml: Array Blocktrace Ftl Hdd List Nand Printf Ssd Stdlib

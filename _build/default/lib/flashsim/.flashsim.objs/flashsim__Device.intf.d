@@ -1,0 +1,1 @@
+lib/flashsim/device.mli: Blocktrace Hdd Ssd

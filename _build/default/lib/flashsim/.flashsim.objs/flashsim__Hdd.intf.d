@@ -1,0 +1,1 @@
+lib/flashsim/hdd.mli: Blocktrace

@@ -1,0 +1,1 @@
+lib/flashsim/nand.ml: Array Stdlib

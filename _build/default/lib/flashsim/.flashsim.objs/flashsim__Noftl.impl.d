@@ -1,0 +1,1 @@
+lib/flashsim/noftl.ml: Array Blocktrace Device List Nand Stdlib

@@ -1,0 +1,1 @@
+lib/flashsim/noftl.mli: Blocktrace Device

@@ -1,0 +1,1 @@
+lib/flashsim/ssd.ml: Blocktrace Ftl Nand Stdlib

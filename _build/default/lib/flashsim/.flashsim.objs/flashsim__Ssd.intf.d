@@ -1,0 +1,1 @@
+lib/flashsim/ssd.mli: Blocktrace Ftl

@@ -1,0 +1,123 @@
+type t = {
+  name : string;
+  trace : Blocktrace.t;
+  submit_impl : now:float -> Blocktrace.op -> sector:int -> bytes:int -> float;
+  info_impl : unit -> (string * float) list;
+  trim_impl : sector:int -> bytes:int -> unit;
+}
+
+let no_trim ~sector:_ ~bytes:_ = ()
+
+let make ?(trim_impl = no_trim) ~name ~submit_impl ~info_impl () =
+  { name; trace = Blocktrace.create (); submit_impl; info_impl; trim_impl }
+
+let name t = t.name
+let trace t = t.trace
+
+let submit t ~now op ~sector ~bytes =
+  Blocktrace.add t.trace ~time:now ~op ~sector ~bytes;
+  t.submit_impl ~now op ~sector ~bytes
+
+let info t = t.info_impl ()
+
+let trim t ~sector ~bytes = t.trim_impl ~sector ~bytes
+
+(* A bank of [parallelism] servers: a request takes the earliest-free
+   server and occupies it for its service time. *)
+let queued ~parallelism service =
+  let busy = Array.make (Stdlib.max 1 parallelism) 0.0 in
+  fun ~now op ~sector ~bytes ->
+    let best = ref 0 in
+    for i = 1 to Array.length busy - 1 do
+      if busy.(i) < busy.(!best) then best := i
+    done;
+    let start = Stdlib.max now busy.(!best) in
+    let completion = start +. service op ~sector ~bytes in
+    busy.(!best) <- completion;
+    completion
+
+let of_ssd ?(name = "ssd") ssd =
+  let cfg = Ssd.config ssd in
+  {
+    name;
+    trace = Blocktrace.create ();
+    submit_impl = queued ~parallelism:cfg.Ssd.channels (Ssd.service_time ssd);
+    trim_impl = (fun ~sector ~bytes -> Ssd.trim ssd ~sector ~bytes);
+    info_impl =
+      (fun () ->
+        let ftl = Ssd.ftl ssd in
+        [
+          ("host_writes", float_of_int (Ftl.host_writes ftl));
+          ("nand_writes", float_of_int (Ftl.nand_writes ftl));
+          ("erases", float_of_int (Ftl.erases ftl));
+          ("write_amplification", Ftl.write_amplification ftl);
+          ("max_block_wear", float_of_int (Nand.max_erase_count (Ftl.nand ftl)));
+        ]);
+  }
+
+let of_hdd ?(name = "hdd") hdd =
+  {
+    name;
+    trace = Blocktrace.create ();
+    submit_impl = queued ~parallelism:1 (Hdd.service_time hdd);
+    trim_impl = no_trim;
+    info_impl = (fun () -> []);
+  }
+
+let raid0 ?(name = "raid0") ?(chunk_sectors = 128) members =
+  (match members with
+  | [] | [ _ ] -> invalid_arg "Device.raid0: need at least two members"
+  | _ -> ());
+  let members = Array.of_list members in
+  let n = Array.length members in
+  let submit_impl ~now op ~sector ~bytes =
+    (* split [sector, sector + bytes/512) into chunk-aligned pieces *)
+    let completion = ref now in
+    let remaining = ref bytes in
+    let cur = ref sector in
+    while !remaining > 0 do
+      let chunk_index = !cur / chunk_sectors in
+      let member = members.(chunk_index mod n) in
+      let member_sector = ((chunk_index / n) * chunk_sectors) + (!cur mod chunk_sectors) in
+      let sectors_left_in_chunk = chunk_sectors - (!cur mod chunk_sectors) in
+      let piece = Stdlib.min !remaining (sectors_left_in_chunk * 512) in
+      let done_at = submit member ~now op ~sector:member_sector ~bytes:piece in
+      if done_at > !completion then completion := done_at;
+      remaining := !remaining - piece;
+      cur := !cur + ((piece + 511) / 512)
+    done;
+    !completion
+  in
+  let info_impl () =
+    Array.to_list members
+    |> List.concat_map (fun m ->
+           List.map (fun (k, v) -> (m.name ^ "." ^ k, v)) (m.info_impl ()))
+  in
+  let trim_impl ~sector ~bytes =
+    let remaining = ref bytes in
+    let cur = ref sector in
+    while !remaining > 0 do
+      let chunk_index = !cur / chunk_sectors in
+      let member = members.(chunk_index mod n) in
+      let member_sector = ((chunk_index / n) * chunk_sectors) + (!cur mod chunk_sectors) in
+      let sectors_left_in_chunk = chunk_sectors - (!cur mod chunk_sectors) in
+      let piece = Stdlib.min !remaining (sectors_left_in_chunk * 512) in
+      member.trim_impl ~sector:member_sector ~bytes:piece;
+      remaining := !remaining - piece;
+      cur := !cur + ((piece + 511) / 512)
+    done
+  in
+  { name; trace = Blocktrace.create (); submit_impl; info_impl; trim_impl }
+
+let ssd_x25e ?(name = "ssd") ?blocks () =
+  of_ssd ~name (Ssd.create (Ssd.x25e_config ?blocks ()))
+
+let hdd_7200 ?(name = "hdd") () = of_hdd ~name (Hdd.create Hdd.default_config)
+
+let ssd_raid ?blocks_per_ssd n =
+  if n < 2 then invalid_arg "Device.ssd_raid: need at least two SSDs";
+  let members =
+    List.init n (fun i ->
+        ssd_x25e ~name:(Printf.sprintf "ssd%d" i) ?blocks:blocks_per_ssd ())
+  in
+  raid0 ~name:(Printf.sprintf "raid0-%dssd" n) members

@@ -1,0 +1,143 @@
+type write_cost = { programs : int; erases : int }
+
+type t = {
+  nand : Nand.t;
+  logical_pages : int;
+  gc_free_blocks : int;
+  map : int array; (* lpn -> ppn, -1 when unmapped *)
+  rev : int array; (* ppn -> lpn, -1 when not holding host data *)
+  mutable active : int; (* block currently receiving programs *)
+  free : int Queue.t; (* blocks with no programmed page *)
+  mutable host_writes : int;
+  mutable nand_writes : int;
+  mutable erase_ops : int;
+}
+
+let create ?(overprovision = 0.1) ?(gc_free_blocks = 2) nand =
+  if overprovision <= 0.0 || overprovision >= 1.0 then
+    invalid_arg "Ftl.create: overprovision must be in (0,1)";
+  let total = Nand.total_pages nand in
+  let logical_pages = int_of_float (float_of_int total *. (1.0 -. overprovision)) in
+  let free = Queue.create () in
+  (* block 0 starts active; the rest are free *)
+  for b = 1 to Nand.blocks nand - 1 do
+    Queue.add b free
+  done;
+  if Queue.length free < gc_free_blocks + 1 then
+    invalid_arg "Ftl.create: too few blocks for the GC watermark";
+  {
+    nand;
+    logical_pages;
+    gc_free_blocks;
+    map = Array.make logical_pages (-1);
+    rev = Array.make total (-1);
+    active = 0;
+    free;
+    host_writes = 0;
+    nand_writes = 0;
+    erase_ops = 0;
+  }
+
+let logical_pages t = t.logical_pages
+let page_size t = Nand.page_size t.nand
+
+(* Program the next page of the active block, rotating to a fresh free
+   block when the active one fills up. Returns the ppn programmed. *)
+let rec program_next t lpn =
+  match Nand.next_free_page t.nand t.active with
+  | Some ppn ->
+      Nand.program t.nand ppn;
+      t.nand_writes <- t.nand_writes + 1;
+      t.rev.(ppn) <- lpn;
+      ppn
+  | None ->
+      (match Queue.take_opt t.free with
+      | Some b -> t.active <- b
+      | None -> failwith "Ftl: out of free blocks (GC watermark too low)");
+      program_next t lpn
+
+(* Greedy victim selection: fewest valid pages among full, non-active
+   blocks, breaking ties toward the least-worn block (wear-aware greedy).
+   Returns [None] when no candidate exists. *)
+let pick_victim t =
+  let nand = t.nand in
+  let best = ref None in
+  for b = 0 to Nand.blocks nand - 1 do
+    if b <> t.active && Nand.free_count nand b = 0 then begin
+      let v = Nand.valid_count nand b in
+      let e = Nand.erase_count nand b in
+      match !best with
+      | Some (_, bv, be) when bv < v || (bv = v && be <= e) -> ()
+      | _ -> best := Some (b, v, e)
+    end
+  done;
+  match !best with Some (b, v, _) -> Some (b, v) | None -> None
+
+let collect_block t victim =
+  let nand = t.nand in
+  let base = victim * Nand.pages_per_block nand in
+  let moved = ref 0 in
+  for i = 0 to Nand.pages_per_block nand - 1 do
+    let ppn = base + i in
+    if Nand.page_state nand ppn = Nand.Valid && t.rev.(ppn) >= 0 then begin
+      let lpn = t.rev.(ppn) in
+      Nand.invalidate nand ppn;
+      t.rev.(ppn) <- -1;
+      let fresh = program_next t lpn in
+      t.map.(lpn) <- fresh;
+      incr moved
+    end
+  done;
+  Nand.erase_block nand victim;
+  t.erase_ops <- t.erase_ops + 1;
+  Queue.add victim t.free;
+  !moved
+
+(* Run GC until the free pool is back above the watermark. *)
+let maybe_gc t =
+  let programs = ref 0 and erases = ref 0 in
+  let continue = ref true in
+  while Queue.length t.free < t.gc_free_blocks && !continue do
+    match pick_victim t with
+    | None -> continue := false
+    | Some (victim, _) ->
+        programs := !programs + collect_block t victim;
+        incr erases
+  done;
+  (!programs, !erases)
+
+let write t lpn =
+  if lpn < 0 || lpn >= t.logical_pages then invalid_arg "Ftl.write: lpn out of range";
+  t.host_writes <- t.host_writes + 1;
+  let old = t.map.(lpn) in
+  if old >= 0 then begin
+    Nand.invalidate t.nand old;
+    t.rev.(old) <- -1
+  end;
+  let ppn = program_next t lpn in
+  t.map.(lpn) <- ppn;
+  let gc_programs, gc_erases = maybe_gc t in
+  { programs = 1 + gc_programs; erases = gc_erases }
+
+let read t lpn =
+  if lpn < 0 || lpn >= t.logical_pages then invalid_arg "Ftl.read: lpn out of range";
+  let ppn = t.map.(lpn) in
+  if ppn < 0 then None else Some ppn
+
+let trim t lpn =
+  if lpn < 0 || lpn >= t.logical_pages then invalid_arg "Ftl.trim: lpn out of range";
+  let old = t.map.(lpn) in
+  if old >= 0 then begin
+    Nand.invalidate t.nand old;
+    t.rev.(old) <- -1;
+    t.map.(lpn) <- -1
+  end
+
+let host_writes t = t.host_writes
+let nand_writes t = t.nand_writes
+let erases t = t.erase_ops
+
+let write_amplification t =
+  if t.host_writes = 0 then 1.0 else float_of_int t.nand_writes /. float_of_int t.host_writes
+
+let nand t = t.nand

@@ -1,0 +1,51 @@
+(** Page-mapped Flash Translation Layer.
+
+    Host logical pages are mapped to NAND physical pages. Overwrites go
+    out-of-place: the old physical page is invalidated and the data is
+    programmed into the current active block. When the pool of free blocks
+    drops below a watermark, greedy garbage collection picks the block with
+    the fewest valid pages, relocates the survivors and erases it — this is
+    the mechanism behind the Flash random-write penalty and the write
+    amplification the paper's SI baseline suffers from.
+
+    [write] and [read] return cost descriptors so the SSD layer can charge
+    latency for the NAND operations (including the GC work a host write
+    triggered). *)
+
+type t
+
+type write_cost = {
+  programs : int;  (** NAND page programs, including GC relocations *)
+  erases : int;  (** block erases triggered by this write *)
+}
+
+val create : ?overprovision:float -> ?gc_free_blocks:int -> Nand.t -> t
+(** [create nand] builds an FTL over [nand]. [overprovision] (default
+    [0.1]) is the fraction of physical capacity hidden from the host;
+    [gc_free_blocks] (default [2]) is the free-block watermark that
+    triggers garbage collection. *)
+
+val logical_pages : t -> int
+(** Number of logical pages exposed to the host. *)
+
+val page_size : t -> int
+
+val write : t -> int -> write_cost
+(** [write t lpn] services a host write of one logical page. Raises
+    [Invalid_argument] if [lpn] is out of range. *)
+
+val read : t -> int -> int option
+(** [read t lpn] is the physical page currently mapped, or [None] when the
+    page has never been written. *)
+
+val trim : t -> int -> unit
+(** Discard a logical page; its physical page becomes garbage. *)
+
+val host_writes : t -> int
+val nand_writes : t -> int
+val erases : t -> int
+
+val write_amplification : t -> float
+(** [nand_writes / host_writes]; 1.0 when no host write happened. *)
+
+val nand : t -> Nand.t

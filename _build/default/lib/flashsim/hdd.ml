@@ -1,0 +1,29 @@
+type config = {
+  avg_seek_ms : float;
+  rpm : int;
+  transfer_mb_s : float;
+  sequential_window : int;
+}
+
+let default_config =
+  { avg_seek_ms = 8.5; rpm = 7200; transfer_mb_s = 100.0; sequential_window = 256 }
+
+type t = { config : config; mutable head : int }
+
+let create config = { config; head = 0 }
+
+let config t = t.config
+
+let service_time t _op ~sector ~bytes =
+  let c = t.config in
+  let transfer = float_of_int bytes /. (c.transfer_mb_s *. 1024.0 *. 1024.0) in
+  let distance = abs (sector - t.head) in
+  let positioning =
+    if distance <= c.sequential_window then 0.05e-3
+    else begin
+      let rotation = 60.0 /. float_of_int c.rpm in
+      (c.avg_seek_ms *. 1e-3) +. (rotation /. 2.0)
+    end
+  in
+  t.head <- sector + ((bytes + 511) / 512);
+  positioning +. transfer

@@ -1,0 +1,24 @@
+(** Spinning-disk model (7200 rpm class, as the paper's Seagate
+    ST3320613AS).
+
+    Random access pays seek plus rotational latency; sequential access —
+    a request starting where the previous one ended — pays only transfer
+    time. Reads and writes are symmetric, which is exactly why SIAS's
+    write reduction and append pattern still help on HDD (Section 5.4). *)
+
+type config = {
+  avg_seek_ms : float;
+  rpm : int;
+  transfer_mb_s : float;
+  sequential_window : int;  (** sectors of slack still counted as sequential *)
+}
+
+val default_config : config
+
+type t
+
+val create : config -> t
+val config : t -> config
+
+val service_time : t -> Blocktrace.op -> sector:int -> bytes:int -> float
+(** Service time in seconds; tracks head position across calls. *)

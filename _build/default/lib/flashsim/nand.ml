@@ -1,0 +1,76 @@
+type page_state = Free | Valid | Invalid
+
+type t = {
+  blocks : int;
+  pages_per_block : int;
+  page_size : int;
+  state : page_state array; (* indexed by ppn *)
+  write_ptr : int array; (* next in-block page index to program, per block *)
+  valid : int array; (* valid pages per block *)
+  erases : int array;
+  mutable total_erases : int;
+}
+
+let create ~blocks ~pages_per_block ~page_size =
+  if blocks <= 0 || pages_per_block <= 0 || page_size <= 0 then
+    invalid_arg "Nand.create: geometry must be positive";
+  {
+    blocks;
+    pages_per_block;
+    page_size;
+    state = Array.make (blocks * pages_per_block) Free;
+    write_ptr = Array.make blocks 0;
+    valid = Array.make blocks 0;
+    erases = Array.make blocks 0;
+    total_erases = 0;
+  }
+
+let blocks t = t.blocks
+let pages_per_block t = t.pages_per_block
+let page_size t = t.page_size
+let total_pages t = t.blocks * t.pages_per_block
+
+let block_of t ppn = ppn / t.pages_per_block
+
+let page_state t ppn = t.state.(ppn)
+
+let next_free_page t block =
+  let ptr = t.write_ptr.(block) in
+  if ptr >= t.pages_per_block then None else Some ((block * t.pages_per_block) + ptr)
+
+let program t ppn =
+  let block = block_of t ppn in
+  (match next_free_page t block with
+  | Some expected when expected = ppn -> ()
+  | _ -> invalid_arg "Nand.program: not the next free page of its block");
+  t.state.(ppn) <- Valid;
+  t.write_ptr.(block) <- t.write_ptr.(block) + 1;
+  t.valid.(block) <- t.valid.(block) + 1
+
+let invalidate t ppn =
+  (match t.state.(ppn) with
+  | Valid -> ()
+  | Free | Invalid -> invalid_arg "Nand.invalidate: page is not valid");
+  t.state.(ppn) <- Invalid;
+  let block = block_of t ppn in
+  t.valid.(block) <- t.valid.(block) - 1
+
+let valid_count t block = t.valid.(block)
+let free_count t block = t.pages_per_block - t.write_ptr.(block)
+let is_block_free t block = t.write_ptr.(block) = 0
+
+let erase_block t block =
+  if t.valid.(block) > 0 then
+    invalid_arg "Nand.erase_block: block still contains valid pages";
+  let base = block * t.pages_per_block in
+  for i = 0 to t.pages_per_block - 1 do
+    t.state.(base + i) <- Free
+  done;
+  t.write_ptr.(block) <- 0;
+  t.erases.(block) <- t.erases.(block) + 1;
+  t.total_erases <- t.total_erases + 1
+
+let erase_count t block = t.erases.(block)
+let total_erases t = t.total_erases
+
+let max_erase_count t = Array.fold_left Stdlib.max 0 t.erases

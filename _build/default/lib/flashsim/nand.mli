@@ -1,0 +1,52 @@
+(** Raw NAND flash model.
+
+    Geometry is blocks x pages-per-block with a fixed flash page size.
+    The model enforces the physical constraints the FTL must respect:
+    pages are programmed in order within a block, a programmed page cannot
+    be re-programmed before its block is erased, and erasing a block that
+    still holds valid pages is a bug (the FTL must relocate first).
+    Erase counters per block provide the wear/endurance signal discussed
+    in the paper's Flash-endurance section. *)
+
+type page_state = Free | Valid | Invalid
+
+type t
+
+val create : blocks:int -> pages_per_block:int -> page_size:int -> t
+
+val blocks : t -> int
+val pages_per_block : t -> int
+val page_size : t -> int
+val total_pages : t -> int
+
+val page_state : t -> int -> page_state
+(** State of a physical page number (ppn). *)
+
+val next_free_page : t -> int -> int option
+(** [next_free_page t block] is the ppn of the next programmable page of
+    [block], if the block is not full. *)
+
+val program : t -> int -> unit
+(** Program a physical page. Raises [Invalid_argument] if the page is not
+    the next free page of its block. *)
+
+val invalidate : t -> int -> unit
+(** Mark a valid page invalid (out-of-place overwrite happened). *)
+
+val valid_count : t -> int -> int
+(** Valid pages in a block. *)
+
+val free_count : t -> int -> int
+(** Free (unprogrammed) pages in a block. *)
+
+val is_block_free : t -> int -> bool
+(** True when no page of the block is programmed. *)
+
+val erase_block : t -> int -> unit
+(** Erase a block; all its pages become [Free]. Raises
+    [Invalid_argument] if the block still contains valid pages. *)
+
+val erase_count : t -> int -> int
+val total_erases : t -> int
+val max_erase_count : t -> int
+(** Worst per-block wear. *)

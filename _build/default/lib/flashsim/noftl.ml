@@ -1,0 +1,167 @@
+type config = {
+  blocks : int;
+  pages_per_block : int;
+  page_size : int;
+  read_us : float;
+  program_us : float;
+  erase_us : float;
+  channels : int;
+}
+
+let default_config ?(blocks = 8192) () =
+  {
+    blocks;
+    pages_per_block = 64;
+    page_size = 4096;
+    read_us = 75.0;
+    program_us = 110.0;
+    erase_us = 1500.0;
+    channels = 8;
+  }
+
+type t = {
+  config : config;
+  nand : Nand.t;
+  mutable programs : int;
+  mutable erases : int;
+  mutable rmws : int;
+}
+
+let create config =
+  {
+    config;
+    nand =
+      Nand.create ~blocks:config.blocks ~pages_per_block:config.pages_per_block
+        ~page_size:config.page_size;
+    programs = 0;
+    erases = 0;
+    rmws = 0;
+  }
+
+let config t = t.config
+let capacity_bytes t = Nand.total_pages t.nand * t.config.page_size
+
+let us = 1e-6
+
+let page_range t ~sector ~bytes =
+  let off = sector * 512 in
+  let first = off / t.config.page_size in
+  let last = (off + Stdlib.max 1 bytes - 1) / t.config.page_size in
+  let total = Nand.total_pages t.nand in
+  (first mod total, last mod total, last - first)
+
+(* Direct mapping: logical page n IS physical page n. Programming a free
+   page is a plain NAND program (in-order within the block, skipped pages
+   are burned, like partial-page NAND use). Overwriting a non-erased page
+   has no FTL to hide behind: the device must read the whole erase block,
+   erase it and reprogram everything — the read-modify-write that makes
+   in-place updates on raw Flash catastrophic and that an append-only
+   DBMS never triggers. Returns the extra service time incurred. *)
+let program_fresh t ppn =
+  let block = ppn / t.config.pages_per_block in
+  let rec skip () =
+    match Nand.next_free_page t.nand block with
+    | Some p when p < ppn ->
+        Nand.program t.nand p;
+        Nand.invalidate t.nand p;
+        skip ()
+    | _ -> ()
+  in
+  skip ();
+  (match Nand.next_free_page t.nand block with
+  | Some p when p = ppn -> Nand.program t.nand ppn
+  | _ -> invalid_arg "Noftl: page not programmable");
+  t.programs <- t.programs + 1
+
+let program_page t ppn =
+  match Nand.page_state t.nand ppn with
+  | Nand.Free ->
+      program_fresh t ppn;
+      0.0
+  | Nand.Valid | Nand.Invalid ->
+      (* block read-modify-write *)
+      let block = ppn / t.config.pages_per_block in
+      let base = block * t.config.pages_per_block in
+      let survivors = ref [] in
+      for i = 0 to t.config.pages_per_block - 1 do
+        let p = base + i in
+        if p <> ppn && Nand.page_state t.nand p = Nand.Valid then begin
+          survivors := p :: !survivors;
+          Nand.invalidate t.nand p
+        end
+      done;
+      if Nand.page_state t.nand ppn = Nand.Valid then Nand.invalidate t.nand ppn;
+      Nand.erase_block t.nand block;
+      t.erases <- t.erases + 1;
+      t.rmws <- t.rmws + 1;
+      (* reprogram survivors and the new data at their ORIGINAL positions
+         (identity mapping); the in-between pages are burned *)
+      let keep = List.sort_uniq compare (ppn :: !survivors) in
+      let top = List.fold_left Stdlib.max ppn keep in
+      for p = base to top do
+        Nand.program t.nand p;
+        if not (List.mem p keep) then Nand.invalidate t.nand p
+      done;
+      let reprogram = List.length keep in
+      t.programs <- t.programs + reprogram;
+      (float_of_int (List.length !survivors) *. t.config.read_us *. us)
+      +. (t.config.erase_us *. us)
+      +. (float_of_int reprogram *. t.config.program_us *. us)
+
+let service_time t op ~sector ~bytes =
+  let first, last, span = page_range t ~sector ~bytes in
+  ignore span;
+  let time = ref 0.0 in
+  let p = ref first in
+  let continue = ref true in
+  while !continue do
+    (match op with
+    | Blocktrace.Read -> time := !time +. (t.config.read_us *. us)
+    | Blocktrace.Write ->
+        let extra = program_page t !p in
+        time := !time +. extra +. (t.config.program_us *. us));
+    if !p = last then continue := false
+    else p := (!p + 1) mod Nand.total_pages t.nand
+  done;
+  !time
+
+let erase_region t ~sector =
+  let off = sector * 512 in
+  let ppn = off / t.config.page_size mod Nand.total_pages t.nand in
+  let block = ppn / t.config.pages_per_block in
+  (* the DBMS asserts the data is dead; invalidate any leftover pages *)
+  let base = block * t.config.pages_per_block in
+  for i = 0 to t.config.pages_per_block - 1 do
+    if Nand.page_state t.nand (base + i) = Nand.Valid then Nand.invalidate t.nand (base + i)
+  done;
+  if not (Nand.is_block_free t.nand block) then Nand.erase_block t.nand block;
+  t.erases <- t.erases + 1;
+  t.config.erase_us *. us
+
+let erases t = t.erases
+let programs t = t.programs
+let rmws t = t.rmws
+
+let device ?(name = "noftl") ?blocks () =
+  let drive = create (default_config ?blocks ()) in
+  let busy = Array.make drive.config.channels 0.0 in
+  let submit_impl ~now op ~sector ~bytes =
+    let best = ref 0 in
+    for i = 1 to Array.length busy - 1 do
+      if busy.(i) < busy.(!best) then best := i
+    done;
+    let start = Stdlib.max now busy.(!best) in
+    let completion = start +. service_time drive op ~sector ~bytes in
+    busy.(!best) <- completion;
+    completion
+  in
+  let info_impl () =
+    [
+      ("programs", float_of_int drive.programs);
+      ("erases", float_of_int drive.erases);
+      ("block_rmws", float_of_int drive.rmws);
+      ("max_block_wear", float_of_int (Nand.max_erase_count drive.nand));
+    ]
+  in
+  let erase ~sector = erase_region drive ~sector in
+  (Device.make ~name ~submit_impl ~info_impl (), erase)

@@ -1,0 +1,56 @@
+(** FTL-less Flash device (the paper's Discussion section and its
+    reference [22], "NoFTL: database systems on FTL-less Flash storage").
+
+    The device exposes the raw NAND geometry to the DBMS: logical pages
+    map 1:1 to physical pages inside erase blocks, and there is {e no}
+    on-device garbage collection — the DBMS must write whole erase-block
+    regions append-wise and explicitly {!erase_region} when its own GC has
+    relocated the remaining live data. In exchange, writes never suffer
+    the FTL's unpredictable relocation stalls and the device needs no
+    over-provisioning.
+
+    An overwrite of a page whose erase block has not been erased first is
+    a programming error (checked); sequential appends into erased regions
+    are the intended use — exactly the pattern SIAS produces. The
+    {!Harness}'s `noftl` ablation compares SIAS on this device against
+    SIAS on the FTL device. *)
+
+type config = {
+  blocks : int;
+  pages_per_block : int;
+  page_size : int;
+  read_us : float;
+  program_us : float;
+  erase_us : float;
+  channels : int;
+}
+
+val default_config : ?blocks:int -> unit -> config
+(** Same NAND timings as {!Ssd.x25e_config}, no over-provisioning. *)
+
+type t
+
+val create : config -> t
+val config : t -> config
+val capacity_bytes : t -> int
+
+val service_time : t -> Blocktrace.op -> sector:int -> bytes:int -> float
+(** An overwrite of a non-erased page costs a whole-block read-modify-
+    write (read survivors, erase, reprogram) — the penalty an append-only
+    DBMS never pays. *)
+
+val erase_region : t -> sector:int -> float
+(** Explicitly erase the erase-block containing [sector]; returns the
+    erase latency. The DBMS GC calls this for reclaimed page regions. *)
+
+val erases : t -> int
+val programs : t -> int
+
+val rmws : t -> int
+(** Whole-block read-modify-writes caused by in-place overwrites. *)
+
+val device :
+  ?name:string -> ?blocks:int -> unit -> Device.t * (sector:int -> float)
+(** A {!Device.t} wrapping a fresh NoFTL drive plus its erase entry point
+    (device interfaces carry only read/write; erase is the out-of-band
+    command the DBMS GC issues). *)

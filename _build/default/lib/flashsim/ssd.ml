@@ -1,0 +1,76 @@
+type config = {
+  page_size : int;
+  blocks : int;
+  pages_per_block : int;
+  overprovision : float;
+  gc_free_blocks : int;
+  read_us : float;
+  program_us : float;
+  erase_us : float;
+  channels : int;
+}
+
+let x25e_config ?(blocks = 4096) () =
+  {
+    page_size = 4096;
+    blocks;
+    pages_per_block = 64;
+    overprovision = 0.1;
+    gc_free_blocks = 2;
+    read_us = 75.0;
+    program_us = 110.0;
+    erase_us = 1500.0;
+    channels = 8;
+  }
+
+type t = { config : config; ftl : Ftl.t }
+
+let create config =
+  let nand =
+    Nand.create ~blocks:config.blocks ~pages_per_block:config.pages_per_block
+      ~page_size:config.page_size
+  in
+  let ftl =
+    Ftl.create ~overprovision:config.overprovision ~gc_free_blocks:config.gc_free_blocks nand
+  in
+  { config; ftl }
+
+let config t = t.config
+let ftl t = t.ftl
+let capacity_bytes t = Ftl.logical_pages t.ftl * t.config.page_size
+
+let us = 1e-6
+
+(* Logical flash pages covered by a byte range starting at a sector. *)
+let lpn_range t ~sector ~bytes =
+  let off = sector * 512 in
+  let first = off / t.config.page_size in
+  let last = (off + Stdlib.max 1 bytes - 1) / t.config.page_size in
+  (first, last)
+
+let service_time t op ~sector ~bytes =
+  let first, last = lpn_range t ~sector ~bytes in
+  let logical = Ftl.logical_pages t.ftl in
+  let time = ref 0.0 in
+  for lpn = first to last do
+    (* wrap rather than fail if the workload outgrows the device *)
+    let lpn = lpn mod logical in
+    match op with
+    | Blocktrace.Read ->
+        ignore (Ftl.read t.ftl lpn);
+        time := !time +. (t.config.read_us *. us)
+    | Blocktrace.Write ->
+        let cost = Ftl.write t.ftl lpn in
+        time :=
+          !time
+          +. (float_of_int cost.Ftl.programs *. t.config.program_us *. us)
+          +. (float_of_int cost.Ftl.erases *. t.config.erase_us *. us)
+  done;
+  !time
+
+let trim t ~sector ~bytes =
+  let first, last = lpn_range t ~sector ~bytes in
+  let logical = Ftl.logical_pages t.ftl in
+  for lpn = first to last do
+    Ftl.trim t.ftl (lpn mod logical)
+  done

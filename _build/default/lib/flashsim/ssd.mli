@@ -1,0 +1,42 @@
+(** Flash SSD model: NAND + FTL + asymmetric latencies.
+
+    Latency defaults are enterprise-SLC class (Intel X25-E family, the
+    device used in the paper's evaluation): reads are cheap, programs
+    slower, erases much slower. A host write that triggers garbage
+    collection is charged for the relocations and erases it caused, which
+    produces exactly the unpredictable random-write behaviour the paper
+    attributes to Flash. *)
+
+type config = {
+  page_size : int;  (** flash page size, bytes *)
+  blocks : int;
+  pages_per_block : int;
+  overprovision : float;
+  gc_free_blocks : int;
+  read_us : float;  (** per flash page *)
+  program_us : float;  (** per flash page *)
+  erase_us : float;  (** per block *)
+  channels : int;  (** independent request servers *)
+}
+
+val x25e_config : ?blocks:int -> unit -> config
+(** SLC-class latency profile; [blocks] scales the capacity (default
+    4096 blocks x 64 pages x 4 KB = 1 GiB physical). *)
+
+type t
+
+val create : config -> t
+
+val config : t -> config
+val ftl : t -> Ftl.t
+
+val capacity_bytes : t -> int
+(** Logical capacity exposed to the host. *)
+
+val service_time : t -> Blocktrace.op -> sector:int -> bytes:int -> float
+(** Service a request and return its device service time in seconds.
+    Mutates FTL/NAND state for writes. *)
+
+val trim : t -> sector:int -> bytes:int -> unit
+(** Invalidate the flash pages backing a logical range (the ATA TRIM the
+    DBMS GC issues for reclaimed pages). *)

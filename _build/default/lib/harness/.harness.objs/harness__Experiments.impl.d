@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Flashsim Format List Mvcc Sias_storage Tpcc

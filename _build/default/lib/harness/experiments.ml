@@ -1,0 +1,168 @@
+module Device = Flashsim.Device
+module Blocktrace = Flashsim.Blocktrace
+module Bufpool = Sias_storage.Bufpool
+module Bgwriter = Sias_storage.Bgwriter
+module Db = Mvcc.Db
+module W = Tpcc.Tpcc_workload
+module S = Tpcc.Tpcc_schema
+
+type engine_kind = SI | SIAS | SIASV | SICV
+
+let engine_name = function SI -> "SI" | SIAS -> "SIAS" | SIASV -> "SIAS-V" | SICV -> "SI-CV"
+
+type device_kind = Ssd_single | Ssd_sized of int | Ssd_raid of int | Hdd_single
+
+type flush = T1 | T2
+
+type setup = {
+  engine : engine_kind;
+  device : device_kind;
+  flush : flush;
+  buffer_pages : int;
+  warehouses : int;
+  scale_div : int;
+  duration_s : float;
+  terminals_per_warehouse : int;
+  think_time_s : float;
+  seed : int;
+  gc_interval_s : float option;
+  checkpoint_interval_s : float;
+  vidmap_paged : bool;
+  keep_trace_records : bool;
+}
+
+let default_setup ~engine ~warehouses =
+  {
+    engine;
+    device = Ssd_single;
+    flush = T2;
+    buffer_pages = 2048;
+    warehouses;
+    scale_div = 100;
+    duration_s = 60.0;
+    terminals_per_warehouse = 1;
+    think_time_s = 1.0;
+    seed = 42;
+    gc_interval_s = None;
+    checkpoint_interval_s = 30.0;
+    vidmap_paged = false;
+    keep_trace_records = false;
+  }
+
+type output = {
+  setup : setup;
+  result : W.result;
+  load_write_mb : float;
+  run_write_mb : float;
+  run_read_mb : float;
+  run_write_count : int;
+  run_read_count : int;
+  space_mb : float;
+  avg_fill : float;
+  device_info : (string * float) list;
+  buf_stats : Bufpool.stats;
+  trace : Blocktrace.t;
+}
+
+let make_device = function
+  | Ssd_single -> Device.ssd_x25e ~name:"data-ssd" ~blocks:8192 ()
+  | Ssd_sized blocks -> Device.ssd_x25e ~name:"data-ssd" ~blocks ()
+  | Ssd_raid n -> Device.ssd_raid ~blocks_per_ssd:8192 n
+  | Hdd_single -> Device.hdd_7200 ~name:"data-hdd" ()
+
+let flush_policy = function
+  | T1 -> Bgwriter.T1_bgwriter { interval = 0.2; max_pages = 100 }
+  | T2 -> Bgwriter.T2_checkpoint_only
+
+(* For a RAID, the logical trace is at the RAID device; member devices
+   carry their own physical traces. Measurement uses the top device. *)
+
+let engine_module : engine_kind -> (module Mvcc.Engine.S) = function
+  | SI -> (module Mvcc.Si_engine)
+  | SIAS -> (module Mvcc.Sias_engine)
+  | SIASV -> (module Mvcc.Sias_vector)
+  | SICV -> (module Mvcc.Si_cv_engine)
+
+let run_tpcc setup =
+  let (module E : Mvcc.Engine.S) = engine_module setup.engine in
+  let module WE = W.Make (E) in
+  let device = make_device setup.device in
+  Blocktrace.set_keep_records (Device.trace device) setup.keep_trace_records;
+  let db =
+    Db.create ~device ~buffer_pages:setup.buffer_pages
+      ~flush_policy:(flush_policy setup.flush)
+      ~checkpoint_interval:setup.checkpoint_interval_s
+      ?append_seal_interval:(match setup.flush with T1 -> Some 0.2 | T2 -> None)
+      ~os_cache_interval:30.0 ~os_cache_pages:(setup.buffer_pages / 4)
+      ~vidmap_paged:setup.vidmap_paged ()
+  in
+  let eng = E.create db in
+  let tables = WE.create_tables eng in
+  let cfg =
+    {
+      (W.default_config ~warehouses:setup.warehouses) with
+      W.scale = S.scaled ~div:setup.scale_div ();
+      duration_s = setup.duration_s;
+      terminals_per_warehouse = setup.terminals_per_warehouse;
+      think_time_s = setup.think_time_s;
+      seed = setup.seed;
+      gc_interval_s = setup.gc_interval_s;
+    }
+  in
+  WE.load eng tables cfg;
+  (* settle: persist the loaded state once, as a freshly started server
+     would, then measure only the benchmark run *)
+  Bufpool.flush_all db.Db.pool ~sync:false;
+  Bufpool.flush_os_cache db.Db.pool;
+  let trace = Device.trace device in
+  let load_write_mb = Blocktrace.write_mb trace in
+  Blocktrace.reset trace;
+  let result = WE.run eng tables cfg in
+  Bufpool.flush_os_cache db.Db.pool;
+  let tables_list =
+    [
+      tables.WE.warehouse;
+      tables.WE.district;
+      tables.WE.customer;
+      tables.WE.history;
+      tables.WE.new_order;
+      tables.WE.orders;
+      tables.WE.order_line;
+      tables.WE.item;
+      tables.WE.stock;
+    ]
+  in
+  let stats = List.map (E.table_stats eng) tables_list in
+  let heap_pages =
+    List.fold_left (fun acc s -> acc + s.Mvcc.Engine.heap_blocks) 0 stats
+  in
+  let avg_fill =
+    let fills = List.filter_map
+      (fun s -> if s.Mvcc.Engine.heap_blocks > 0 then Some s.Mvcc.Engine.avg_fill else None)
+      stats
+    in
+    if fills = [] then 0.0
+    else List.fold_left ( +. ) 0.0 fills /. float_of_int (List.length fills)
+  in
+  {
+    setup;
+    result;
+    load_write_mb;
+    run_write_mb = Blocktrace.write_mb trace;
+    run_read_mb = Blocktrace.read_mb trace;
+    run_write_count = Blocktrace.write_count trace;
+    run_read_count = Blocktrace.read_count trace;
+    space_mb = float_of_int (heap_pages * 8192) /. (1024.0 *. 1024.0);
+    avg_fill;
+    device_info = Device.info device;
+    buf_stats = Bufpool.stats db.Db.pool;
+    trace;
+  }
+
+let pp_output_summary fmt o =
+  Format.fprintf fmt
+    "%s/%s: %d WH, %.0fs -> %.0f NOTPM; writes %.1f MB (%d), reads %.1f MB (%d); space %.1f MB (fill %.0f%%)"
+    (engine_name o.setup.engine)
+    (match o.setup.flush with T1 -> "t1" | T2 -> "t2")
+    o.setup.warehouses o.result.W.elapsed_s o.result.W.notpm o.run_write_mb
+    o.run_write_count o.run_read_mb o.run_read_count o.space_mb (100.0 *. o.avg_fill)

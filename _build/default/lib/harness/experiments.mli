@@ -1,0 +1,59 @@
+(** Experiment runner: one declarative setup per paper experiment.
+
+    Builds the device (single SSD, SSD RAID-0, or HDD), the database
+    context, the chosen engine and the TPC-C workload; loads; resets the
+    block trace so the measured I/O is the benchmark run's (the paper
+    traces the steady run, not the bulk load); runs to the simulated
+    deadline; and reports throughput, response times, device write/read
+    volumes, space consumption and device-model counters. *)
+
+type engine_kind = SI | SIAS | SIASV | SICV
+val engine_name : engine_kind -> string
+
+type device_kind = Ssd_single | Ssd_sized of int (** blocks *) | Ssd_raid of int | Hdd_single
+
+type flush =
+  | T1  (** PostgreSQL background-writer default: 200 ms trickle *)
+  | T2  (** checkpoint piggy-back only (30 s) *)
+
+type setup = {
+  engine : engine_kind;
+  device : device_kind;
+  flush : flush;
+  buffer_pages : int;
+  warehouses : int;
+  scale_div : int;
+  duration_s : float;
+  terminals_per_warehouse : int;
+  think_time_s : float;
+  seed : int;
+  gc_interval_s : float option;
+  checkpoint_interval_s : float;
+      (** PostgreSQL's checkpoint_timeout; the paper's runs use the 5 min
+          default against 10–30 min runs, a 2–6x ratio *)
+  vidmap_paged : bool;  (** VID_map buckets live in buffer-pool pages *)
+  keep_trace_records : bool;  (** retain per-request records (Figures 3/4) *)
+}
+
+val default_setup : engine:engine_kind -> warehouses:int -> setup
+(** Single SSD, T2, 2048 buffer pages, 1/100 scale, 60 s, 1 terminal/WH,
+    1 s think time. *)
+
+type output = {
+  setup : setup;
+  result : Tpcc.Tpcc_workload.result;
+  load_write_mb : float;  (** device writes during the bulk load *)
+  run_write_mb : float;  (** device writes during the measured run *)
+  run_read_mb : float;
+  run_write_count : int;
+  run_read_count : int;
+  space_mb : float;  (** heap pages allocated across all relations *)
+  avg_fill : float;  (** mean live fill of heap pages *)
+  device_info : (string * float) list;
+  buf_stats : Sias_storage.Bufpool.stats;
+  trace : Flashsim.Blocktrace.t;  (** the data device's run-phase trace *)
+}
+
+val run_tpcc : setup -> output
+
+val pp_output_summary : Format.formatter -> output -> unit

@@ -1,0 +1,1 @@
+lib/index/btree.ml: Array Bytes Hashtbl Int Int64 List Sias_storage

@@ -1,0 +1,1 @@
+lib/index/hashindex.ml: Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/index/hashindex.mli:

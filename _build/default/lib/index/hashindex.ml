@@ -1,0 +1,38 @@
+type t = { table : (int, int list ref) Hashtbl.t; mutable entries : int }
+
+let create () = { table = Hashtbl.create 1024; entries = 0 }
+
+let insert t ~key ~payload =
+  match Hashtbl.find_opt t.table key with
+  | None ->
+      Hashtbl.replace t.table key (ref [ payload ]);
+      t.entries <- t.entries + 1
+  | Some cell ->
+      if not (List.mem payload !cell) then begin
+        cell := payload :: !cell;
+        t.entries <- t.entries + 1
+      end
+
+let delete t ~key ~payload =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some cell ->
+      if List.mem payload !cell then begin
+        cell := List.filter (fun p -> p <> payload) !cell;
+        t.entries <- t.entries - 1;
+        if !cell = [] then Hashtbl.remove t.table key;
+        true
+      end
+      else false
+
+let lookup t ~key =
+  match Hashtbl.find_opt t.table key with
+  | None -> []
+  | Some cell -> List.sort Int.compare !cell
+
+let mem t ~key ~payload =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some cell -> List.mem payload !cell
+
+let entry_count t = t.entries

@@ -1,0 +1,20 @@
+(** In-memory hash index.
+
+    Equality-only access path: ⟨key, payload⟩ with duplicate keys. The
+    paper notes (Section 4.3) that hash indexes adapt to SIAS the same way
+    B+ trees do — store the VID instead of the TID — and this module is
+    used by the engines interchangeably with {!Btree} for equality
+    lookups. *)
+
+type t
+
+val create : unit -> t
+val insert : t -> key:int -> payload:int -> unit
+(** Duplicate (key, payload) pairs are ignored. *)
+
+val delete : t -> key:int -> payload:int -> bool
+val lookup : t -> key:int -> int list
+(** Payloads under [key], ascending. *)
+
+val mem : t -> key:int -> payload:int -> bool
+val entry_count : t -> int

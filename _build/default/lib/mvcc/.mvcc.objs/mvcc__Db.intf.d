@@ -1,0 +1,1 @@
+lib/mvcc/db.mli: Flashsim Sias_storage Sias_txn Sias_util Sias_wal

@@ -1,0 +1,1 @@
+lib/mvcc/engine.ml: Db Sias_txn Value

@@ -1,0 +1,1 @@
+lib/mvcc/engine.mli: Db Sias_txn Value

@@ -1,0 +1,1 @@
+lib/mvcc/si_core.ml: Array Bytes Db Engine List Sias_index Sias_storage Sias_txn Sias_wal Tuple Value Visibility Walcodec

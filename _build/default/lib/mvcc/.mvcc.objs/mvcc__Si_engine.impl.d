@@ -1,0 +1,1 @@
+lib/mvcc/si_engine.ml: Si_core Sias_storage

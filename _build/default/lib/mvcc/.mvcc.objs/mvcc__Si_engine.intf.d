@@ -1,0 +1,1 @@
+lib/mvcc/si_engine.mli: Engine

@@ -1,0 +1,1 @@
+lib/mvcc/sias_engine.ml: Array Bytes Db Engine Hashtbl List Printf Sias_index Sias_storage Sias_txn Sias_wal Tuple Value Vidmap Visibility Walcodec

@@ -1,0 +1,1 @@
+lib/mvcc/sias_engine.mli: Engine Sias_txn Value Vidmap

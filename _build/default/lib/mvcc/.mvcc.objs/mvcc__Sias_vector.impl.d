@@ -1,0 +1,1 @@
+lib/mvcc/sias_vector.ml: Array Buffer Bytes Db Engine Hashtbl Int32 Int64 List Sias_index Sias_storage Sias_txn Sias_wal Value Vidmap Visibility Walcodec

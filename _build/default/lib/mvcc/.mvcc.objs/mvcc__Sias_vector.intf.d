@@ -1,0 +1,1 @@
+lib/mvcc/sias_vector.mli: Engine Vidmap

@@ -1,0 +1,1 @@
+lib/mvcc/ssi.ml: Array Db Engine Hashtbl Sias_txn Value

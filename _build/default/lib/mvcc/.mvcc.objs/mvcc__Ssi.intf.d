@@ -1,0 +1,1 @@
+lib/mvcc/ssi.mli: Db Engine Sias_txn Value

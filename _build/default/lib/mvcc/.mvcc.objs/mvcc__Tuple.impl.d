@@ -1,0 +1,1 @@
+lib/mvcc/tuple.ml: Bytes Int32 Int64 Sias_storage Value

@@ -1,0 +1,1 @@
+lib/mvcc/tuple.mli: Sias_storage Value

@@ -1,0 +1,1 @@
+lib/mvcc/value.ml: Array Buffer Bytes Char Float Format Int Int64 String

@@ -1,0 +1,1 @@
+lib/mvcc/visibility.ml: Sias_txn Tuple

@@ -1,0 +1,1 @@
+lib/mvcc/visibility.mli: Sias_txn Tuple

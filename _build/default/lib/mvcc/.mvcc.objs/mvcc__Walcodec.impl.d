@@ -1,0 +1,1 @@
+lib/mvcc/walcodec.ml: Bytes Db Hashtbl Int64 List Sias_storage Sias_txn Sias_wal

@@ -1,0 +1,1 @@
+lib/mvcc/walcodec.mli: Db Sias_storage Sias_wal

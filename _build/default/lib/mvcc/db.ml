@@ -1,0 +1,71 @@
+module Simclock = Sias_util.Simclock
+module Device = Flashsim.Device
+module Bufpool = Sias_storage.Bufpool
+module Bgwriter = Sias_storage.Bgwriter
+module Wal = Sias_wal.Wal
+module Txn = Sias_txn.Txn
+module Lockmgr = Sias_txn.Lockmgr
+
+type t = {
+  clock : Simclock.t;
+  device : Device.t;
+  pool : Bufpool.t;
+  wal : Wal.t;
+  txnmgr : Txn.mgr;
+  lockmgr : Lockmgr.t;
+  bgwriter : Bgwriter.t;
+  cpu_op_s : float;
+  append_seal_interval : float option;
+  vidmap_paged : bool;
+  mutable next_rel : int;
+}
+
+let create ?device ?wal_device ?(buffer_pages = 2048)
+    ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
+    ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) () =
+  let clock = Simclock.create () in
+  let device =
+    match device with Some d -> d | None -> Device.ssd_x25e ~name:"data-ssd" ()
+  in
+  let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages () in
+  let wal = Wal.create ?device:wal_device ~clock () in
+  let bgwriter = Bgwriter.create pool ~clock ~policy:flush_policy ~checkpoint_interval () in
+  {
+    clock;
+    device;
+    pool;
+    wal;
+    txnmgr = Txn.create_mgr ();
+    lockmgr = Lockmgr.create ();
+    bgwriter;
+    cpu_op_s;
+    append_seal_interval;
+    vidmap_paged;
+    next_rel = 0;
+  }
+
+let alloc_rel t =
+  let r = t.next_rel in
+  t.next_rel <- r + 1;
+  r
+
+let now t = Simclock.now t.clock
+
+let begin_txn t = Txn.begin_txn ~now:(now t) t.txnmgr
+
+let commit t txn =
+  let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
+  Wal.flush t.wal ~sync:true;
+  Txn.commit t.txnmgr txn;
+  Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid
+
+let abort t txn =
+  let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Abort ~payload:Bytes.empty in
+  Txn.abort t.txnmgr txn;
+  Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid
+
+let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
+
+let tick t = Bgwriter.tick t.bgwriter
+
+let log_op t ~xid ~rel ~kind ~payload = Wal.append t.wal ~xid ~rel ~kind ~payload

@@ -1,0 +1,69 @@
+(** Shared database context: clock, devices, buffer pool, WAL, transaction
+    and lock managers, and the flush-policy daemon.
+
+    Both engines operate against this context, so a comparison run differs
+    only in engine logic and storage layout — never in substrate plumbing.
+    The WAL lives on its own device (as in the paper's measurement setup,
+    where the analyzed blocktrace is the data volume's). *)
+
+type t = {
+  clock : Sias_util.Simclock.t;
+  device : Flashsim.Device.t;  (** data device *)
+  pool : Sias_storage.Bufpool.t;
+  wal : Sias_wal.Wal.t;
+  txnmgr : Sias_txn.Txn.mgr;
+  lockmgr : Sias_txn.Lockmgr.t;
+  bgwriter : Sias_storage.Bgwriter.t;
+  cpu_op_s : float;  (** simulated CPU seconds charged per logical row op *)
+  append_seal_interval : float option;
+      (** the paper's t1 threshold: append tails are persisted (sealed)
+          this often; [None] = t2, checkpoint-only *)
+  vidmap_paged : bool;
+      (** store VID_map buckets in buffer-pool pages (paper Section 4.1.3:
+          large maps spill to disk through the ordinary buffer machinery) *)
+  mutable next_rel : int;
+}
+
+val create :
+  ?device:Flashsim.Device.t ->
+  ?wal_device:Flashsim.Device.t ->
+  ?buffer_pages:int ->
+  ?flush_policy:Sias_storage.Bgwriter.policy ->
+  ?checkpoint_interval:float ->
+  ?cpu_op_s:float ->
+  ?append_seal_interval:float ->
+  ?os_cache_interval:float ->
+  ?os_cache_pages:int ->
+  ?vidmap_paged:bool ->
+  unit ->
+  t
+(** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
+    2048 buffer pages, checkpoint-only flushing every 30 simulated
+    seconds, and 5 µs CPU per row operation. *)
+
+val alloc_rel : t -> int
+(** Relation ids place each relation in its own device region. *)
+
+val now : t -> float
+
+val begin_txn : t -> Sias_txn.Txn.t
+
+val commit : t -> Sias_txn.Txn.t -> unit
+(** Append and force the commit record (group-commit granularity of one),
+    mark committed, release locks. *)
+
+val abort : t -> Sias_txn.Txn.t -> unit
+
+val charge_cpu : t -> int -> unit
+(** [charge_cpu db n] advances the clock by [n] row-operation costs. *)
+
+val tick : t -> unit
+(** Run flush-policy work that has become due. *)
+
+val log_op :
+  t ->
+  xid:int ->
+  rel:int ->
+  kind:Sias_wal.Wal.kind ->
+  payload:bytes ->
+  int

@@ -1,0 +1,56 @@
+type error = Duplicate_key | Not_found | Write_conflict
+
+let error_to_string = function
+  | Duplicate_key -> "duplicate key"
+  | Not_found -> "not found"
+  | Write_conflict -> "write conflict"
+
+type table_stats = {
+  heap_blocks : int;
+  live_versions : int;
+  total_versions : int;
+  avg_fill : float;
+}
+
+module type S = sig
+  type t
+  type table
+
+  val name : string
+  val create : Db.t -> t
+  val db : t -> Db.t
+
+  val create_table :
+    t -> name:string -> pk_col:int -> ?secondary:int list -> unit -> table
+
+  val begin_txn : t -> Sias_txn.Txn.t
+  val commit : t -> Sias_txn.Txn.t -> unit
+  val abort : t -> Sias_txn.Txn.t -> unit
+
+  val insert :
+    t -> Sias_txn.Txn.t -> table -> Value.t array -> (unit, error) result
+
+  val read : t -> Sias_txn.Txn.t -> table -> pk:int -> Value.t array option
+
+  val update :
+    t ->
+    Sias_txn.Txn.t ->
+    table ->
+    pk:int ->
+    (Value.t array -> Value.t array) ->
+    (unit, error) result
+
+  val delete : t -> Sias_txn.Txn.t -> table -> pk:int -> (unit, error) result
+
+  val lookup :
+    t -> Sias_txn.Txn.t -> table -> col:int -> key:int -> Value.t array list
+
+  val range_pk :
+    t -> Sias_txn.Txn.t -> table -> lo:int -> hi:int -> Value.t array list
+
+  val scan : t -> Sias_txn.Txn.t -> table -> (Value.t array -> unit) -> int
+
+  val gc : t -> unit
+  val recover : t -> unit
+  val table_stats : t -> table -> table_stats
+end

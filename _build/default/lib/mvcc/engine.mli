@@ -1,0 +1,76 @@
+(** Common engine interface.
+
+    Both the SI baseline and the SIAS engines implement {!S}, so workload
+    drivers (TPC-C, the examples, the benches) are functors that run
+    unchanged over either engine. Tables have an integer primary key
+    column and optional secondary indexes on other columns (composite keys
+    are encoded into a single int by the caller, as the TPC-C schema
+    does). *)
+
+type error =
+  | Duplicate_key
+  | Not_found
+  | Write_conflict
+      (** first-updater-wins: the row version was created or invalidated
+          by a transaction this one cannot update over *)
+
+val error_to_string : error -> string
+
+type table_stats = {
+  heap_blocks : int;
+  live_versions : int;
+  total_versions : int;
+  avg_fill : float;
+}
+
+module type S = sig
+  type t
+  type table
+
+  val name : string
+
+  val create : Db.t -> t
+  val db : t -> Db.t
+
+  val create_table :
+    t -> name:string -> pk_col:int -> ?secondary:int list -> unit -> table
+
+  val begin_txn : t -> Sias_txn.Txn.t
+  val commit : t -> Sias_txn.Txn.t -> unit
+  val abort : t -> Sias_txn.Txn.t -> unit
+
+  val insert :
+    t -> Sias_txn.Txn.t -> table -> Value.t array -> (unit, error) result
+
+  val read : t -> Sias_txn.Txn.t -> table -> pk:int -> Value.t array option
+
+  val update :
+    t ->
+    Sias_txn.Txn.t ->
+    table ->
+    pk:int ->
+    (Value.t array -> Value.t array) ->
+    (unit, error) result
+
+  val delete : t -> Sias_txn.Txn.t -> table -> pk:int -> (unit, error) result
+
+  val lookup :
+    t -> Sias_txn.Txn.t -> table -> col:int -> key:int -> Value.t array list
+  (** Rows whose secondary-indexed column equals [key]. *)
+
+  val range_pk :
+    t -> Sias_txn.Txn.t -> table -> lo:int -> hi:int -> Value.t array list
+
+  val scan : t -> Sias_txn.Txn.t -> table -> (Value.t array -> unit) -> int
+  (** Visible-row scan; returns the row count. *)
+
+  val gc : t -> unit
+  (** Space reclamation (SI: vacuum; SIAS: chain pruning + page GC). *)
+
+  val recover : t -> unit
+  (** Crash recovery: rebuild state from flushed pages plus WAL redo, then
+      reconstruct indexes (and for SIAS the VID_map) from the heap. Call
+      after {!Sias_storage.Bufpool.drop_cache} on the context's pool. *)
+
+  val table_stats : t -> table -> table_stats
+end

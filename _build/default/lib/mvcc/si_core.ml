@@ -1,0 +1,309 @@
+(* The classical update-in-place Snapshot Isolation machinery, shared by
+   the SI baseline (FSM placement) and the SI-CV variant (transaction
+   co-located placement, the paper's reference [18]). Everything except
+   version placement is identical, which is exactly the comparison the
+   authors draw. *)
+
+module Tid = Sias_storage.Tid
+module Heapfile = Sias_storage.Heapfile
+module Bufpool = Sias_storage.Bufpool
+module Btree = Sias_index.Btree
+module Txn = Sias_txn.Txn
+module Lockmgr = Sias_txn.Lockmgr
+module Wal = Sias_wal.Wal
+
+module type PROFILE = sig
+  val name : string
+  val placement : Heapfile.placement
+end
+
+module Make (P : PROFILE) = struct
+  let name = P.name
+
+  type table = {
+    tname : string;
+    rel : int;
+    mutable heap : Heapfile.t;
+    pk_col : int;
+    mutable pk_index : Btree.t;
+    mutable secondary : (int * Btree.t) list;
+  }
+
+  type t = {
+    db : Db.t;
+    mutable tables : table list;
+    mutable vacuumed_versions : int;
+    mutable vacuumed_pages : int;
+  }
+
+  let create db = { db; tables = []; vacuumed_versions = 0; vacuumed_pages = 0 }
+  let db t = t.db
+
+  let create_table t ~name:tname ~pk_col ?(secondary = []) () =
+    let rel = Db.alloc_rel t.db in
+    let heap = Heapfile.create t.db.Db.pool ~rel ~placement:P.placement in
+    let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
+    let secondary =
+      List.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db))) secondary
+    in
+    let table = { tname; rel; heap; pk_col; pk_index; secondary } in
+    t.tables <- t.tables @ [ table ];
+    table
+
+  let begin_txn t = Db.begin_txn t.db
+  let commit t txn = Db.commit t.db txn
+  let abort t txn = Db.abort t.db txn
+
+  let pk_of table row = Value.to_key row.(table.pk_col)
+
+  (* Add index entries for a new tuple version: PostgreSQL inserts into the
+     primary and every secondary index on each (non-HOT) update. *)
+  let index_version table ~tid row =
+    let tidi = Tid.to_int tid in
+    Btree.insert table.pk_index ~key:(pk_of table row) ~payload:tidi;
+    List.iter
+      (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:tidi)
+      table.secondary
+
+  let unindex_version table ~tid row =
+    let tidi = Tid.to_int tid in
+    ignore (Btree.delete table.pk_index ~key:(pk_of table row) ~payload:tidi);
+    List.iter
+      (fun (col, index) ->
+        ignore (Btree.delete index ~key:(Value.to_key row.(col)) ~payload:tidi))
+      table.secondary
+
+  let place_version t txn table row =
+    let item = Tuple.Si.encode ~xmin:txn.Txn.xid ~row in
+    let tid = Heapfile.insert_owned table.heap ~owner:txn.Txn.xid item in
+    Walcodec.log_heap t.db ~xid:txn.Txn.xid ~rel:table.rel ~kind:Wal.Insert ~tid ~item;
+    index_version table ~tid row;
+    (* every version pays index maintenance in every index *)
+    Db.charge_cpu t.db (1 + List.length table.secondary);
+    tid
+
+  (* The visible version of a data item among the candidate TIDs of its
+     primary key, newest first is not guaranteed, so every candidate is
+     checked. Returns (tid, item image, header, row). *)
+  let find_visible t txn table pk =
+    let candidates = Btree.lookup table.pk_index ~key:pk in
+    Db.charge_cpu t.db (List.length candidates);
+    let check tidi =
+      let tid = Tid.of_int tidi in
+      match Heapfile.read table.heap tid with
+      | None -> None
+      | Some item ->
+          let h = Tuple.Si.header item in
+          if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then
+            let row = Tuple.Si.row item in
+            if pk_of table row = pk then Some (tid, item, h, row) else None
+          else None
+    in
+    List.find_map check candidates
+
+  (* Unique-key admission for an insert, like PostgreSQL's unique-index
+     check against the latest version state: a visible live duplicate is a
+     duplicate-key error; a duplicate that is live "right now" but not
+     visible (in-progress inserter, or committed after our snapshot) is a
+     write conflict under first-updater-wins. *)
+  let insert_conflict t txn table pk =
+    let mgr = t.db.Db.txnmgr in
+    let candidates = Btree.lookup table.pk_index ~key:pk in
+    Db.charge_cpu t.db (List.length candidates);
+    let verdict_of tidi =
+      let tid = Tid.of_int tidi in
+      match Heapfile.read table.heap tid with
+      | None -> None
+      | Some item ->
+          let h = Tuple.Si.header item in
+          if pk_of table (Tuple.Si.row item) <> pk then None
+          else if Visibility.si_visible mgr txn.Txn.snapshot h then Some Engine.Duplicate_key
+          else begin
+            match Txn.status mgr h.xmin with
+            | Txn.Aborted -> None
+            | Txn.In_progress ->
+                (* own invisible version means we deleted it ourselves *)
+                if h.xmin = txn.Txn.xid then None else Some Engine.Write_conflict
+            | Txn.Committed ->
+                let deleted_for_good =
+                  h.xmax <> 0
+                  && (h.xmax = txn.Txn.xid || Txn.status mgr h.xmax = Txn.Committed)
+                in
+                if deleted_for_good then None else Some Engine.Write_conflict
+          end
+    in
+    (* a visible duplicate wins over a conflict verdict *)
+    let verdicts = List.filter_map verdict_of candidates in
+    if List.mem Engine.Duplicate_key verdicts then Some Engine.Duplicate_key
+    else if verdicts <> [] then Some Engine.Write_conflict
+    else None
+
+  let insert t txn table row =
+    let pk = pk_of table row in
+    match insert_conflict t txn table pk with
+    | Some e -> Error e
+    | None ->
+        let _ = place_version t txn table row in
+        Db.charge_cpu t.db 1;
+        Ok ()
+
+  let read t txn table ~pk =
+    match find_visible t txn table pk with
+    | Some (_, _, _, row) -> Some row
+    | None -> None
+
+  (* First-updater-wins: refuse when the visible version is already
+     invalidated by another transaction that is still active or committed
+     after our snapshot (no-wait policy, see DESIGN.md). *)
+  let check_update_conflict t txn (h : Tuple.Si.header) =
+    if h.xmax = 0 || h.xmax = txn.Txn.xid then Ok ()
+    else
+      match Txn.status t.db.Db.txnmgr h.xmax with
+      | Txn.Aborted -> Ok ()
+      | Txn.In_progress | Txn.Committed -> Error Engine.Write_conflict
+
+  let write_version t txn table ~pk ~make_row ~tombstone =
+    match find_visible t txn table pk with
+    | None -> Error Engine.Not_found
+    | Some (old_tid, old_item, h, old_row) -> (
+        match check_update_conflict t txn h with
+        | Error e -> Error e
+        | Ok () -> (
+            match Lockmgr.try_acquire t.db.Db.lockmgr ~xid:txn.Txn.xid ~rel:table.rel ~key:pk with
+            | Lockmgr.Conflict _ | Lockmgr.Deadlock -> Error Engine.Write_conflict
+            | Lockmgr.Granted ->
+                (* invalidate the old version IN PLACE: the small write SI
+                   pays on the old version's page *)
+                Tuple.Si.patch_xmax old_item txn.Txn.xid;
+                if not (Heapfile.update_in_place table.heap old_tid old_item) then
+                  failwith "Si_engine: in-place invalidation failed";
+                Walcodec.log_heap t.db ~xid:txn.Txn.xid ~rel:table.rel ~kind:Wal.Update
+                  ~tid:old_tid ~item:old_item;
+                (match make_row old_row with
+                | Some row ->
+                    if tombstone then failwith "Si_engine: tombstone with a row";
+                    let _ = place_version t txn table row in
+                    ()
+                | None -> ());
+                Db.charge_cpu t.db 2;
+                Ok ()))
+
+  let update t txn table ~pk f =
+    write_version t txn table ~pk ~make_row:(fun row -> Some (f row)) ~tombstone:false
+
+  let delete t txn table ~pk =
+    write_version t txn table ~pk ~make_row:(fun _ -> None) ~tombstone:false
+
+  let lookup t txn table ~col ~key =
+    match List.assoc_opt col table.secondary with
+    | None -> invalid_arg "Si_engine.lookup: no index on column"
+    | Some index ->
+        let tids = Btree.lookup index ~key in
+        Db.charge_cpu t.db (List.length tids);
+        List.filter_map
+          (fun tidi ->
+            let tid = Tid.of_int tidi in
+            match Heapfile.read table.heap tid with
+            | None -> None
+            | Some item ->
+                let h = Tuple.Si.header item in
+                if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then
+                  let row = Tuple.Si.row item in
+                  if Value.to_key row.(col) = key then Some row else None
+                else None)
+          tids
+
+  let range_pk t txn table ~lo ~hi =
+    let entries = Btree.range table.pk_index ~lo ~hi in
+    Db.charge_cpu t.db (List.length entries);
+    List.filter_map
+      (fun (key, tidi) ->
+        let tid = Tid.of_int tidi in
+        match Heapfile.read table.heap tid with
+        | None -> None
+        | Some item ->
+            let h = Tuple.Si.header item in
+            if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then
+              let row = Tuple.Si.row item in
+              if Value.to_key row.(table.pk_col) = key then Some row else None
+            else None)
+      entries
+
+  (* Traditional relation scan: fetch every tuple version of the relation
+     and check each for visibility. *)
+  let scan t txn table f =
+    let count = ref 0 in
+    Heapfile.iter table.heap (fun _tid item ->
+        Db.charge_cpu t.db 1;
+        let h = Tuple.Si.header item in
+        if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then begin
+          incr count;
+          f (Tuple.Si.row item)
+        end);
+    !count
+
+  (* Vacuum: physically remove versions no snapshot can ever see, and drop
+     their index entries. *)
+  let vacuum_table t table =
+    let horizon = Txn.horizon t.db.Db.txnmgr in
+    let victims = ref [] in
+    Heapfile.iter_ro table.heap (fun tid item ->
+        let h = Tuple.Si.header item in
+        if Visibility.si_dead_for_all t.db.Db.txnmgr ~horizon h then
+          victims := (tid, Tuple.Si.row item) :: !victims);
+    List.iter
+      (fun (tid, row) ->
+        Heapfile.delete table.heap tid;
+        Walcodec.log_heap t.db ~xid:0 ~rel:table.rel ~kind:Wal.Delete ~tid ~item:Bytes.empty;
+        unindex_version table ~tid row;
+        t.vacuumed_versions <- t.vacuumed_versions + 1)
+      !victims;
+    t.vacuumed_pages <- t.vacuumed_pages + Heapfile.nblocks table.heap
+
+  let gc t = List.iter (vacuum_table t) t.tables
+
+  let discover_nblocks pool ~rel =
+    let b = ref 0 in
+    while Bufpool.on_disk pool ~rel ~block:!b || Bufpool.resident pool ~rel ~block:!b do
+      incr b
+    done;
+    !b
+
+  let recover t =
+    Walcodec.replay_clog t.db;
+    Walcodec.redo t.db ~since_lsn:0;
+    List.iter
+      (fun table ->
+        let nblocks = discover_nblocks t.db.Db.pool ~rel:table.rel in
+        table.heap <-
+          Heapfile.restore t.db.Db.pool ~rel:table.rel ~placement:P.placement ~nblocks;
+        table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
+        table.secondary <-
+          List.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+            table.secondary;
+        Heapfile.iter table.heap (fun tid item ->
+            let h = Tuple.Si.header item in
+            if Txn.status t.db.Db.txnmgr h.xmin <> Txn.Aborted then
+              index_version table ~tid (Tuple.Si.row item)))
+      t.tables
+
+  let table_stats t table =
+    let total = ref 0 and live = ref 0 in
+    Heapfile.iter table.heap (fun _ item ->
+        incr total;
+        let h = Tuple.Si.header item in
+        let invalidated =
+          h.xmax <> 0 && Txn.status t.db.Db.txnmgr h.xmax = Txn.Committed
+        in
+        let aborted = Txn.status t.db.Db.txnmgr h.xmin = Txn.Aborted in
+        if (not invalidated) && not aborted then incr live);
+    {
+      Engine.heap_blocks = Heapfile.nblocks table.heap;
+      live_versions = !live;
+      total_versions = !total;
+      avg_fill = Heapfile.avg_fill table.heap;
+    }
+
+  let vacuum_stats t = (t.vacuumed_versions, t.vacuumed_pages)
+
+end

@@ -1,0 +1,4 @@
+include Si_core.Make (struct
+  let name = "SI-CV"
+  let placement = Sias_storage.Heapfile.Txn_colocated
+end)

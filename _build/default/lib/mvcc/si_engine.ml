@@ -1,0 +1,4 @@
+include Si_core.Make (struct
+  let name = "SI"
+  let placement = Sias_storage.Heapfile.Free_space_first
+end)

@@ -1,0 +1,185 @@
+module Txn = Sias_txn.Txn
+module Snapshot = Sias_txn.Snapshot
+
+module Make (E : Engine.S) = struct
+  type table = { inner : E.table; id : int; pk_col : int }
+
+  (* rw-dependency flags per transaction (Cahill's inConflict /
+     outConflict). [finished_at] keeps flags of committed transactions
+     visible while concurrent transactions may still form edges to them. *)
+  type flags = { mutable has_in : bool; mutable has_out : bool }
+
+  type t = {
+    eng : E.t;
+    mutable next_table : int;
+    (* SIREAD "locks": (table, key) -> readers; key = min_int is the
+       whole-table predicate read of a scan *)
+    sireads : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+    (* recent writes: (table, key) -> writers *)
+    writes : (int * int, (int, unit) Hashtbl.t) Hashtbl.t;
+    flags : (int, flags) Hashtbl.t;
+    mutable aborted_pivots : int;
+  }
+
+  let create db =
+    {
+      eng = E.create db;
+      next_table = 0;
+      sireads = Hashtbl.create 256;
+      writes = Hashtbl.create 256;
+      flags = Hashtbl.create 64;
+      aborted_pivots = 0;
+    }
+
+  let engine t = t.eng
+
+  let create_table t ~name ~pk_col ?secondary () =
+    let id = t.next_table in
+    t.next_table <- id + 1;
+    { inner = E.create_table t.eng ~name ~pk_col ?secondary (); id; pk_col }
+
+  let flags_of t xid =
+    match Hashtbl.find_opt t.flags xid with
+    | Some f -> f
+    | None ->
+        let f = { has_in = false; has_out = false } in
+        Hashtbl.replace t.flags xid f;
+        f
+
+  let begin_txn t =
+    let txn = E.begin_txn t.eng in
+    ignore (flags_of t txn.Txn.xid);
+    txn
+
+  let mark _t key xid tbl =
+    let set =
+      match Hashtbl.find_opt tbl key with
+      | Some s -> s
+      | None ->
+          let s = Hashtbl.create 4 in
+          Hashtbl.replace tbl key s;
+          s
+    in
+    Hashtbl.replace set xid ()
+
+  (* Two transactions are "SSI-concurrent" when neither could see the
+     other's writes: they overlapped in time. *)
+  let concurrent_with t (txn : Txn.t) other_xid =
+    other_xid <> txn.Txn.xid
+    &&
+    let mgr = (E.db t.eng).Db.txnmgr in
+    match Txn.status mgr other_xid with
+    | Txn.In_progress -> true
+    | Txn.Aborted -> false
+    | Txn.Committed ->
+        (* committed, but after our snapshot: still concurrent *)
+        not (Snapshot.sees_xid txn.Txn.snapshot other_xid)
+
+  (* rw-edge reader -> writer: reader.out, writer.in. A transaction that
+     acquires both directions is a pivot; abort it eagerly when it is the
+     one making the access, otherwise at its commit. *)
+  let add_edge t ~reader ~writer =
+    let fr = flags_of t reader and fw = flags_of t writer in
+    fr.has_out <- true;
+    fw.has_in <- true
+
+  let record_read t (txn : Txn.t) table key =
+    mark t (table.id, key) txn.Txn.xid t.sireads;
+    (* existing concurrent writers of this key: we read around them *)
+    (match Hashtbl.find_opt t.writes (table.id, key) with
+    | Some writers ->
+        Hashtbl.iter
+          (fun w () -> if concurrent_with t txn w then add_edge t ~reader:txn.Txn.xid ~writer:w)
+          writers
+    | None -> ())
+
+  let record_write t (txn : Txn.t) table key =
+    mark t (table.id, key) txn.Txn.xid t.writes;
+    let feed_readers k =
+      match Hashtbl.find_opt t.sireads k with
+      | Some readers ->
+          Hashtbl.iter
+            (fun r () ->
+              if concurrent_with t txn r then add_edge t ~reader:r ~writer:txn.Txn.xid)
+            readers
+      | None -> ()
+    in
+    feed_readers (table.id, key);
+    (* predicate reads (scans) cover every key of the table *)
+    feed_readers (table.id, min_int)
+
+  let pivot t xid =
+    match Hashtbl.find_opt t.flags xid with
+    | Some f -> f.has_in && f.has_out
+    | None -> false
+
+  (* Flag and SIREAD state of transactions that can no longer conflict
+     with anything is dropped once nothing concurrent remains. *)
+  let maybe_cleanup t =
+    let mgr = (E.db t.eng).Db.txnmgr in
+    if Txn.active_xids mgr = [] then begin
+      Hashtbl.reset t.sireads;
+      Hashtbl.reset t.writes;
+      Hashtbl.reset t.flags
+    end
+
+  let read t txn table ~pk =
+    let r = E.read t.eng txn table.inner ~pk in
+    record_read t txn table pk;
+    r
+
+  let scan t txn table f =
+    let n = E.scan t.eng txn table.inner f in
+    mark t (table.id, min_int) txn.Txn.xid t.sireads;
+    (* writes already recorded by concurrent writers count against the
+       predicate read as well *)
+    Hashtbl.iter
+      (fun (tid, _) writers ->
+        if tid = table.id then
+          Hashtbl.iter
+            (fun w () ->
+              if concurrent_with t txn w then add_edge t ~reader:txn.Txn.xid ~writer:w)
+            writers)
+      t.writes;
+    n
+
+  let guarded_write t txn table pk op =
+    match op () with
+    | Ok () ->
+        record_write t txn table pk;
+        Ok ()
+    | Error e -> Error e
+
+  let insert t txn table row =
+    let pk = Value.to_key row.(table.pk_col) in
+    guarded_write t txn table pk (fun () -> E.insert t.eng txn table.inner row)
+
+  let update t txn table ~pk f =
+    (* an update reads the current version first *)
+    record_read t txn table pk;
+    guarded_write t txn table pk (fun () -> E.update t.eng txn table.inner ~pk f)
+
+  let delete t txn table ~pk =
+    record_read t txn table pk;
+    guarded_write t txn table pk (fun () -> E.delete t.eng txn table.inner ~pk)
+
+  let abort t txn =
+    E.abort t.eng txn;
+    Hashtbl.remove t.flags txn.Txn.xid;
+    maybe_cleanup t
+
+  let commit t txn =
+    if pivot t txn.Txn.xid then begin
+      t.aborted_pivots <- t.aborted_pivots + 1;
+      E.abort t.eng txn;
+      maybe_cleanup t;
+      Error Engine.Write_conflict
+    end
+    else begin
+      E.commit t.eng txn;
+      maybe_cleanup t;
+      Ok ()
+    end
+
+  let aborted_pivots t = t.aborted_pivots
+end

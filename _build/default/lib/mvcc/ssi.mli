@@ -1,0 +1,59 @@
+(** Serializable Snapshot Isolation on top of any SIAS/SI engine.
+
+    The paper notes (Related Work) that standard SI is not serializable
+    and cites Cahill/Röhm/Fekete's serializable SI [10] and its PostgreSQL
+    implementation [28]. This functor upgrades any {!Engine.S} —
+    SI, SIAS-Chains or SIAS-V — to full serializability using Cahill's
+    algorithm: track read-write antidependencies between concurrent
+    transactions through SIREAD locks, and abort a {e pivot} — a
+    transaction with both an incoming and an outgoing rw-edge — before it
+    can commit. Every dangerous structure (the only way SI schedules can
+    be non-serializable) contains such a pivot, so aborting pivots makes
+    the surviving history serializable; like PostgreSQL's SSI it may
+    abort some false positives.
+
+    The wrapper intercepts the data operations to maintain the dependency
+    state; storage behaviour (and thus all of the paper's I/O results) is
+    entirely the wrapped engine's. *)
+
+module Make (E : Engine.S) : sig
+  type t
+  type table
+
+  val create : Db.t -> t
+  val engine : t -> E.t
+
+  val create_table :
+    t -> name:string -> pk_col:int -> ?secondary:int list -> unit -> table
+
+  val begin_txn : t -> Sias_txn.Txn.t
+
+  val commit : t -> Sias_txn.Txn.t -> (unit, Engine.error) result
+  (** [Error Write_conflict] when the transaction is a pivot in a
+      dangerous structure; the transaction is then aborted and its
+      effects rolled back. *)
+
+  val abort : t -> Sias_txn.Txn.t -> unit
+
+  val insert :
+    t -> Sias_txn.Txn.t -> table -> Value.t array -> (unit, Engine.error) result
+
+  val read : t -> Sias_txn.Txn.t -> table -> pk:int -> Value.t array option
+
+  val update :
+    t ->
+    Sias_txn.Txn.t ->
+    table ->
+    pk:int ->
+    (Value.t array -> Value.t array) ->
+    (unit, Engine.error) result
+
+  val delete : t -> Sias_txn.Txn.t -> table -> pk:int -> (unit, Engine.error) result
+
+  val scan : t -> Sias_txn.Txn.t -> table -> (Value.t array -> unit) -> int
+  (** Records a predicate (whole-table) SIREAD: later concurrent writers
+      anywhere in the table create an rw-edge. *)
+
+  val aborted_pivots : t -> int
+  (** Serialization aborts performed so far. *)
+end

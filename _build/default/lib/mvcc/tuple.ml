@@ -1,0 +1,56 @@
+module Tid = Sias_storage.Tid
+
+module Si = struct
+  type header = { xmin : int; xmax : int }
+
+  let header_size = 16 (* xmin int64, xmax int64 *)
+
+  let encode ~xmin ~row =
+    let payload = Value.encode_row row in
+    let b = Bytes.create (header_size + Bytes.length payload) in
+    Bytes.set_int64_le b 0 (Int64.of_int xmin);
+    Bytes.set_int64_le b 8 0L;
+    Bytes.blit payload 0 b header_size (Bytes.length payload);
+    b
+
+  let header b =
+    {
+      xmin = Int64.to_int (Bytes.get_int64_le b 0);
+      xmax = Int64.to_int (Bytes.get_int64_le b 8);
+    }
+
+  let row b = Value.decode_row b ~pos:header_size
+
+  let patch_xmax b xmax = Bytes.set_int64_le b 8 (Int64.of_int xmax)
+  let clear_xmax b = Bytes.set_int64_le b 8 0L
+end
+
+module Sias = struct
+  type header = { create : int; seq : int; vid : int; pred : Tid.t; tombstone : bool }
+
+  let header_size = 29 (* create int64, vid int64, pred int64, seq u32, flags u8 *)
+
+  let encode ~create ~seq ~vid ~pred ~tombstone ~row =
+    let payload = Value.encode_row row in
+    let b = Bytes.create (header_size + Bytes.length payload) in
+    Bytes.set_int64_le b 0 (Int64.of_int create);
+    Bytes.set_int64_le b 8 (Int64.of_int vid);
+    Bytes.set_int64_le b 16 (Int64.of_int (Tid.to_int pred));
+    Bytes.set_int32_le b 24 (Int32.of_int seq);
+    Bytes.set_uint8 b 28 (if tombstone then 1 else 0);
+    Bytes.blit payload 0 b header_size (Bytes.length payload);
+    b
+
+  let header b =
+    {
+      create = Int64.to_int (Bytes.get_int64_le b 0);
+      seq = Int32.to_int (Bytes.get_int32_le b 24);
+      vid = Int64.to_int (Bytes.get_int64_le b 8);
+      pred = Tid.of_int (Int64.to_int (Bytes.get_int64_le b 16));
+      tombstone = Bytes.get_uint8 b 28 = 1;
+    }
+
+  let row b = Value.decode_row b ~pos:header_size
+
+  let patch_pred b pred = Bytes.set_int64_le b 16 (Int64.of_int (Tid.to_int pred))
+end

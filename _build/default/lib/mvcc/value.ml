@@ -1,0 +1,94 @@
+type t = Int of int | Float of float | Str of string
+
+let int = function Int i -> i | _ -> invalid_arg "Value.int"
+let float = function Float f -> f | Int i -> float_of_int i | _ -> invalid_arg "Value.float"
+let str = function Str s -> s | _ -> invalid_arg "Value.str"
+
+let equal a b =
+  match (a, b) with
+  | Int x, Int y -> x = y
+  | Float x, Float y -> x = y
+  | Str x, Str y -> String.equal x y
+  | _, _ -> false
+
+let compare a b =
+  match (a, b) with
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Str x, Str y -> String.compare x y
+  | Int _, _ -> -1
+  | _, Int _ -> 1
+  | Float _, _ -> -1
+  | _, Float _ -> 1
+
+let pp fmt = function
+  | Int i -> Format.fprintf fmt "%d" i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+
+let fnv_hash s =
+  let h = ref 0x1bf29ce484222325 in
+  String.iter
+    (fun c ->
+      h := !h lxor Char.code c;
+      h := !h * 0x100000001b3)
+    s;
+  !h land max_int
+
+let to_key = function
+  | Int i -> i
+  | Float f -> int_of_float (Float.round (f *. 100.0))
+  | Str s -> fnv_hash s
+
+(* Row format: u16 column count, then per column a 1-byte tag and the
+   value: Int/Float as int64, Str as u16 length + bytes. *)
+let encode_row row =
+  let buf = Buffer.create 64 in
+  Buffer.add_uint16_le buf (Array.length row);
+  Array.iter
+    (fun v ->
+      match v with
+      | Int i ->
+          Buffer.add_uint8 buf 0;
+          Buffer.add_int64_le buf (Int64.of_int i)
+      | Float f ->
+          Buffer.add_uint8 buf 1;
+          Buffer.add_int64_le buf (Int64.bits_of_float f)
+      | Str s ->
+          if String.length s > 0xFFFF then invalid_arg "Value.encode_row: string too long";
+          Buffer.add_uint8 buf 2;
+          Buffer.add_uint16_le buf (String.length s);
+          Buffer.add_string buf s)
+    row;
+  Buffer.to_bytes buf
+
+let decode_row b ~pos =
+  let pos = ref pos in
+  let n = Bytes.get_uint16_le b !pos in
+  pos := !pos + 2;
+  Array.init n (fun _ ->
+      let tag = Bytes.get_uint8 b !pos in
+      incr pos;
+      match tag with
+      | 0 ->
+          let v = Int64.to_int (Bytes.get_int64_le b !pos) in
+          pos := !pos + 8;
+          Int v
+      | 1 ->
+          let v = Int64.float_of_bits (Bytes.get_int64_le b !pos) in
+          pos := !pos + 8;
+          Float v
+      | 2 ->
+          let len = Bytes.get_uint16_le b !pos in
+          pos := !pos + 2;
+          let s = Bytes.sub_string b !pos len in
+          pos := !pos + len;
+          Str s
+      | _ -> invalid_arg "Value.decode_row: bad tag")
+
+let row_equal a b = Array.length a = Array.length b && Array.for_all2 equal a b
+
+let pp_row fmt row =
+  Format.fprintf fmt "(%s)"
+    (String.concat ", "
+       (Array.to_list (Array.map (fun v -> Format.asprintf "%a" pp v) row)))

@@ -1,0 +1,33 @@
+(** Typed column values and row serialization.
+
+    Rows are arrays of values; the codec produces the byte payload stored
+    after the tuple-version header on heap pages. Integers dominate the
+    TPC-C schema, with strings for names/data padding and floats for
+    amounts. *)
+
+type t =
+  | Int of int
+  | Float of float
+  | Str of string
+
+val int : t -> int
+(** Raises [Invalid_argument] on a non-[Int]. *)
+
+val float : t -> float
+val str : t -> string
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val to_key : t -> int
+(** Dense integer for indexing: [Int] as-is, [Float] rounded through a
+    fixed-point scale (x100), [Str] by a 62-bit FNV-1a hash. *)
+
+val encode_row : t array -> bytes
+val decode_row : bytes -> pos:int -> t array
+(** [decode_row b ~pos] reads a row starting at [pos] (the end of the
+    tuple header). Inverse of {!encode_row}. *)
+
+val row_equal : t array -> t array -> bool
+val pp_row : Format.formatter -> t array -> unit

@@ -1,0 +1,20 @@
+module Txn = Sias_txn.Txn
+
+let creator_visible mgr snap c = Txn.visible mgr snap c
+
+let si_visible mgr snap (h : Tuple.Si.header) =
+  creator_visible mgr snap h.xmin
+  && not (h.xmax <> 0 && creator_visible mgr snap h.xmax)
+
+let committed_below mgr ~horizon c = c < horizon && Txn.status mgr c = Txn.Committed
+
+let si_dead_for_all mgr ~horizon (h : Tuple.Si.header) =
+  Txn.status mgr h.xmin = Txn.Aborted
+  || (h.xmax <> 0 && committed_below mgr ~horizon h.xmax)
+
+let sias_dead_for_all mgr ~horizon ~create ~successor_create =
+  Txn.status mgr create = Txn.Aborted
+  ||
+  match successor_create with
+  | Some c' -> committed_below mgr ~horizon c'
+  | None -> false

@@ -1,0 +1,32 @@
+(** Version visibility (paper Algorithm 1, [isVisible]).
+
+    A version created by [c] is visible to snapshot [s] iff [c] is [s]'s
+    own transaction, or [c] committed before [s] started ([c <= xmax] and
+    [c] not concurrent and [c] committed). Under SI a visible creator is
+    not enough: the version must also not be invalidated by a transaction
+    visible to [s]. Under SIAS there is no invalidation timestamp — the
+    first visible version found walking the chain from the entrypoint is
+    the answer, because chain order is reverse-chronological. *)
+
+val creator_visible : Sias_txn.Txn.mgr -> Sias_txn.Snapshot.t -> int -> bool
+(** The shared creation-side predicate. *)
+
+val si_visible :
+  Sias_txn.Txn.mgr -> Sias_txn.Snapshot.t -> Tuple.Si.header -> bool
+(** Creator visible and not invalidated by a visible transaction. *)
+
+val si_dead_for_all : Sias_txn.Txn.mgr -> horizon:int -> Tuple.Si.header -> bool
+(** No current or future snapshot can see the version — the vacuum
+    criterion: aborted creator, or invalidator committed below the
+    {!Sias_txn.Txn.horizon}. *)
+
+val sias_dead_for_all :
+  Sias_txn.Txn.mgr ->
+  horizon:int ->
+  create:int ->
+  successor_create:int option ->
+  bool
+(** SIAS chain-pruning criterion for a version created at [create] whose
+    nearest {e committed} successor in the chain (if any) was created at
+    [successor_create]: the version is dead when its creator aborted, or
+    when that successor is visible to every active transaction. *)

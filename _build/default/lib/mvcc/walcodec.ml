@@ -1,0 +1,74 @@
+module Tid = Sias_storage.Tid
+module Page = Sias_storage.Page
+module Bufpool = Sias_storage.Bufpool
+module Wal = Sias_wal.Wal
+module Txn = Sias_txn.Txn
+
+(* Payload: tid (int64), flags (u8, bit 0 = append-only page discipline),
+   item bytes. The flag matters at redo: a page recreated from nothing
+   must apply the same slot-allocation rule the original insert used, or
+   replayed slots diverge. *)
+let encode ?(append_only = false) tid item =
+  let b = Bytes.create (9 + Bytes.length item) in
+  Bytes.set_int64_le b 0 (Int64.of_int (Tid.to_int tid));
+  Bytes.set_uint8 b 8 (if append_only then 1 else 0);
+  Bytes.blit item 0 b 9 (Bytes.length item);
+  b
+
+let decode b =
+  let tid = Tid.of_int (Int64.to_int (Bytes.get_int64_le b 0)) in
+  let append_only = Bytes.get_uint8 b 8 land 1 = 1 in
+  (tid, append_only, Bytes.sub b 9 (Bytes.length b - 9))
+
+let log_heap ?append_only db ~xid ~rel ~kind ~tid ~item =
+  let lsn = Db.log_op db ~xid ~rel ~kind ~payload:(encode ?append_only tid item) in
+  Bufpool.with_page db.Db.pool ~rel ~block:(Tid.block tid) (fun page ->
+      Page.set_lsn page lsn)
+
+let redo db ~since_lsn =
+  let records = Wal.records_from db.Db.wal ~lsn:since_lsn in
+  List.iter
+    (fun (r : Wal.record) ->
+      match r.kind with
+      | Wal.Trim when r.rel >= 0 ->
+          let tid, _, _ = decode r.payload in
+          Bufpool.trim_block db.Db.pool ~rel:r.rel ~block:(Tid.block tid);
+          Bufpool.with_page db.Db.pool ~rel:r.rel ~block:(Tid.block tid) (fun page ->
+              Page.set_lsn page r.lsn)
+      | Wal.Insert | Wal.Update | Wal.Delete when r.rel >= 0 ->
+          let tid, append_only, item = decode r.payload in
+          Bufpool.with_page db.Db.pool ~rel:r.rel ~block:(Tid.block tid) (fun page ->
+              if Page.lsn page < r.lsn then begin
+                if append_only then Page.set_no_slot_reuse page;
+                (match r.kind with
+                | Wal.Insert -> (
+                    match Page.insert page item with
+                    | Some slot when slot = Tid.slot tid -> ()
+                    | Some _ | None -> failwith "Walcodec.redo: insert slot mismatch")
+                | Wal.Update ->
+                    if not (Page.update page (Tid.slot tid) item) then
+                      failwith "Walcodec.redo: update did not fit"
+                | Wal.Delete -> Page.delete page (Tid.slot tid)
+                | _ -> assert false);
+                Page.set_lsn page r.lsn;
+                Bufpool.mark_dirty db.Db.pool ~rel:r.rel ~block:(Tid.block tid)
+              end)
+      | _ -> ())
+    records
+
+let replay_clog db =
+  let records = Wal.records_from db.Db.wal ~lsn:0 in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun (r : Wal.record) ->
+      if r.xid > 0 && not (Hashtbl.mem seen r.xid) then Hashtbl.replace seen r.xid false)
+    records;
+  List.iter
+    (fun (r : Wal.record) ->
+      match r.kind with
+      | Wal.Commit -> Hashtbl.replace seen r.xid true
+      | _ -> ())
+    records;
+  Hashtbl.iter
+    (fun xid committed -> Txn.mark_recovered db.Db.txnmgr ~xid ~committed)
+    seen

@@ -1,0 +1,30 @@
+(** WAL payload encoding and redo for heap operations.
+
+    Heap changes are logged physiologically: the target TID plus the full
+    item image (empty for slot deletes). Redo replays records in LSN order
+    onto the surviving page images, guarded by the page LSN so pages that
+    were flushed after a record was written are not double-applied. *)
+
+val encode : ?append_only:bool -> Sias_storage.Tid.t -> bytes -> bytes
+val decode : bytes -> Sias_storage.Tid.t * bool * bytes
+
+val log_heap :
+  ?append_only:bool ->
+  Db.t ->
+  xid:int ->
+  rel:int ->
+  kind:Sias_wal.Wal.kind ->
+  tid:Sias_storage.Tid.t ->
+  item:bytes ->
+  unit
+(** Append the record and stamp the target page with its LSN. *)
+
+val redo : Db.t -> since_lsn:int -> unit
+(** Replay heap records with LSN >= [since_lsn]. Indexes and VID_maps are
+    not logged: engines rebuild them from the heap after redo. *)
+
+val replay_clog : Db.t -> unit
+(** Rebuild transaction statuses from commit/abort records over the whole
+    retained log. Transactions lacking a final record are left unknown
+    (treated as aborted by recovery-time [mark_recovered] calls made
+    here for every xid that appears in the log). *)

@@ -1,0 +1,1 @@
+lib/storage/bgwriter.ml: Bufpool Sias_util

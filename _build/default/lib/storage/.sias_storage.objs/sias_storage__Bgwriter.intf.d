@@ -1,0 +1,1 @@
+lib/storage/bgwriter.mli: Bufpool Sias_util

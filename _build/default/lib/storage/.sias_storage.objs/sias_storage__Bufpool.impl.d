@@ -1,0 +1,1 @@
+lib/storage/bufpool.ml: Array Flashsim Fun Hashtbl List Page Queue Sias_util

@@ -1,0 +1,1 @@
+lib/storage/heapfile.ml: Array Bufpool Bytes Hashtbl Page Queue Tid

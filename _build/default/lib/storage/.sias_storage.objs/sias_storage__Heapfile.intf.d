@@ -1,0 +1,1 @@
+lib/storage/heapfile.mli: Bufpool Tid

@@ -1,0 +1,1 @@
+lib/storage/tid.ml: Format Int Printf

@@ -1,0 +1,60 @@
+module Simclock = Sias_util.Simclock
+
+type policy =
+  | T1_bgwriter of { interval : float; max_pages : int }
+  | T2_checkpoint_only
+  | Disabled
+
+type t = {
+  pool : Bufpool.t;
+  clock : Simclock.t;
+  policy : policy;
+  checkpoint_interval : float;
+  mutable next_bgwriter : float;
+  mutable next_checkpoint : float;
+  mutable checkpoints : int;
+  mutable bgwriter_rounds : int;
+}
+
+let create pool ~clock ~policy ?(checkpoint_interval = 30.0) () =
+  let now = Simclock.now clock in
+  let next_bgwriter =
+    match policy with T1_bgwriter { interval; _ } -> now +. interval | _ -> infinity
+  in
+  let next_checkpoint =
+    match policy with Disabled -> infinity | _ -> now +. checkpoint_interval
+  in
+  {
+    pool;
+    clock;
+    policy;
+    checkpoint_interval;
+    next_bgwriter;
+    next_checkpoint;
+    checkpoints = 0;
+    bgwriter_rounds = 0;
+  }
+
+let checkpoint_now t =
+  Bufpool.flush_all t.pool ~sync:false;
+  t.checkpoints <- t.checkpoints + 1;
+  t.next_checkpoint <- Simclock.now t.clock +. t.checkpoint_interval
+
+let tick t =
+  let now = Simclock.now t.clock in
+  (match t.policy with
+  | T1_bgwriter { interval; max_pages } ->
+      while t.next_bgwriter <= now do
+        Bufpool.flush_some t.pool ~max_pages;
+        t.bgwriter_rounds <- t.bgwriter_rounds + 1;
+        t.next_bgwriter <- t.next_bgwriter +. interval
+      done
+  | T2_checkpoint_only | Disabled -> ());
+  while t.next_checkpoint <= now do
+    Bufpool.flush_all t.pool ~sync:false;
+    t.checkpoints <- t.checkpoints + 1;
+    t.next_checkpoint <- t.next_checkpoint +. t.checkpoint_interval
+  done
+
+let checkpoints t = t.checkpoints
+let bgwriter_rounds t = t.bgwriter_rounds

@@ -1,0 +1,349 @@
+module Device = Flashsim.Device
+module Blocktrace = Flashsim.Blocktrace
+module Simclock = Sias_util.Simclock
+
+type key = { rel : int; block : int }
+
+type frame = {
+  idx : int;
+  mutable key : key;
+  mutable page : Page.t;
+  mutable dirty : bool;
+  mutable pin : int;
+  mutable refbit : bool;
+  mutable used : bool;
+  mutable last_use : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;
+  read_stall_s : float;
+  write_stall_s : float;
+}
+
+type t = {
+  device : Device.t;
+  clock : Simclock.t;
+  page_size : int;
+  rel_region_blocks : int;
+  os_cache_interval : float option;
+  os_cache_pages : int;
+  os_pending : (key, unit) Hashtbl.t;
+  mutable os_next_flush : float;
+  ring : (key, Page.t) Hashtbl.t; (* small cache for ring-buffer reads *)
+  ring_fifo : key Queue.t;
+  frames : frame array;
+  index : (key, int) Hashtbl.t;
+  disk : (key, Page.t) Hashtbl.t; (* flushed page images *)
+  mutable hand : int; (* clock-sweep position *)
+  mutable bg_hand : int; (* background-writer scan position *)
+  mutable tick : int; (* logical use counter for LRU-ish bgwriter order *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable flushes : int;
+  mutable read_stall : float;
+  mutable write_stall : float;
+  mutable trims : int;
+}
+
+let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_blocks = 65536)
+    ?os_cache_interval ?os_cache_pages () =
+  if capacity_pages <= 0 then invalid_arg "Bufpool.create: capacity must be positive";
+  let dummy_key = { rel = -1; block = -1 } in
+  let frames =
+    Array.init capacity_pages (fun idx ->
+        {
+          idx;
+          key = dummy_key;
+          page = Page.create ~size:page_size;
+          dirty = false;
+          pin = 0;
+          refbit = false;
+          used = false;
+          last_use = 0;
+        })
+  in
+  {
+    device;
+    clock;
+    page_size;
+    rel_region_blocks;
+    os_cache_interval;
+    os_cache_pages = (match os_cache_pages with Some n -> n | None -> capacity_pages);
+    os_pending = Hashtbl.create 1024;
+    os_next_flush = (match os_cache_interval with Some i -> i | None -> infinity);
+    ring = Hashtbl.create 64;
+    ring_fifo = Queue.create ();
+    frames;
+    index = Hashtbl.create (2 * capacity_pages);
+    disk = Hashtbl.create 1024;
+    hand = 0;
+    bg_hand = 0;
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    flushes = 0;
+    read_stall = 0.0;
+    write_stall = 0.0;
+    trims = 0;
+  }
+
+let page_size t = t.page_size
+let device t = t.device
+let now t = Simclock.now t.clock
+
+let sectors_per_page t = t.page_size / 512
+
+let sector_of t ~rel ~block =
+  ((rel * t.rel_region_blocks) + block) * sectors_per_page t
+
+let submit_io t ~sync op key =
+  let now = Simclock.now t.clock in
+  let sector = sector_of t ~rel:key.rel ~block:key.block in
+  let completion = Device.submit t.device ~now op ~sector ~bytes:t.page_size in
+  if sync then begin
+    let stall = completion -. now in
+    (match op with
+    | Blocktrace.Read -> t.read_stall <- t.read_stall +. stall
+    | Blocktrace.Write -> t.write_stall <- t.write_stall +. stall);
+    Simclock.advance_to t.clock completion
+  end
+
+(* OS page-cache model: when enabled, page write-backs land in the kernel
+   cache (no device I/O, no caller stall) and the dirty-expire flusher
+   pushes the coalesced set to the device every interval, in sorted order
+   (the elevator). Rewrites of the same page within a window cost one
+   device write — which is how PostgreSQL's hot pages behave on Linux and
+   a large part of why SIAS's small hot write set is so cheap. *)
+let flush_os_cache t =
+  let keys = Hashtbl.fold (fun k () acc -> k :: acc) t.os_pending [] in
+  let keys = List.sort (fun a b -> compare (a.rel, a.block) (b.rel, b.block)) keys in
+  List.iter (fun key -> submit_io t ~sync:false Blocktrace.Write key) keys;
+  Hashtbl.reset t.os_pending
+
+let os_cache_tick t =
+  match t.os_cache_interval with
+  | None -> ()
+  | Some interval ->
+      if Simclock.now t.clock >= t.os_next_flush then begin
+        flush_os_cache t;
+        t.os_next_flush <- Simclock.now t.clock +. interval
+      end
+
+let write_back t frame ~sync =
+  Hashtbl.replace t.disk frame.key (Page.copy frame.page);
+  (match t.os_cache_interval with
+  | None -> submit_io t ~sync Blocktrace.Write frame.key
+  | Some _ ->
+      Hashtbl.replace t.os_pending frame.key ();
+      (* bounded cache: a dirty set beyond the kernel's writeback
+         threshold is flushed immediately (memory pressure), so only
+         write sets that FIT keep coalescing — SIAS's do, SI's do not *)
+      if Hashtbl.length t.os_pending > t.os_cache_pages then flush_os_cache t
+      else os_cache_tick t);
+  frame.dirty <- false;
+  t.flushes <- t.flushes + 1
+
+(* Clock sweep: find an unpinned victim, giving recently referenced frames
+   a second chance. Dirty victims are written back synchronously. *)
+let find_victim t =
+  let n = Array.length t.frames in
+  let attempts = ref 0 in
+  let victim = ref None in
+  while !victim = None do
+    if !attempts > 2 * n then failwith "Bufpool: all frames pinned";
+    let f = t.frames.(t.hand) in
+    t.hand <- (t.hand + 1) mod n;
+    incr attempts;
+    if f.pin = 0 then begin
+      if f.refbit then f.refbit <- false else victim := Some f
+    end
+  done;
+  match !victim with Some f -> f | None -> assert false
+
+let load_frame t key =
+  let f = find_victim t in
+  if f.used then begin
+    if f.dirty then write_back t f ~sync:true;
+    Hashtbl.remove t.index f.key;
+    t.evictions <- t.evictions + 1
+  end;
+  (match Hashtbl.find_opt t.disk key with
+  | Some image ->
+      f.page <- Page.copy image;
+      submit_io t ~sync:true Blocktrace.Read key
+  | None -> f.page <- Page.create ~size:t.page_size);
+  f.key <- key;
+  f.dirty <- false;
+  f.used <- true;
+  f.refbit <- true;
+  f
+
+let get_frame t key =
+  match Hashtbl.find_opt t.index key with
+  | Some i ->
+      let f = t.frames.(i) in
+      t.hits <- t.hits + 1;
+      f.refbit <- true;
+      f
+  | None ->
+      t.misses <- t.misses + 1;
+      let f = load_frame t key in
+      Hashtbl.replace t.index key f.idx;
+      f
+
+let with_page t ~rel ~block fn =
+  os_cache_tick t;
+  let key = { rel; block } in
+  let f = get_frame t key in
+  f.pin <- f.pin + 1;
+  t.tick <- t.tick + 1;
+  f.last_use <- t.tick;
+  Fun.protect ~finally:(fun () -> f.pin <- f.pin - 1) (fun () -> fn f.page)
+
+(* Ring-buffer access for background scans (vacuum/GC): a resident page
+   is used without promoting it (no reference bit, no recency bump); a
+   miss is served straight from the disk image without occupying a frame,
+   so wholesale scans cannot evict the working set (PostgreSQL's
+   BAS_VACUUM ring). Read-only: mutations through this path are lost. *)
+let ring_capacity = 32
+
+let ring_put t key page =
+  if not (Hashtbl.mem t.ring key) then begin
+    if Queue.length t.ring_fifo >= ring_capacity then begin
+      let victim = Queue.pop t.ring_fifo in
+      Hashtbl.remove t.ring victim
+    end;
+    Hashtbl.replace t.ring key page;
+    Queue.add key t.ring_fifo
+  end
+
+let with_page_ro t ~rel ~block fn =
+  os_cache_tick t;
+  let key = { rel; block } in
+  match Hashtbl.find_opt t.index key with
+  | Some i ->
+      let f = t.frames.(i) in
+      t.hits <- t.hits + 1;
+      f.pin <- f.pin + 1;
+      Fun.protect ~finally:(fun () -> f.pin <- f.pin - 1) (fun () -> fn f.page)
+  | None -> (
+      match Hashtbl.find_opt t.ring key with
+      | Some page ->
+          t.hits <- t.hits + 1;
+          fn page
+      | None ->
+          t.misses <- t.misses + 1;
+          let page =
+            match Hashtbl.find_opt t.disk key with
+            | Some image ->
+                submit_io t ~sync:true Blocktrace.Read key;
+                Page.copy image
+            | None -> Page.create ~size:t.page_size
+          in
+          ring_put t key page;
+          fn page)
+
+let find_resident t ~rel ~block =
+  match Hashtbl.find_opt t.index { rel; block } with
+  | Some i -> Some t.frames.(i)
+  | None -> None
+
+let mark_dirty t ~rel ~block =
+  (* any mutation invalidates the ring copy *)
+  Hashtbl.remove t.ring { rel; block };
+  match find_resident t ~rel ~block with
+  | Some f -> f.dirty <- true
+  | None -> invalid_arg "Bufpool.mark_dirty: page not resident"
+
+let flush_block t ~rel ~block ~sync =
+  match find_resident t ~rel ~block with
+  | Some f when f.dirty -> write_back t f ~sync
+  | Some _ | None -> ()
+
+(* Checkpoints issue their writes in (relation, block) order, like
+   PostgreSQL's sorted checkpoints: append regions and index files flush
+   as near-sequential streams, which matters greatly on the HDD model. *)
+let flush_all t ~sync =
+  let dirty =
+    Array.to_list t.frames |> List.filter (fun f -> f.used && f.dirty)
+  in
+  let sorted =
+    List.sort (fun a b -> compare (a.key.rel, a.key.block) (b.key.rel, b.key.block)) dirty
+  in
+  List.iter (fun f -> write_back t f ~sync) sorted
+
+(* The background writer sweeps the frame array round-robin (PostgreSQL's
+   bgwriter clock scan): every dirty page is eventually trickled out
+   regardless of recency, which is what persists partially filled append
+   pages under the paper's t1 threshold. *)
+let flush_some t ~max_pages =
+  let n = Array.length t.frames in
+  let written = ref 0 in
+  let scanned = ref 0 in
+  while !written < max_pages && !scanned < n do
+    let f = t.frames.(t.bg_hand) in
+    t.bg_hand <- (t.bg_hand + 1) mod n;
+    incr scanned;
+    if f.used && f.dirty then begin
+      write_back t f ~sync:false;
+      incr written
+    end
+  done
+
+let dirty_count t =
+  Array.fold_left (fun acc f -> if f.used && f.dirty then acc + 1 else acc) 0 t.frames
+
+let resident t ~rel ~block = find_resident t ~rel ~block <> None
+
+let is_dirty t ~rel ~block =
+  match find_resident t ~rel ~block with Some f -> f.dirty | None -> false
+
+let drop_cache t =
+  Array.iter
+    (fun f ->
+      f.used <- false;
+      f.dirty <- false;
+      f.pin <- 0;
+      f.refbit <- false)
+    t.frames;
+  Hashtbl.reset t.index;
+  Hashtbl.reset t.ring;
+  Queue.clear t.ring_fifo
+
+let stats t =
+  {
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    flushes = t.flushes;
+    read_stall_s = t.read_stall;
+    write_stall_s = t.write_stall;
+  }
+
+let on_disk t ~rel ~block = Hashtbl.mem t.disk { rel; block }
+
+let dirty_keys t =
+  Array.to_list t.frames
+  |> List.filter_map (fun f ->
+         if f.used && f.dirty then Some (f.key.rel, f.key.block) else None)
+
+let trim_block t ~rel ~block =
+  (match find_resident t ~rel ~block with
+  | Some f ->
+      f.page <- Page.create ~size:t.page_size;
+      f.dirty <- false
+  | None -> ());
+  Hashtbl.remove t.disk { rel; block };
+  Hashtbl.remove t.os_pending { rel; block };
+  Hashtbl.remove t.ring { rel; block };
+  (* tell the device: its GC must never relocate this dead data *)
+  Device.trim t.device ~sector:(sector_of t ~rel ~block) ~bytes:t.page_size;
+  t.trims <- t.trims + 1
+
+let trims t = t.trims

@@ -1,0 +1,105 @@
+(** Buffer pool over a simulated block device.
+
+    Frames hold {!Page.t} values keyed by (relation, block). Misses read
+    the page image from the simulated disk (charging device latency and
+    advancing the caller's clock); evicting a dirty frame writes it back
+    synchronously, like a PostgreSQL backend stalling on a dirty victim.
+    The background writer and checkpointer flush asynchronously: the
+    device queue is charged but the caller's clock does not advance.
+
+    Each relation owns a disjoint sector region on the device, so the
+    block trace shows per-relation "swimlanes" (paper, Section 5.1). *)
+
+type t
+
+type key = { rel : int; block : int }
+
+val create :
+  device:Flashsim.Device.t ->
+  clock:Sias_util.Simclock.t ->
+  capacity_pages:int ->
+  ?page_size:int ->
+  ?rel_region_blocks:int ->
+  ?os_cache_interval:float ->
+  ?os_cache_pages:int ->
+  unit ->
+  t
+(** [capacity_pages] frames of [page_size] (default 8192) bytes.
+    [rel_region_blocks] (default 65536) sizes each relation's device
+    region. *)
+
+val page_size : t -> int
+val device : t -> Flashsim.Device.t
+
+val now : t -> float
+(** Current simulated time of the pool's clock. *)
+
+val with_page : t -> rel:int -> block:int -> (Page.t -> 'a) -> 'a
+(** Pin the page, run the function, unpin. The page is fetched from disk
+    on a miss and created empty if it never existed. Mutating the page
+    requires a {!mark_dirty} before unpinning. *)
+
+val with_page_ro : t -> rel:int -> block:int -> (Page.t -> 'a) -> 'a
+(** Ring-buffer access for background scans (vacuum/GC): hits do not
+    promote the frame and misses are served without caching, so a
+    wholesale scan cannot evict the working set (PostgreSQL's vacuum
+    ring). Strictly read-only — mutations made through it are lost. *)
+
+val mark_dirty : t -> rel:int -> block:int -> unit
+(** The page must currently be resident (normally called inside
+    [with_page]). *)
+
+val flush_block : t -> rel:int -> block:int -> sync:bool -> unit
+(** Write the page image to the device if resident and dirty. [sync]
+    advances the caller's clock to I/O completion. *)
+
+val flush_all : t -> sync:bool -> unit
+(** Checkpoint: write every dirty frame. *)
+
+val flush_some : t -> max_pages:int -> unit
+(** Background-writer step: asynchronously write up to [max_pages] dirty
+    frames, least-recently-used first. *)
+
+val dirty_count : t -> int
+val resident : t -> rel:int -> block:int -> bool
+val is_dirty : t -> rel:int -> block:int -> bool
+
+val drop_cache : t -> unit
+(** Simulate a crash: discard every frame (dirty pages are LOST) leaving
+    only what was flushed to the device. For recovery tests. *)
+
+val sector_of : t -> rel:int -> block:int -> int
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  flushes : int;
+  read_stall_s : float;  (** simulated seconds callers spent waiting on reads *)
+  write_stall_s : float;  (** simulated seconds spent on synchronous writes *)
+}
+
+val stats : t -> stats
+
+val on_disk : t -> rel:int -> block:int -> bool
+(** Whether a flushed image of the page exists on the device (used by
+    recovery to rediscover relation sizes). *)
+
+val dirty_keys : t -> (int * int) list
+(** (rel, block) of every dirty resident frame; for tests/debugging. *)
+
+val flush_os_cache : t -> unit
+(** Force the OS page-cache model's pending writes out to the device (the
+    equivalent of sync(2)). No-op without [os_cache_interval]. With the
+    cache enabled, page write-backs cost no caller time and coalesce per
+    page until the periodic dirty-expire flush — the Linux behaviour
+    underneath PostgreSQL that the paper's write measurements sit on. *)
+
+val trim_block : t -> rel:int -> block:int -> unit
+(** Discard a page: the resident frame (if any) is reset to an empty page
+    and marked clean, and the on-device image is dropped. Models the
+    deterministic erase/TRIM a log-structured store issues for reclaimed
+    pages — a metadata operation, not a page write (paper Section 6). *)
+
+val trims : t -> int
+(** Number of pages discarded so far. *)

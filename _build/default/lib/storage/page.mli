@@ -1,0 +1,66 @@
+(** Slotted heap page (PostgreSQL-style).
+
+    A page is a real byte buffer: a fixed header, a slot (line pointer)
+    array growing downward from the header, and item data growing upward
+    from the end. Deleting leaves a hole that is reclaimed by compaction
+    when an insert needs the space. In-place updates that do not grow an
+    item succeed without moving it — which is exactly the operation SI
+    invalidation performs and SIAS avoids. *)
+
+type t
+
+val header_size : int
+val slot_size : int
+
+val create : size:int -> t
+(** An empty page of [size] bytes (the simulator uses 8192). *)
+
+val size : t -> int
+
+val insert : t -> bytes -> int option
+(** [insert p item] places the item and returns its slot, or [None] when
+    even compaction cannot make room. Dead slots are reused. *)
+
+val read : t -> int -> bytes option
+(** Item bytes of a live slot; [None] for dead, unused or out-of-range
+    slots. The returned bytes are a copy. *)
+
+val update : t -> int -> bytes -> bool
+(** [update p slot item] overwrites the item in place when the new value
+    is not longer than the currently stored one (the slot keeps its
+    original allocation); returns [false] otherwise, leaving the page
+    unchanged. *)
+
+val delete : t -> int -> unit
+(** Mark the slot dead; its space becomes reclaimable. No-op on already
+    dead slots; raises [Invalid_argument] on out-of-range slots. *)
+
+val slot_count : t -> int
+(** Slots ever allocated, live or dead. *)
+
+val live_count : t -> int
+
+val free_space : t -> int
+(** Bytes available for new items, counting reclaimable holes but also
+    the slot-array cost of an insert. *)
+
+val fill_ratio : t -> float
+(** Fraction of the data area occupied by live items. *)
+
+val iter : t -> (int -> bytes -> unit) -> unit
+(** Apply to every live slot in slot order. *)
+
+val copy : t -> t
+
+val no_slot_reuse : t -> bool
+
+val set_no_slot_reuse : t -> unit
+(** Mark the page append-only with respect to slot ids: dead slots are
+    never recycled, so a TID is unique for the page's lifetime. Persisted
+    in the page header (recovery redo sees the same behaviour). Used by
+    {!Heapfile} for [Append_only] placement, where stale version-chain
+    pointers must never alias a newer tuple. *)
+
+val lsn : t -> int
+val set_lsn : t -> int -> unit
+(** Page LSN for WAL ordering. *)

@@ -1,0 +1,28 @@
+type t = { block : int; slot : int }
+
+let slot_bits = 16
+let slot_limit = 1 lsl slot_bits
+
+let make ~block ~slot =
+  if block < 0 || slot < 0 || slot >= slot_limit then invalid_arg "Tid.make";
+  { block; slot }
+
+let block t = t.block
+let slot t = t.slot
+
+let to_int t = (t.block lsl slot_bits) lor t.slot
+
+let of_int i =
+  if i < 0 then invalid_arg "Tid.of_int";
+  { block = i lsr slot_bits; slot = i land (slot_limit - 1) }
+
+let equal a b = a.block = b.block && a.slot = b.slot
+
+let compare a b =
+  match Int.compare a.block b.block with 0 -> Int.compare a.slot b.slot | c -> c
+
+let pp fmt t = Format.fprintf fmt "(%d,%d)" t.block t.slot
+let to_string t = Printf.sprintf "(%d,%d)" t.block t.slot
+
+let invalid = { block = max_int lsr slot_bits; slot = slot_limit - 1 }
+let is_invalid t = equal t invalid

@@ -1,0 +1,30 @@
+(** Tuple version identifiers.
+
+    A TID addresses a physical tuple version: a heap block number plus a
+    slot offset inside the page — PostgreSQL's 6-byte ItemPointer (32-bit
+    block, 16-bit offset), which is also the record format stored in the
+    SIAS VID_map. *)
+
+type t = { block : int; slot : int }
+
+val make : block:int -> slot:int -> t
+(** Raises [Invalid_argument] on negative components or slot >= 2^16. *)
+
+val block : t -> int
+val slot : t -> int
+
+val to_int : t -> int
+(** Dense encoding [block * 2^16 + slot], usable as a hash key and as the
+    6-byte on-disk representation. *)
+
+val of_int : int -> t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val invalid : t
+(** Sentinel that never addresses a real tuple (block = max). *)
+
+val is_invalid : t -> bool

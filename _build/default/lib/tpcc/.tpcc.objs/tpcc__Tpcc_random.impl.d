@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_random.ml: Array Sias_util Stdlib String

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_random.mli: Sias_util

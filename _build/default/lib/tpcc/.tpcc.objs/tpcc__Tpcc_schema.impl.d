@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_schema.ml: Mvcc Sias_util Stdlib Tpcc_random

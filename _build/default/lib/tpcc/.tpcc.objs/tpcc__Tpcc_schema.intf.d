@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_schema.mli: Mvcc Sias_util

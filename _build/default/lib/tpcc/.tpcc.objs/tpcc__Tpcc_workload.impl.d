@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_workload.ml: Array Format Hashtbl List Mvcc Option Printf Sias_util Stdlib String Tpcc_random Tpcc_schema

@@ -1,0 +1,1 @@
+lib/tpcc/tpcc_workload.mli: Format Mvcc Sias_util Tpcc_schema

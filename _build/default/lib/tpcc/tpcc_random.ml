@@ -1,0 +1,38 @@
+module Rng = Sias_util.Rng
+
+(* The spec's run constant C; fixed for reproducibility. *)
+let c_const = 123
+
+let nurand rng ~a ~x ~y =
+  let r1 = Rng.int_incl rng 0 a in
+  let r2 = Rng.int_incl rng x y in
+  (((r1 lor r2) + c_const) mod (y - x + 1)) + x
+
+let customer_id rng ~max = nurand rng ~a:1023 ~x:1 ~y:max
+
+let item_id rng ~max = nurand rng ~a:8191 ~x:1 ~y:max
+
+let syllables =
+  [| "BAR"; "OUGHT"; "ABLE"; "PRI"; "PRES"; "ESE"; "ANTI"; "CALLY"; "ATION"; "EING" |]
+
+let last_name n =
+  let n = abs n mod 1000 in
+  syllables.(n / 100) ^ syllables.(n / 10 mod 10) ^ syllables.(n mod 10)
+
+let random_last_name rng ~max_unique =
+  let bound = Stdlib.min 999 (Stdlib.max 0 (max_unique - 1)) in
+  last_name (nurand rng ~a:255 ~x:0 ~y:bound)
+
+let alphanum = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+
+let a_string rng ~min ~max =
+  let len = Rng.int_incl rng min max in
+  String.init len (fun _ -> alphanum.[Rng.int rng (String.length alphanum)])
+
+let data_string rng ~min ~max =
+  let s = a_string rng ~min ~max in
+  if Rng.int rng 10 = 0 && String.length s >= 8 then begin
+    let pos = Rng.int rng (String.length s - 8 + 1) in
+    String.sub s 0 pos ^ "ORIGINAL" ^ String.sub s (pos + 8) (String.length s - pos - 8)
+  end
+  else s

@@ -1,0 +1,27 @@
+(** TPC-C input generation: NURand, last names, data strings.
+
+    Implements clause 2.1.6 of the TPC-C specification: the non-uniform
+    random distribution used for customer and item selection, the
+    syllable-composed customer last names, and alphanumeric filler
+    strings. *)
+
+val nurand : Sias_util.Rng.t -> a:int -> x:int -> y:int -> int
+(** NURand(A, x, y) with the standard per-run constant C. *)
+
+val customer_id : Sias_util.Rng.t -> max:int -> int
+(** Non-uniform customer id in [1, max] (spec uses NURand(1023,1,3000)). *)
+
+val item_id : Sias_util.Rng.t -> max:int -> int
+(** Non-uniform item id in [1, max] (spec uses NURand(8191,1,100000)). *)
+
+val last_name : int -> string
+(** Syllable last name for a number in [0, 999]. *)
+
+val random_last_name : Sias_util.Rng.t -> max_unique:int -> string
+(** NURand(255,0,..)-selected last name, bounded for scaled-down runs. *)
+
+val a_string : Sias_util.Rng.t -> min:int -> max:int -> string
+(** Random alphanumeric string with length in [min, max]. *)
+
+val data_string : Sias_util.Rng.t -> min:int -> max:int -> string
+(** Like {!a_string}, with a 10% chance of embedding "ORIGINAL". *)

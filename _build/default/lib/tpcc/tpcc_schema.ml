@@ -1,0 +1,204 @@
+module Rng = Sias_util.Rng
+module Value = Mvcc.Value
+open Value
+
+type scale = {
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  stock_per_warehouse : int;
+  initial_orders_per_district : int;
+  pad_customer : int;
+  pad_stock : int;
+  pad_item : int;
+}
+
+let spec_scale =
+  {
+    districts_per_warehouse = 10;
+    customers_per_district = 3000;
+    items = 100_000;
+    stock_per_warehouse = 100_000;
+    initial_orders_per_district = 3000;
+    pad_customer = 300;
+    pad_stock = 50;
+    pad_item = 50;
+  }
+
+let scaled ?(div = 100) () =
+  let shrink n = Stdlib.max 1 (n / div) in
+  let pad n = Stdlib.max 16 n in
+  {
+    districts_per_warehouse = 10;
+    customers_per_district = shrink 3000;
+    items = shrink 100_000;
+    stock_per_warehouse = shrink 100_000;
+    initial_orders_per_district = shrink 3000;
+    pad_customer = pad 300;
+    pad_stock = pad 50;
+    pad_item = pad 50;
+  }
+
+let district_key ~w ~d =
+  assert (d >= 0 && d < 100);
+  (w * 100) + d
+
+let customer_key ~w ~d ~c =
+  assert (c >= 0 && c < 100_000);
+  (district_key ~w ~d * 100_000) + c
+
+let order_key ~w ~d ~o =
+  assert (o >= 0 && o < 100_000_000);
+  (district_key ~w ~d * 100_000_000) + o
+
+let order_line_key ~okey ~ol =
+  assert (ol >= 0 && ol < 16);
+  (okey * 16) + ol
+
+let stock_key ~w ~i =
+  assert (i >= 0 && i < 1_000_000);
+  (w * 1_000_000) + i
+
+module Col = struct
+  (* warehouse: [w_id; name; state; zip; tax; ytd] *)
+  let w_id = 0
+  let w_tax = 4
+  let w_ytd = 5
+
+  (* district: [d_key; w; d; name; tax; ytd; next_o_id] *)
+  let d_tax = 4
+  let d_ytd = 5
+  let d_next_o_id = 6
+
+  (* customer:
+     [c_key; w; d; c; first; last; balance; ytd_payment; payment_cnt;
+      delivery_cnt; credit; data] *)
+  let c_first = 4
+  let c_last = 5
+  let c_balance = 6
+  let c_ytd_payment = 7
+  let c_payment_cnt = 8
+  let c_delivery_cnt = 9
+  let c_credit = 10
+  let c_data = 11
+
+  (* orders: [o_key; w; d; o_id; c_key; entry_d; carrier; ol_cnt] *)
+  let o_id = 3
+  let o_c_key = 4
+  let o_carrier_id = 6
+  let o_ol_cnt = 7
+
+  (* order_line:
+     [ol_key; o_key; ol_num; i_id; supply_w; qty; amount; delivery_d; dist] *)
+  let ol_i_id = 3
+  let ol_qty = 5
+  let ol_amount = 6
+  let ol_delivery_d = 7
+
+  (* item: [i_id; im_id; name; price; data] *)
+  let i_name = 2
+  let i_price = 3
+
+  (* stock: [s_key; w; i; qty; ytd; order_cnt; remote_cnt; data; dist] *)
+  let s_qty = 3
+  let s_ytd = 4
+  let s_order_cnt = 5
+  let s_remote_cnt = 6
+end
+
+let warehouse_row rng ~w =
+  [|
+    Int w;
+    Str (Tpcc_random.a_string rng ~min:6 ~max:10);
+    Str (Tpcc_random.a_string rng ~min:2 ~max:2);
+    Str (Tpcc_random.a_string rng ~min:9 ~max:9);
+    Float (Rng.float rng 0.2);
+    Float 300000.0;
+  |]
+
+let district_row rng ~w ~d =
+  [|
+    Int (district_key ~w ~d);
+    Int w;
+    Int d;
+    Str (Tpcc_random.a_string rng ~min:6 ~max:10);
+    Float (Rng.float rng 0.2);
+    Float 30000.0;
+    Int 1;
+  |]
+
+let customer_row rng scale ~w ~d ~c =
+  let credit = if Rng.int rng 10 = 0 then "BC" else "GC" in
+  [|
+    Int (customer_key ~w ~d ~c);
+    Int w;
+    Int d;
+    Int c;
+    Str (Tpcc_random.a_string rng ~min:8 ~max:16);
+    Str (Tpcc_random.last_name (if c <= scale.customers_per_district / 3 then c else Rng.int rng 1000));
+    Float (-10.0);
+    Float 10.0;
+    Int 1;
+    Int 0;
+    Str credit;
+    Str (Tpcc_random.data_string rng ~min:scale.pad_customer ~max:(scale.pad_customer + 50));
+  |]
+
+let item_row rng scale ~i =
+  [|
+    Int i;
+    Int (Rng.int_incl rng 1 10_000);
+    Str (Tpcc_random.a_string rng ~min:14 ~max:24);
+    Float (1.0 +. Rng.float rng 99.0);
+    Str (Tpcc_random.data_string rng ~min:scale.pad_item ~max:(scale.pad_item + 25));
+  |]
+
+let stock_row rng scale ~w ~i =
+  [|
+    Int (stock_key ~w ~i);
+    Int w;
+    Int i;
+    Int (Rng.int_incl rng 10 100);
+    Int 0;
+    Int 0;
+    Int 0;
+    Str (Tpcc_random.data_string rng ~min:scale.pad_stock ~max:(scale.pad_stock + 25));
+    Str (Tpcc_random.a_string rng ~min:24 ~max:24);
+  |]
+
+let orders_row ~w ~d ~o ~c_key ~entry_d ~ol_cnt ~carrier =
+  [|
+    Int (order_key ~w ~d ~o);
+    Int w;
+    Int d;
+    Int o;
+    Int c_key;
+    Float entry_d;
+    Int carrier;
+    Int ol_cnt;
+  |]
+
+let new_order_row ~w ~d ~o = [| Int (order_key ~w ~d ~o); Int w; Int d; Int o |]
+
+let order_line_row rng ~okey ~ol ~i_id ~supply_w ~qty ~amount ~delivery_d =
+  [|
+    Int (order_line_key ~okey ~ol);
+    Int okey;
+    Int ol;
+    Int i_id;
+    Int supply_w;
+    Int qty;
+    Float amount;
+    Float delivery_d;
+    Str (Tpcc_random.a_string rng ~min:24 ~max:24);
+  |]
+
+let history_row rng ~h_id ~c_key ~w ~d ~amount =
+  [|
+    Int h_id;
+    Int c_key;
+    Int w;
+    Int d;
+    Float amount;
+    Str (Tpcc_random.a_string rng ~min:12 ~max:24);
+  |]

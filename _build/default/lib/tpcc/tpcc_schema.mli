@@ -1,0 +1,110 @@
+(** TPC-C schema: table layouts, composite-key encoding, scale factors.
+
+    The nine TPC-C relations are represented as rows of {!Mvcc.Value.t}
+    with documented column positions. Composite primary keys are encoded
+    into a single integer (the engines index integer keys); encoders here
+    are the single source of truth for that encoding.
+
+    Cardinalities are scaled down from the specification by [scale_div]
+    (default 100) so that a multi-hundred-warehouse run fits a simulated
+    buffer pool the way the paper's 10 GB-class datasets fit (or miss)
+    its 4–80 GB RAM configurations. *)
+
+type scale = {
+  districts_per_warehouse : int;
+  customers_per_district : int;
+  items : int;
+  stock_per_warehouse : int;  (** = items: every item stocked per WH *)
+  initial_orders_per_district : int;
+  pad_customer : int;  (** filler bytes on customer rows *)
+  pad_stock : int;
+  pad_item : int;
+}
+
+val spec_scale : scale
+(** Full TPC-C cardinalities (3000 customers, 100k items). *)
+
+val scaled : ?div:int -> unit -> scale
+(** [scaled ~div ()] divides customer/item/order cardinalities by [div]
+    (default 100) and shrinks filler proportionally (min 16 bytes). *)
+
+(** Composite key encoders. Bounds: d < 100, c < 100_000, o < 100_000_000,
+    ol < 16, i < 1_000_000. *)
+
+val district_key : w:int -> d:int -> int
+val customer_key : w:int -> d:int -> c:int -> int
+val order_key : w:int -> d:int -> o:int -> int
+val order_line_key : okey:int -> ol:int -> int
+val stock_key : w:int -> i:int -> int
+
+(** Column positions per table (documented in the implementation rows). *)
+
+module Col : sig
+  (* warehouse *)
+  val w_id : int
+  val w_tax : int
+  val w_ytd : int
+
+  (* district *)
+  val d_tax : int
+  val d_ytd : int
+  val d_next_o_id : int
+
+  (* customer *)
+  val c_first : int
+  val c_last : int
+  val c_balance : int
+  val c_ytd_payment : int
+  val c_payment_cnt : int
+  val c_delivery_cnt : int
+  val c_credit : int
+  val c_data : int
+
+  (* orders *)
+  val o_id : int
+  val o_c_key : int
+  val o_carrier_id : int
+  val o_ol_cnt : int
+
+  (* order_line *)
+  val ol_i_id : int
+  val ol_qty : int
+  val ol_amount : int
+  val ol_delivery_d : int
+
+  (* item *)
+  val i_price : int
+  val i_name : int
+
+  (* stock *)
+  val s_qty : int
+  val s_ytd : int
+  val s_order_cnt : int
+  val s_remote_cnt : int
+end
+
+(** Row constructors used by the loader and the transactions. *)
+
+val warehouse_row : Sias_util.Rng.t -> w:int -> Mvcc.Value.t array
+val district_row : Sias_util.Rng.t -> w:int -> d:int -> Mvcc.Value.t array
+
+val customer_row :
+  Sias_util.Rng.t -> scale -> w:int -> d:int -> c:int -> Mvcc.Value.t array
+
+val item_row : Sias_util.Rng.t -> scale -> i:int -> Mvcc.Value.t array
+val stock_row : Sias_util.Rng.t -> scale -> w:int -> i:int -> Mvcc.Value.t array
+
+val orders_row :
+  w:int -> d:int -> o:int -> c_key:int -> entry_d:float -> ol_cnt:int ->
+  carrier:int -> Mvcc.Value.t array
+
+val new_order_row : w:int -> d:int -> o:int -> Mvcc.Value.t array
+
+val order_line_row :
+  Sias_util.Rng.t ->
+  okey:int -> ol:int -> i_id:int -> supply_w:int -> qty:int -> amount:float ->
+  delivery_d:float -> Mvcc.Value.t array
+
+val history_row :
+  Sias_util.Rng.t -> h_id:int -> c_key:int -> w:int -> d:int -> amount:float ->
+  Mvcc.Value.t array

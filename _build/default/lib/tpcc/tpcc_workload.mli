@@ -1,0 +1,94 @@
+(** DBT2-style TPC-C workload: loader, the five transaction profiles and a
+    closed-loop multi-terminal driver.
+
+    The driver is a discrete-event simulation: each terminal issues a
+    transaction, waits for its completion (response time = queueing +
+    service, where service accumulates simulated device and CPU time) and
+    then thinks for an exponentially distributed pause. Throughput is
+    reported as the paper does: new-order transactions per minute
+    (NOTPM). *)
+
+type tx_kind = New_order | Payment | Order_status | Delivery | Stock_level
+
+val tx_kind_to_string : tx_kind -> string
+val all_kinds : tx_kind list
+
+type outcome =
+  | Committed
+  | User_abort  (** the 1% intentional new-order rollback *)
+  | Conflict_abort  (** first-updater-wins / lock conflicts *)
+  | Failed  (** unexpected absence of data *)
+
+type config = {
+  warehouses : int;
+  scale : Tpcc_schema.scale;
+  duration_s : float;
+  terminals_per_warehouse : int;
+  think_time_s : float;  (** mean of the exponential think time *)
+  seed : int;
+  gc_interval_s : float option;  (** run engine GC this often (sim time) *)
+  mix : (int * tx_kind) list;  (** weighted transaction mix *)
+}
+
+val default_config : warehouses:int -> config
+(** Standard mix (45/43/4/4/4), 1 terminal per warehouse, 1 s think time,
+    60 s duration, scale 1/100, no GC. *)
+
+type kind_stats = {
+  committed : int;
+  user_aborts : int;
+  conflicts : int;
+  failures : int;
+  resp : Sias_util.Stats.Sample.t;  (** response times of committed txns *)
+}
+
+type result = {
+  config : config;
+  elapsed_s : float;  (** simulated *)
+  notpm : float;
+  total_committed : int;
+  total_aborted : int;
+  per_kind : (tx_kind * kind_stats) list;
+}
+
+val resp_mean : result -> tx_kind -> float
+val resp_p90 : result -> tx_kind -> float
+val resp_max : result -> tx_kind -> float
+
+val pp_result : Format.formatter -> result -> unit
+
+module Make (E : Mvcc.Engine.S) : sig
+  type tables = {
+    warehouse : E.table;
+    district : E.table;
+    customer : E.table;
+    history : E.table;
+    new_order : E.table;
+    orders : E.table;
+    order_line : E.table;
+    item : E.table;
+    stock : E.table;
+  }
+
+  val create_tables : E.t -> tables
+  (** Nine relations with the TPC-C indexes (customer by last name,
+      orders by customer). *)
+
+  val load : E.t -> tables -> config -> unit
+  (** Populate warehouses, districts, customers, items, stock and initial
+      orders, committing in small batches. *)
+
+  type session
+  (** Driver state (delivery cursors, history ids, terminal RNGs). *)
+
+  val make_session : E.t -> tables -> config -> session
+
+  val run_transaction :
+    session -> kind:tx_kind -> w:int -> rng:Sias_util.Rng.t -> outcome
+  (** Execute one transaction against home warehouse [w]; used directly
+      by tests and composed by {!run}. *)
+
+  val run : E.t -> tables -> config -> result
+  (** Load must have happened; runs the closed loop until the simulated
+      deadline. *)
+end

@@ -1,0 +1,1 @@
+lib/txn/lockmgr.ml: Hashtbl List Option

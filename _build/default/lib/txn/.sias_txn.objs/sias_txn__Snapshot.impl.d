@@ -1,0 +1,1 @@
+lib/txn/snapshot.ml: Format Int List Set String

@@ -1,0 +1,1 @@
+lib/txn/snapshot.mli: Format Set

@@ -1,0 +1,1 @@
+lib/txn/txn.ml: Hashtbl Snapshot Stdlib

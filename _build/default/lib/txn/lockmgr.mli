@@ -1,0 +1,33 @@
+(** Exclusive data-item locks with a wait-for graph.
+
+    SIAS and SI both serialize writers per data item ("first-updater-wins",
+    paper Algorithm 3 line 7): an updater takes an exclusive lock keyed by
+    (relation, item). A conflicting request either waits — recorded in the
+    wait-for graph so deadlocks are detectable — or the caller can adopt a
+    no-wait policy and abort. *)
+
+type t
+
+type outcome =
+  | Granted
+  | Conflict of int  (** lock held by this transaction *)
+  | Deadlock  (** waiting would close a wait-for cycle *)
+
+val create : unit -> t
+
+val try_acquire : t -> xid:int -> rel:int -> key:int -> outcome
+(** Acquire or re-acquire (re-entrant for the same [xid]). On [Conflict]
+    no wait edge is recorded; use {!wait_on} to declare one. *)
+
+val wait_on : t -> xid:int -> owner:int -> outcome
+(** Record that [xid] blocks on [owner]. Returns [Deadlock] when the edge
+    closes a cycle (the edge is then not recorded), [Granted] otherwise. *)
+
+val stop_waiting : t -> xid:int -> unit
+
+val release_all : t -> xid:int -> unit
+(** Drop all locks of a transaction (commit/abort) and its wait edge. *)
+
+val holder : t -> rel:int -> key:int -> int option
+val held_count : t -> xid:int -> int
+val waiters_of : t -> owner:int -> int list

@@ -1,0 +1,14 @@
+module Int_set = Set.Make (Int)
+
+type t = { xid : int; xmax : int; concurrent : Int_set.t }
+
+let make ~xid ~xmax ~concurrent =
+  { xid; xmax; concurrent = Int_set.of_list concurrent }
+
+let is_concurrent t c = Int_set.mem c t.concurrent
+
+let sees_xid t c = c = t.xid || (c <= t.xmax && not (Int_set.mem c t.concurrent))
+
+let pp fmt t =
+  Format.fprintf fmt "{xid=%d; xmax=%d; concurrent=[%s]}" t.xid t.xmax
+    (String.concat ";" (List.map string_of_int (Int_set.elements t.concurrent)))

@@ -1,0 +1,23 @@
+(** Transaction snapshots.
+
+    A snapshot captures, at transaction start, the highest assigned
+    transaction id ([xmax]) and the set of transactions that were running
+    concurrently ([tx_concurrent] in the paper's Algorithm 1). Visibility
+    of a tuple version created by transaction [c] requires that [c]
+    committed before the snapshot: [c <= xmax] and [c] not concurrent —
+    exactly the check in the paper's [isVisible]. *)
+
+module Int_set : Set.S with type elt = int
+
+type t = { xid : int; xmax : int; concurrent : Int_set.t }
+
+val make : xid:int -> xmax:int -> concurrent:int list -> t
+
+val sees_xid : t -> int -> bool
+(** [sees_xid s c] — purely snapshot-relative part of visibility: [c] is
+    the snapshot owner itself, or started before the snapshot and was not
+    in progress at snapshot time. The commit-status part lives with the
+    transaction manager. *)
+
+val is_concurrent : t -> int -> bool
+val pp : Format.formatter -> t -> unit

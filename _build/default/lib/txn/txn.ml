@@ -1,0 +1,61 @@
+type status = In_progress | Committed | Aborted
+
+type t = { xid : int; snapshot : Snapshot.t; start_time : float }
+
+type mgr = {
+  mutable next_xid : int;
+  active : (int, Snapshot.t) Hashtbl.t;
+  clog : (int, status) Hashtbl.t;
+}
+
+let create_mgr () = { next_xid = 1; active = Hashtbl.create 64; clog = Hashtbl.create 1024 }
+
+let active_xids mgr = Hashtbl.fold (fun xid _ acc -> xid :: acc) mgr.active []
+
+let begin_txn ?(now = 0.0) mgr =
+  let xid = mgr.next_xid in
+  mgr.next_xid <- xid + 1;
+  let concurrent = active_xids mgr in
+  let snapshot = Snapshot.make ~xid ~xmax:(xid - 1) ~concurrent in
+  Hashtbl.replace mgr.active xid snapshot;
+  Hashtbl.replace mgr.clog xid In_progress;
+  { xid; snapshot; start_time = now }
+
+let finish mgr t final =
+  (match Hashtbl.find_opt mgr.clog t.xid with
+  | Some In_progress -> ()
+  | Some _ | None -> invalid_arg "Txn: transaction is not in progress");
+  Hashtbl.remove mgr.active t.xid;
+  Hashtbl.replace mgr.clog t.xid final
+
+let commit mgr t = finish mgr t Committed
+let abort mgr t = finish mgr t Aborted
+
+let status mgr xid =
+  match Hashtbl.find_opt mgr.clog xid with
+  | Some s -> s
+  | None -> invalid_arg "Txn.status: unknown xid"
+
+let is_committed mgr xid = status mgr xid = Committed
+
+let last_xid mgr = mgr.next_xid - 1
+
+(* Lowest xid a snapshot regards as still in progress. *)
+let snapshot_xmin snap =
+  match Snapshot.Int_set.min_elt_opt snap.Snapshot.concurrent with
+  | Some m -> Stdlib.min m snap.Snapshot.xid
+  | None -> snap.Snapshot.xid
+
+let horizon mgr =
+  Hashtbl.fold
+    (fun _ snap acc -> Stdlib.min acc (snapshot_xmin snap))
+    mgr.active mgr.next_xid
+
+let visible mgr snap c =
+  c = snap.Snapshot.xid || (Snapshot.sees_xid snap c && is_committed mgr c)
+
+let set_next_xid mgr xid = mgr.next_xid <- Stdlib.max mgr.next_xid xid
+
+let mark_recovered mgr ~xid ~committed =
+  Hashtbl.replace mgr.clog xid (if committed then Committed else Aborted);
+  if xid >= mgr.next_xid then mgr.next_xid <- xid + 1

@@ -1,0 +1,53 @@
+(** Transaction manager: xid allocation, snapshots, commit log.
+
+    Transaction ids are the timestamps of the paper — monotonically
+    increasing integers. The manager tracks which transactions are in
+    progress (feeding [tx_concurrent] of new snapshots) and keeps a commit
+    log (clog) recording the final status of every finished transaction,
+    which the visibility check consults. *)
+
+type status = In_progress | Committed | Aborted
+
+type t = {
+  xid : int;
+  snapshot : Snapshot.t;
+  start_time : float;
+}
+
+type mgr
+
+val create_mgr : unit -> mgr
+
+val begin_txn : ?now:float -> mgr -> t
+(** Allocate the next xid and take a snapshot of the active set. *)
+
+val commit : mgr -> t -> unit
+(** Raises [Invalid_argument] if the transaction is not in progress. *)
+
+val abort : mgr -> t -> unit
+
+val status : mgr -> int -> status
+(** Status of any xid ever assigned; unknown xids raise. *)
+
+val is_committed : mgr -> int -> bool
+
+val active_xids : mgr -> int list
+val last_xid : mgr -> int
+
+val horizon : mgr -> int
+(** The GC horizon: every transaction with xid below this value that
+    committed is visible to all current and future snapshots (PostgreSQL's
+    RecentGlobalXmin). Computed as the minimum, over active transactions,
+    of the lowest xid their snapshot considers in progress; when nothing
+    is active it is the next xid to be assigned. *)
+
+val visible : mgr -> Snapshot.t -> int -> bool
+(** [visible mgr snap c]: the full SI visibility predicate for a version
+    created by [c] — own write, or snapshot-visible and committed. *)
+
+val set_next_xid : mgr -> int -> unit
+(** Recovery: restore the xid counter from the log. *)
+
+val mark_recovered : mgr -> xid:int -> committed:bool -> unit
+(** Recovery: record the final status of a transaction found in the log.
+    Transactions with no commit record are implicitly aborted. *)

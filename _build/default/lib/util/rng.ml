@@ -1,0 +1,60 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 constants; see Steele, Lea & Flood, OOPSLA'14. *)
+let golden = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let int64 t =
+  t.state <- Int64.add t.state golden;
+  mix t.state
+
+let split t = { state = int64 t }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* keep 62 bits so the value fits OCaml's native int *)
+  let v = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  v mod bound
+
+let int_incl t lo hi =
+  if hi < lo then invalid_arg "Rng.int_incl: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let v = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  bound *. v /. 9007199254740992.0 (* 2^53 *)
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let choice t a =
+  if Array.length a = 0 then invalid_arg "Rng.choice: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let exponential t mean =
+  let u = float t 1.0 in
+  let u = if u <= 0.0 then 1e-12 else u in
+  -.mean *. log u
+
+let pick_weighted t weighted =
+  let total = List.fold_left (fun acc (w, _) -> acc + w) 0 weighted in
+  if total <= 0 then invalid_arg "Rng.pick_weighted: weights must be positive";
+  let roll = int t total in
+  let rec go acc = function
+    | [] -> invalid_arg "Rng.pick_weighted: empty list"
+    | (w, a) :: rest -> if roll < acc + w then a else go (acc + w) rest
+  in
+  go 0 weighted

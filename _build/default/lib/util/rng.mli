@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of the simulator draws from an explicit
+    generator so that experiments are reproducible from a seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a seed. Equal seeds give equal
+    streams. *)
+
+val split : t -> t
+(** Derive an independent generator; the parent stream advances by one. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). Raises if [bound <= 0]. *)
+
+val int_incl : t -> int -> int -> int
+(** [int_incl t lo hi] is uniform in [lo, hi] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [0, bound). *)
+
+val bool : t -> bool
+
+val choice : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] draws from Exp with the given mean. *)
+
+val pick_weighted : t -> (int * 'a) list -> 'a
+(** [pick_weighted t [(w1, a1); ...]] picks [ai] with probability
+    proportional to [wi]. Weights must be positive and non-empty. *)

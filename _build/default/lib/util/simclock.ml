@@ -1,0 +1,17 @@
+type t = { mutable now : float }
+
+let create () = { now = 0.0 }
+
+let now c = c.now
+
+let advance c dt =
+  if dt < 0.0 then invalid_arg "Simclock.advance: negative delta";
+  c.now <- c.now +. dt
+
+let advance_to c t = if t > c.now then c.now <- t
+
+let reset c = c.now <- 0.0
+
+let freeze_during c f =
+  let saved = c.now in
+  Fun.protect ~finally:(fun () -> c.now <- saved) f

@@ -1,0 +1,31 @@
+(** Simulated clock.
+
+    All timing in the simulator is decoupled from wall-clock time: devices
+    and drivers advance an explicit clock measured in simulated seconds.
+    A clock is a mutable cell; independent experiments use independent
+    clocks so runs cannot contaminate each other. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at time [0.0]. *)
+
+val now : t -> float
+(** Current simulated time in seconds. *)
+
+val advance : t -> float -> unit
+(** [advance c dt] moves the clock forward by [dt] seconds.
+    Raises [Invalid_argument] if [dt < 0.]. *)
+
+val advance_to : t -> float -> unit
+(** [advance_to c t] moves the clock to absolute time [t] if [t] is in the
+    future; does nothing otherwise. *)
+
+val reset : t -> unit
+(** Set the clock back to [0.0]. *)
+
+val freeze_during : t -> (unit -> 'a) -> 'a
+(** [freeze_during c f] runs [f] and then restores the clock to its value
+    from before the call: the work consumes no simulated foreground time.
+    Used for background activity (vacuum/GC daemons) whose device traffic
+    should be charged but whose duration does not stall the caller. *)

@@ -1,0 +1,54 @@
+(** Online statistics: mean/variance accumulators, percentile samples and
+    fixed-bucket histograms used by the benchmark harness. *)
+
+(** Welford accumulator for mean and variance. *)
+module Acc : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  (** 0. when empty. *)
+
+  val variance : t -> float
+  (** Sample variance; 0. with fewer than two observations. *)
+
+  val stddev : t -> float
+  val min : t -> float
+  (** [infinity] when empty. *)
+
+  val max : t -> float
+  (** [neg_infinity] when empty. *)
+
+  val total : t -> float
+end
+
+(** Growable sample buffer with exact percentiles. *)
+module Sample : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile s p] with [p] in [0,100]; nearest-rank on the sorted
+      sample. Raises [Invalid_argument] when empty or [p] out of range. *)
+
+  val mean : t -> float
+  val max : t -> float
+  val to_array : t -> float array
+  (** Sorted copy of the observations. *)
+end
+
+(** Fixed-width bucket histogram over [0, width * buckets); values beyond
+    the last bucket are clamped into it. *)
+module Histogram : sig
+  type t
+
+  val create : bucket_width:float -> buckets:int -> t
+  val add : t -> float -> unit
+  val counts : t -> int array
+  val total : t -> int
+  val bucket_width : t -> float
+end

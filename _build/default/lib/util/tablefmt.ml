@@ -1,0 +1,35 @@
+type t = { headers : string array; mutable rows : string array list }
+
+let create headers = { headers = Array.of_list headers; rows = [] }
+
+let add_row t cells =
+  let n = Array.length t.headers in
+  let cells = Array.of_list cells in
+  if Array.length cells > n then invalid_arg "Tablefmt.add_row: too many cells";
+  let row = Array.make n "" in
+  Array.blit cells 0 row 0 (Array.length cells);
+  t.rows <- row :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let n = Array.length t.headers in
+  let width = Array.make n 0 in
+  let feed row =
+    Array.iteri (fun i c -> if String.length c > width.(i) then width.(i) <- String.length c) row
+  in
+  feed t.headers;
+  List.iter feed rows;
+  let pad i c = c ^ String.make (width.(i) - String.length c) ' ' in
+  let line row = "| " ^ String.concat " | " (List.mapi pad (Array.to_list row)) ^ " |" in
+  let rule =
+    "|"
+    ^ String.concat "|" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') width))
+    ^ "|"
+  in
+  String.concat "\n" (line t.headers :: rule :: List.map line rows)
+
+let print t = print_endline (render t)
+
+let fmt_float ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+
+let fmt_pct r = Printf.sprintf "%.0f%%" (100.0 *. r)

@@ -1,0 +1,25 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Produces aligned, pipe-separated tables that mirror the layout of the
+    tables and figure series in the paper. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Append a row. Short rows are padded with empty cells; long rows raise
+    [Invalid_argument]. *)
+
+val render : t -> string
+(** The table as a multi-line string (no trailing newline). *)
+
+val print : t -> unit
+(** [render] followed by a newline on stdout. *)
+
+val fmt_float : ?decimals:int -> float -> string
+(** Fixed-point formatting helper, default 2 decimals. *)
+
+val fmt_pct : float -> string
+(** Render a ratio in [0,1] as a percentage, e.g. [0.97] -> ["97%"]. *)

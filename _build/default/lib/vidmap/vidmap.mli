@@ -1,0 +1,51 @@
+(** The SIAS VID_map (paper Sections 4.1.2 and 4.1.3).
+
+    Maps each data item's virtual ID to the TID of its newest tuple
+    version — the {e entrypoint} of the version chain. VIDs are dense,
+    sequentially assigned positive integers, so the map is an array-hash:
+    buckets of [bucket_capacity] fixed-size TID records, the bucket number
+    being [vid / bucket_capacity] and the in-bucket position
+    [vid mod bucket_capacity]. There are no overflow buckets. Exactly one
+    VID_map exists per relation and serves every access path.
+
+    With a [backing] buffer pool the buckets live in pages of the pool
+    (one 6 KB record array per 8 KB page), so a map that outgrows memory
+    pages in and out through the ordinary buffer machinery, as Section
+    4.1.3 prescribes. Updates latch the target slot; the latch counter is
+    tracked to support the paper's cost accounting (C_W = 2 * C_R). *)
+
+type t
+
+val bucket_capacity : int
+(** 1024, as in the paper's prototype configuration. *)
+
+val create : ?backing:Sias_storage.Bufpool.t * int -> unit -> t
+(** [create ~backing:(pool, rel) ()] stores buckets in pages of [rel];
+    without backing the map is purely in-memory. *)
+
+val alloc_vid : t -> int
+(** Next VID (starting at 0), allocating a fresh bucket after every
+    [bucket_capacity] consecutive VIDs. *)
+
+val vid_count : t -> int
+(** Number of VIDs allocated so far. *)
+
+val set : t -> vid:int -> Sias_storage.Tid.t -> unit
+(** Point [vid] at a new entrypoint. Raises [Invalid_argument] for a VID
+    never allocated. *)
+
+val get : t -> vid:int -> Sias_storage.Tid.t option
+(** Entrypoint of the data item, or [None] if unset or cleared. *)
+
+val clear : t -> vid:int -> unit
+(** Remove the mapping (the data item's versions were all reclaimed). *)
+
+val iter : t -> (int -> Sias_storage.Tid.t -> unit) -> unit
+(** All live (vid, entrypoint) pairs in VID order — the scan access path
+    of Algorithm 1. *)
+
+val bucket_count : t -> int
+
+type stats = { lookups : int; updates : int; latches : int }
+
+val stats : t -> stats

@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Bytes Flashsim List Sias_util

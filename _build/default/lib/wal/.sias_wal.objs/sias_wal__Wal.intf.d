@@ -1,0 +1,1 @@
+lib/wal/wal.mli: Flashsim Sias_util

@@ -1,0 +1,79 @@
+module Device = Flashsim.Device
+module Blocktrace = Flashsim.Blocktrace
+module Simclock = Sias_util.Simclock
+
+type kind = Insert | Update | Delete | Trim | Commit | Abort | Checkpoint
+
+let kind_to_string = function
+  | Insert -> "insert"
+  | Update -> "update"
+  | Delete -> "delete"
+  | Trim -> "trim"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Checkpoint -> "checkpoint"
+
+type record = { lsn : int; xid : int; rel : int; kind : kind; payload : bytes }
+
+let record_header_bytes = 24 (* lsn + xid + rel + kind + length, on disk *)
+
+type t = {
+  device : Device.t option;
+  clock : Simclock.t;
+  mutable records : record list; (* newest first, retained for recovery *)
+  mutable next_lsn : int;
+  mutable flushed_lsn : int;
+  mutable pending_bytes : int;
+  mutable write_sector : int;
+  mutable bytes_written : int;
+  mutable flush_count : int;
+}
+
+let create ?device ~clock () =
+  {
+    device;
+    clock;
+    records = [];
+    next_lsn = 1;
+    flushed_lsn = 0;
+    pending_bytes = 0;
+    write_sector = 0;
+    bytes_written = 0;
+    flush_count = 0;
+  }
+
+let append t ~xid ~rel ~kind ~payload =
+  let lsn = t.next_lsn in
+  t.next_lsn <- lsn + 1;
+  t.records <- { lsn; xid; rel; kind; payload } :: t.records;
+  t.pending_bytes <- t.pending_bytes + record_header_bytes + Bytes.length payload;
+  lsn
+
+let flush t ~sync =
+  if t.pending_bytes > 0 then begin
+    (match t.device with
+    | None -> ()
+    | Some device ->
+        let now = Simclock.now t.clock in
+        let completion =
+          Device.submit device ~now Blocktrace.Write ~sector:t.write_sector
+            ~bytes:t.pending_bytes
+        in
+        t.write_sector <- t.write_sector + ((t.pending_bytes + 511) / 512);
+        if sync then Simclock.advance_to t.clock completion);
+    t.bytes_written <- t.bytes_written + t.pending_bytes;
+    t.pending_bytes <- 0;
+    t.flushed_lsn <- t.next_lsn - 1;
+    t.flush_count <- t.flush_count + 1
+  end
+
+let current_lsn t = t.next_lsn - 1
+let flushed_lsn t = t.flushed_lsn
+
+let records_from t ~lsn =
+  List.filter (fun r -> r.lsn >= lsn) (List.rev t.records)
+
+let truncate_before t ~lsn = t.records <- List.filter (fun r -> r.lsn >= lsn) t.records
+
+let bytes_written t = t.bytes_written
+let flush_count t = t.flush_count

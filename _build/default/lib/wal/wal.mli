@@ -1,0 +1,49 @@
+(** Write-ahead log.
+
+    Both engines log logical records before touching heap pages; commit
+    forces the log. The log device is separate from the data device (as in
+    the paper's measurement setup, where the relation blocktrace shows only
+    heap I/O), and WAL writes are strictly sequential appends.
+
+    Records are retained in memory with their LSNs so that recovery tests
+    can replay the tail of the log after a simulated crash; engines supply
+    their own payload encoding. *)
+
+type kind =
+  | Insert
+  | Update
+  | Delete
+  | Trim  (** whole-page discard by GC *)
+  | Commit
+  | Abort
+  | Checkpoint
+
+val kind_to_string : kind -> string
+
+type record = { lsn : int; xid : int; rel : int; kind : kind; payload : bytes }
+
+type t
+
+val create :
+  ?device:Flashsim.Device.t -> clock:Sias_util.Simclock.t -> unit -> t
+(** Without a device the log is purely in-memory (no latency charged). *)
+
+val append : t -> xid:int -> rel:int -> kind:kind -> payload:bytes -> int
+(** Buffer a record; returns its LSN. No I/O happens until {!flush}. *)
+
+val flush : t -> sync:bool -> unit
+(** Write all buffered bytes as one sequential append. [sync] stalls the
+    caller's clock until completion (commit); async flushes model WAL
+    writer activity. *)
+
+val current_lsn : t -> int
+val flushed_lsn : t -> int
+
+val records_from : t -> lsn:int -> record list
+(** All records with LSN >= [lsn], in log order. *)
+
+val truncate_before : t -> lsn:int -> unit
+(** Discard retained records below [lsn] (checkpoint recycling). *)
+
+val bytes_written : t -> int
+val flush_count : t -> int

@@ -1,0 +1,1 @@
+test/test_crash.ml: Array Hashtbl List Mvcc Option Printf QCheck QCheck_alcotest Sias_storage String

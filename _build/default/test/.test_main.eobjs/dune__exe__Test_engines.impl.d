@@ -1,0 +1,1 @@
+test/test_engines.ml: Alcotest Array Gen Hashtbl List Mvcc Option QCheck QCheck_alcotest Result Sias_storage

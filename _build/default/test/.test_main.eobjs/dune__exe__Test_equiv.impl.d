@@ -1,0 +1,1 @@
+test/test_equiv.ml: Alcotest Array Buffer List Mvcc Printf QCheck QCheck_alcotest Result String

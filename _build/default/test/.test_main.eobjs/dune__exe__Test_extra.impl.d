@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Flashsim Harness List Mvcc Printf Result Sias_storage Sias_wal String Tpcc

@@ -1,0 +1,1 @@
+test/test_flashsim.ml: Alcotest Blocktrace Device Flashsim Ftl Gen Hashtbl Hdd List Nand QCheck QCheck_alcotest Sias_util Ssd String

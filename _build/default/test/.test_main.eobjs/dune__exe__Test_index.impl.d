@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Flashsim Gen Hashtbl List QCheck QCheck_alcotest Sias_index Sias_storage Sias_util

@@ -1,0 +1,1 @@
+test/test_mvcc_parts.ml: Alcotest Bytes Mvcc QCheck QCheck_alcotest Sias_storage Sias_txn

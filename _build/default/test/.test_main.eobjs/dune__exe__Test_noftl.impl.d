@@ -1,0 +1,1 @@
+test/test_noftl.ml: Alcotest Flashsim List Printf

@@ -1,0 +1,1 @@
+test/test_sias.ml: Alcotest Array Flashsim Gen List Mvcc Printf QCheck QCheck_alcotest Result Sias_index Sias_storage Vidmap

@@ -1,0 +1,1 @@
+test/test_ssi.ml: Alcotest Array Gen List Mvcc Option QCheck QCheck_alcotest Result

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Bgwriter Bufpool Bytes Flashsim Hashtbl Heapfile List Page Printf QCheck QCheck_alcotest Sias_storage Sias_util Tid

@@ -1,0 +1,1 @@
+test/test_tpcc.ml: Alcotest Array Hashtbl List Mvcc Option Sias_util Stdlib Tpcc

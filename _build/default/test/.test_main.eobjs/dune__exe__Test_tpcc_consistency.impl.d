@@ -1,0 +1,1 @@
+test/test_tpcc_consistency.ml: Alcotest Array Hashtbl List Mvcc Option Printf Tpcc

@@ -1,0 +1,1 @@
+test/test_txn.ml: Alcotest Gen List Lockmgr QCheck QCheck_alcotest Sias_txn Snapshot Txn

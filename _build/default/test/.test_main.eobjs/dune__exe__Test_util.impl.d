@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun Gen Hashtbl List Option Printf QCheck QCheck_alcotest Rng Sias_util Simclock Stats String Tablefmt

@@ -1,0 +1,1 @@
+test/test_vidmap.ml: Alcotest Flashsim Gen Hashtbl List Option QCheck QCheck_alcotest Sias_storage Sias_util Vidmap

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Bytes Flashsim List Sias_util Sias_wal

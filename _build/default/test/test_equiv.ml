@@ -1,0 +1,247 @@
+(* Differential testing: SI and SIAS must expose identical transactional
+   semantics — same visible state after the same schedule of operations,
+   including interleaved transactions, aborts and conflicts. Storage is
+   where they differ; semantics is where they must not. *)
+
+module Si = Mvcc.Si_engine
+module Sias = Mvcc.Sias_engine
+module Value = Mvcc.Value
+module Db = Mvcc.Db
+module Engine = Mvcc.Engine
+
+let row k v = [| Value.Int k; Value.Int v |]
+
+(* A schedule step over a small pool of concurrent transaction slots. *)
+type step =
+  | Begin of int
+  | Commit of int
+  | Abort of int
+  | Insert of int * int * int (* slot, key, value *)
+  | Update of int * int * int
+  | Delete of int * int
+  | Read of int * int
+  | Gc
+
+let pp_step = function
+  | Begin s -> Printf.sprintf "Begin %d" s
+  | Commit s -> Printf.sprintf "Commit %d" s
+  | Abort s -> Printf.sprintf "Abort %d" s
+  | Insert (s, k, v) -> Printf.sprintf "Insert (%d,%d,%d)" s k v
+  | Update (s, k, v) -> Printf.sprintf "Update (%d,%d,%d)" s k v
+  | Delete (s, k) -> Printf.sprintf "Delete (%d,%d)" s k
+  | Read (s, k) -> Printf.sprintf "Read (%d,%d)" s k
+  | Gc -> "Gc"
+
+let gen_step =
+  QCheck.Gen.(
+    frequency
+      [
+        (2, map (fun s -> Begin s) (int_bound 2));
+        (2, map (fun s -> Commit s) (int_bound 2));
+        (1, map (fun s -> Abort s) (int_bound 2));
+        (3, map3 (fun s k v -> Insert (s, k, v)) (int_bound 2) (int_range 1 12) (int_bound 100));
+        (3, map3 (fun s k v -> Update (s, k, v)) (int_bound 2) (int_range 1 12) (int_bound 100));
+        (1, map2 (fun s k -> Delete (s, k)) (int_bound 2) (int_range 1 12));
+        (2, map2 (fun s k -> Read (s, k)) (int_bound 2) (int_range 1 12));
+        (1, return Gc);
+      ])
+
+let arb_schedule =
+  QCheck.make
+    ~print:(fun steps -> String.concat "; " (List.map pp_step steps))
+    QCheck.Gen.(list_size (int_range 1 80) gen_step)
+
+(* Run a schedule against an engine, producing the observable trace:
+   each operation's outcome plus the final committed state. *)
+module Runner (E : Engine.S) = struct
+  let run steps =
+    let db = Db.create ~buffer_pages:512 () in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    let slots = Array.make 3 None in
+    let trace = Buffer.create 256 in
+    let emit s = Buffer.add_string trace (s ^ "\n") in
+    let outcome_str = function
+      | Ok () -> "ok"
+      | Error e -> Engine.error_to_string e
+    in
+    List.iter
+      (fun step ->
+        match step with
+        | Begin s ->
+            if slots.(s) = None then begin
+              slots.(s) <- Some (E.begin_txn eng);
+              emit (Printf.sprintf "begin %d" s)
+            end
+        | Commit s -> (
+            match slots.(s) with
+            | Some txn ->
+                E.commit eng txn;
+                slots.(s) <- None;
+                emit (Printf.sprintf "commit %d" s)
+            | None -> ())
+        | Abort s -> (
+            match slots.(s) with
+            | Some txn ->
+                E.abort eng txn;
+                slots.(s) <- None;
+                emit (Printf.sprintf "abort %d" s)
+            | None -> ())
+        | Insert (s, k, v) -> (
+            match slots.(s) with
+            | Some txn -> emit ("insert " ^ outcome_str (E.insert eng txn table (row k v)))
+            | None -> ())
+        | Update (s, k, v) -> (
+            match slots.(s) with
+            | Some txn ->
+                emit
+                  ("update "
+                  ^ outcome_str
+                      (E.update eng txn table ~pk:k (fun r ->
+                           let r = Array.copy r in
+                           r.(1) <- Value.Int v;
+                           r)))
+            | None -> ())
+        | Delete (s, k) -> (
+            match slots.(s) with
+            | Some txn -> emit ("delete " ^ outcome_str (E.delete eng txn table ~pk:k))
+            | None -> ())
+        | Read (s, k) -> (
+            match slots.(s) with
+            | Some txn ->
+                let got =
+                  match E.read eng txn table ~pk:k with
+                  | Some r -> string_of_int (Value.int r.(1))
+                  | None -> "none"
+                in
+                emit (Printf.sprintf "read %d=%s" k got)
+            | None -> ())
+        | Gc -> E.gc eng)
+      steps;
+    (* finish leftovers deterministically *)
+    Array.iteri
+      (fun i slot ->
+        match slot with
+        | Some txn ->
+            E.abort eng txn;
+            emit (Printf.sprintf "abort %d" i)
+        | None -> ())
+      slots;
+    (* final committed state *)
+    let txn = E.begin_txn eng in
+    for k = 1 to 12 do
+      match E.read eng txn table ~pk:k with
+      | Some r -> emit (Printf.sprintf "final %d=%d" k (Value.int r.(1)))
+      | None -> ()
+    done;
+    let count = E.scan eng txn table (fun _ -> ()) in
+    E.commit eng txn;
+    emit (Printf.sprintf "count=%d" count);
+    Buffer.contents trace
+end
+
+module Run_si = Runner (Si)
+module Run_sias = Runner (Sias)
+module Run_sias_v = Runner (Mvcc.Sias_vector)
+module Run_si_cv = Runner (Mvcc.Si_cv_engine)
+
+let qcheck_equivalence =
+  QCheck.Test.make ~name:"SI and SIAS produce identical observable traces" ~count:150
+    arb_schedule
+    (fun steps ->
+      let a = Run_si.run steps in
+      let b = Run_sias.run steps in
+      if a <> b then QCheck.Test.fail_reportf "traces differ:\nSI:\n%s\nSIAS:\n%s" a b
+      else true)
+
+let qcheck_equivalence_sicv =
+  QCheck.Test.make ~name:"SI and SI-CV produce identical observable traces" ~count:100
+    arb_schedule
+    (fun steps ->
+      let a = Run_si.run steps in
+      let b = Run_si_cv.run steps in
+      if a <> b then QCheck.Test.fail_reportf "traces differ:\nSI:\n%s\nSI-CV:\n%s" a b
+      else true)
+
+let qcheck_equivalence_vector =
+  QCheck.Test.make ~name:"SI and SIAS-V produce identical observable traces" ~count:150
+    arb_schedule
+    (fun steps ->
+      let a = Run_si.run steps in
+      let b = Run_sias_v.run steps in
+      if a <> b then QCheck.Test.fail_reportf "traces differ:\nSI:\n%s\nSIAS-V:\n%s" a b
+      else true)
+
+(* A couple of hand-written interleavings that historically catch bugs. *)
+let check = Alcotest.(check bool)
+
+let test_write_skew_allowed () =
+  (* SI famously allows write skew: two txns read both keys, each updates
+     a different one. Both engines must ALLOW it identically. *)
+  let verify (module E : Engine.S) =
+    let db = Db.create () in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    let txn = E.begin_txn eng in
+    E.insert eng txn table (row 1 10) |> Result.get_ok;
+    E.insert eng txn table (row 2 10) |> Result.get_ok;
+    E.commit eng txn;
+    let t1 = E.begin_txn eng in
+    let t2 = E.begin_txn eng in
+    ignore (E.read eng t1 table ~pk:1);
+    ignore (E.read eng t1 table ~pk:2);
+    ignore (E.read eng t2 table ~pk:1);
+    ignore (E.read eng t2 table ~pk:2);
+    let r1 =
+      E.update eng t1 table ~pk:1 (fun r ->
+          let r = Array.copy r in
+          r.(1) <- Value.Int 0;
+          r)
+    in
+    let r2 =
+      E.update eng t2 table ~pk:2 (fun r ->
+          let r = Array.copy r in
+          r.(1) <- Value.Int 0;
+          r)
+    in
+    E.commit eng t1;
+    E.commit eng t2;
+    r1 = Ok () && r2 = Ok ()
+  in
+  check "SI allows write skew" true (verify (module Si));
+  check "SIAS allows write skew" true (verify (module Sias))
+
+let test_conflict_symmetry () =
+  let observe (module E : Engine.S) =
+    let db = Db.create () in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    let txn = E.begin_txn eng in
+    E.insert eng txn table (row 1 10) |> Result.get_ok;
+    E.commit eng txn;
+    let t1 = E.begin_txn eng in
+    let t2 = E.begin_txn eng in
+    let a =
+      E.update eng t1 table ~pk:1 (fun r -> r) = Ok ()
+    in
+    let b =
+      E.update eng t2 table ~pk:1 (fun r -> r) = Error Engine.Write_conflict
+    in
+    E.abort eng t1;
+    (* after the first updater aborts, the second may retry and win *)
+    let c = E.update eng t2 table ~pk:1 (fun r -> r) = Ok () in
+    E.commit eng t2;
+    (a, b, c)
+  in
+  let si = observe (module Si) and sias = observe (module Sias) in
+  check "same conflict behaviour" true (si = sias);
+  check "expected behaviour" true (si = (true, true, true))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_equivalence;
+    QCheck_alcotest.to_alcotest qcheck_equivalence_vector;
+    QCheck_alcotest.to_alcotest qcheck_equivalence_sicv;
+    Alcotest.test_case "write skew allowed by both" `Quick test_write_skew_allowed;
+    Alcotest.test_case "conflict symmetry" `Quick test_conflict_symmetry;
+  ]

@@ -1,0 +1,244 @@
+(* Tests for the flash/HDD device simulator: NAND constraints, FTL
+   mapping and garbage collection, latency asymmetry, RAID striping and
+   blocktrace accounting. *)
+
+open Flashsim
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let small_nand () = Nand.create ~blocks:8 ~pages_per_block:4 ~page_size:512
+
+let test_nand_program_order () =
+  let n = small_nand () in
+  Alcotest.(check (option int)) "first free" (Some 0) (Nand.next_free_page n 0);
+  Nand.program n 0;
+  Nand.program n 1;
+  check "valid" true (Nand.page_state n 0 = Nand.Valid);
+  Alcotest.check_raises "out of order"
+    (Invalid_argument "Nand.program: not the next free page of its block") (fun () ->
+      Nand.program n 3);
+  Alcotest.check_raises "reprogram"
+    (Invalid_argument "Nand.program: not the next free page of its block") (fun () ->
+      Nand.program n 0)
+
+let test_nand_erase_rules () =
+  let n = small_nand () in
+  Nand.program n 0;
+  Alcotest.check_raises "erase with valid pages"
+    (Invalid_argument "Nand.erase_block: block still contains valid pages") (fun () ->
+      Nand.erase_block n 0);
+  Nand.invalidate n 0;
+  Nand.erase_block n 0;
+  checki "erase count" 1 (Nand.erase_count n 0);
+  checki "total erases" 1 (Nand.total_erases n);
+  check "free again" true (Nand.page_state n 0 = Nand.Free);
+  Alcotest.(check (option int)) "programmable again" (Some 0) (Nand.next_free_page n 0)
+
+let test_nand_counters () =
+  let n = small_nand () in
+  Nand.program n 0;
+  Nand.program n 1;
+  Nand.invalidate n 0;
+  checki "valid count" 1 (Nand.valid_count n 0);
+  checki "free count" 2 (Nand.free_count n 0);
+  check "block not free" false (Nand.is_block_free n 0);
+  check "other block free" true (Nand.is_block_free n 1)
+
+let mk_ftl ?(blocks = 16) ?(overprovision = 0.25) () =
+  let nand = Nand.create ~blocks ~pages_per_block:4 ~page_size:512 in
+  Ftl.create ~overprovision ~gc_free_blocks:2 nand
+
+let test_ftl_read_own_writes () =
+  let f = mk_ftl () in
+  Alcotest.(check (option int)) "unmapped" None (Ftl.read f 5);
+  ignore (Ftl.write f 5);
+  check "mapped after write" true (Ftl.read f 5 <> None);
+  let p1 = Ftl.read f 5 in
+  ignore (Ftl.write f 5);
+  let p2 = Ftl.read f 5 in
+  check "remapped out of place" true (p1 <> p2)
+
+let test_ftl_gc_reclaims () =
+  let f = mk_ftl () in
+  let logical = Ftl.logical_pages f in
+  (* hammer a small hot set to force GC *)
+  for i = 0 to logical * 6 do
+    ignore (Ftl.write f (i mod 8))
+  done;
+  check "erases happened" true (Ftl.erases f > 0);
+  check "write amplification >= 1" true (Ftl.write_amplification f >= 1.0);
+  (* all hot pages still readable *)
+  for lpn = 0 to 7 do
+    check "still mapped" true (Ftl.read f lpn <> None)
+  done
+
+let test_ftl_sequential_low_wa () =
+  let f = mk_ftl ~blocks:64 () in
+  let logical = Ftl.logical_pages f in
+  (* one sequential pass over the device: no page is overwritten, GC finds
+     empty victims, write amplification stays 1.0 *)
+  for lpn = 0 to logical - 1 do
+    ignore (Ftl.write f lpn)
+  done;
+  Alcotest.(check (float 0.01)) "WA of one sequential pass" 1.0 (Ftl.write_amplification f)
+
+let test_ftl_random_higher_wa_than_sequential () =
+  let seq = mk_ftl ~blocks:32 () in
+  let rnd = mk_ftl ~blocks:32 () in
+  let logical = Ftl.logical_pages seq in
+  let rng = Sias_util.Rng.create 42 in
+  for i = 0 to (4 * logical) - 1 do
+    ignore (Ftl.write seq (i mod logical))
+  done;
+  for _ = 0 to (4 * logical) - 1 do
+    ignore (Ftl.write rnd (Sias_util.Rng.int rng logical))
+  done;
+  check "random WA >= sequential WA"
+    true
+    (Ftl.write_amplification rnd >= Ftl.write_amplification seq -. 0.05)
+
+let test_ftl_trim () =
+  let f = mk_ftl () in
+  ignore (Ftl.write f 3);
+  Ftl.trim f 3;
+  Alcotest.(check (option int)) "trimmed" None (Ftl.read f 3)
+
+let test_ssd_asymmetry () =
+  let ssd = Ssd.create (Ssd.x25e_config ~blocks:64 ()) in
+  let r = Ssd.service_time ssd Blocktrace.Read ~sector:0 ~bytes:4096 in
+  let w = Ssd.service_time ssd Blocktrace.Write ~sector:0 ~bytes:4096 in
+  check "write slower than read" true (w > r);
+  let r8 = Ssd.service_time ssd Blocktrace.Read ~sector:0 ~bytes:8192 in
+  check "bigger read costs more" true (r8 > r)
+
+let test_hdd_seek_vs_sequential () =
+  let hdd = Hdd.create Hdd.default_config in
+  (* first access seeks *)
+  let t1 = Hdd.service_time hdd Blocktrace.Write ~sector:1_000_000 ~bytes:8192 in
+  (* sequential follow-up is cheap *)
+  let t2 = Hdd.service_time hdd Blocktrace.Write ~sector:1_000_016 ~bytes:8192 in
+  (* far jump seeks again *)
+  let t3 = Hdd.service_time hdd Blocktrace.Read ~sector:5_000_000 ~bytes:8192 in
+  check "sequential much cheaper" true (t2 < t1 /. 10.0);
+  check "random read seeks" true (t3 > 0.005)
+
+let test_device_queue_and_trace () =
+  let dev = Device.ssd_x25e ~blocks:64 () in
+  let c1 = Device.submit dev ~now:0.0 Blocktrace.Write ~sector:0 ~bytes:8192 in
+  check "completion after submit" true (c1 > 0.0);
+  let c2 = Device.submit dev ~now:0.0 Blocktrace.Read ~sector:16 ~bytes:8192 in
+  check "parallel channels serve both" true (c2 > 0.0);
+  let tr = Device.trace dev in
+  checki "two requests traced" 2 (Blocktrace.read_count tr + Blocktrace.write_count tr);
+  Alcotest.(check (float 1e-9)) "write bytes" (8192.0 /. 1048576.0) (Blocktrace.write_mb tr)
+
+let test_device_queue_saturation () =
+  let dev = Device.hdd_7200 () in
+  (* HDD has a single server: many simultaneous requests queue behind
+     each other, so completions are strictly increasing *)
+  let completions =
+    List.init 5 (fun i ->
+        Device.submit dev ~now:0.0 Blocktrace.Read ~sector:(i * 100_000) ~bytes:8192)
+  in
+  let sorted = List.sort compare completions in
+  Alcotest.(check (list (float 1e-12))) "fifo queueing" sorted completions;
+  check "distinct completions" true (List.length (List.sort_uniq compare completions) = 5)
+
+let test_raid_stripes () =
+  let m1 = Device.ssd_x25e ~name:"m1" ~blocks:64 () in
+  let m2 = Device.ssd_x25e ~name:"m2" ~blocks:64 () in
+  let raid = Device.raid0 ~chunk_sectors:16 [ m1; m2 ] in
+  (* a large request spans both members *)
+  let _ = Device.submit raid ~now:0.0 Blocktrace.Write ~sector:0 ~bytes:(32 * 512) in
+  check "member 1 got I/O" true (Blocktrace.write_count (Device.trace m1) > 0);
+  check "member 2 got I/O" true (Blocktrace.write_count (Device.trace m2) > 0);
+  checki "raid logical trace" 1 (Blocktrace.write_count (Device.trace raid))
+
+let test_raid_distributes_chunks () =
+  let m1 = Device.ssd_x25e ~name:"m1" ~blocks:64 () in
+  let m2 = Device.ssd_x25e ~name:"m2" ~blocks:64 () in
+  let raid = Device.raid0 ~chunk_sectors:16 [ m1; m2 ] in
+  (* chunk i goes to member i mod 2 *)
+  for i = 0 to 7 do
+    ignore (Device.submit raid ~now:0.0 Blocktrace.Write ~sector:(i * 16) ~bytes:8192)
+  done;
+  checki "even chunks on m1" 4 (Blocktrace.write_count (Device.trace m1));
+  checki "odd chunks on m2" 4 (Blocktrace.write_count (Device.trace m2))
+
+let test_blocktrace_render_and_csv () =
+  let tr = Blocktrace.create () in
+  Blocktrace.add tr ~time:0.0 ~op:Blocktrace.Write ~sector:0 ~bytes:8192;
+  Blocktrace.add tr ~time:1.0 ~op:Blocktrace.Read ~sector:100 ~bytes:8192;
+  let s = Blocktrace.render_scatter tr in
+  check "scatter has write mark" true (String.contains s 'W');
+  check "scatter has read mark" true (String.contains s 'r');
+  let csv = Blocktrace.to_csv tr in
+  check "csv header" true (String.length csv > 20);
+  Blocktrace.reset tr;
+  checki "reset clears" 0 (Blocktrace.write_count tr);
+  Alcotest.(check string) "empty render" "(empty trace)" (Blocktrace.render_scatter tr)
+
+let test_blocktrace_record_cap () =
+  let tr = Blocktrace.create ~max_records:10 () in
+  for i = 0 to 99 do
+    Blocktrace.add tr ~time:(float_of_int i) ~op:Blocktrace.Write ~sector:i ~bytes:512
+  done;
+  checki "aggregates exact" 100 (Blocktrace.write_count tr);
+  checki "records capped" 10 (List.length (Blocktrace.records tr))
+
+(* Endurance invariant: the FTL never loses data across heavy GC churn. *)
+let qcheck_ftl_durability =
+  QCheck.Test.make ~name:"ftl: latest write per lpn survives GC churn" ~count:30
+    QCheck.(list_of_size Gen.(int_range 50 400) (int_bound 30))
+    (fun writes ->
+      let f = mk_ftl ~blocks:24 () in
+      let logical = Ftl.logical_pages f in
+      let shadow = Hashtbl.create 32 in
+      List.iter
+        (fun lpn ->
+          let lpn = lpn mod logical in
+          ignore (Ftl.write f lpn);
+          Hashtbl.replace shadow lpn ())
+        writes;
+      Hashtbl.fold (fun lpn () acc -> acc && Ftl.read f lpn <> None) shadow true)
+
+let qcheck_nand_valid_counts =
+  QCheck.Test.make ~name:"ftl: nand valid pages equal mapped lpns" ~count:30
+    QCheck.(list_of_size Gen.(int_range 10 200) (int_bound 20))
+    (fun writes ->
+      let f = mk_ftl ~blocks:24 () in
+      let logical = Ftl.logical_pages f in
+      List.iter (fun lpn -> ignore (Ftl.write f (lpn mod logical))) writes;
+      let nand = Ftl.nand f in
+      let valid = ref 0 in
+      for b = 0 to Nand.blocks nand - 1 do
+        valid := !valid + Nand.valid_count nand b
+      done;
+      let mapped = ref 0 in
+      for lpn = 0 to logical - 1 do
+        if Ftl.read f lpn <> None then incr mapped
+      done;
+      !valid = !mapped)
+
+let suite =
+  [
+    Alcotest.test_case "nand program order" `Quick test_nand_program_order;
+    Alcotest.test_case "nand erase rules" `Quick test_nand_erase_rules;
+    Alcotest.test_case "nand counters" `Quick test_nand_counters;
+    Alcotest.test_case "ftl read own writes" `Quick test_ftl_read_own_writes;
+    Alcotest.test_case "ftl gc reclaims" `Quick test_ftl_gc_reclaims;
+    Alcotest.test_case "ftl sequential WA = 1" `Quick test_ftl_sequential_low_wa;
+    Alcotest.test_case "ftl random WA >= sequential" `Quick test_ftl_random_higher_wa_than_sequential;
+    Alcotest.test_case "ftl trim" `Quick test_ftl_trim;
+    Alcotest.test_case "ssd read/write asymmetry" `Quick test_ssd_asymmetry;
+    Alcotest.test_case "hdd seek vs sequential" `Quick test_hdd_seek_vs_sequential;
+    Alcotest.test_case "device queue and trace" `Quick test_device_queue_and_trace;
+    Alcotest.test_case "device queue saturation" `Quick test_device_queue_saturation;
+    Alcotest.test_case "raid stripes across members" `Quick test_raid_stripes;
+    Alcotest.test_case "raid distributes chunks" `Quick test_raid_distributes_chunks;
+    Alcotest.test_case "blocktrace render and csv" `Quick test_blocktrace_render_and_csv;
+    Alcotest.test_case "blocktrace record cap" `Quick test_blocktrace_record_cap;
+    QCheck_alcotest.to_alcotest qcheck_ftl_durability;
+    QCheck_alcotest.to_alcotest qcheck_nand_valid_counts;
+  ]

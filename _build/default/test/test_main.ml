@@ -1,0 +1,26 @@
+(* Aggregated test runner for the whole repository. *)
+
+let () =
+  Alcotest.run "sias"
+    [
+      ("util", Test_util.suite);
+      ("flashsim", Test_flashsim.suite);
+      ("noftl", Test_noftl.suite);
+      ("storage", Test_storage.suite);
+      ("wal", Test_wal.suite);
+      ("txn", Test_txn.suite);
+      ("vidmap", Test_vidmap.suite);
+      ("index", Test_index.suite);
+      ("mvcc-parts", Test_mvcc_parts.suite);
+      ("engine-si", Test_engines.Si_suite.suite);
+      ("engine-sias", Test_engines.Sias_suite.suite);
+      ("engine-sias-v", Test_engines.Sias_v_suite.suite);
+      ("engine-si-cv", Test_engines.Si_cv_suite.suite);
+      ("sias-whitebox", Test_sias.suite);
+      ("si-vs-sias", Test_equiv.suite);
+      ("tpcc", Test_tpcc.suite);
+      ("integration", Test_extra.suite);
+      ("tpcc-consistency", Test_tpcc_consistency.suite);
+      ("crash-fuzz", Test_crash.suite);
+      ("ssi", Test_ssi.suite);
+    ]

@@ -1,0 +1,153 @@
+(* Unit tests for the smaller mvcc pieces: values, tuple headers,
+   visibility predicates and the WAL codec. *)
+
+module Value = Mvcc.Value
+module Tuple = Mvcc.Tuple
+module Visibility = Mvcc.Visibility
+module Tid = Sias_storage.Tid
+module Txn = Sias_txn.Txn
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_value_roundtrip () =
+  let row =
+    [| Value.Int 42; Value.Float 3.25; Value.Str "hello world"; Value.Int (-7); Value.Str "" |]
+  in
+  let b = Value.encode_row row in
+  let row' = Value.decode_row b ~pos:0 in
+  check "roundtrip" true (Value.row_equal row row')
+
+let qcheck_value_roundtrip =
+  let gen_value =
+    QCheck.Gen.(
+      frequency
+        [
+          (3, map (fun i -> Value.Int i) int);
+          (2, map (fun f -> Value.Float f) (float_range (-1e9) 1e9));
+          (2, map (fun s -> Value.Str s) (string_size (int_bound 80)));
+        ])
+  in
+  QCheck.Test.make ~name:"row encode/decode roundtrip" ~count:300
+    (QCheck.make QCheck.Gen.(array_size (int_range 0 12) gen_value))
+    (fun row ->
+      let b = Value.encode_row row in
+      Value.row_equal row (Value.decode_row b ~pos:0))
+
+let test_value_accessors () =
+  checki "int" 5 (Value.int (Value.Int 5));
+  Alcotest.(check (float 0.0)) "float" 2.5 (Value.float (Value.Float 2.5));
+  Alcotest.(check (float 0.0)) "int as float" 5.0 (Value.float (Value.Int 5));
+  Alcotest.(check string) "str" "x" (Value.str (Value.Str "x"));
+  Alcotest.check_raises "wrong accessor" (Invalid_argument "Value.int") (fun () ->
+      ignore (Value.int (Value.Str "no")))
+
+let test_value_keys () =
+  checki "int key" 7 (Value.to_key (Value.Int 7));
+  checki "float key fixed point" 150 (Value.to_key (Value.Float 1.5));
+  check "str keys deterministic" true
+    (Value.to_key (Value.Str "abc") = Value.to_key (Value.Str "abc"));
+  check "str keys differ" true (Value.to_key (Value.Str "abc") <> Value.to_key (Value.Str "abd"))
+
+let test_si_header () =
+  let row = [| Value.Int 1; Value.Str "data" |] in
+  let item = Tuple.Si.encode ~xmin:7 ~row in
+  let h = Tuple.Si.header item in
+  checki "xmin" 7 h.Tuple.Si.xmin;
+  checki "xmax clear" 0 h.Tuple.Si.xmax;
+  check "row" true (Value.row_equal row (Tuple.Si.row item));
+  let len_before = Bytes.length item in
+  Tuple.Si.patch_xmax item 9;
+  checki "patched xmax" 9 (Tuple.Si.header item).Tuple.Si.xmax;
+  checki "same length (in-place)" len_before (Bytes.length item);
+  Tuple.Si.clear_xmax item;
+  checki "cleared" 0 (Tuple.Si.header item).Tuple.Si.xmax;
+  check "row undamaged by patches" true (Value.row_equal row (Tuple.Si.row item))
+
+let test_sias_header () =
+  let row = [| Value.Int 1; Value.Str "data" |] in
+  let pred = Tid.make ~block:5 ~slot:3 in
+  let item = Tuple.Sias.encode ~create:11 ~seq:2 ~vid:99 ~pred ~tombstone:false ~row in
+  let h = Tuple.Sias.header item in
+  checki "create" 11 h.Tuple.Sias.create;
+  checki "seq" 2 h.Tuple.Sias.seq;
+  checki "vid" 99 h.Tuple.Sias.vid;
+  check "pred" true (Tid.equal pred h.Tuple.Sias.pred);
+  check "not tombstone" false h.Tuple.Sias.tombstone;
+  check "row" true (Value.row_equal row (Tuple.Sias.row item));
+  (* no invalidation field exists: the only mutation is the GC pred patch *)
+  Tuple.Sias.patch_pred item Tid.invalid;
+  check "pred patched" true (Tid.is_invalid (Tuple.Sias.header item).Tuple.Sias.pred);
+  let ts = Tuple.Sias.encode ~create:1 ~seq:1 ~vid:0 ~pred:Tid.invalid ~tombstone:true ~row in
+  check "tombstone flag" true (Tuple.Sias.header ts).Tuple.Sias.tombstone
+
+let test_si_visibility () =
+  let mgr = Txn.create_mgr () in
+  let t1 = Txn.begin_txn mgr in
+  Txn.commit mgr t1;
+  let t2 = Txn.begin_txn mgr in
+  let h xmin xmax = { Tuple.Si.xmin; xmax } in
+  check "committed, not invalidated" true (Visibility.si_visible mgr t2.Txn.snapshot (h 1 0));
+  check "invalidated by self" false
+    (Visibility.si_visible mgr t2.Txn.snapshot (h 1 t2.Txn.xid));
+  let t3 = Txn.begin_txn mgr in
+  (* t3 invalidates; t2 cannot see t3 *)
+  check "invalidated by invisible txn -> still visible" true
+    (Visibility.si_visible mgr t2.Txn.snapshot (h 1 t3.Txn.xid));
+  Txn.commit mgr t3;
+  check "still visible after that commit (snapshot)" true
+    (Visibility.si_visible mgr t2.Txn.snapshot (h 1 t3.Txn.xid));
+  Txn.commit mgr t2;
+  let t4 = Txn.begin_txn mgr in
+  check "new snapshot sees the invalidation" false
+    (Visibility.si_visible mgr t4.Txn.snapshot (h 1 t3.Txn.xid));
+  Txn.commit mgr t4
+
+let test_dead_for_all () =
+  let mgr = Txn.create_mgr () in
+  let t1 = Txn.begin_txn mgr in
+  Txn.commit mgr t1;
+  let t2 = Txn.begin_txn mgr in
+  Txn.commit mgr t2;
+  let horizon = Txn.horizon mgr in
+  (* invalidated by t2, which everyone sees now *)
+  check "si dead" true
+    (Visibility.si_dead_for_all mgr ~horizon { Tuple.Si.xmin = 1; xmax = 2 });
+  check "si alive when not invalidated" false
+    (Visibility.si_dead_for_all mgr ~horizon { Tuple.Si.xmin = 1; xmax = 0 });
+  check "sias dead with committed successor" true
+    (Visibility.sias_dead_for_all mgr ~horizon ~create:1 ~successor_create:(Some 2));
+  check "sias newest stays" false
+    (Visibility.sias_dead_for_all mgr ~horizon ~create:2 ~successor_create:None);
+  (* an active old snapshot protects the predecessor *)
+  let t3 = Txn.begin_txn mgr in
+  let t4 = Txn.begin_txn mgr in
+  Txn.commit mgr t4;
+  let horizon = Txn.horizon mgr in
+  check "sias version protected by active snapshot" false
+    (Visibility.sias_dead_for_all mgr ~horizon ~create:2
+       ~successor_create:(Some t4.Txn.xid));
+  Txn.commit mgr t3
+
+let test_walcodec_roundtrip () =
+  let tid = Tid.make ~block:77 ~slot:5 in
+  let item = Bytes.of_string "some item image" in
+  let tid', ao, item' = Mvcc.Walcodec.decode (Mvcc.Walcodec.encode tid item) in
+  check "tid" true (Tid.equal tid tid');
+  check "item" true (Bytes.equal item item');
+  check "default flag" false ao;
+  let _, ao', _ = Mvcc.Walcodec.decode (Mvcc.Walcodec.encode ~append_only:true tid item) in
+  check "append flag carried" true ao'
+
+let suite =
+  [
+    Alcotest.test_case "value row roundtrip" `Quick test_value_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_value_roundtrip;
+    Alcotest.test_case "value accessors" `Quick test_value_accessors;
+    Alcotest.test_case "value index keys" `Quick test_value_keys;
+    Alcotest.test_case "SI tuple header" `Quick test_si_header;
+    Alcotest.test_case "SIAS tuple header" `Quick test_sias_header;
+    Alcotest.test_case "SI visibility matrix" `Quick test_si_visibility;
+    Alcotest.test_case "dead-for-all criteria" `Quick test_dead_for_all;
+    Alcotest.test_case "wal codec roundtrip" `Quick test_walcodec_roundtrip;
+  ]

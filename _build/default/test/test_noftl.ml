@@ -1,0 +1,90 @@
+(* Tests for the FTL-less Flash device (paper Discussion / NoFTL). *)
+
+module Noftl = Flashsim.Noftl
+module B = Flashsim.Blocktrace
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let mk () = Noftl.create (Noftl.default_config ~blocks:16 ())
+
+let test_sequential_appends_cheap () =
+  let d = mk () in
+  (* append a full erase block's worth of pages: plain programs only *)
+  let t = ref 0.0 in
+  for p = 0 to 63 do
+    t := !t +. Noftl.service_time d B.Write ~sector:(p * 8) ~bytes:4096
+  done;
+  checki "64 programs" 64 (Noftl.programs d);
+  checki "no erase" 0 (Noftl.erases d);
+  checki "no rmw" 0 (Noftl.rmws d);
+  (* perfectly predictable: every program costs the same *)
+  Alcotest.(check (float 1e-9)) "predictable latency" (64.0 *. 110.0 *. 1e-6) !t
+
+let test_overwrite_costs_block_rmw () =
+  let d = mk () in
+  for p = 0 to 63 do
+    ignore (Noftl.service_time d B.Write ~sector:(p * 8) ~bytes:4096)
+  done;
+  let t_fresh = Noftl.service_time d B.Write ~sector:(64 * 8) ~bytes:4096 in
+  (* overwrite page 0: whole-block read-modify-write *)
+  let t_rmw = Noftl.service_time d B.Write ~sector:0 ~bytes:4096 in
+  checki "one rmw" 1 (Noftl.rmws d);
+  check "rmw is orders of magnitude dearer" true (t_rmw > 20.0 *. t_fresh);
+  checki "erase happened" 1 (Noftl.erases d)
+
+let test_erase_then_append_ok () =
+  let d = mk () in
+  for p = 0 to 63 do
+    ignore (Noftl.service_time d B.Write ~sector:(p * 8) ~bytes:4096)
+  done;
+  (* the DBMS reclaims the block explicitly, then reuses it *)
+  let t_erase = Noftl.erase_region d ~sector:0 in
+  check "erase has fixed cost" true (t_erase > 0.0);
+  let t = Noftl.service_time d B.Write ~sector:0 ~bytes:4096 in
+  checki "no rmw after explicit erase" 0 (Noftl.rmws d);
+  Alcotest.(check (float 1e-9)) "plain program cost" (110.0 *. 1e-6) t
+
+let test_device_wrapper () =
+  let dev, erase = Noftl.device ~blocks:16 () in
+  let c1 = Flashsim.Device.submit dev ~now:0.0 B.Write ~sector:0 ~bytes:8192 in
+  check "write completes" true (c1 > 0.0);
+  let _ = erase ~sector:0 in
+  let info = Flashsim.Device.info dev in
+  check "erase counted" true (List.assoc "erases" info >= 1.0);
+  check "programs counted" true (List.assoc "programs" info >= 2.0)
+
+let test_append_vs_inplace_pattern () =
+  (* the Discussion's argument, at device level: the same page budget
+     written append-wise with explicit erases vs in-place *)
+  let budget = 512 in
+  let append = mk () in
+  let t_append = ref 0.0 in
+  for i = 0 to budget - 1 do
+    let page = i mod (15 * 64) in
+    if page mod 64 = 0 && i >= 15 * 64 then t_append := !t_append +. Noftl.erase_region append ~sector:(page * 8);
+    t_append := !t_append +. Noftl.service_time append B.Write ~sector:(page * 8) ~bytes:4096
+  done;
+  let inplace = mk () in
+  let t_inplace = ref 0.0 in
+  for i = 0 to budget - 1 do
+    (* hammer a small region in place *)
+    let page = i mod 32 in
+    t_inplace := !t_inplace +. Noftl.service_time inplace B.Write ~sector:(page * 8) ~bytes:4096
+  done;
+  check
+    (Printf.sprintf "append %.4fs much cheaper than in-place %.4fs" !t_append !t_inplace)
+    true
+    (!t_inplace > 5.0 *. !t_append);
+  check "in-place wears the device more" true
+    (Noftl.erases inplace > Noftl.erases append)
+
+let suite =
+  [
+    Alcotest.test_case "sequential appends are plain programs" `Quick
+      test_sequential_appends_cheap;
+    Alcotest.test_case "overwrite costs a block RMW" `Quick test_overwrite_costs_block_rmw;
+    Alcotest.test_case "explicit erase enables reuse" `Quick test_erase_then_append_ok;
+    Alcotest.test_case "device wrapper" `Quick test_device_wrapper;
+    Alcotest.test_case "append vs in-place pattern" `Quick test_append_vs_inplace_pattern;
+  ]

@@ -1,0 +1,172 @@
+(* Serializable SI (the [10]/[28] extension): write skew and other SI
+   anomalies must be rejected, while serializable histories commit. Run
+   against all three engines through the SSI functor. *)
+
+module Value = Mvcc.Value
+module Db = Mvcc.Db
+module Engine = Mvcc.Engine
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let row k v = [| Value.Int k; Value.Int v |]
+
+module Make (E : Engine.S) = struct
+  module S = Mvcc.Ssi.Make (E)
+
+  let fresh () =
+    let db = Db.create () in
+    let ssi = S.create db in
+    let table = S.create_table ssi ~name:"t" ~pk_col:0 () in
+    (ssi, table)
+
+  let seed ssi table pairs =
+    let txn = S.begin_txn ssi in
+    List.iter (fun (k, v) -> S.insert ssi txn table (row k v) |> Result.get_ok) pairs;
+    S.commit ssi txn |> Result.get_ok
+
+  let set_v v r =
+    let r = Array.copy r in
+    r.(1) <- Value.Int v;
+    r
+
+  (* The canonical write-skew: both txns read x and y, T1 writes x, T2
+     writes y. Plain SI commits both; SSI must abort at least one. *)
+  let test_write_skew_prevented () =
+    let ssi, table = fresh () in
+    seed ssi table [ (1, 50); (2, 50) ];
+    let t1 = S.begin_txn ssi in
+    let t2 = S.begin_txn ssi in
+    ignore (S.read ssi t1 table ~pk:1);
+    ignore (S.read ssi t1 table ~pk:2);
+    ignore (S.read ssi t2 table ~pk:1);
+    ignore (S.read ssi t2 table ~pk:2);
+    S.update ssi t1 table ~pk:1 (set_v 0) |> Result.get_ok;
+    S.update ssi t2 table ~pk:2 (set_v 0) |> Result.get_ok;
+    let r1 = S.commit ssi t1 in
+    let r2 = S.commit ssi t2 in
+    check "at least one transaction aborted" true (r1 = Error Engine.Write_conflict || r2 = Error Engine.Write_conflict);
+    check "pivot counted" true (S.aborted_pivots ssi >= 1);
+    (* the surviving state is one of the two serializable outcomes *)
+    let t = S.begin_txn ssi in
+    let v1 = Value.int (Option.get (S.read ssi t table ~pk:1)).(1) in
+    let v2 = Value.int (Option.get (S.read ssi t table ~pk:2)).(1) in
+    S.commit ssi t |> Result.get_ok;
+    check "not both decremented" true (not (v1 = 0 && v2 = 0))
+
+  let test_serial_txns_unaffected () =
+    let ssi, table = fresh () in
+    seed ssi table [ (1, 10) ];
+    for i = 1 to 20 do
+      let txn = S.begin_txn ssi in
+      S.update ssi txn table ~pk:1 (set_v i) |> Result.get_ok;
+      check "serial commits succeed" true (S.commit ssi txn = Ok ())
+    done;
+    checki "no pivots aborted" 0 (S.aborted_pivots ssi)
+
+  let test_read_only_never_pivot () =
+    let ssi, table = fresh () in
+    seed ssi table [ (1, 10); (2, 20) ];
+    let reader = S.begin_txn ssi in
+    ignore (S.read ssi reader table ~pk:1);
+    let writer = S.begin_txn ssi in
+    S.update ssi writer table ~pk:1 (set_v 99) |> Result.get_ok;
+    S.commit ssi writer |> Result.get_ok;
+    ignore (S.read ssi reader table ~pk:2);
+    (* the reader has only outgoing edges: not a pivot *)
+    check "read-only txn commits" true (S.commit ssi reader = Ok ())
+
+  let test_disjoint_writers_commit () =
+    let ssi, table = fresh () in
+    seed ssi table [ (1, 10); (2, 20) ];
+    let t1 = S.begin_txn ssi in
+    let t2 = S.begin_txn ssi in
+    (* no shared reads: T1 touches only key 1, T2 only key 2 *)
+    S.update ssi t1 table ~pk:1 (set_v 11) |> Result.get_ok;
+    S.update ssi t2 table ~pk:2 (set_v 22) |> Result.get_ok;
+    check "t1 commits" true (S.commit ssi t1 = Ok ());
+    check "t2 commits" true (S.commit ssi t2 = Ok ())
+
+  let test_scan_predicate_conflict () =
+    (* T1 scans the table (predicate read), T2 inserts a row T1 didn't
+       see, T1 writes something based on its scan: dangerous structure *)
+    let ssi, table = fresh () in
+    seed ssi table [ (1, 10) ];
+    let t1 = S.begin_txn ssi in
+    let t2 = S.begin_txn ssi in
+    let _ = S.scan ssi t1 table (fun _ -> ()) in
+    S.insert ssi t2 table (row 5 50) |> Result.get_ok;
+    (* T2 also reads something T1 writes *)
+    ignore (S.read ssi t2 table ~pk:1);
+    S.update ssi t1 table ~pk:1 (set_v 0) |> Result.get_ok;
+    let r2 = S.commit ssi t2 in
+    let r1 = S.commit ssi t1 in
+    check "cycle broken" true (r1 = Error Engine.Write_conflict || r2 = Error Engine.Write_conflict)
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ ": write skew prevented") `Quick test_write_skew_prevented;
+      Alcotest.test_case (name ^ ": serial txns unaffected") `Quick test_serial_txns_unaffected;
+      Alcotest.test_case (name ^ ": read-only never pivot") `Quick test_read_only_never_pivot;
+      Alcotest.test_case (name ^ ": disjoint writers commit") `Quick
+        test_disjoint_writers_commit;
+      Alcotest.test_case (name ^ ": scan predicate conflict") `Quick
+        test_scan_predicate_conflict;
+    ]
+end
+
+module Ssi_si = Make (Mvcc.Si_engine)
+module Ssi_sias = Make (Mvcc.Sias_engine)
+module Ssi_vec = Make (Mvcc.Sias_vector)
+
+(* Property: under SSI, a committed history over two counters never
+   violates the invariant x + y >= 0 that write skew breaks. *)
+let qcheck_no_write_skew =
+  QCheck.Test.make ~name:"SSI preserves sum invariant under racing decrements" ~count:60
+    QCheck.(list_of_size Gen.(int_range 2 30) (pair bool (int_range 1 40)))
+    (fun ops ->
+      let module S = Mvcc.Ssi.Make (Mvcc.Sias_engine) in
+      let db = Db.create () in
+      let ssi = S.create db in
+      let table = S.create_table ssi ~name:"t" ~pk_col:0 () in
+      let txn = S.begin_txn ssi in
+      S.insert ssi txn table (row 1 60) |> Result.get_ok;
+      S.insert ssi txn table (row 2 60) |> Result.get_ok;
+      S.commit ssi txn |> Result.get_ok;
+      (* fire decrement transactions pairwise-concurrently; each checks
+         x + y - amount >= 0 against ITS snapshot, then decrements one *)
+      let rec go = function
+        | [] | [ _ ] -> ()
+        | (w1, a1) :: (w2, a2) :: rest ->
+            let t1 = S.begin_txn ssi in
+            let t2 = S.begin_txn ssi in
+            let attempt t (which, amount) =
+              let v1 = Value.int (Option.get (S.read ssi t table ~pk:1)).(1) in
+              let v2 = Value.int (Option.get (S.read ssi t table ~pk:2)).(1) in
+              if v1 + v2 - amount >= 0 then
+                let pk = if which then 1 else 2 in
+                let cur = if which then v1 else v2 in
+                ignore
+                  (S.update ssi t table ~pk (fun r ->
+                       let r = Array.copy r in
+                       r.(1) <- Value.Int (cur - amount);
+                       r))
+            in
+            attempt t1 (w1, a1);
+            attempt t2 (w2, a2);
+            ignore (S.commit ssi t1);
+            ignore (S.commit ssi t2);
+            go rest
+      in
+      go ops;
+      let t = S.begin_txn ssi in
+      let v1 = Value.int (Option.get (S.read ssi t table ~pk:1)).(1) in
+      let v2 = Value.int (Option.get (S.read ssi t table ~pk:2)).(1) in
+      ignore (S.commit ssi t);
+      v1 + v2 >= 0)
+
+let suite =
+  Ssi_si.suite "SI+SSI"
+  @ Ssi_sias.suite "SIAS+SSI"
+  @ Ssi_vec.suite "SIAS-V+SSI"
+  @ [ QCheck_alcotest.to_alcotest qcheck_no_write_skew ]

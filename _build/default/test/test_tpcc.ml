@@ -1,0 +1,198 @@
+(* TPC-C workload tests: loader integrity, per-transaction effects,
+   driver accounting — run on both engines through the functor. *)
+
+module Value = Mvcc.Value
+module Db = Mvcc.Db
+module W = Tpcc.Tpcc_workload
+module S = Tpcc.Tpcc_schema
+module Col = Tpcc.Tpcc_schema.Col
+module Rng = Sias_util.Rng
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_nurand_bounds () =
+  let rng = Rng.create 1 in
+  for _ = 1 to 10_000 do
+    let v = Tpcc.Tpcc_random.nurand rng ~a:1023 ~x:1 ~y:3000 in
+    check "nurand in range" true (v >= 1 && v <= 3000)
+  done
+
+let test_nurand_nonuniform () =
+  (* NURand concentrates mass: the most popular value should be far above
+     the uniform expectation *)
+  let rng = Rng.create 2 in
+  let counts = Hashtbl.create 256 in
+  let n = 50_000 in
+  for _ = 1 to n do
+    let v = Tpcc.Tpcc_random.nurand rng ~a:255 ~x:1 ~y:1000 in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let max_count = Hashtbl.fold (fun _ c acc -> Stdlib.max c acc) counts 0 in
+  check "skewed" true (max_count > 2 * (n / 1000))
+
+let test_last_name_syllables () =
+  Alcotest.(check string) "0" "BARBARBAR" (Tpcc.Tpcc_random.last_name 0);
+  Alcotest.(check string) "371" "PRICALLYOUGHT" (Tpcc.Tpcc_random.last_name 371);
+  Alcotest.(check string) "999" "EINGEINGEING" (Tpcc.Tpcc_random.last_name 999)
+
+let test_key_encoders_injective () =
+  let seen = Hashtbl.create 1024 in
+  for w = 1 to 3 do
+    for d = 1 to 10 do
+      for c = 1 to 30 do
+        let k = S.customer_key ~w ~d ~c in
+        check "unique customer key" false (Hashtbl.mem seen k);
+        Hashtbl.replace seen k ()
+      done
+    done
+  done;
+  check "order vs order_line disjoint encodings" true
+    (S.order_line_key ~okey:(S.order_key ~w:1 ~d:1 ~o:5) ~ol:3
+    <> S.order_key ~w:1 ~d:1 ~o:5)
+
+module Check (E : Mvcc.Engine.S) = struct
+  module WE = W.Make (E)
+
+  let small_cfg warehouses =
+    {
+      (W.default_config ~warehouses) with
+      scale = S.scaled ~div:300 ();
+      duration_s = 20.0;
+      think_time_s = 0.2;
+    }
+
+  let fresh warehouses =
+    let db = Db.create ~buffer_pages:2048 () in
+    let eng = E.create db in
+    let tables = WE.create_tables eng in
+    let cfg = small_cfg warehouses in
+    WE.load eng tables cfg;
+    (eng, tables, cfg)
+
+  let test_load_counts () =
+    let eng, tables, cfg = fresh 2 in
+    let s = cfg.W.scale in
+    let txn = E.begin_txn eng in
+    let count t = E.scan eng txn t (fun _ -> ()) in
+    checki "warehouses" 2 (count tables.WE.warehouse);
+    checki "districts" (2 * s.S.districts_per_warehouse) (count tables.WE.district);
+    checki "customers"
+      (2 * s.S.districts_per_warehouse * s.S.customers_per_district)
+      (count tables.WE.customer);
+    checki "items" s.S.items (count tables.WE.item);
+    checki "stock" (2 * s.S.stock_per_warehouse) (count tables.WE.stock);
+    checki "orders"
+      (2 * s.S.districts_per_warehouse * s.S.initial_orders_per_district)
+      (count tables.WE.orders);
+    check "order lines 5..15 per order" true
+      (let ol = count tables.WE.order_line in
+       let o = count tables.WE.orders in
+       ol >= 5 * o && ol <= 15 * o);
+    E.commit eng txn
+
+  let test_new_order_effects () =
+    let eng, tables, cfg = fresh 1 in
+    let st = WE.make_session eng tables cfg in
+    let rng = Rng.create 5 in
+    let txn = E.begin_txn eng in
+    let before =
+      List.map
+        (fun d ->
+          let row =
+            Option.get (E.read eng txn tables.WE.district ~pk:(S.district_key ~w:1 ~d))
+          in
+          (d, Value.int row.(Col.d_next_o_id)))
+        [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
+    in
+    E.commit eng txn;
+    (* run new-orders until one commits *)
+    let committed = ref 0 in
+    for _ = 1 to 20 do
+      if WE.run_transaction st ~kind:W.New_order ~w:1 ~rng = W.Committed then incr committed
+    done;
+    check "some committed" true (!committed > 0);
+    let txn = E.begin_txn eng in
+    let bumped = ref 0 in
+    List.iter
+      (fun (d, prev) ->
+        let row =
+          Option.get (E.read eng txn tables.WE.district ~pk:(S.district_key ~w:1 ~d))
+        in
+        bumped := !bumped + (Value.int row.(Col.d_next_o_id) - prev))
+      before;
+    E.commit eng txn;
+    checki "next_o_id advanced once per committed new-order" !committed !bumped
+
+  let test_payment_effects () =
+    let eng, tables, cfg = fresh 1 in
+    let st = WE.make_session eng tables cfg in
+    let rng = Rng.create 6 in
+    let read_wytd () =
+      let txn = E.begin_txn eng in
+      let row = Option.get (E.read eng txn tables.WE.warehouse ~pk:1) in
+      E.commit eng txn;
+      Value.float row.(Col.w_ytd)
+    in
+    let before = read_wytd () in
+    let committed = ref 0 in
+    for _ = 1 to 10 do
+      if WE.run_transaction st ~kind:W.Payment ~w:1 ~rng = W.Committed then incr committed
+    done;
+    check "payments committed" true (!committed > 0);
+    check "warehouse ytd grew" true (read_wytd () > before)
+
+  let test_delivery_consumes_new_orders () =
+    let eng, tables, cfg = fresh 1 in
+    let st = WE.make_session eng tables cfg in
+    let rng = Rng.create 7 in
+    let count_new_orders () =
+      let txn = E.begin_txn eng in
+      let n = E.scan eng txn tables.WE.new_order (fun _ -> ()) in
+      E.commit eng txn;
+      n
+    in
+    let before = count_new_orders () in
+    check "loader left pending orders" true (before > 0);
+    let out = WE.run_transaction st ~kind:W.Delivery ~w:1 ~rng in
+    check "delivery committed" true (out = W.Committed);
+    let after = count_new_orders () in
+    check "new_order rows consumed" true (after < before)
+
+  let test_driver_run_accounting () =
+    let eng, tables, cfg = fresh 1 in
+    let r = WE.run eng tables cfg in
+    check "ran to deadline" true (r.W.elapsed_s >= cfg.W.duration_s *. 0.9);
+    check "committed transactions" true (r.W.total_committed > 0);
+    let no = List.assoc W.New_order r.W.per_kind in
+    check "new orders ran" true (no.W.committed > 0);
+    check "notpm consistent" true
+      (abs_float (r.W.notpm -. (float_of_int no.W.committed *. 60.0 /. r.W.elapsed_s)) < 1.0);
+    (* response samples recorded for committed txns *)
+    check "responses recorded" true (Sias_util.Stats.Sample.count no.W.resp = no.W.committed)
+
+  let suite name =
+    [
+      Alcotest.test_case (name ^ ": load counts") `Quick test_load_counts;
+      Alcotest.test_case (name ^ ": new-order effects") `Quick test_new_order_effects;
+      Alcotest.test_case (name ^ ": payment effects") `Quick test_payment_effects;
+      Alcotest.test_case (name ^ ": delivery consumes queue") `Quick
+        test_delivery_consumes_new_orders;
+      Alcotest.test_case (name ^ ": driver accounting") `Quick test_driver_run_accounting;
+    ]
+end
+
+module Check_si = Check (Mvcc.Si_engine)
+module Check_sias = Check (Mvcc.Sias_engine)
+module Check_sias_v = Check (Mvcc.Sias_vector)
+
+let suite =
+  [
+    Alcotest.test_case "nurand bounds" `Quick test_nurand_bounds;
+    Alcotest.test_case "nurand non-uniform" `Quick test_nurand_nonuniform;
+    Alcotest.test_case "last name syllables" `Quick test_last_name_syllables;
+    Alcotest.test_case "key encoders injective" `Quick test_key_encoders_injective;
+  ]
+  @ Check_si.suite "SI"
+  @ Check_sias.suite "SIAS"
+  @ Check_sias_v.suite "SIAS-V"

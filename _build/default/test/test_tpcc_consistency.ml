@@ -1,0 +1,131 @@
+(* TPC-C consistency conditions (spec clause 3.3), checked after a real
+   driver run on every engine. These catch transaction-logic bugs that
+   throughput numbers hide:
+
+     C1: W_YTD = sum(D_YTD) per warehouse
+     C2: D_NEXT_O_ID - 1 = max(O_ID) = max(NO_O_ID) per district
+     C3: count(NEW_ORDER) = max(NO_O_ID) - min(NO_O_ID) + 1 per district
+         (new_orders are consumed oldest-first, so ids are contiguous)
+     C4: sum(O_OL_CNT) = count(ORDER_LINE) per district *)
+
+module Value = Mvcc.Value
+module Db = Mvcc.Db
+module W = Tpcc.Tpcc_workload
+module S = Tpcc.Tpcc_schema
+module Col = Tpcc.Tpcc_schema.Col
+
+let check = Alcotest.(check bool)
+
+module Make (E : Mvcc.Engine.S) = struct
+  module WE = W.Make (E)
+
+  let geti (r : Value.t array) i = Value.int r.(i)
+  let getf (r : Value.t array) i = Value.float r.(i)
+
+  let run_and_check () =
+    let db = Db.create ~buffer_pages:4096 () in
+    let eng = E.create db in
+    let tables = WE.create_tables eng in
+    let cfg =
+      {
+        (W.default_config ~warehouses:3) with
+        W.scale = S.scaled ~div:300 ();
+        duration_s = 30.0;
+        think_time_s = 0.1;
+        gc_interval_s = Some 10.0;
+      }
+    in
+    WE.load eng tables cfg;
+    let result = WE.run eng tables cfg in
+    check "enough committed work to be meaningful" true (result.W.total_committed > 100);
+    let txn = E.begin_txn eng in
+
+    (* collect district states *)
+    let district_rows = ref [] in
+    let _ = E.scan eng txn tables.WE.district (fun r -> district_rows := r :: !district_rows) in
+
+    (* C1: warehouse ytd equals the sum of its districts' ytd *)
+    let _ =
+      E.scan eng txn tables.WE.warehouse (fun wrow ->
+          let w = geti wrow Col.w_id in
+          let d_sum =
+            List.fold_left
+              (fun acc d -> if geti d 1 = w then acc +. getf d Col.d_ytd else acc)
+              0.0 !district_rows
+          in
+          check
+            (Printf.sprintf "C1: warehouse %d ytd %.2f = district sum %.2f" w
+               (getf wrow Col.w_ytd) d_sum)
+            true
+            (abs_float (getf wrow Col.w_ytd -. d_sum) < 0.01))
+    in
+
+    (* per-district aggregates over orders / new_order / order_line *)
+    let max_o = Hashtbl.create 64 in
+    let ol_cnt_sum = Hashtbl.create 64 in
+    let _ =
+      E.scan eng txn tables.WE.orders (fun o ->
+          let dk = S.district_key ~w:(geti o 1) ~d:(geti o 2) in
+          let oid = geti o Col.o_id in
+          let cur = Option.value ~default:0 (Hashtbl.find_opt max_o dk) in
+          if oid > cur then Hashtbl.replace max_o dk oid;
+          Hashtbl.replace ol_cnt_sum dk
+            (geti o Col.o_ol_cnt + Option.value ~default:0 (Hashtbl.find_opt ol_cnt_sum dk)))
+    in
+    let no_min = Hashtbl.create 64 and no_max = Hashtbl.create 64 and no_cnt = Hashtbl.create 64 in
+    let _ =
+      E.scan eng txn tables.WE.new_order (fun n ->
+          let dk = S.district_key ~w:(geti n 1) ~d:(geti n 2) in
+          let oid = geti n 3 in
+          Hashtbl.replace no_cnt dk (1 + Option.value ~default:0 (Hashtbl.find_opt no_cnt dk));
+          (match Hashtbl.find_opt no_min dk with
+          | Some m when m <= oid -> ()
+          | _ -> Hashtbl.replace no_min dk oid);
+          match Hashtbl.find_opt no_max dk with
+          | Some m when m >= oid -> ()
+          | _ -> Hashtbl.replace no_max dk oid)
+    in
+    let ol_count = Hashtbl.create 64 in
+    let _ =
+      E.scan eng txn tables.WE.order_line (fun l ->
+          let okey = geti l 1 in
+          let dk = okey / 100_000_000 in
+          Hashtbl.replace ol_count dk
+            (1 + Option.value ~default:0 (Hashtbl.find_opt ol_count dk)))
+    in
+
+    List.iter
+      (fun drow ->
+        let w = geti drow 1 and d = geti drow 2 in
+        let dk = S.district_key ~w ~d in
+        let next_o = geti drow Col.d_next_o_id in
+        (* C2 *)
+        (match Hashtbl.find_opt max_o dk with
+        | Some m ->
+            check (Printf.sprintf "C2: district (%d,%d) next_o_id" w d) true (next_o - 1 = m)
+        | None -> ());
+        (* C3 *)
+        (match (Hashtbl.find_opt no_min dk, Hashtbl.find_opt no_max dk) with
+        | Some lo, Some hi ->
+            let cnt = Option.value ~default:0 (Hashtbl.find_opt no_cnt dk) in
+            check
+              (Printf.sprintf "C3: district (%d,%d) new_order contiguity" w d)
+              true
+              (cnt = hi - lo + 1)
+        | _ -> ());
+        (* C4 *)
+        let expect = Option.value ~default:0 (Hashtbl.find_opt ol_cnt_sum dk) in
+        let got = Option.value ~default:0 (Hashtbl.find_opt ol_count dk) in
+        check (Printf.sprintf "C4: district (%d,%d) order lines %d=%d" w d expect got) true
+          (expect = got))
+      !district_rows;
+    E.commit eng txn
+
+  let test name = Alcotest.test_case (name ^ ": TPC-C consistency C1-C4") `Slow run_and_check
+end
+
+module C_si = Make (Mvcc.Si_engine)
+module C_sias = Make (Mvcc.Sias_engine)
+module C_vec = Make (Mvcc.Sias_vector)
+
+let suite = [ C_si.test "SI"; C_sias.test "SIAS"; C_vec.test "SIAS-V" ]

@@ -1,0 +1,149 @@
+(* Tests for the VID_map: allocation, bucket arithmetic, paged backing. *)
+
+module Vm = Vidmap
+module Tid = Sias_storage.Tid
+module Bufpool = Sias_storage.Bufpool
+module Device = Flashsim.Device
+module Simclock = Sias_util.Simclock
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let tid n = Tid.make ~block:n ~slot:(n mod 100)
+
+let test_alloc_sequential () =
+  let m = Vm.create () in
+  for i = 0 to 99 do
+    checki "sequential vids" i (Vm.alloc_vid m)
+  done;
+  checki "count" 100 (Vm.vid_count m)
+
+let test_set_get_clear () =
+  let m = Vm.create () in
+  let v = Vm.alloc_vid m in
+  Alcotest.(check (option int)) "unset" None (Option.map Tid.to_int (Vm.get m ~vid:v));
+  Vm.set m ~vid:v (tid 7);
+  check "set/get" true (Vm.get m ~vid:v = Some (tid 7));
+  Vm.set m ~vid:v (tid 9);
+  check "update" true (Vm.get m ~vid:v = Some (tid 9));
+  Vm.clear m ~vid:v;
+  check "cleared" true (Vm.get m ~vid:v = None)
+
+let test_unallocated_rejected () =
+  let m = Vm.create () in
+  Alcotest.check_raises "set unallocated" (Invalid_argument "Vidmap.set: VID not allocated")
+    (fun () -> Vm.set m ~vid:0 (tid 1));
+  check "get unallocated is None" true (Vm.get m ~vid:5 = None)
+
+let test_bucket_allocation () =
+  let m = Vm.create () in
+  for _ = 1 to Vm.bucket_capacity do
+    ignore (Vm.alloc_vid m)
+  done;
+  checki "one bucket for first 1024" 1 (Vm.bucket_count m);
+  ignore (Vm.alloc_vid m);
+  checki "second bucket at 1025th vid" 2 (Vm.bucket_count m)
+
+let test_iter_in_order () =
+  let m = Vm.create () in
+  for i = 0 to 9 do
+    let v = Vm.alloc_vid m in
+    if i mod 2 = 0 then Vm.set m ~vid:v (tid i)
+  done;
+  let seen = ref [] in
+  Vm.iter m (fun vid t -> seen := (vid, t) :: !seen);
+  let seen = List.rev !seen in
+  checki "only set vids" 5 (List.length seen);
+  check "in vid order" true (List.map fst seen = [ 0; 2; 4; 6; 8 ])
+
+let test_stats_counting () =
+  let m = Vm.create () in
+  let v = Vm.alloc_vid m in
+  Vm.set m ~vid:v (tid 1);
+  ignore (Vm.get m ~vid:v);
+  ignore (Vm.get m ~vid:v);
+  let s = Vm.stats m in
+  checki "updates" 1 s.Vm.updates;
+  checki "lookups" 2 s.Vm.lookups;
+  checki "latches equal updates" 1 s.Vm.latches
+
+let mk_backed () =
+  let clock = Simclock.create () in
+  let device = Device.ssd_x25e ~blocks:512 () in
+  let pool = Bufpool.create ~device ~clock ~capacity_pages:4 () in
+  (Vm.create ~backing:(pool, 9) (), pool)
+
+let test_paged_backing_roundtrip () =
+  let m, _pool = mk_backed () in
+  (* more than 4 buckets so the tiny pool must evict bucket pages *)
+  let n = (5 * Vm.bucket_capacity) + 3 in
+  for i = 0 to n - 1 do
+    let v = Vm.alloc_vid m in
+    Vm.set m ~vid:v (tid (i * 3))
+  done;
+  checki "buckets" 6 (Vm.bucket_count m);
+  (* spot-check across all buckets after eviction churn *)
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if Vm.get m ~vid:i <> Some (tid (i * 3)) then ok := false
+  done;
+  check "all mappings survive paging" true !ok
+
+let test_paged_backing_charges_io () =
+  let m, pool = mk_backed () in
+  let n = 5 * Vm.bucket_capacity in
+  for i = 0 to n - 1 do
+    let v = Vm.alloc_vid m in
+    Vm.set m ~vid:v (tid i)
+  done;
+  let cold = (Bufpool.stats pool).Bufpool.misses in
+  (* revisiting early buckets after they were evicted forces real reads *)
+  for i = 0 to n - 1 do
+    ignore (Vm.get m ~vid:i)
+  done;
+  let st = Bufpool.stats pool in
+  check "bucket paging caused buffer misses" true (st.Bufpool.misses > cold);
+  check "evictions happened" true (st.Bufpool.evictions > 0)
+
+(* Property: the vidmap agrees with a model map under arbitrary set/clear
+   sequences, including across bucket boundaries. *)
+let qcheck_vidmap_model =
+  QCheck.Test.make ~name:"vidmap equals model map" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 300) (pair (int_bound 2200) (int_bound 2)))
+    (fun ops ->
+      let m = Vm.create () in
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (v, op) ->
+          match op with
+          | 0 -> ignore (Vm.alloc_vid m)
+          | 1 ->
+              if v < Vm.vid_count m then begin
+                Vm.set m ~vid:v (tid (v + 1));
+                Hashtbl.replace model v (tid (v + 1))
+              end
+          | _ ->
+              if v < Vm.vid_count m then begin
+                Vm.clear m ~vid:v;
+                Hashtbl.remove model v
+              end)
+        ops;
+      let ok = ref true in
+      for v = 0 to Vm.vid_count m - 1 do
+        let expect = Hashtbl.find_opt model v in
+        if Vm.get m ~vid:v <> expect then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "sequential allocation" `Quick test_alloc_sequential;
+    Alcotest.test_case "set/get/clear" `Quick test_set_get_clear;
+    Alcotest.test_case "unallocated rejected" `Quick test_unallocated_rejected;
+    Alcotest.test_case "bucket allocation at 1024" `Quick test_bucket_allocation;
+    Alcotest.test_case "iter in vid order" `Quick test_iter_in_order;
+    Alcotest.test_case "stats counting" `Quick test_stats_counting;
+    Alcotest.test_case "paged backing roundtrip" `Quick test_paged_backing_roundtrip;
+    Alcotest.test_case "paged backing charges I/O" `Quick test_paged_backing_charges_io;
+    QCheck_alcotest.to_alcotest qcheck_vidmap_model;
+  ]

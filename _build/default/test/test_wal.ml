@@ -1,0 +1,78 @@
+(* Tests for the write-ahead log. *)
+
+module Wal = Sias_wal.Wal
+module Device = Flashsim.Device
+module Blocktrace = Flashsim.Blocktrace
+module Simclock = Sias_util.Simclock
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let test_lsn_monotone () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let l1 = Wal.append w ~xid:1 ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.of_string "a") in
+  let l2 = Wal.append w ~xid:1 ~rel:0 ~kind:Wal.Update ~payload:(Bytes.of_string "b") in
+  check "monotone" true (l2 > l1);
+  checki "current" l2 (Wal.current_lsn w)
+
+let test_flush_semantics () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let _ = Wal.append w ~xid:1 ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.of_string "abc") in
+  checki "nothing flushed yet" 0 (Wal.flushed_lsn w);
+  Wal.flush w ~sync:true;
+  checki "flushed to current" (Wal.current_lsn w) (Wal.flushed_lsn w);
+  check "bytes written" true (Wal.bytes_written w > 0);
+  checki "one flush" 1 (Wal.flush_count w);
+  (* empty flush is a no-op *)
+  Wal.flush w ~sync:true;
+  checki "still one flush" 1 (Wal.flush_count w)
+
+let test_device_sequential_appends () =
+  let clock = Simclock.create () in
+  let device = Device.ssd_x25e ~blocks:256 () in
+  let w = Wal.create ~device ~clock () in
+  for i = 1 to 5 do
+    let _ = Wal.append w ~xid:i ~rel:0 ~kind:Wal.Commit ~payload:Bytes.empty in
+    Wal.flush w ~sync:true
+  done;
+  let recs = Blocktrace.records (Device.trace device) in
+  checki "five writes" 5 (List.length recs);
+  (* strictly increasing sector addresses: a pure append stream *)
+  let sectors = List.map (fun r -> r.Blocktrace.sector) recs in
+  check "monotone sectors" true (List.sort compare sectors = sectors);
+  check "sync flush advances clock" true (Simclock.now clock > 0.0)
+
+let test_records_retained_in_order () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let _ = Wal.append w ~xid:1 ~rel:2 ~kind:Wal.Insert ~payload:(Bytes.of_string "x") in
+  let _ = Wal.append w ~xid:1 ~rel:2 ~kind:Wal.Commit ~payload:Bytes.empty in
+  let _ = Wal.append w ~xid:2 ~rel:3 ~kind:Wal.Abort ~payload:Bytes.empty in
+  let recs = Wal.records_from w ~lsn:0 in
+  checki "three records" 3 (List.length recs);
+  let kinds = List.map (fun r -> r.Wal.kind) recs in
+  check "in order" true (kinds = [ Wal.Insert; Wal.Commit; Wal.Abort ]);
+  let from2 = Wal.records_from w ~lsn:2 in
+  checki "suffix" 2 (List.length from2)
+
+let test_truncate () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  for i = 1 to 10 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty)
+  done;
+  Wal.truncate_before w ~lsn:6;
+  let recs = Wal.records_from w ~lsn:0 in
+  checki "only tail kept" 5 (List.length recs);
+  check "all lsn >= 6" true (List.for_all (fun r -> r.Wal.lsn >= 6) recs)
+
+let suite =
+  [
+    Alcotest.test_case "lsn monotone" `Quick test_lsn_monotone;
+    Alcotest.test_case "flush semantics" `Quick test_flush_semantics;
+    Alcotest.test_case "sequential device appends" `Quick test_device_sequential_appends;
+    Alcotest.test_case "records retained in order" `Quick test_records_retained_in_order;
+    Alcotest.test_case "truncate" `Quick test_truncate;
+  ]

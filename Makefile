@@ -1,0 +1,22 @@
+# Convenience targets; `make check` is what CI runs.
+
+.PHONY: all build test check bench demo clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest --force
+
+check: build test
+
+bench:
+	dune exec bench/main.exe
+
+demo:
+	dune exec examples/recovery_demo.exe
+
+clean:
+	dune clean

@@ -490,16 +490,34 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let args =
-    List.filter
-      (fun a ->
-        if a = "--full" then begin
-          full := true;
-          false
-        end
-        else true)
-      args
+  (* Flag filter: consume --full, --faults <seed>, --fault-profile <name>;
+     whatever remains names the experiments to run. *)
+  let fault_seed = ref None in
+  let fault_profile = ref Flashsim.Faultdev.light in
+  let rec filter = function
+    | [] -> []
+    | "--full" :: rest ->
+        full := true;
+        filter rest
+    | "--faults" :: seed :: rest ->
+        (match int_of_string_opt seed with
+        | Some s -> fault_seed := Some s
+        | None -> Printf.printf "--faults needs an integer seed, got %S\n" seed);
+        filter rest
+    | "--fault-profile" :: name :: rest ->
+        (match Flashsim.Faultdev.profile_of_string name with
+        | Ok p -> fault_profile := p
+        | Error e -> Printf.printf "%s\n" e);
+        filter rest
+    | a :: rest -> a :: filter rest
   in
+  let args = filter args in
+  (match !fault_seed with
+  | Some seed ->
+      fault_override := Some (seed, !fault_profile);
+      Printf.printf "fault injection: seed %d, profile %s\n%!" seed
+        (Flashsim.Faultdev.profile_name !fault_profile)
+  | None -> ());
   let chosen = match args with [] | [ "all" ] -> List.map fst experiments | l -> l in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -78,7 +78,31 @@ let scale_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed.")
 
-let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed keep =
+let fault_profile_conv =
+  let parse s =
+    match Flashsim.Faultdev.profile_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (Flashsim.Faultdev.profile_name p) in
+  Arg.conv (parse, print)
+
+let faults_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "faults" ]
+        ~doc:"Inject device faults (transient read errors, bit rot, torn writes) seeded by $(docv)."
+        ~docv:"SEED")
+
+let fault_profile_arg =
+  Arg.(
+    value
+    & opt fault_profile_conv Flashsim.Faultdev.light
+    & info [ "fault-profile" ] ~doc:"Fault rates: none, light or heavy.")
+
+let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed
+    fault_seed fault_profile keep =
   {
     (default_setup ~engine ~warehouses) with
     device;
@@ -88,13 +112,18 @@ let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div
     gc_interval_s = (match gc with Some g when g > 0.0 -> Some g | _ -> None);
     scale_div;
     seed;
+    fault_seed;
+    fault_profile;
     keep_trace_records = keep;
   }
 
 let run_cmd =
-  let run engine device warehouses duration buffer flush gc scale seed =
+  let run engine device warehouses duration buffer flush gc scale seed fault_seed
+      fault_profile =
     let o =
-      run_tpcc (mk_setup engine device warehouses duration buffer flush gc scale seed false)
+      run_tpcc
+        (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
+           fault_profile false)
     in
     Format.printf "%a@.@." pp_output_summary o;
     Format.printf "%a@." W.pp_result o.result;
@@ -108,21 +137,31 @@ let run_cmd =
     Format.printf "buffer: %d hits, %d misses, %d evictions, %d flushes@."
       o.buf_stats.Sias_storage.Bufpool.hits o.buf_stats.Sias_storage.Bufpool.misses
       o.buf_stats.Sias_storage.Bufpool.evictions o.buf_stats.Sias_storage.Bufpool.flushes;
+    if fault_seed <> None then
+      Format.printf
+        "reliability: %d read retries, %d checksum failures, %d pages repaired, %d torn@."
+        o.buf_stats.Sias_storage.Bufpool.read_retries
+        o.buf_stats.Sias_storage.Bufpool.checksum_failures
+        o.buf_stats.Sias_storage.Bufpool.pages_repaired
+        o.buf_stats.Sias_storage.Bufpool.torn_pages;
     List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a TPC-C benchmark and report throughput, latency and I/O.")
     Term.(
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
-      $ flush_arg $ gc_arg $ scale_arg $ seed_arg)
+      $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg)
 
 let trace_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the trace to $(docv).")
   in
-  let run engine device warehouses duration buffer flush gc scale seed csv =
+  let run engine device warehouses duration buffer flush gc scale seed fault_seed
+      fault_profile csv =
     let o =
-      run_tpcc (mk_setup engine device warehouses duration buffer flush gc scale seed true)
+      run_tpcc
+        (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
+           fault_profile true)
     in
     print_endline (B.render_scatter o.trace);
     Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
@@ -139,7 +178,8 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Run a workload and render its block trace (paper Figures 3/4).")
     Term.(
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
-      $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ csv_arg)
+      $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
+      $ csv_arg)
 
 let () =
   let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in

@@ -3,6 +3,11 @@
    the WAL, and verify the committed state — including the paper's point
    that SIAS rebuilds its VID_map purely from on-tuple information.
 
+   Act two crashes a machine whose in-flight page writes tear (only a
+   sector prefix persists): the page checksums catch the damage on
+   read-in and recovery rebuilds each torn page from the WAL's full-page
+   images and redo records.
+
      dune exec examples/recovery_demo.exe
 *)
 
@@ -10,8 +15,9 @@ module E = Mvcc.Sias_engine
 module Db = Mvcc.Db
 module Value = Mvcc.Value
 module Bufpool = Sias_storage.Bufpool
+module Faultdev = Flashsim.Faultdev
 
-let () =
+let clean_crash () =
   let db = Db.create ~buffer_pages:256 () in
   let eng = E.create db in
   let accounts = E.create_table eng ~name:"accounts" ~pk_col:0 () in
@@ -57,3 +63,68 @@ let () =
   | None -> Format.printf "uncommitted insert correctly rolled back@."
   | Some _ -> Format.printf "ERROR: phantom uncommitted row!@.");
   E.commit eng txn
+
+let torn_page_crash () =
+  Format.printf "@.-- torn-page crash: every in-flight write tears --@.";
+  let faults =
+    Faultdev.create
+      ~profile:
+        {
+          Faultdev.transient_read_p = 0.0;
+          transient_max = 0;
+          read_corrupt_p = 0.0;
+          torn_write_p = 1.0;
+        }
+      ~seed:7 ()
+  in
+  let device = Faultdev.wrap faults (Flashsim.Device.ssd_x25e ~name:"data-ssd" ()) in
+  let db = Db.create ~device ~faults ~buffer_pages:256 () in
+  let eng = E.create db in
+  let accounts = E.create_table eng ~name:"accounts" ~pk_col:0 () in
+
+  let txn = E.begin_txn eng in
+  for id = 1 to 100 do
+    E.insert eng txn accounts [| Value.Int id; Value.Int 1000 |] |> Result.get_ok
+  done;
+  E.commit eng txn;
+  Bufpool.flush_all db.Db.pool ~sync:false;
+
+  (* more committed work, then a flush that is in flight when the machine
+     dies: those writes persist only a torn prefix *)
+  let txn = E.begin_txn eng in
+  for id = 1 to 50 do
+    E.update eng txn accounts ~pk:id (fun r ->
+        let r = Array.copy r in
+        r.(1) <- Value.Int 2000;
+        r)
+    |> Result.get_ok
+  done;
+  E.commit eng txn;
+  Bufpool.flush_all db.Db.pool ~sync:false;
+
+  Format.printf "CRASH mid-flush@.";
+  Bufpool.crash db.Db.pool;
+
+  E.recover eng;
+  let txn = E.begin_txn eng in
+  let total = ref 0 and n = ref 0 in
+  let _ =
+    E.scan eng txn accounts (fun r ->
+        incr n;
+        total := !total + Value.int r.(1))
+  in
+  E.commit eng txn;
+  Format.printf "recovered: %d accounts, total balance %d (expected %d)@." !n !total
+    ((50 * 2000) + (50 * 1000));
+  let s = Bufpool.stats db.Db.pool in
+  Format.printf
+    "torn pages applied at crash %d | checksum failures on read-in %d | pages rebuilt from WAL %d@."
+    s.Bufpool.torn_pages s.Bufpool.checksum_failures s.Bufpool.pages_repaired;
+  if !total <> (50 * 2000) + (50 * 1000) then begin
+    Format.printf "ERROR: torn-page recovery produced wrong balances!@.";
+    exit 1
+  end
+
+let () =
+  clean_crash ();
+  torn_page_crash ()

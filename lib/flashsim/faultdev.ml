@@ -1,0 +1,101 @@
+module Rng = Sias_util.Rng
+module Counter = Sias_util.Stats.Counter
+
+type profile = {
+  transient_read_p : float;
+  transient_max : int;
+  read_corrupt_p : float;
+  torn_write_p : float;
+}
+
+let none =
+  { transient_read_p = 0.0; transient_max = 0; read_corrupt_p = 0.0; torn_write_p = 0.0 }
+
+let light =
+  { transient_read_p = 0.02; transient_max = 2; read_corrupt_p = 0.003; torn_write_p = 0.15 }
+
+let heavy =
+  { transient_read_p = 0.10; transient_max = 4; read_corrupt_p = 0.02; torn_write_p = 0.5 }
+
+let profile_of_string = function
+  | "none" -> Ok none
+  | "light" -> Ok light
+  | "heavy" -> Ok heavy
+  | s -> Error (Printf.sprintf "unknown fault profile %S (none|light|heavy)" s)
+
+let profile_name p =
+  if p = none then "none" else if p = light then "light" else if p = heavy then "heavy" else "custom"
+
+type t = {
+  rng : Rng.t;
+  seed : int;
+  profile : profile;
+  transient_reads : Counter.t;
+  corrupt_reads : Counter.t;
+  torn_writes : Counter.t;
+}
+
+let create ?(profile = light) ~seed () =
+  {
+    rng = Rng.create seed;
+    seed;
+    profile;
+    transient_reads = Counter.create "fault_transient_reads";
+    corrupt_reads = Counter.create "fault_corrupt_reads";
+    torn_writes = Counter.create "fault_torn_writes";
+  }
+
+let seed t = t.seed
+let profile t = t.profile
+
+let roll t p = p > 0.0 && Rng.float t.rng 1.0 < p
+
+(* How many consecutive attempts at this read fail before the medium
+   yields the data. 0 = first attempt succeeds. The caller retries with
+   bounded backoff; a draw beyond its bound models an unreadable sector. *)
+let transient_failures t ~sector:_ =
+  if roll t t.profile.transient_read_p then begin
+    Counter.incr t.transient_reads;
+    1 + Rng.int t.rng (Stdlib.max 1 t.profile.transient_max)
+  end
+  else 0
+
+(* Latent sector error / bit rot discovered on read: flip a few bytes of
+   the image in place so the caller's checksum verification catches it.
+   Returns whether the buffer was corrupted. *)
+let corrupt_read t ~sector:_ buf =
+  let n = Bytes.length buf in
+  if n > 0 && roll t t.profile.read_corrupt_p then begin
+    Counter.incr t.corrupt_reads;
+    let flips = 1 + Rng.int t.rng 3 in
+    for _ = 1 to flips do
+      let off = Rng.int t.rng n in
+      let mask = 1 + Rng.int t.rng 255 in
+      Bytes.set_uint8 buf off (Bytes.get_uint8 buf off lxor mask)
+    done;
+    true
+  end
+  else false
+
+(* Torn multi-sector write: if a crash interrupts this write, only a
+   sector-aligned prefix persists. Returns the persisted byte count
+   (strictly less than [bytes]); [None] = the write is atomic. *)
+let torn_write t ~sector:_ ~bytes =
+  let nsectors = bytes / 512 in
+  if nsectors > 1 && roll t t.profile.torn_write_p then begin
+    Counter.incr t.torn_writes;
+    Some (Rng.int t.rng nsectors * 512)
+  end
+  else None
+
+let counters t = [ t.transient_reads; t.corrupt_reads; t.torn_writes ]
+
+let injected t = List.map (fun c -> (Counter.name c, Counter.value c)) (counters t)
+
+let wrap t device =
+  Device.make
+    ~name:(Device.name device ^ "+faults")
+    ~submit_impl:(fun ~now op ~sector ~bytes -> Device.submit device ~now op ~sector ~bytes)
+    ~info_impl:(fun () -> Device.info device @ Counter.to_info (counters t))
+    ~trim_impl:(fun ~sector ~bytes -> Device.trim device ~sector ~bytes)
+    ()

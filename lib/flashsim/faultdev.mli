@@ -1,0 +1,60 @@
+(** Deterministic, seeded fault injection for simulated devices.
+
+    A fault plan is a {!profile} (probabilities per I/O) driven by one
+    seeded RNG, so a given workload replays the exact same fault sequence
+    for the same seed — the substrate for reproducible reliability
+    experiments and the crash/corruption torture tests.
+
+    Faults modelled:
+    - {b transient read errors}: a read fails a few times, then succeeds;
+      the storage layer retries with bounded backoff charged to the
+      simulated clock;
+    - {b latent sector errors / bit rot}: a read returns corrupted bytes;
+      page checksums detect it and recovery repairs from the WAL;
+    - {b torn writes}: if a crash interrupts a multi-sector write, only a
+      sector-aligned prefix persists (applied by [Bufpool.crash]).
+
+    The device timing model is untouched: {!wrap} passes requests through
+    and only merges the injected-fault counters into [Device.info]. The
+    data-plane hooks ({!transient_failures}, {!corrupt_read},
+    {!torn_write}) are called by the storage layer, which owns the page
+    images. *)
+
+type profile = {
+  transient_read_p : float;  (** per read: probability of ≥1 transient failure *)
+  transient_max : int;  (** cap on consecutive transient failures *)
+  read_corrupt_p : float;  (** per read: probability the image is corrupted *)
+  torn_write_p : float;  (** per multi-sector write: torn-on-crash probability *)
+}
+
+val none : profile
+val light : profile
+val heavy : profile
+val profile_of_string : string -> (profile, string) result
+val profile_name : profile -> string
+
+type t
+
+val create : ?profile:profile -> seed:int -> unit -> t
+(** Default profile: {!light}. *)
+
+val seed : t -> int
+val profile : t -> profile
+
+val wrap : t -> Device.t -> Device.t
+(** Pass-through device exposing inner counters plus injected-fault
+    counters via [Device.info]. *)
+
+val transient_failures : t -> sector:int -> int
+(** Consecutive failed attempts before this read succeeds (0 = none). *)
+
+val corrupt_read : t -> sector:int -> bytes -> bool
+(** Maybe flip a few bytes of the freshly read image in place; returns
+    whether it did. Detection is the caller's checksum's job. *)
+
+val torn_write : t -> sector:int -> bytes:int -> int option
+(** [Some persisted_bytes] (a sector-aligned strict prefix) when a crash
+    would tear this write; [None] when it is atomic. *)
+
+val injected : t -> (string * int) list
+(** Injected-fault counters as [(name, count)]. *)

@@ -29,7 +29,11 @@ type setup = {
   checkpoint_interval_s : float;
   vidmap_paged : bool;
   keep_trace_records : bool;
+  fault_seed : int option;
+  fault_profile : Flashsim.Faultdev.profile;
 }
+
+let fault_override : (int * Flashsim.Faultdev.profile) option ref = ref None
 
 let default_setup ~engine ~warehouses =
   {
@@ -47,6 +51,8 @@ let default_setup ~engine ~warehouses =
     checkpoint_interval_s = 30.0;
     vidmap_paged = false;
     keep_trace_records = false;
+    fault_seed = None;
+    fault_profile = Flashsim.Faultdev.light;
   }
 
 type output = {
@@ -84,12 +90,26 @@ let engine_module : engine_kind -> (module Mvcc.Engine.S) = function
   | SICV -> (module Mvcc.Si_cv_engine)
 
 let run_tpcc setup =
+  let setup =
+    match (!fault_override, setup.fault_seed) with
+    | Some (seed, profile), None ->
+        { setup with fault_seed = Some seed; fault_profile = profile }
+    | _ -> setup
+  in
   let (module E : Mvcc.Engine.S) = engine_module setup.engine in
   let module WE = W.Make (E) in
-  let device = make_device setup.device in
+  let faults =
+    Option.map
+      (fun seed -> Flashsim.Faultdev.create ~profile:setup.fault_profile ~seed ())
+      setup.fault_seed
+  in
+  let device =
+    let d = make_device setup.device in
+    match faults with None -> d | Some f -> Flashsim.Faultdev.wrap f d
+  in
   Blocktrace.set_keep_records (Device.trace device) setup.keep_trace_records;
   let db =
-    Db.create ~device ~buffer_pages:setup.buffer_pages
+    Db.create ~device ?faults ~buffer_pages:setup.buffer_pages
       ~flush_policy:(flush_policy setup.flush)
       ~checkpoint_interval:setup.checkpoint_interval_s
       ?append_seal_interval:(match setup.flush with T1 -> Some 0.2 | T2 -> None)

@@ -33,7 +33,17 @@ type setup = {
           default against 10–30 min runs, a 2–6x ratio *)
   vidmap_paged : bool;  (** VID_map buckets live in buffer-pool pages *)
   keep_trace_records : bool;  (** retain per-request records (Figures 3/4) *)
+  fault_seed : int option;
+      (** enable seeded fault injection (transient read errors, bit rot,
+          torn writes) on the data device and WAL; [None] = no faults *)
+  fault_profile : Flashsim.Faultdev.profile;
+      (** fault rates used when [fault_seed] is set *)
 }
+
+val fault_override : (int * Flashsim.Faultdev.profile) option ref
+(** When set, {!run_tpcc} applies this (seed, profile) to any setup that
+    does not carry its own [fault_seed] — lets the benchmark driver turn
+    faults on globally from the command line. *)
 
 val default_setup : engine:engine_kind -> warehouses:int -> setup
 (** Single SSD, T2, 2048 buffer pages, 1/100 scale, 60 s, 1 terminal/WH,

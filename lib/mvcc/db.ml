@@ -17,19 +17,26 @@ type t = {
   cpu_op_s : float;
   append_seal_interval : float option;
   vidmap_paged : bool;
+  faults : Flashsim.Faultdev.t option;
+  fpw_done : (int * int, unit) Hashtbl.t;
   mutable next_rel : int;
 }
 
 let create ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
-    ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) () =
+    ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults () =
   let clock = Simclock.create () in
   let device =
     match device with Some d -> d | None -> Device.ssd_x25e ~name:"data-ssd" ()
   in
-  let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages () in
-  let wal = Wal.create ?device:wal_device ~clock () in
-  let bgwriter = Bgwriter.create pool ~clock ~policy:flush_policy ~checkpoint_interval () in
+  let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages ?faults () in
+  let wal = Wal.create ?device:wal_device ?faults ~clock () in
+  let fpw_done = Hashtbl.create 512 in
+  let bgwriter =
+    Bgwriter.create pool ~clock ~policy:flush_policy ~checkpoint_interval
+      ~on_checkpoint:(fun () -> Hashtbl.reset fpw_done)
+      ()
+  in
   {
     clock;
     device;
@@ -41,6 +48,8 @@ let create ?device ?wal_device ?(buffer_pages = 2048)
     cpu_op_s;
     append_seal_interval;
     vidmap_paged;
+    faults;
+    fpw_done;
     next_rel = 0;
   }
 

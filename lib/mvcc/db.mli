@@ -21,6 +21,11 @@ type t = {
   vidmap_paged : bool;
       (** store VID_map buckets in buffer-pool pages (paper Section 4.1.3:
           large maps spill to disk through the ordinary buffer machinery) *)
+  faults : Flashsim.Faultdev.t option;  (** shared fault plan, if any *)
+  fpw_done : (int * int, unit) Hashtbl.t;
+      (** (rel, block) pairs whose full-page image was already logged since
+          the last checkpoint; cleared by the checkpointer so each page's
+          first post-checkpoint modification logs a repair base image *)
   mutable next_rel : int;
 }
 
@@ -35,11 +40,14 @@ val create :
   ?os_cache_interval:float ->
   ?os_cache_pages:int ->
   ?vidmap_paged:bool ->
+  ?faults:Flashsim.Faultdev.t ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
     2048 buffer pages, checkpoint-only flushing every 30 simulated
-    seconds, and 5 µs CPU per row operation. *)
+    seconds, and 5 µs CPU per row operation. [faults] injects the same
+    fault plan into the buffer pool (reads/writes of data pages) and the
+    WAL (torn async flushes). *)
 
 val alloc_rel : t -> int
 (** Relation ids place each relation in its own device region. *)

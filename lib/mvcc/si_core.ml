@@ -36,7 +36,9 @@ module Make (P : PROFILE) = struct
     mutable vacuumed_pages : int;
   }
 
-  let create db = { db; tables = []; vacuumed_versions = 0; vacuumed_pages = 0 }
+  let create db =
+    Walcodec.install_repair db;
+    { db; tables = []; vacuumed_versions = 0; vacuumed_pages = 0 }
   let db t = t.db
 
   let create_table t ~name:tname ~pk_col ?(secondary = []) () =

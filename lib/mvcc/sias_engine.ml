@@ -41,6 +41,7 @@ type t = {
 }
 
 let create db =
+  Walcodec.install_repair db;
   {
     db;
     tables = [];

@@ -7,7 +7,8 @@ module Txn = Sias_txn.Txn
 (* Payload: tid (int64), flags (u8, bit 0 = append-only page discipline),
    item bytes. The flag matters at redo: a page recreated from nothing
    must apply the same slot-allocation rule the original insert used, or
-   replayed slots diverge. *)
+   replayed slots diverge. Full_page records reuse the same envelope with
+   the raw page image as the item (slot part of the tid is unused). *)
 let encode ?(append_only = false) tid item =
   let b = Bytes.create (9 + Bytes.length item) in
   Bytes.set_int64_le b 0 (Int64.of_int (Tid.to_int tid));
@@ -20,13 +21,70 @@ let decode b =
   let append_only = Bytes.get_uint8 b 8 land 1 = 1 in
   (tid, append_only, Bytes.sub b 9 (Bytes.length b - 9))
 
+(* Full-page writes: the first modification of a (rel, block) after a
+   checkpoint logs the whole post-change page image instead of the item
+   record (PostgreSQL's backup blocks). The image is stamped with its own
+   record's LSN before capture, so redo's page-LSN guard treats the
+   install exactly like any other record. A torn data-page write found at
+   recovery is then repairable from the latest image plus the item
+   records that follow it. Trim is exempt: replaying it recreates the
+   empty page with no image needed. *)
 let log_heap ?append_only db ~xid ~rel ~kind ~tid ~item =
-  let lsn = Db.log_op db ~xid ~rel ~kind ~payload:(encode ?append_only tid item) in
-  Bufpool.with_page db.Db.pool ~rel ~block:(Tid.block tid) (fun page ->
-      Page.set_lsn page lsn)
+  let block = Tid.block tid in
+  let fpw = kind <> Wal.Trim && not (Hashtbl.mem db.Db.fpw_done (rel, block)) in
+  if fpw then begin
+    Hashtbl.replace db.Db.fpw_done (rel, block) ();
+    let lsn = Wal.next_lsn db.Db.wal in
+    let image =
+      Bufpool.with_page db.Db.pool ~rel ~block (fun page ->
+          Page.set_lsn page lsn;
+          Page.to_bytes page)
+    in
+    let lsn' =
+      Db.log_op db ~xid ~rel ~kind:Wal.Full_page
+        ~payload:(encode ?append_only tid image)
+    in
+    assert (lsn' = lsn)
+  end
+  else begin
+    let lsn = Db.log_op db ~xid ~rel ~kind ~payload:(encode ?append_only tid item) in
+    Bufpool.with_page db.Db.pool ~rel ~block (fun page -> Page.set_lsn page lsn)
+  end
+
+(* Apply one heap record to a bare page, guarded by the page LSN.
+   Returns whether the page changed. Shared by buffer-pool redo and
+   out-of-pool page repair. *)
+let apply_to_page page (r : Wal.record) =
+  match r.kind with
+  | Wal.Full_page ->
+      let _, _, image = decode r.payload in
+      if Page.lsn page < r.lsn then begin
+        Page.overwrite page image;
+        true
+      end
+      else false
+  | Wal.Insert | Wal.Update | Wal.Delete ->
+      let tid, append_only, item = decode r.payload in
+      if Page.lsn page < r.lsn then begin
+        if append_only then Page.set_no_slot_reuse page;
+        (match r.kind with
+        | Wal.Insert -> (
+            match Page.insert page item with
+            | Some slot when slot = Tid.slot tid -> ()
+            | Some _ | None -> failwith "Walcodec: redo insert slot mismatch")
+        | Wal.Update ->
+            if not (Page.update page (Tid.slot tid) item) then
+              failwith "Walcodec: redo update did not fit"
+        | Wal.Delete -> Page.delete page (Tid.slot tid)
+        | _ -> assert false);
+        Page.set_lsn page r.lsn;
+        true
+      end
+      else false
+  | _ -> false
 
 let redo db ~since_lsn =
-  let records = Wal.records_from db.Db.wal ~lsn:since_lsn in
+  let records, _tail = Wal.verified_from db.Db.wal ~lsn:since_lsn in
   List.iter
     (fun (r : Wal.record) ->
       match r.kind with
@@ -35,29 +93,16 @@ let redo db ~since_lsn =
           Bufpool.trim_block db.Db.pool ~rel:r.rel ~block:(Tid.block tid);
           Bufpool.with_page db.Db.pool ~rel:r.rel ~block:(Tid.block tid) (fun page ->
               Page.set_lsn page r.lsn)
-      | Wal.Insert | Wal.Update | Wal.Delete when r.rel >= 0 ->
-          let tid, append_only, item = decode r.payload in
+      | (Wal.Insert | Wal.Update | Wal.Delete | Wal.Full_page) when r.rel >= 0 ->
+          let tid, _, _ = decode r.payload in
           Bufpool.with_page db.Db.pool ~rel:r.rel ~block:(Tid.block tid) (fun page ->
-              if Page.lsn page < r.lsn then begin
-                if append_only then Page.set_no_slot_reuse page;
-                (match r.kind with
-                | Wal.Insert -> (
-                    match Page.insert page item with
-                    | Some slot when slot = Tid.slot tid -> ()
-                    | Some _ | None -> failwith "Walcodec.redo: insert slot mismatch")
-                | Wal.Update ->
-                    if not (Page.update page (Tid.slot tid) item) then
-                      failwith "Walcodec.redo: update did not fit"
-                | Wal.Delete -> Page.delete page (Tid.slot tid)
-                | _ -> assert false);
-                Page.set_lsn page r.lsn;
-                Bufpool.mark_dirty db.Db.pool ~rel:r.rel ~block:(Tid.block tid)
-              end)
+              if apply_to_page page r then
+                Bufpool.mark_dirty db.Db.pool ~rel:r.rel ~block:(Tid.block tid))
       | _ -> ())
     records
 
 let replay_clog db =
-  let records = Wal.records_from db.Db.wal ~lsn:0 in
+  let records, _tail = Wal.verified_from db.Db.wal ~lsn:0 in
   let seen = Hashtbl.create 256 in
   List.iter
     (fun (r : Wal.record) ->
@@ -72,3 +117,52 @@ let replay_clog db =
   Hashtbl.iter
     (fun xid committed -> Txn.mark_recovered db.Db.txnmgr ~xid ~committed)
     seen
+
+(* Rebuild one heap page purely from the WAL — never through the buffer
+   pool, so a repair triggered mid-read cannot recurse. Base image: the
+   latest Full_page record for the block, or an empty page when the log
+   is complete from the beginning; every later heap record for the block
+   is applied on top. [None] when the block never appears in the log
+   (index and VID_map pages are not WAL-logged and cannot be repaired —
+   the read then fails loudly with [Corrupt_page]). *)
+let repair_page db ~rel ~block =
+  let records, _tail = Wal.verified_from db.Db.wal ~lsn:0 in
+  let mine =
+    List.filter
+      (fun (r : Wal.record) ->
+        r.rel = rel
+        &&
+        match r.kind with
+        | Wal.Insert | Wal.Update | Wal.Delete | Wal.Trim | Wal.Full_page ->
+            let tid, _, _ = decode r.payload in
+            Tid.block tid = block
+        | _ -> false)
+      records
+  in
+  if mine = [] then None
+  else begin
+    let base_lsn =
+      List.fold_left
+        (fun acc (r : Wal.record) ->
+          if r.kind = Wal.Full_page then Stdlib.max acc r.lsn else acc)
+        0 mine
+    in
+    if base_lsn = 0 && Wal.oldest_retained db.Db.wal > 1 then None
+    else begin
+      let page = Page.create ~size:(Bufpool.page_size db.Db.pool) in
+      List.iter
+        (fun (r : Wal.record) ->
+          if r.lsn >= base_lsn then
+            match r.kind with
+            | Wal.Trim ->
+                Page.overwrite page
+                  (Page.to_bytes (Page.create ~size:(Page.size page)));
+                Page.set_lsn page r.lsn
+            | _ -> ignore (apply_to_page page r))
+        mine;
+      Some page
+    end
+  end
+
+let install_repair db =
+  Bufpool.set_repair db.Db.pool (fun ~rel ~block -> repair_page db ~rel ~block)

@@ -1,9 +1,18 @@
-(** WAL payload encoding and redo for heap operations.
+(** WAL payload encoding, redo, and page repair for heap operations.
 
     Heap changes are logged physiologically: the target TID plus the full
     item image (empty for slot deletes). Redo replays records in LSN order
     onto the surviving page images, guarded by the page LSN so pages that
-    were flushed after a record was written are not double-applied. *)
+    were flushed after a record was written are not double-applied.
+
+    The first modification of a page after a checkpoint logs a {e full
+    page write} — the whole post-change image — instead of the item
+    record, so a data page torn by a crash mid-write can be rebuilt:
+    install the latest image, replay the item records after it
+    ({!repair_page}). Replay reads the log through
+    [Wal.verified_from], so a torn WAL tail stops redo at the last intact
+    record and mid-log corruption fails loudly instead of replaying past
+    damage. *)
 
 val encode : ?append_only:bool -> Sias_storage.Tid.t -> bytes -> bytes
 val decode : bytes -> Sias_storage.Tid.t * bool * bytes
@@ -17,14 +26,29 @@ val log_heap :
   tid:Sias_storage.Tid.t ->
   item:bytes ->
   unit
-(** Append the record and stamp the target page with its LSN. *)
+(** Append the record and stamp the target page with its LSN; on the
+    page's first post-checkpoint modification a [Full_page] image is
+    logged instead (it subsumes the item record). *)
 
 val redo : Db.t -> since_lsn:int -> unit
-(** Replay heap records with LSN >= [since_lsn]. Indexes and VID_maps are
-    not logged: engines rebuild them from the heap after redo. *)
+(** Replay verified heap records with LSN >= [since_lsn]. Indexes and
+    VID_maps are not logged: engines rebuild them from the heap after
+    redo. Raises [Wal.Corrupt_wal] on mid-log corruption. *)
 
 val replay_clog : Db.t -> unit
 (** Rebuild transaction statuses from commit/abort records over the whole
     retained log. Transactions lacking a final record are left unknown
     (treated as aborted by recovery-time [mark_recovered] calls made
     here for every xid that appears in the log). *)
+
+val repair_page : Db.t -> rel:int -> block:int -> Sias_storage.Page.t option
+(** Rebuild a heap page from the WAL alone (latest full-page image plus
+    subsequent records, or from scratch when the whole log is retained).
+    [None] when the log cannot prove the page's content — blocks that
+    were never WAL-logged, or whose base image was truncated away. Does
+    not touch the buffer pool. *)
+
+val install_repair : Db.t -> unit
+(** Register {!repair_page} as the pool's corruption-repair handler, so a
+    checksum failure on read-in triggers WAL-based reconstruction before
+    giving up. Engines call this at creation. *)

@@ -10,13 +10,15 @@ type t = {
   clock : Simclock.t;
   policy : policy;
   checkpoint_interval : float;
+  on_checkpoint : unit -> unit;
   mutable next_bgwriter : float;
   mutable next_checkpoint : float;
   mutable checkpoints : int;
   mutable bgwriter_rounds : int;
 }
 
-let create pool ~clock ~policy ?(checkpoint_interval = 30.0) () =
+let create pool ~clock ~policy ?(checkpoint_interval = 30.0)
+    ?(on_checkpoint = fun () -> ()) () =
   let now = Simclock.now clock in
   let next_bgwriter =
     match policy with T1_bgwriter { interval; _ } -> now +. interval | _ -> infinity
@@ -29,6 +31,7 @@ let create pool ~clock ~policy ?(checkpoint_interval = 30.0) () =
     clock;
     policy;
     checkpoint_interval;
+    on_checkpoint;
     next_bgwriter;
     next_checkpoint;
     checkpoints = 0;
@@ -37,6 +40,7 @@ let create pool ~clock ~policy ?(checkpoint_interval = 30.0) () =
 
 let checkpoint_now t =
   Bufpool.flush_all t.pool ~sync:false;
+  t.on_checkpoint ();
   t.checkpoints <- t.checkpoints + 1;
   t.next_checkpoint <- Simclock.now t.clock +. t.checkpoint_interval
 
@@ -52,6 +56,7 @@ let tick t =
   | T2_checkpoint_only | Disabled -> ());
   while t.next_checkpoint <= now do
     Bufpool.flush_all t.pool ~sync:false;
+    t.on_checkpoint ();
     t.checkpoints <- t.checkpoints + 1;
     t.next_checkpoint <- t.next_checkpoint +. t.checkpoint_interval
   done

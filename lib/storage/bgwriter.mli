@@ -27,10 +27,14 @@ val create :
   clock:Sias_util.Simclock.t ->
   policy:policy ->
   ?checkpoint_interval:float ->
+  ?on_checkpoint:(unit -> unit) ->
   unit ->
   t
 (** A checkpoint flushing all dirty pages runs every [checkpoint_interval]
-    simulated seconds (default 30.) under every policy except [Disabled]. *)
+    simulated seconds (default 30.) under every policy except [Disabled].
+    [on_checkpoint] runs after each checkpoint flush (e.g. to reset the
+    full-page-write tracking so the next touch of a page logs a fresh
+    image). *)
 
 val tick : t -> unit
 (** Run any bgwriter round / checkpoint that has become due. *)

@@ -1,8 +1,11 @@
 module Device = Flashsim.Device
 module Blocktrace = Flashsim.Blocktrace
+module Faultdev = Flashsim.Faultdev
 module Simclock = Sias_util.Simclock
 
 type key = { rel : int; block : int }
+
+exception Corrupt_page of { rel : int; block : int }
 
 type frame = {
   idx : int;
@@ -22,6 +25,10 @@ type stats = {
   flushes : int;
   read_stall_s : float;
   write_stall_s : float;
+  read_retries : int;
+  checksum_failures : int;
+  pages_repaired : int;
+  torn_pages : int;
 }
 
 type t = {
@@ -38,6 +45,13 @@ type t = {
   frames : frame array;
   index : (key, int) Hashtbl.t;
   disk : (key, Page.t) Hashtbl.t; (* flushed page images *)
+  faults : Faultdev.t option;
+  max_read_retries : int;
+  torn_pending : (key, Page.t) Hashtbl.t;
+      (* per page, the image that survives if a crash strikes now: the
+         last write was torn, so a prefix of the new image spliced onto
+         the previous durable content. Cleared by a later atomic write. *)
+  mutable repair : (rel:int -> block:int -> Page.t option) option;
   mutable hand : int; (* clock-sweep position *)
   mutable bg_hand : int; (* background-writer scan position *)
   mutable tick : int; (* logical use counter for LRU-ish bgwriter order *)
@@ -48,10 +62,14 @@ type t = {
   mutable read_stall : float;
   mutable write_stall : float;
   mutable trims : int;
+  mutable read_retries : int;
+  mutable checksum_failures : int;
+  mutable pages_repaired : int;
+  mutable torn_pages : int;
 }
 
 let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_blocks = 65536)
-    ?os_cache_interval ?os_cache_pages () =
+    ?os_cache_interval ?os_cache_pages ?faults ?(max_read_retries = 4) () =
   if capacity_pages <= 0 then invalid_arg "Bufpool.create: capacity must be positive";
   let dummy_key = { rel = -1; block = -1 } in
   let frames =
@@ -91,6 +109,14 @@ let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_block
     read_stall = 0.0;
     write_stall = 0.0;
     trims = 0;
+    read_retries = 0;
+    checksum_failures = 0;
+    pages_repaired = 0;
+    torn_pages = 0;
+    faults;
+    max_read_retries;
+    torn_pending = Hashtbl.create 64;
+    repair = None;
   }
 
 let page_size t = t.page_size
@@ -114,6 +140,79 @@ let submit_io t ~sync op key =
     Simclock.advance_to t.clock completion
   end
 
+let set_repair t fn = t.repair <- Some fn
+
+(* Read a page image from the simulated disk with the full reliability
+   path: transient read errors are retried with exponential backoff
+   charged to the simulated clock; the image is then checksum-verified,
+   and a failing page is handed to the installed repair handler (WAL
+   full-page redo) — a page is served correct, repaired, or the read
+   fails loudly with [Corrupt_page]. Never silent garbage. *)
+let read_backoff_base_s = 0.0005
+
+let read_image t key =
+  match Hashtbl.find_opt t.disk key with
+  | None -> None
+  | Some image ->
+      let sector = sector_of t ~rel:key.rel ~block:key.block in
+      let backoff i =
+        t.read_retries <- t.read_retries + 1;
+        let stall = read_backoff_base_s *. (2.0 ** float_of_int i) in
+        t.read_stall <- t.read_stall +. stall;
+        Simclock.advance t.clock stall
+      in
+      (* One read attempt: charge any transient failures as backoff, then
+         maybe corrupt the copied image. Returns (raw, unreadable) —
+         [unreadable] when the transient errors exceeded the retry budget. *)
+      let attempt () =
+        let raw = Page.to_bytes image in
+        match t.faults with
+        | None -> (raw, false)
+        | Some fd ->
+            let failures = Faultdev.transient_failures fd ~sector in
+            let retries = Stdlib.min failures t.max_read_retries in
+            for i = 0 to retries - 1 do
+              backoff i
+            done;
+            ignore (Faultdev.corrupt_read fd ~sector raw);
+            (raw, failures > t.max_read_retries)
+      in
+      (* A failing checksum is re-read a few times before escalating:
+         corruption picked up in flight (bus, DRAM) disappears on a fresh
+         read of an intact stored image, while a genuinely damaged image
+         (torn write) keeps failing and goes to the repair path. *)
+      let rec read_verified tries =
+        let raw, unreadable = attempt () in
+        let page = Page.of_bytes raw in
+        if (not unreadable) && Page.checksum_ok page then Some page
+        else if tries < t.max_read_retries then begin
+          if not unreadable then t.checksum_failures <- t.checksum_failures + 1;
+          backoff tries;
+          read_verified (tries + 1)
+        end
+        else None
+      in
+      let verified = read_verified 0 in
+      submit_io t ~sync:true Blocktrace.Read key;
+      match verified with
+      | Some page -> Some page
+      | None -> begin
+        t.checksum_failures <- t.checksum_failures + 1;
+        let repaired =
+          match t.repair with
+          | None -> None
+          | Some fn -> fn ~rel:key.rel ~block:key.block
+        in
+        match repaired with
+        | Some fixed ->
+            t.pages_repaired <- t.pages_repaired + 1;
+            let durable = Page.copy fixed in
+            Page.stamp_checksum durable;
+            Hashtbl.replace t.disk key durable;
+            Some fixed
+        | None -> raise (Corrupt_page { rel = key.rel; block = key.block })
+      end
+
 (* OS page-cache model: when enabled, page write-backs land in the kernel
    cache (no device I/O, no caller stall) and the dirty-expire flusher
    pushes the coalesced set to the device every interval, in sorted order
@@ -136,7 +235,28 @@ let os_cache_tick t =
       end
 
 let write_back t frame ~sync =
-  Hashtbl.replace t.disk frame.key (Page.copy frame.page);
+  let durable = Page.copy frame.page in
+  Page.stamp_checksum durable;
+  (match t.faults with
+  | None -> ()
+  | Some fd -> (
+      let sector = sector_of t ~rel:frame.key.rel ~block:frame.key.block in
+      match Faultdev.torn_write fd ~sector ~bytes:t.page_size with
+      | None ->
+          (* atomic write: any earlier interrupted write is overwritten *)
+          Hashtbl.remove t.torn_pending frame.key
+      | Some persisted ->
+          (* prefix of the new image over the previous durable content;
+             manifests only if a crash strikes before the next atomic
+             write of this page *)
+          let torn =
+            match Hashtbl.find_opt t.disk frame.key with
+            | Some old -> Page.to_bytes old
+            | None -> Bytes.make t.page_size '\000'
+          in
+          Bytes.blit (Page.to_bytes durable) 0 torn 0 persisted;
+          Hashtbl.replace t.torn_pending frame.key (Page.of_bytes torn)));
+  Hashtbl.replace t.disk frame.key durable;
   (match t.os_cache_interval with
   | None -> submit_io t ~sync Blocktrace.Write frame.key
   | Some _ ->
@@ -173,10 +293,8 @@ let load_frame t key =
     Hashtbl.remove t.index f.key;
     t.evictions <- t.evictions + 1
   end;
-  (match Hashtbl.find_opt t.disk key with
-  | Some image ->
-      f.page <- Page.copy image;
-      submit_io t ~sync:true Blocktrace.Read key
+  (match read_image t key with
+  | Some page -> f.page <- page
   | None -> f.page <- Page.create ~size:t.page_size);
   f.key <- key;
   f.dirty <- false;
@@ -240,10 +358,8 @@ let with_page_ro t ~rel ~block fn =
       | None ->
           t.misses <- t.misses + 1;
           let page =
-            match Hashtbl.find_opt t.disk key with
-            | Some image ->
-                submit_io t ~sync:true Blocktrace.Read key;
-                Page.copy image
+            match read_image t key with
+            | Some page -> page
             | None -> Page.create ~size:t.page_size
           in
           ring_put t key page;
@@ -316,6 +432,16 @@ let drop_cache t =
   Hashtbl.reset t.ring;
   Queue.clear t.ring_fifo
 
+(* Dirty crash: torn in-flight writes land (only their persisted prefix
+   survives), then every frame is dropped. What remains is exactly what a
+   failure-prone device would hold: flushed images, some of them torn. *)
+let crash t =
+  Hashtbl.iter (fun key img -> Hashtbl.replace t.disk key img) t.torn_pending;
+  t.torn_pages <- t.torn_pages + Hashtbl.length t.torn_pending;
+  Hashtbl.reset t.torn_pending;
+  Hashtbl.reset t.os_pending;
+  drop_cache t
+
 let stats t =
   {
     hits = t.hits;
@@ -324,6 +450,10 @@ let stats t =
     flushes = t.flushes;
     read_stall_s = t.read_stall;
     write_stall_s = t.write_stall;
+    read_retries = t.read_retries;
+    checksum_failures = t.checksum_failures;
+    pages_repaired = t.pages_repaired;
+    torn_pages = t.torn_pages;
   }
 
 let on_disk t ~rel ~block = Hashtbl.mem t.disk { rel; block }
@@ -342,6 +472,7 @@ let trim_block t ~rel ~block =
   Hashtbl.remove t.disk { rel; block };
   Hashtbl.remove t.os_pending { rel; block };
   Hashtbl.remove t.ring { rel; block };
+  Hashtbl.remove t.torn_pending { rel; block };
   (* tell the device: its GC must never relocate this dead data *)
   Device.trim t.device ~sector:(sector_of t ~rel ~block) ~bytes:t.page_size;
   t.trims <- t.trims + 1

@@ -14,6 +14,11 @@ type t
 
 type key = { rel : int; block : int }
 
+exception Corrupt_page of { rel : int; block : int }
+(** A page image failed checksum verification (or was unreadable after
+    bounded retries) and no repair handler could rebuild it. Raised
+    instead of ever returning garbage bytes to the caller. *)
+
 val create :
   device:Flashsim.Device.t ->
   clock:Sias_util.Simclock.t ->
@@ -22,11 +27,15 @@ val create :
   ?rel_region_blocks:int ->
   ?os_cache_interval:float ->
   ?os_cache_pages:int ->
+  ?faults:Flashsim.Faultdev.t ->
+  ?max_read_retries:int ->
   unit ->
   t
 (** [capacity_pages] frames of [page_size] (default 8192) bytes.
     [rel_region_blocks] (default 65536) sizes each relation's device
-    region. *)
+    region. [faults] injects device faults on this pool's reads and
+    writes; transient read errors are retried up to [max_read_retries]
+    (default 4) times with exponential backoff charged to the clock. *)
 
 val page_size : t -> int
 val device : t -> Flashsim.Device.t
@@ -65,8 +74,21 @@ val resident : t -> rel:int -> block:int -> bool
 val is_dirty : t -> rel:int -> block:int -> bool
 
 val drop_cache : t -> unit
-(** Simulate a crash: discard every frame (dirty pages are LOST) leaving
-    only what was flushed to the device. For recovery tests. *)
+(** Simulate a clean crash: discard every frame (dirty pages are LOST)
+    leaving only what was flushed to the device. For recovery tests. *)
+
+val crash : t -> unit
+(** Simulate a dirty crash: writes that were in flight when the machine
+    died persist only a torn prefix (per the fault plan), then the cache
+    is dropped. Equivalent to {!drop_cache} when no write was torn. *)
+
+val set_repair : t -> (rel:int -> block:int -> Page.t option) -> unit
+(** Install the corruption repair handler, called when a read-in image
+    fails checksum verification. It must rebuild the page from redundant
+    state (WAL full-page images + redo records) {e without} going through
+    this pool, and return [None] when reconstruction is impossible — the
+    read then raises {!Corrupt_page}. A repaired page is re-stamped and
+    written back to the disk image table. *)
 
 val sector_of : t -> rel:int -> block:int -> int
 
@@ -77,6 +99,10 @@ type stats = {
   flushes : int;
   read_stall_s : float;  (** simulated seconds callers spent waiting on reads *)
   write_stall_s : float;  (** simulated seconds spent on synchronous writes *)
+  read_retries : int;  (** transient read errors retried (backoff charged) *)
+  checksum_failures : int;  (** images that failed verification on read-in *)
+  pages_repaired : int;  (** checksum failures rebuilt from the WAL *)
+  torn_pages : int;  (** torn write images applied at crash *)
 }
 
 val stats : t -> stats

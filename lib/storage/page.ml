@@ -8,7 +8,11 @@
               recycles a dead slot, so TIDs stay unique for the lifetime
               of the page and stale chain pointers can never alias a new
               tuple)
-     [17..23] reserved
+     [17..19] reserved
+     [20..23] CRC32 of the page with this field zeroed; stamped when the
+              image is written to stable storage, verified on read-in
+              (PostgreSQL data checksums: torn writes and bit rot must
+              fail loudly, never read as a valid page)
    Slot i at [header_size + 4*i]: u16 offset, u16 len.
      offset = 0xFFFF -> unused (never allocated data)
      len    = 0xFFFF -> dead
@@ -167,3 +171,33 @@ let delete t i =
   end
 
 let copy t = { buf = Bytes.copy t.buf; size = t.size }
+
+(* ---- raw image access (WAL full-page writes, fault injection) ---- *)
+
+let to_bytes t = Bytes.copy t.buf
+
+let of_bytes buf =
+  let size = Bytes.length buf in
+  if size < 64 || size > 65535 then invalid_arg "Page.of_bytes: size out of range";
+  { buf; size }
+
+let overwrite t image =
+  if Bytes.length image <> t.size then invalid_arg "Page.overwrite: size mismatch";
+  Bytes.blit image 0 t.buf 0 t.size
+
+(* ---- checksums ---- *)
+
+let checksum_off = 20
+
+let compute_checksum t =
+  let open Sias_util.Crc32 in
+  let c = update init t.buf ~pos:0 ~len:checksum_off in
+  let c = update c t.buf ~pos:(checksum_off + 4) ~len:(t.size - checksum_off - 4) in
+  finish c
+
+let stamp_checksum t =
+  Bytes.set_int32_le t.buf checksum_off (Int32.of_int (compute_checksum t))
+
+let checksum_ok t =
+  let stored = Int32.to_int (Bytes.get_int32_le t.buf checksum_off) land 0xFFFFFFFF in
+  stored = compute_checksum t

@@ -64,3 +64,23 @@ val set_no_slot_reuse : t -> unit
 val lsn : t -> int
 val set_lsn : t -> int -> unit
 (** Page LSN for WAL ordering. *)
+
+val to_bytes : t -> bytes
+(** A copy of the raw page image (WAL full-page writes). *)
+
+val of_bytes : bytes -> t
+(** Wrap a raw image, taking ownership of the buffer. *)
+
+val overwrite : t -> bytes -> unit
+(** Replace the page content with a raw image of the same size (full-page
+    redo). *)
+
+val stamp_checksum : t -> unit
+(** Compute and store the page CRC32 (over the whole image with the
+    checksum field zeroed). Called when an image goes to stable storage;
+    in-memory pages carry stale checksums. *)
+
+val checksum_ok : t -> bool
+(** Verify the stored CRC32 against the current content. A torn or
+    bit-rotten image fails unless the damage is outside every checked
+    byte — impossible, since all bytes are covered. *)

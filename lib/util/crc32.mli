@@ -1,0 +1,18 @@
+(** CRC-32 (IEEE, reflected) for on-disk integrity checks: page images and
+    WAL records. Streaming API for checksumming discontiguous ranges (a
+    page minus its own checksum field). *)
+
+val init : int
+(** Initial accumulator state. *)
+
+val update : int -> bytes -> pos:int -> len:int -> int
+(** Fold a byte range into the accumulator. *)
+
+val finish : int -> int
+(** Final xor; the value is in [0, 2^32). *)
+
+val digest : bytes -> pos:int -> len:int -> int
+(** [finish (update init buf ~pos ~len)]. *)
+
+val bytes : bytes -> int
+(** Digest of a whole buffer. *)

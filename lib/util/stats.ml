@@ -88,6 +88,18 @@ module Sample = struct
     Array.sub t.data 0 t.len
 end
 
+module Counter = struct
+  type t = { name : string; mutable n : int }
+
+  let create name = { name; n = 0 }
+  let incr t = t.n <- t.n + 1
+  let add t k = t.n <- t.n + k
+  let value t = t.n
+  let name t = t.name
+  let reset t = t.n <- 0
+  let to_info ts = List.map (fun t -> (t.name, float_of_int t.n)) ts
+end
+
 module Histogram = struct
   type t = { width : float; counts : int array; mutable total : int }
 

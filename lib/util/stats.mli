@@ -41,6 +41,23 @@ module Sample : sig
   (** Sorted copy of the observations. *)
 end
 
+(** Named monotonic event counter; the reliability layer (fault injection,
+    retries, page repairs) reports through these so every layer exposes
+    its counts uniformly. *)
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+  val reset : t -> unit
+
+  val to_info : t list -> (string * float) list
+  (** As [(name, value)] pairs, for merging into device [info] lists. *)
+end
+
 (** Fixed-width bucket histogram over [0, width * buckets); values beyond
     the last bucket are clamped into it. *)
 module Histogram : sig

@@ -1,8 +1,18 @@
 module Device = Flashsim.Device
+module Faultdev = Flashsim.Faultdev
 module Blocktrace = Flashsim.Blocktrace
 module Simclock = Sias_util.Simclock
+module Crc32 = Sias_util.Crc32
 
-type kind = Insert | Update | Delete | Trim | Commit | Abort | Checkpoint
+type kind =
+  | Insert
+  | Update
+  | Delete
+  | Trim
+  | Commit
+  | Abort
+  | Checkpoint
+  | Full_page
 
 let kind_to_string = function
   | Insert -> "insert"
@@ -12,45 +22,107 @@ let kind_to_string = function
   | Commit -> "commit"
   | Abort -> "abort"
   | Checkpoint -> "checkpoint"
+  | Full_page -> "full_page"
 
-type record = { lsn : int; xid : int; rel : int; kind : kind; payload : bytes }
+let kind_tag = function
+  | Insert -> 0
+  | Update -> 1
+  | Delete -> 2
+  | Trim -> 3
+  | Commit -> 4
+  | Abort -> 5
+  | Checkpoint -> 6
+  | Full_page -> 7
 
-let record_header_bytes = 24 (* lsn + xid + rel + kind + length, on disk *)
+type record = {
+  lsn : int;
+  xid : int;
+  rel : int;
+  kind : kind;
+  payload : bytes;
+  crc : int;
+}
+
+exception Corrupt_wal of int
+
+let record_header_bytes = 24 (* lsn + xid + rel + kind + length + crc, on disk *)
+
+let record_crc ~lsn ~xid ~rel ~kind ~payload =
+  let hdr = Bytes.create 20 in
+  Bytes.set_int64_le hdr 0 (Int64.of_int lsn);
+  Bytes.set_int32_le hdr 8 (Int32.of_int xid);
+  Bytes.set_int32_le hdr 12 (Int32.of_int rel);
+  Bytes.set_int32_le hdr 16 (Int32.of_int (kind_tag kind));
+  let c = Crc32.update Crc32.init hdr ~pos:0 ~len:20 in
+  let c = Crc32.update c payload ~pos:0 ~len:(Bytes.length payload) in
+  Crc32.finish c
+
+let verify r =
+  r.crc = record_crc ~lsn:r.lsn ~xid:r.xid ~rel:r.rel ~kind:r.kind ~payload:r.payload
+
+let record_bytes r = record_header_bytes + Bytes.length r.payload
 
 type t = {
   device : Device.t option;
+  faults : Faultdev.t option;
   clock : Simclock.t;
   mutable records : record list; (* newest first, retained for recovery *)
   mutable next_lsn : int;
   mutable flushed_lsn : int;
+  mutable truncated_below : int;
   mutable pending_bytes : int;
   mutable write_sector : int;
   mutable bytes_written : int;
   mutable flush_count : int;
+  (* First LSN of the last un-fsynced flush that would tear if the
+     machine died now (the record at this LSN persists only partially;
+     later ones not at all). Cleared by any sync flush: fsync makes all
+     previously written bytes durable. *)
+  mutable tear : int option;
 }
 
-let create ?device ~clock () =
+let create ?device ?faults ~clock () =
   {
     device;
+    faults;
     clock;
     records = [];
     next_lsn = 1;
     flushed_lsn = 0;
+    truncated_below = 1;
     pending_bytes = 0;
     write_sector = 0;
     bytes_written = 0;
     flush_count = 0;
+    tear = None;
   }
 
 let append t ~xid ~rel ~kind ~payload =
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
-  t.records <- { lsn; xid; rel; kind; payload } :: t.records;
+  let crc = record_crc ~lsn ~xid ~rel ~kind ~payload in
+  t.records <- { lsn; xid; rel; kind; payload; crc } :: t.records;
   t.pending_bytes <- t.pending_bytes + record_header_bytes + Bytes.length payload;
   lsn
 
+(* Of the batch (old_flushed, new_flushed], find the LSN of the first
+   record that does not fit entirely within [persisted] bytes. *)
+let tear_point t ~old_flushed ~persisted =
+  let batch =
+    List.filter (fun r -> r.lsn > old_flushed) t.records |> List.rev
+  in
+  let rec scan remaining = function
+    | [] -> None
+    | r :: rest ->
+        if record_bytes r <= remaining then
+          scan (remaining - record_bytes r) rest
+        else Some r.lsn
+  in
+  scan persisted batch
+
 let flush t ~sync =
   if t.pending_bytes > 0 then begin
+    let old_flushed = t.flushed_lsn in
     (match t.device with
     | None -> ()
     | Some device ->
@@ -61,6 +133,18 @@ let flush t ~sync =
         in
         t.write_sector <- t.write_sector + ((t.pending_bytes + 511) / 512);
         if sync then Simclock.advance_to t.clock completion);
+    if sync then t.tear <- None
+    else begin
+      match t.faults with
+      | None -> ()
+      | Some f -> (
+          match
+            Faultdev.torn_write f ~sector:t.write_sector ~bytes:t.pending_bytes
+          with
+          | None -> ()
+          | Some persisted ->
+              t.tear <- tear_point t ~old_flushed ~persisted)
+    end;
     t.bytes_written <- t.bytes_written + t.pending_bytes;
     t.pending_bytes <- 0;
     t.flushed_lsn <- t.next_lsn - 1;
@@ -69,11 +153,58 @@ let flush t ~sync =
 
 let current_lsn t = t.next_lsn - 1
 let flushed_lsn t = t.flushed_lsn
+let next_lsn t = t.next_lsn
+let oldest_retained t = t.truncated_below
 
 let records_from t ~lsn =
   List.filter (fun r -> r.lsn >= lsn) (List.rev t.records)
 
-let truncate_before t ~lsn = t.records <- List.filter (fun r -> r.lsn >= lsn) t.records
+let verified_from t ~lsn =
+  let rec scan valid bad = function
+    | [] -> (
+        List.rev valid,
+        match bad with None -> `Clean | Some b -> `Torn b)
+    | r :: rest -> (
+        match (verify r, bad) with
+        | true, None -> scan (r :: valid) None rest
+        | true, Some b ->
+            (* A valid record beyond an invalid one: not a torn tail but
+               corruption inside the log body — nothing after the damage
+               can be trusted, so fail loudly. *)
+            raise (Corrupt_wal b)
+        | false, None -> scan valid (Some r.lsn) rest
+        | false, Some b -> scan valid (Some b) rest)
+  in
+  scan [] None (records_from t ~lsn)
+
+let truncate_before t ~lsn =
+  t.records <- List.filter (fun r -> r.lsn >= lsn) t.records;
+  if lsn > t.truncated_below then t.truncated_below <- lsn
+
+let crash t =
+  (* Records never handed to the device are gone outright; a torn async
+     flush additionally loses its tail, and the boundary record survives
+     only partially — model that as a failing checksum so the recovery
+     scan sees a torn tail, not a clean end. *)
+  t.records <- List.filter (fun r -> r.lsn <= t.flushed_lsn) t.records;
+  (match t.tear with
+  | None -> ()
+  | Some cut ->
+      t.records <-
+        List.filter_map
+          (fun r ->
+            if r.lsn > cut then None
+            else if r.lsn = cut then Some { r with crc = r.crc lxor 0xBAD }
+            else Some r)
+          t.records);
+  t.pending_bytes <- 0;
+  t.tear <- None
+
+let corrupt t ~lsn =
+  t.records <-
+    List.map
+      (fun r -> if r.lsn = lsn then { r with crc = r.crc lxor 0xBAD } else r)
+      t.records
 
 let bytes_written t = t.bytes_written
 let flush_count t = t.flush_count

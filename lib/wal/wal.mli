@@ -7,7 +7,14 @@
 
     Records are retained in memory with their LSNs so that recovery tests
     can replay the tail of the log after a simulated crash; engines supply
-    their own payload encoding. *)
+    their own payload encoding.
+
+    Every record carries a CRC32 over its header and payload, computed at
+    append and verified by the recovery scan ({!verified_from}): a torn
+    tail — invalid records only at the end of the log — marks the exact
+    point where replay must stop, while an invalid record {e followed} by
+    a valid one means corruption inside the log body and raises
+    {!Corrupt_wal} rather than replaying past damage. *)
 
 type kind =
   | Insert
@@ -17,33 +24,83 @@ type kind =
   | Commit
   | Abort
   | Checkpoint
+  | Full_page
+      (** full post-image of a heap page, logged instead of the item
+          record on the first modification after a checkpoint so a torn
+          data-page write can be repaired (PostgreSQL full-page writes) *)
 
 val kind_to_string : kind -> string
 
-type record = { lsn : int; xid : int; rel : int; kind : kind; payload : bytes }
+type record = {
+  lsn : int;
+  xid : int;
+  rel : int;
+  kind : kind;
+  payload : bytes;
+  crc : int;  (** CRC32 over header fields and payload *)
+}
+
+exception Corrupt_wal of int
+(** LSN of an invalid record found {e before} valid ones — mid-log
+    corruption that replay must never skip silently. *)
 
 type t
 
 val create :
-  ?device:Flashsim.Device.t -> clock:Sias_util.Simclock.t -> unit -> t
-(** Without a device the log is purely in-memory (no latency charged). *)
+  ?device:Flashsim.Device.t ->
+  ?faults:Flashsim.Faultdev.t ->
+  clock:Sias_util.Simclock.t ->
+  unit ->
+  t
+(** Without a device the log is purely in-memory (no latency charged).
+    With [faults], async flushes may be torn if a crash follows before
+    the next sync flush; sync flushes (commit) are always durable. *)
 
 val append : t -> xid:int -> rel:int -> kind:kind -> payload:bytes -> int
-(** Buffer a record; returns its LSN. No I/O happens until {!flush}. *)
+(** Buffer a record (checksummed at append); returns its LSN. No I/O
+    happens until {!flush}. *)
 
 val flush : t -> sync:bool -> unit
 (** Write all buffered bytes as one sequential append. [sync] stalls the
-    caller's clock until completion (commit); async flushes model WAL
-    writer activity. *)
+    caller's clock until completion (commit) and makes everything written
+    so far durable; async flushes model WAL writer activity and may tear
+    at a crash. *)
 
 val current_lsn : t -> int
 val flushed_lsn : t -> int
 
+val next_lsn : t -> int
+(** The LSN the next {!append} will be assigned — lets a full-page write
+    stamp the page with its own record's LSN before capturing the image. *)
+
+val verify : record -> bool
+(** Whether the record's stored CRC matches its content. *)
+
 val records_from : t -> lsn:int -> record list
-(** All records with LSN >= [lsn], in log order. *)
+(** All records with LSN >= [lsn], in log order, without verification.
+    Prefer {!verified_from} for recovery. *)
+
+val verified_from : t -> lsn:int -> record list * [ `Clean | `Torn of int ]
+(** Recovery scan: records with LSN >= [lsn] whose checksums verify, in
+    log order, stopping at the first invalid record. [`Torn lsn] reports
+    where a torn tail begins (replay is complete up to but excluding it);
+    raises {!Corrupt_wal} when a valid record follows an invalid one. *)
 
 val truncate_before : t -> lsn:int -> unit
 (** Discard retained records below [lsn] (checkpoint recycling). *)
+
+val oldest_retained : t -> int
+(** Lowest LSN the log still retains (1 if never truncated): replay from
+    scratch is possible iff this is <= the first LSN ever issued. *)
+
+val crash : t -> unit
+(** Simulate losing the machine: un-flushed records vanish; if the last
+    async flush would tear, its tail is lost and the boundary record's
+    checksum breaks (a real torn tail for {!verified_from} to find).
+    [next_lsn] is preserved — LSNs are never reused. *)
+
+val corrupt : t -> lsn:int -> unit
+(** Test hook: break the stored checksum of the record at [lsn]. *)
 
 val bytes_written : t -> int
 val flush_count : t -> int

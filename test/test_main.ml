@@ -22,5 +22,6 @@ let () =
       ("integration", Test_extra.suite);
       ("tpcc-consistency", Test_tpcc_consistency.suite);
       ("crash-fuzz", Test_crash.suite);
+      ("fault-torture", Test_faults.suite);
       ("ssi", Test_ssi.suite);
     ]

@@ -66,7 +66,98 @@ let test_truncate () =
   Wal.truncate_before w ~lsn:6;
   let recs = Wal.records_from w ~lsn:0 in
   checki "only tail kept" 5 (List.length recs);
-  check "all lsn >= 6" true (List.for_all (fun r -> r.Wal.lsn >= 6) recs)
+  check "all lsn >= 6" true (List.for_all (fun r -> r.Wal.lsn >= 6) recs);
+  checki "oldest retained" 6 (Wal.oldest_retained w)
+
+let test_empty_and_past_tail () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  checki "empty log" 0 (List.length (Wal.records_from w ~lsn:0));
+  let recs, tail = Wal.verified_from w ~lsn:0 in
+  check "empty verified scan clean" true (recs = [] && tail = `Clean);
+  checki "oldest retained of fresh log" 1 (Wal.oldest_retained w);
+  for i = 1 to 3 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty)
+  done;
+  checki "lsn past tail" 0 (List.length (Wal.records_from w ~lsn:99));
+  let recs, tail = Wal.verified_from w ~lsn:99 in
+  check "verified scan past tail clean" true (recs = [] && tail = `Clean)
+
+let test_truncate_then_replay () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  for i = 1 to 10 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty)
+  done;
+  Wal.truncate_before w ~lsn:6;
+  (* a replay from before the truncation point sees only what survives *)
+  let recs, tail = Wal.verified_from w ~lsn:0 in
+  check "replay after truncate clean" true (tail = `Clean);
+  check "replay starts at truncation point" true
+    (List.map (fun r -> r.Wal.lsn) recs = [ 6; 7; 8; 9; 10 ]);
+  (* truncating everything leaves an empty but consistent log *)
+  Wal.truncate_before w ~lsn:100;
+  checki "all gone" 0 (List.length (Wal.records_from w ~lsn:0));
+  checki "oldest retained tracks" 100 (Wal.oldest_retained w);
+  let lsn = Wal.append w ~xid:11 ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty in
+  checki "lsns never reused" 11 lsn
+
+let test_record_crc () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let _ = Wal.append w ~xid:1 ~rel:2 ~kind:Wal.Insert ~payload:(Bytes.of_string "abc") in
+  let r = List.hd (Wal.records_from w ~lsn:0) in
+  check "fresh record verifies" true (Wal.verify r);
+  check "tampered payload fails" false
+    (Wal.verify { r with Wal.payload = Bytes.of_string "abd" });
+  check "tampered xid fails" false (Wal.verify { r with Wal.xid = 2 });
+  check "tampered kind fails" false (Wal.verify { r with Wal.kind = Wal.Delete })
+
+let test_torn_tail_scan () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  for i = 1 to 8 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.make 8 'p'))
+  done;
+  (* a torn tail: the last two records are damaged *)
+  Wal.corrupt w ~lsn:7;
+  Wal.corrupt w ~lsn:8;
+  let recs, tail = Wal.verified_from w ~lsn:0 in
+  check "tail reported torn at first bad record" true (tail = `Torn 7);
+  check "intact prefix returned" true
+    (List.map (fun r -> r.Wal.lsn) recs = [ 1; 2; 3; 4; 5; 6 ])
+
+let test_midlog_corruption_is_loud () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  for i = 1 to 8 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.make 8 'p'))
+  done;
+  (* damage in the body of the log — valid records follow, so this is not
+     a torn tail and replay must refuse rather than skip it *)
+  Wal.corrupt w ~lsn:4;
+  check "raises Corrupt_wal" true
+    (match Wal.verified_from w ~lsn:0 with
+    | _ -> false
+    | exception Wal.Corrupt_wal lsn -> lsn = 4)
+
+let test_crash_drops_unflushed () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  for i = 1 to 5 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty)
+  done;
+  Wal.flush w ~sync:true;
+  for i = 6 to 9 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty)
+  done;
+  Wal.crash w;
+  let recs, tail = Wal.verified_from w ~lsn:0 in
+  check "only flushed records survive" true
+    (List.map (fun r -> r.Wal.lsn) recs = [ 1; 2; 3; 4; 5 ]);
+  check "surviving log is clean" true (tail = `Clean);
+  let lsn = Wal.append w ~xid:10 ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty in
+  checki "next_lsn preserved across crash" 10 lsn
 
 let suite =
   [
@@ -75,4 +166,10 @@ let suite =
     Alcotest.test_case "sequential device appends" `Quick test_device_sequential_appends;
     Alcotest.test_case "records retained in order" `Quick test_records_retained_in_order;
     Alcotest.test_case "truncate" `Quick test_truncate;
+    Alcotest.test_case "empty log and lsn past tail" `Quick test_empty_and_past_tail;
+    Alcotest.test_case "truncate then replay" `Quick test_truncate_then_replay;
+    Alcotest.test_case "per-record crc" `Quick test_record_crc;
+    Alcotest.test_case "torn tail scan" `Quick test_torn_tail_scan;
+    Alcotest.test_case "mid-log corruption is loud" `Quick test_midlog_corruption_is_loud;
+    Alcotest.test_case "crash drops unflushed" `Quick test_crash_drops_unflushed;
   ]

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench demo clean
+.PHONY: all build test check bench demo contention clean
 
 all: build
 
@@ -17,6 +17,15 @@ bench:
 
 demo:
 	dune exec examples/recovery_demo.exe
+
+# High-contention TPC-C smoke: every engine under deadlock detection with
+# client retries and the online SI checker (non-zero exit on violation).
+contention:
+	for e in si si-cv sias sias-v; do \
+	  echo "== $$e =="; \
+	  dune exec bin/sias_cli.exe -- run -e $$e -w 1 -d 10 --scale-div 300 \
+	    --terminals 8 --conflict-policy detect --retries 5 --check-si || exit 1; \
+	done
 
 clean:
 	dune clean

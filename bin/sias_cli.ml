@@ -9,6 +9,7 @@ open Cmdliner
 open Harness.Experiments
 module W = Tpcc.Tpcc_workload
 module B = Flashsim.Blocktrace
+module C = Sias_txn.Contention
 
 let engine_conv =
   let parse = function
@@ -101,8 +102,46 @@ let fault_profile_arg =
     & opt fault_profile_conv Flashsim.Faultdev.light
     & info [ "fault-profile" ] ~doc:"Fault rates: none, light or heavy.")
 
+let policy_conv =
+  let parse s =
+    match C.policy_of_string s with Ok p -> Ok p | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (C.policy_to_string p) in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt policy_conv C.No_wait
+    & info [ "conflict-policy" ]
+        ~doc:"Lock-conflict policy: no-wait, wait-die, wound-wait or detect.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "retries" ]
+        ~doc:"Resubmit conflict-aborted transactions up to $(docv) times (0 = off).")
+
+let max_inflight_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-inflight" ]
+        ~doc:"Admission cap on concurrently running transactions.")
+
+let check_si_arg =
+  Arg.(
+    value
+    & flag
+    & info [ "check-si" ]
+        ~doc:"Verify snapshot-isolation invariants online; exit 1 on violation.")
+
+let terminals_arg =
+  Arg.(value & opt int 1 & info [ "terminals" ] ~doc:"Terminals per warehouse.")
+
 let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed
-    fault_seed fault_profile keep =
+    fault_seed fault_profile policy retries max_inflight check_si terminals keep =
   {
     (default_setup ~engine ~warehouses) with
     device;
@@ -114,16 +153,28 @@ let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div
     seed;
     fault_seed;
     fault_profile;
+    contention = { C.default_settings with C.policy; max_inflight };
+    retries;
+    check_si;
+    terminals_per_warehouse = terminals;
     keep_trace_records = keep;
   }
 
+let report_contention o =
+  Format.printf "%a" C.pp_stats o.contention_stats;
+  match o.checker with
+  | None -> ()
+  | Some c ->
+      Format.printf "%s@." (Mvcc.Sichecker.report c);
+      if Mvcc.Sichecker.violation_count c > 0 then exit 1
+
 let run_cmd =
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
-      fault_profile =
+      fault_profile policy retries max_inflight check_si terminals =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
-           fault_profile false)
+           fault_profile policy retries max_inflight check_si terminals false)
     in
     Format.printf "%a@.@." pp_output_summary o;
     Format.printf "%a@." W.pp_result o.result;
@@ -144,41 +195,45 @@ let run_cmd =
         o.buf_stats.Sias_storage.Bufpool.checksum_failures
         o.buf_stats.Sias_storage.Bufpool.pages_repaired
         o.buf_stats.Sias_storage.Bufpool.torn_pages;
-    List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info
+    List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info;
+    report_contention o
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run a TPC-C benchmark and report throughput, latency and I/O.")
     Term.(
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
-      $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg)
+      $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
+      $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg)
 
 let trace_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the trace to $(docv).")
   in
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
-      fault_profile csv =
+      fault_profile policy retries max_inflight check_si terminals csv =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
-           fault_profile true)
+           fault_profile policy retries max_inflight check_si terminals true)
     in
     print_endline (B.render_scatter o.trace);
     Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
       o.run_read_mb (B.write_count o.trace) o.run_write_mb;
-    match csv with
+    (match csv with
     | None -> ()
     | Some path ->
         let oc = open_out path in
         output_string oc (B.to_csv o.trace);
         close_out oc;
-        Format.printf "trace written to %s@." path
+        Format.printf "trace written to %s@." path);
+    report_contention o
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a workload and render its block trace (paper Figures 3/4).")
     Term.(
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
+      $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ csv_arg)
 
 let () =

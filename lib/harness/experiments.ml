@@ -31,6 +31,9 @@ type setup = {
   keep_trace_records : bool;
   fault_seed : int option;
   fault_profile : Flashsim.Faultdev.profile;
+  contention : Sias_txn.Contention.settings;
+  retries : int;
+  check_si : bool;
 }
 
 let fault_override : (int * Flashsim.Faultdev.profile) option ref = ref None
@@ -53,6 +56,9 @@ let default_setup ~engine ~warehouses =
     keep_trace_records = false;
     fault_seed = None;
     fault_profile = Flashsim.Faultdev.light;
+    contention = Sias_txn.Contention.default_settings;
+    retries = 0;
+    check_si = false;
   }
 
 type output = {
@@ -68,6 +74,8 @@ type output = {
   device_info : (string * float) list;
   buf_stats : Bufpool.stats;
   trace : Blocktrace.t;
+  contention_stats : Sias_txn.Contention.stats;
+  checker : Mvcc.Sichecker.t option;
 }
 
 let make_device = function
@@ -114,8 +122,9 @@ let run_tpcc setup =
       ~checkpoint_interval:setup.checkpoint_interval_s
       ?append_seal_interval:(match setup.flush with T1 -> Some 0.2 | T2 -> None)
       ~os_cache_interval:30.0 ~os_cache_pages:(setup.buffer_pages / 4)
-      ~vidmap_paged:setup.vidmap_paged ()
+      ~vidmap_paged:setup.vidmap_paged ~contention:setup.contention ()
   in
+  if setup.check_si then ignore (Db.enable_si_checker db);
   let eng = E.create db in
   let tables = WE.create_tables eng in
   let cfg =
@@ -127,6 +136,12 @@ let run_tpcc setup =
       think_time_s = setup.think_time_s;
       seed = setup.seed;
       gc_interval_s = setup.gc_interval_s;
+      retry =
+        (if setup.retries > 0 then
+           Some
+             (Sias_txn.Contention.retry_config
+                ~max_attempts:(setup.retries + 1) ())
+         else None);
     }
   in
   WE.load eng tables cfg;
@@ -177,6 +192,8 @@ let run_tpcc setup =
     device_info = Device.info device;
     buf_stats = Bufpool.stats db.Db.pool;
     trace;
+    contention_stats = Sias_txn.Contention.stats db.Db.contention;
+    checker = db.Db.si_checker;
   }
 
 let pp_output_summary fmt o =

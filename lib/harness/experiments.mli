@@ -38,6 +38,12 @@ type setup = {
           torn writes) on the data device and WAL; [None] = no faults *)
   fault_profile : Flashsim.Faultdev.profile;
       (** fault rates used when [fault_seed] is set *)
+  contention : Sias_txn.Contention.settings;
+      (** conflict policy and admission limits (default: no-wait,
+          unlimited — the historical behaviour) *)
+  retries : int;
+      (** client retries per conflict-aborted transaction; 0 = off *)
+  check_si : bool;  (** enable the online SI invariant checker *)
 }
 
 val fault_override : (int * Flashsim.Faultdev.profile) option ref
@@ -62,6 +68,8 @@ type output = {
   device_info : (string * float) list;
   buf_stats : Sias_storage.Bufpool.stats;
   trace : Flashsim.Blocktrace.t;  (** the data device's run-phase trace *)
+  contention_stats : Sias_txn.Contention.stats;
+  checker : Mvcc.Sichecker.t option;  (** present when [check_si] was set *)
 }
 
 val run_tpcc : setup -> output

@@ -5,6 +5,7 @@ module Bgwriter = Sias_storage.Bgwriter
 module Wal = Sias_wal.Wal
 module Txn = Sias_txn.Txn
 module Lockmgr = Sias_txn.Lockmgr
+module Contention = Sias_txn.Contention
 
 type t = {
   clock : Simclock.t;
@@ -19,12 +20,15 @@ type t = {
   vidmap_paged : bool;
   faults : Flashsim.Faultdev.t option;
   fpw_done : (int * int, unit) Hashtbl.t;
+  contention : Contention.t;
+  mutable si_checker : Sichecker.t option;
   mutable next_rel : int;
 }
 
 let create ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
-    ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults () =
+    ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults
+    ?(contention = Contention.default_settings) () =
   let clock = Simclock.create () in
   let device =
     match device with Some d -> d | None -> Device.ssd_x25e ~name:"data-ssd" ()
@@ -37,19 +41,22 @@ let create ?device ?wal_device ?(buffer_pages = 2048)
       ~on_checkpoint:(fun () -> Hashtbl.reset fpw_done)
       ()
   in
+  let lockmgr = Lockmgr.create () in
   {
     clock;
     device;
     pool;
     wal;
     txnmgr = Txn.create_mgr ();
-    lockmgr = Lockmgr.create ();
+    lockmgr;
     bgwriter;
     cpu_op_s;
     append_seal_interval;
     vidmap_paged;
     faults;
     fpw_done;
+    contention = Contention.create ~settings:contention ~clock ~lockmgr ();
+    si_checker = None;
     next_rel = 0;
   }
 
@@ -60,18 +67,41 @@ let alloc_rel t =
 
 let now t = Simclock.now t.clock
 
-let begin_txn t = Txn.begin_txn ~now:(now t) t.txnmgr
+let enable_si_checker t =
+  match t.si_checker with
+  | Some c -> c
+  | None ->
+      let c = Sichecker.create () in
+      t.si_checker <- Some c;
+      c
 
-let commit t txn =
-  let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
-  Wal.flush t.wal ~sync:true;
-  Txn.commit t.txnmgr txn;
-  Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid
+let observe t f = match t.si_checker with Some c -> f c | None -> ()
+
+let begin_txn t =
+  let txn = Txn.begin_txn ~now:(now t) t.txnmgr in
+  observe t (fun c -> Sichecker.on_begin c ~xid:txn.Txn.xid ~snapshot:txn.Txn.snapshot);
+  txn
 
 let abort t txn =
   let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Abort ~payload:Bytes.empty in
   Txn.abort t.txnmgr txn;
-  Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid
+  Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
+  Contention.finished t.contention ~xid:txn.Txn.xid;
+  observe t (fun c -> Sichecker.on_abort c ~xid:txn.Txn.xid)
+
+let commit t txn =
+  if Contention.is_doomed t.contention ~xid:txn.Txn.xid then begin
+    (* wound-wait / deadlock victim reaching commit: it loses *)
+    Contention.note_victim_abort t.contention;
+    abort t txn;
+    raise (Contention.Wounded txn.Txn.xid)
+  end;
+  let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
+  Wal.flush t.wal ~sync:true;
+  Txn.commit t.txnmgr txn;
+  Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
+  Contention.finished t.contention ~xid:txn.Txn.xid;
+  observe t (fun c -> Sichecker.on_commit c ~xid:txn.Txn.xid)
 
 let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
 

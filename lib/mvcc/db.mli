@@ -26,6 +26,11 @@ type t = {
       (** (rel, block) pairs whose full-page image was already logged since
           the last checkpoint; cleared by the checkpointer so each page's
           first post-checkpoint modification logs a repair base image *)
+  contention : Sias_txn.Contention.t;
+      (** conflict policy, retry orchestrator and admission gate; engines
+          route writer-lock acquisition through it *)
+  mutable si_checker : Sichecker.t option;
+      (** online SI invariant oracle; [None] (default) = disabled *)
   mutable next_rel : int;
 }
 
@@ -41,13 +46,15 @@ val create :
   ?os_cache_pages:int ->
   ?vidmap_paged:bool ->
   ?faults:Flashsim.Faultdev.t ->
+  ?contention:Sias_txn.Contention.settings ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
     2048 buffer pages, checkpoint-only flushing every 30 simulated
     seconds, and 5 µs CPU per row operation. [faults] injects the same
     fault plan into the buffer pool (reads/writes of data pages) and the
-    WAL (torn async flushes). *)
+    WAL (torn async flushes). [contention] selects the conflict policy
+    and admission limits (default: no-wait, unlimited). *)
 
 val alloc_rel : t -> int
 (** Relation ids place each relation in its own device region. *)
@@ -58,9 +65,18 @@ val begin_txn : t -> Sias_txn.Txn.t
 
 val commit : t -> Sias_txn.Txn.t -> unit
 (** Append and force the commit record (group-commit granularity of one),
-    mark committed, release locks. *)
+    mark committed, release locks. If the transaction was doomed by a
+    wound-wait or deadlock-victim decision, it is aborted instead and
+    {!Sias_txn.Contention.Wounded} is raised. *)
 
 val abort : t -> Sias_txn.Txn.t -> unit
+
+val enable_si_checker : t -> Sichecker.t
+(** Turn on the online SI invariant oracle (idempotent); engines then
+    report begin/read/write/commit events to it. *)
+
+val observe : t -> (Sichecker.t -> unit) -> unit
+(** Run [f] against the checker when enabled; no-op otherwise. *)
 
 val charge_cpu : t -> int -> unit
 (** [charge_cpu db n] advances the clock by [n] row-operation costs. *)

@@ -9,7 +9,7 @@ module Heapfile = Sias_storage.Heapfile
 module Bufpool = Sias_storage.Bufpool
 module Btree = Sias_index.Btree
 module Txn = Sias_txn.Txn
-module Lockmgr = Sias_txn.Lockmgr
+module Contention = Sias_txn.Contention
 module Wal = Sias_wal.Wal
 
 module type PROFILE = sig
@@ -147,33 +147,50 @@ module Make (P : PROFILE) = struct
     | None ->
         let _ = place_version t txn table row in
         Db.charge_cpu t.db 1;
+        Db.observe t.db (fun c ->
+            Sichecker.on_write c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row:(Some row));
         Ok ()
 
   let read t txn table ~pk =
-    match find_visible t txn table pk with
-    | Some (_, _, _, row) -> Some row
-    | None -> None
+    let row =
+      match find_visible t txn table pk with
+      | Some (_, _, _, row) -> Some row
+      | None -> None
+    in
+    Db.observe t.db (fun c -> Sichecker.on_read c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row);
+    row
 
   (* First-updater-wins: refuse when the visible version is already
      invalidated by another transaction that is still active or committed
      after our snapshot (no-wait policy, see DESIGN.md). *)
-  let check_update_conflict t txn (h : Tuple.Si.header) =
+  let check_update_conflict t txn table ~pk (h : Tuple.Si.header) =
     if h.xmax = 0 || h.xmax = txn.Txn.xid then Ok ()
     else
       match Txn.status t.db.Db.txnmgr h.xmax with
       | Txn.Aborted -> Ok ()
-      | Txn.In_progress | Txn.Committed -> Error Engine.Write_conflict
+      | Txn.Committed ->
+          (* first-committer-wins against a finished writer: waiting is
+             pointless, the conflict is final *)
+          Error Engine.Write_conflict
+      | Txn.In_progress -> (
+          (* the in-progress invalidator holds the pk writer lock, so the
+             conflict policy (wait / wound / detect) decides here *)
+          match
+            Contention.acquire t.db.Db.contention ~xid:txn.Txn.xid ~rel:table.rel ~key:pk
+          with
+          | Contention.Abort_self -> Error Engine.Write_conflict
+          | Contention.Granted -> Ok ())
 
   let write_version t txn table ~pk ~make_row ~tombstone =
     match find_visible t txn table pk with
     | None -> Error Engine.Not_found
     | Some (old_tid, old_item, h, old_row) -> (
-        match check_update_conflict t txn h with
+        match check_update_conflict t txn table ~pk h with
         | Error e -> Error e
         | Ok () -> (
-            match Lockmgr.try_acquire t.db.Db.lockmgr ~xid:txn.Txn.xid ~rel:table.rel ~key:pk with
-            | Lockmgr.Conflict _ | Lockmgr.Deadlock -> Error Engine.Write_conflict
-            | Lockmgr.Granted ->
+            match Contention.acquire t.db.Db.contention ~xid:txn.Txn.xid ~rel:table.rel ~key:pk with
+            | Contention.Abort_self -> Error Engine.Write_conflict
+            | Contention.Granted ->
                 (* invalidate the old version IN PLACE: the small write SI
                    pays on the old version's page *)
                 Tuple.Si.patch_xmax old_item txn.Txn.xid;
@@ -181,13 +198,16 @@ module Make (P : PROFILE) = struct
                   failwith "Si_engine: in-place invalidation failed";
                 Walcodec.log_heap t.db ~xid:txn.Txn.xid ~rel:table.rel ~kind:Wal.Update
                   ~tid:old_tid ~item:old_item;
-                (match make_row old_row with
+                let new_row = make_row old_row in
+                (match new_row with
                 | Some row ->
                     if tombstone then failwith "Si_engine: tombstone with a row";
                     let _ = place_version t txn table row in
                     ()
                 | None -> ());
                 Db.charge_cpu t.db 2;
+                Db.observe t.db (fun c ->
+                    Sichecker.on_write c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row:new_row);
                 Ok ()))
 
   let update t txn table ~pk f =

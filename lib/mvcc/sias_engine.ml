@@ -3,7 +3,7 @@ module Heapfile = Sias_storage.Heapfile
 module Bufpool = Sias_storage.Bufpool
 module Btree = Sias_index.Btree
 module Txn = Sias_txn.Txn
-module Lockmgr = Sias_txn.Lockmgr
+module Contention = Sias_txn.Contention
 module Wal = Sias_wal.Wal
 
 let name = "SIAS-Chains"
@@ -246,6 +246,7 @@ let insert t txn table row =
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + List.length table.secondary);
+      Db.observe t.db (fun c -> Sichecker.on_write c ~xid ~rel:table.rel ~pk ~row:(Some row));
       Ok ()
 
 (* Algorithm 3. The update must start from the entrypoint: if a newer
@@ -263,12 +264,19 @@ let write_version t txn table ~pk ~make_row ~tombstone =
             eh.Tuple.Sias.create <> xid
             && Txn.status t.db.Db.txnmgr eh.Tuple.Sias.create = Txn.In_progress
           in
-          if entry_in_progress || not (Tid.equal etid visible_tid) then
+          (* the in-progress writer of the chain entrypoint holds the vid
+             writer lock, so the conflict policy decides this case *)
+          let blocked =
+            entry_in_progress
+            && Contention.acquire t.db.Db.contention ~xid ~rel:table.rel ~key:vid
+               = Contention.Abort_self
+          in
+          if blocked || not (Tid.equal etid visible_tid) then
             Error Engine.Write_conflict
           else (
-            match Lockmgr.try_acquire t.db.Db.lockmgr ~xid ~rel:table.rel ~key:vid with
-            | Lockmgr.Conflict _ | Lockmgr.Deadlock -> Error Engine.Write_conflict
-            | Lockmgr.Granted ->
+            match Contention.acquire t.db.Db.contention ~xid ~rel:table.rel ~key:vid with
+            | Contention.Abort_self -> Error Engine.Write_conflict
+            | Contention.Granted ->
                 let pred =
                   match Vidmap.get table.vidmap ~vid with
                   | Some tid -> tid
@@ -291,6 +299,9 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                       if old_key <> new_key then Btree.insert index ~key:new_key ~payload:vid)
                     table.secondary;
                 Db.charge_cpu t.db 1;
+                Db.observe t.db (fun c ->
+                    Sichecker.on_write c ~xid ~rel:table.rel ~pk
+                      ~row:(if tombstone then None else Some row));
                 Ok ()))
 
 let update t txn table ~pk f =
@@ -300,7 +311,11 @@ let delete t txn table ~pk =
   write_version t txn table ~pk ~make_row:(fun _ -> None) ~tombstone:true
 
 let read t txn table ~pk =
-  match find_item t txn table pk with Some (_, _, _, row) -> Some row | None -> None
+  let row =
+    match find_item t txn table pk with Some (_, _, _, row) -> Some row | None -> None
+  in
+  Db.observe t.db (fun c -> Sichecker.on_read c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row);
+  row
 
 let lookup t txn table ~col ~key =
   match List.assoc_opt col table.secondary with
@@ -378,7 +393,8 @@ let scan_traditional t txn table f =
 (* An item with an active writer must not be touched: the writer's undo
    record points at the pre-update entrypoint, which GC would otherwise
    relocate or reap out from under a subsequent abort. *)
-let locked t table vid = Lockmgr.holder t.db.Db.lockmgr ~rel:table.rel ~key:vid <> None
+let locked t table vid =
+  Sias_txn.Lockmgr.holder t.db.Db.lockmgr ~rel:table.rel ~key:vid <> None
 
 (* All GC reads go through the vacuum ring so background scans neither
    stall transactions nor evict the working set. *)

@@ -4,6 +4,7 @@ module Bufpool = Sias_storage.Bufpool
 module Btree = Sias_index.Btree
 module Txn = Sias_txn.Txn
 module Lockmgr = Sias_txn.Lockmgr
+module Contention = Sias_txn.Contention
 module Wal = Sias_wal.Wal
 
 let name = "SIAS-V"
@@ -289,6 +290,8 @@ let insert t txn table row =
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + List.length table.secondary);
+      Db.observe t.db (fun c ->
+          Sichecker.on_write c ~xid ~rel:table.rel ~pk ~row:(Some row));
       Ok ()
 
 let write_version t txn table ~pk ~make_row ~tombstone =
@@ -305,11 +308,18 @@ let write_version t txn table ~pk ~make_row ~tombstone =
           let head_is_visible =
             head.v_create = visible_v.v_create && head.v_seq = visible_v.v_seq
           in
-          if head_in_progress || not head_is_visible then Error Engine.Write_conflict
+          (* the in-progress writer of the vector head holds the vid
+             writer lock, so the conflict policy decides this case *)
+          let blocked =
+            head_in_progress
+            && Contention.acquire t.db.Db.contention ~xid ~rel:table.rel ~key:vid
+               = Contention.Abort_self
+          in
+          if blocked || not head_is_visible then Error Engine.Write_conflict
           else (
-            match Lockmgr.try_acquire t.db.Db.lockmgr ~xid ~rel:table.rel ~key:vid with
-            | Lockmgr.Conflict _ | Lockmgr.Deadlock -> Error Engine.Write_conflict
-            | Lockmgr.Granted -> (
+            match Contention.acquire t.db.Db.contention ~xid ~rel:table.rel ~key:vid with
+            | Contention.Abort_self -> Error Engine.Write_conflict
+            | Contention.Granted -> (
                 match Vidmap.get table.vidmap ~vid with
                 | None -> Error Engine.Not_found
                 | Some cur_tid -> (
@@ -351,6 +361,9 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                                 Btree.insert index ~key:new_key ~payload:vid)
                             table.secondary;
                         Db.charge_cpu t.db 1;
+                        Db.observe t.db (fun c ->
+                            Sichecker.on_write c ~xid ~rel:table.rel ~pk
+                              ~row:(if tombstone then None else Some row));
                         Ok ()))))
 
 let update t txn table ~pk f =
@@ -360,7 +373,11 @@ let delete t txn table ~pk =
   write_version t txn table ~pk ~make_row:(fun _ -> None) ~tombstone:true
 
 let read t txn table ~pk =
-  match find_item t txn table pk with Some (_, v) -> Some v.v_row | None -> None
+  let row =
+    match find_item t txn table pk with Some (_, v) -> Some v.v_row | None -> None
+  in
+  Db.observe t.db (fun c -> Sichecker.on_read c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row);
+  row
 
 let lookup t txn table ~col ~key =
   match List.assoc_opt col table.secondary with

@@ -1,0 +1,132 @@
+module Snapshot = Sias_txn.Snapshot
+
+(* A digest stands in for the full row image; [None] is a tombstone (or
+   item absence). hash_param with wide limits so that rows differing only
+   in late columns still digest apart. *)
+type digest = int option
+
+let digest_of_row : Value.t array option -> digest = function
+  | None -> None
+  | Some row -> Some (Hashtbl.hash_param 256 1024 row)
+
+type pending = {
+  snap : Snapshot.t;
+  writes : (int * int, digest) Hashtbl.t;  (* (rel, pk) -> latest pending digest *)
+}
+
+(* Committed versions per item, newest first. Entries are pushed in
+   commit order, so the versions invisible to a snapshot (committed after
+   it was taken) always form a prefix of the list. *)
+type entry = { e_xid : int; e_digest : digest }
+
+type t = {
+  active : (int, pending) Hashtbl.t;
+  history : ((int * int), entry list) Hashtbl.t;
+  mutable reads_checked : int;
+  mutable commits_checked : int;
+  mutable violation_count : int;
+  mutable violations : string list;  (* newest first, capped *)
+}
+
+let max_kept_violations = 32
+
+let create () =
+  {
+    active = Hashtbl.create 64;
+    history = Hashtbl.create 4096;
+    reads_checked = 0;
+    commits_checked = 0;
+    violation_count = 0;
+    violations = [];
+  }
+
+let violation t msg =
+  t.violation_count <- t.violation_count + 1;
+  if List.length t.violations < max_kept_violations then
+    t.violations <- msg :: t.violations
+
+let on_begin t ~xid ~snapshot =
+  Hashtbl.replace t.active xid { snap = snapshot; writes = Hashtbl.create 8 }
+
+let hist t key = Option.value ~default:[] (Hashtbl.find_opt t.history key)
+
+(* First entry visible to [snap]: skip the invisible prefix (versions
+   committed after the snapshot was taken). *)
+let rec visible_entry snap = function
+  | [] -> None
+  | e :: rest ->
+      if Snapshot.sees_xid snap e.e_xid then Some e else visible_entry snap rest
+
+let on_read t ~xid ~rel ~pk ~row =
+  match Hashtbl.find_opt t.active xid with
+  | None -> ()
+  | Some p ->
+      t.reads_checked <- t.reads_checked + 1;
+      let key = (rel, pk) in
+      let expected =
+        match Hashtbl.find_opt p.writes key with
+        | Some d -> d
+        | None -> (
+            match visible_entry p.snap (hist t key) with
+            | Some e -> e.e_digest
+            | None -> None)
+      in
+      let got = digest_of_row row in
+      if got <> expected then
+        violation t
+          (Printf.sprintf
+             "snapshot-read violation: txn %d read (%d,%d) as %s, expected %s" xid rel pk
+             (match got with Some _ -> "a row" | None -> "absent")
+             (match expected with Some _ -> "another row" | None -> "absent"))
+
+let on_write t ~xid ~rel ~pk ~row =
+  match Hashtbl.find_opt t.active xid with
+  | None -> ()
+  | Some p -> Hashtbl.replace p.writes (rel, pk) (digest_of_row row)
+
+(* A committed version invisible to T's snapshot was committed after T
+   began, i.e. by a transaction whose lifetime overlapped T's. Both
+   writing the same item breaks first-committer-wins. Invisible entries
+   form the history prefix, so the scan stops at the first visible one. *)
+let rec overlapping_writer snap ~self = function
+  | [] -> None
+  | e :: rest ->
+      if Snapshot.sees_xid snap e.e_xid then None
+      else if e.e_xid <> self then Some e.e_xid
+      else overlapping_writer snap ~self rest
+
+let on_commit t ~xid =
+  match Hashtbl.find_opt t.active xid with
+  | None -> ()
+  | Some p ->
+      t.commits_checked <- t.commits_checked + 1;
+      Hashtbl.iter
+        (fun ((rel, pk) as key) d ->
+          let h = hist t key in
+          (match overlapping_writer p.snap ~self:xid h with
+          | Some other ->
+              violation t
+                (Printf.sprintf
+                   "first-committer-wins violation: txns %d and %d both committed \
+                    writes to (%d,%d)"
+                   xid other rel pk)
+          | None -> ());
+          Hashtbl.replace t.history key ({ e_xid = xid; e_digest = d } :: h))
+        p.writes;
+      Hashtbl.remove t.active xid
+
+let on_abort t ~xid = Hashtbl.remove t.active xid
+
+let violation_count t = t.violation_count
+let violations t = t.violations
+let reads_checked t = t.reads_checked
+let commits_checked t = t.commits_checked
+
+let report t =
+  if t.violation_count = 0 then
+    Printf.sprintf "si-checker: OK (%d reads, %d commits checked)" t.reads_checked
+      t.commits_checked
+  else
+    Printf.sprintf "si-checker: %d VIOLATION(S) (%d reads, %d commits checked); first: %s"
+      t.violation_count t.reads_checked t.commits_checked
+      (match List.rev t.violations with v :: _ -> v | [] -> "?")

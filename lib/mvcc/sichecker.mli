@@ -1,0 +1,42 @@
+(** Online snapshot-isolation invariant checker.
+
+    An always-on (when enabled) runtime oracle in the spirit of black-box
+    SI checking: every engine reports begin/read/write/commit/abort
+    events for primary-key operations, and the checker verifies two
+    invariants against its own logical version history:
+
+    - {b Snapshot reads}: a primary-key read observes exactly the newest
+      version committed before the reader's snapshot (or the reader's own
+      pending write), never a torn, lost or future version.
+    - {b First-committer-wins}: no two transactions with overlapping
+      lifetimes both commit a write to the same data item.
+
+    The checker is engine-agnostic: it keys items by (relation id,
+    primary key) and compares row digests, so it runs identically under
+    SI, SI-CV, SIAS-Chains and SIAS-V. Predicate operations (scans,
+    secondary lookups, ranges) are not checked. The history is logical
+    and survives engine GC, but not [recover] — enable the checker on
+    live runs only. *)
+
+type t
+
+val create : unit -> t
+
+val on_begin : t -> xid:int -> snapshot:Sias_txn.Snapshot.t -> unit
+val on_read : t -> xid:int -> rel:int -> pk:int -> row:Value.t array option -> unit
+
+val on_write : t -> xid:int -> rel:int -> pk:int -> row:Value.t array option -> unit
+(** [row = None] records a delete (tombstone). Call only on success. *)
+
+val on_commit : t -> xid:int -> unit
+val on_abort : t -> xid:int -> unit
+
+val violation_count : t -> int
+val violations : t -> string list
+(** Most recent first; the list is capped, the count is not. *)
+
+val reads_checked : t -> int
+val commits_checked : t -> int
+
+val report : t -> string
+(** One-line summary, e.g. ["si-checker: OK (1234 reads, 56 commits)"].. *)

@@ -1,6 +1,7 @@
 module Rng = Sias_util.Rng
 module Stats = Sias_util.Stats
 module Simclock = Sias_util.Simclock
+module Contention = Sias_txn.Contention
 module Value = Mvcc.Value
 module S = Tpcc_schema
 module Col = Tpcc_schema.Col
@@ -27,6 +28,7 @@ type config = {
   seed : int;
   gc_interval_s : float option;
   mix : (int * tx_kind) list;
+  retry : Contention.retry_config option;
 }
 
 let default_config ~warehouses =
@@ -40,6 +42,7 @@ let default_config ~warehouses =
     gc_interval_s = None;
     mix =
       [ (45, New_order); (43, Payment); (4, Order_status); (4, Delivery); (4, Stock_level) ];
+    retry = None;
   }
 
 type kind_stats = {
@@ -47,6 +50,9 @@ type kind_stats = {
   user_aborts : int;
   conflicts : int;
   failures : int;
+  retries : int;
+  gave_ups : int;
+  shed : int;
   resp : Stats.Sample.t;
 }
 
@@ -78,8 +84,14 @@ let pp_result fmt r =
     r.config.warehouses r.elapsed_s r.notpm r.total_committed r.total_aborted;
   List.iter
     (fun (k, ks) ->
-      Format.fprintf fmt "  %-12s ok=%-6d conflicts=%-4d resp_mean=%.4fs@,"
-        (tx_kind_to_string k) ks.committed ks.conflicts (Stats.Sample.mean ks.resp))
+      Format.fprintf fmt "  %-12s ok=%-6d conflicts=%-4d resp_mean=%.4fs"
+        (tx_kind_to_string k) ks.committed ks.conflicts (Stats.Sample.mean ks.resp);
+      (* contention-era fields only appear when the feature produced them,
+         so default runs print byte-identically to the historical format *)
+      if ks.retries > 0 then Format.fprintf fmt " retries=%d" ks.retries;
+      if ks.gave_ups > 0 then Format.fprintf fmt " gave-up=%d" ks.gave_ups;
+      if ks.shed > 0 then Format.fprintf fmt " shed=%d" ks.shed;
+      Format.fprintf fmt "@,")
     r.per_kind;
   Format.fprintf fmt "@]"
 
@@ -476,12 +488,17 @@ module Make (E : Mvcc.Engine.S) = struct
 
   let run_transaction st ~kind ~w ~rng =
     let now = Simclock.now (E.db st.eng).Mvcc.Db.clock in
-    match kind with
-    | New_order -> new_order st rng ~w ~now
-    | Payment -> payment st rng ~w ~now
-    | Order_status -> order_status st rng ~w ~now
-    | Delivery -> delivery st rng ~w ~now
-    | Stock_level -> stock_level st rng ~w ~now
+    try
+      match kind with
+      | New_order -> new_order st rng ~w ~now
+      | Payment -> payment st rng ~w ~now
+      | Order_status -> order_status st rng ~w ~now
+      | Delivery -> delivery st rng ~w ~now
+      | Stock_level -> stock_level st rng ~w ~now
+    with Contention.Wounded _ ->
+      (* a wound-wait / deadlock victim reaching commit was already
+         aborted by Db.commit; do not abort again *)
+      Conflict_abort
 
   (* ---------------- closed-loop driver ---------------- *)
 
@@ -492,12 +509,16 @@ module Make (E : Mvcc.Engine.S) = struct
     mutable a_user : int;
     mutable a_conflict : int;
     mutable a_failed : int;
+    mutable a_retries : int;
+    mutable a_gave_up : int;
+    mutable a_shed : int;
     a_resp : Stats.Sample.t;
   }
 
   let run eng tables cfg =
     let db = E.db eng in
     let clock = db.Mvcc.Db.clock in
+    let contention = db.Mvcc.Db.contention in
     let st = make_session eng tables cfg in
     let rng = Rng.create (cfg.seed + 7) in
     let terminals =
@@ -517,6 +538,9 @@ module Make (E : Mvcc.Engine.S) = struct
               a_user = 0;
               a_conflict = 0;
               a_failed = 0;
+              a_retries = 0;
+              a_gave_up = 0;
+              a_shed = 0;
               a_resp = Stats.Sample.create ();
             } ))
         all_kinds
@@ -545,18 +569,49 @@ module Make (E : Mvcc.Engine.S) = struct
         end;
         let kind = Rng.pick_weighted term.t_rng cfg.mix in
         let arrival = term.ready_at in
-        let outcome = run_transaction st ~kind ~w:term.home_w ~rng:term.t_rng in
-        Mvcc.Db.tick db;
-        let finished = Simclock.now clock in
         let acc = List.assoc kind accs in
-        (match outcome with
-        | Committed ->
-            acc.a_committed <- acc.a_committed + 1;
-            Stats.Sample.add acc.a_resp (finished -. arrival)
-        | User_abort -> acc.a_user <- acc.a_user + 1
-        | Conflict_abort -> acc.a_conflict <- acc.a_conflict + 1
-        | Failed -> acc.a_failed <- acc.a_failed + 1);
-        term.ready_at <- finished +. Rng.exponential term.t_rng cfg.think_time_s
+        (match Contention.admit contention with
+        | Contention.Shed ->
+            (* the admission gate turned the request away; the terminal
+               thinks and comes back *)
+            acc.a_shed <- acc.a_shed + 1
+        | Contention.Admitted ->
+            let outcome =
+              match cfg.retry with
+              | None -> run_transaction st ~kind ~w:term.home_w ~rng:term.t_rng
+              | Some rcfg -> (
+                  (* replay the SAME transaction parameters on retry: save
+                     the generator state before the first attempt *)
+                  let saved = Rng.copy term.t_rng in
+                  match
+                    Contention.run_with_retries contention ~cfg:rcfg
+                      ~retryable:(fun o -> o = Conflict_abort)
+                      ~f:(fun ~attempt ->
+                        let rng =
+                          if attempt = 1 then term.t_rng else Rng.copy saved
+                        in
+                        run_transaction st ~kind ~w:term.home_w ~rng)
+                  with
+                  | Contention.Completed (o, attempts) ->
+                      acc.a_retries <- acc.a_retries + (attempts - 1);
+                      o
+                  | Contention.Gave_up (_, attempts) ->
+                      acc.a_retries <- acc.a_retries + (attempts - 1);
+                      acc.a_gave_up <- acc.a_gave_up + 1;
+                      Conflict_abort)
+            in
+            Contention.release contention;
+            Mvcc.Db.tick db;
+            let finished = Simclock.now clock in
+            match outcome with
+            | Committed ->
+                acc.a_committed <- acc.a_committed + 1;
+                Stats.Sample.add acc.a_resp (finished -. arrival)
+            | User_abort -> acc.a_user <- acc.a_user + 1
+            | Conflict_abort -> acc.a_conflict <- acc.a_conflict + 1
+            | Failed -> acc.a_failed <- acc.a_failed + 1);
+        term.ready_at <-
+          Simclock.now clock +. Rng.exponential term.t_rng cfg.think_time_s
       end
     done;
     let elapsed = Simclock.now clock -. start in
@@ -569,17 +624,23 @@ module Make (E : Mvcc.Engine.S) = struct
               user_aborts = a.a_user;
               conflicts = a.a_conflict;
               failures = a.a_failed;
+              retries = a.a_retries;
+              gave_ups = a.a_gave_up;
+              shed = a.a_shed;
               resp = a.a_resp;
             } ))
         accs
     in
     let no = List.assoc New_order per_kind in
+    (* NOTPM must count exactly the committed new-order transactions:
+       retries, give-ups and shed requests never inflate it *)
+    assert (no.committed = Stats.Sample.count no.resp);
     let total_committed =
       List.fold_left (fun t (_, ks) -> t + ks.committed) 0 per_kind
     in
     let total_aborted =
       List.fold_left
-        (fun t (_, ks) -> t + ks.user_aborts + ks.conflicts + ks.failures)
+        (fun t (_, ks) -> t + ks.user_aborts + ks.conflicts + ks.failures + ks.shed)
         0 per_kind
     in
     {

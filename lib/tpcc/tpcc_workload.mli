@@ -28,17 +28,25 @@ type config = {
   seed : int;
   gc_interval_s : float option;  (** run engine GC this often (sim time) *)
   mix : (int * tx_kind) list;  (** weighted transaction mix *)
+  retry : Sias_txn.Contention.retry_config option;
+      (** resubmit conflict-aborted transactions (same parameters, via a
+          saved RNG state) with backoff; [None] = historical behaviour:
+          a conflict abort is surfaced to the client at once *)
 }
 
 val default_config : warehouses:int -> config
 (** Standard mix (45/43/4/4/4), 1 terminal per warehouse, 1 s think time,
-    60 s duration, scale 1/100, no GC. *)
+    60 s duration, scale 1/100, no GC, no retry. *)
 
 type kind_stats = {
   committed : int;
   user_aborts : int;
   conflicts : int;
+      (** client-visible conflict aborts (after any retries gave up) *)
   failures : int;
+  retries : int;  (** conflict-aborted attempts that were resubmitted *)
+  gave_ups : int;  (** retry loops that exhausted attempts or deadline *)
+  shed : int;  (** requests dropped by the admission gate *)
   resp : Sias_util.Stats.Sample.t;  (** response times of committed txns *)
 }
 

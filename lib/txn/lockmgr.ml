@@ -41,17 +41,27 @@ let wait_on t ~xid ~owner =
 
 let stop_waiting t ~xid = Hashtbl.remove t.waiting xid
 
+let waits_for t ~xid = Hashtbl.find_opt t.waiting xid
+
+let waiters_of t ~owner =
+  Hashtbl.fold (fun xid o acc -> if o = owner then xid :: acc else acc) t.waiting []
+
 let release_all t ~xid =
   (match Hashtbl.find_opt t.owned xid with
   | Some keys -> List.iter (Hashtbl.remove t.locks) keys
   | None -> ());
   Hashtbl.remove t.owned xid;
-  Hashtbl.remove t.waiting xid
+  Hashtbl.remove t.waiting xid;
+  (* The released transaction can no longer block anyone: drop inbound
+     wait edges too, or they dangle at a dead owner and later cycle walks
+     traverse (and, past the depth cap, misreport) garbage. *)
+  let inbound =
+    Hashtbl.fold (fun w o acc -> if o = xid then w :: acc else acc) t.waiting []
+  in
+  List.iter (Hashtbl.remove t.waiting) inbound;
+  assert (waiters_of t ~owner:xid = [])
 
 let holder t ~rel ~key = Hashtbl.find_opt t.locks (rel, key)
 
 let held_count t ~xid =
   match Hashtbl.find_opt t.owned xid with Some l -> List.length l | None -> 0
-
-let waiters_of t ~owner =
-  Hashtbl.fold (fun xid o acc -> if o = owner then xid :: acc else acc) t.waiting []

@@ -25,8 +25,13 @@ val wait_on : t -> xid:int -> owner:int -> outcome
 
 val stop_waiting : t -> xid:int -> unit
 
+val waits_for : t -> xid:int -> int option
+(** The owner [xid] currently waits on, if any. *)
+
 val release_all : t -> xid:int -> unit
-(** Drop all locks of a transaction (commit/abort) and its wait edge. *)
+(** Drop all locks of a transaction (commit/abort), its own wait edge,
+    and every inbound edge of transactions that were waiting on it — a
+    finished transaction blocks nobody. *)
 
 val holder : t -> rel:int -> key:int -> int option
 val held_count : t -> xid:int -> int

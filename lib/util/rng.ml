@@ -16,6 +16,8 @@ let int64 t =
 
 let split t = { state = int64 t }
 
+let copy t = { state = t.state }
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* keep 62 bits so the value fits OCaml's native int *)

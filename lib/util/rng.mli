@@ -12,6 +12,10 @@ val create : int -> t
 val split : t -> t
 (** Derive an independent generator; the parent stream advances by one. *)
 
+val copy : t -> t
+(** Snapshot the generator: the copy replays the same stream from the
+    current position without advancing the original. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit value. *)
 

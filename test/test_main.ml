@@ -9,6 +9,7 @@ let () =
       ("storage", Test_storage.suite);
       ("wal", Test_wal.suite);
       ("txn", Test_txn.suite);
+      ("contention", Test_contention.suite);
       ("vidmap", Test_vidmap.suite);
       ("index", Test_index.suite);
       ("mvcc-parts", Test_mvcc_parts.suite);

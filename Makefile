@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench demo contention clean
+.PHONY: all build test check bench demo contention obs clean
 
 all: build
 
@@ -27,5 +27,19 @@ contention:
 	    --terminals 8 --conflict-policy detect --retries 5 --check-si || exit 1; \
 	done
 
+# Observability smoke: a short run emitting both artifacts, then validate
+# them — the trace must parse as JSON, the metrics must contain the
+# device write counter the paper's Table 1 is built from.
+obs:
+	mkdir -p _obs
+	dune exec bin/sias_cli.exe -- run -e sias -w 5 -d 20 --scale-div 300 \
+	  --flush t1 --gc 10 --metrics-out _obs/metrics.prom \
+	  --trace-out _obs/trace.json --stats-interval 5
+	python3 -m json.tool _obs/trace.json > /dev/null
+	grep -q '^sias_device_bytes_total{device="data-ssd",op="write"}' _obs/metrics.prom
+	grep -q '"traceEvents"' _obs/trace.json
+	@echo "obs artifacts OK: _obs/metrics.prom _obs/trace.json"
+
 clean:
 	dune clean
+	rm -rf _obs

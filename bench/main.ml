@@ -33,7 +33,7 @@ let table1 () =
   let durations = if !full then [ 600.0; 900.0; 1800.0 ] else [ 60.0; 120.0 ] in
   let base =
     {
-      (default_setup ~engine:SI ~warehouses:100) with
+      (default_setup ~engine:"si" ~warehouses:100) with
       buffer_pages = 4096;
       gc_interval_s = Some 30.0;
       keep_trace_records = false;
@@ -49,9 +49,9 @@ let table1 () =
         run_tpcc
           { base with engine; flush; duration_s; checkpoint_interval_s = duration_s /. 2.0 }
       in
-      let si = cell SI T1 in
-      let t1 = cell SIAS T1 in
-      let t2 = cell SIAS T2 in
+      let si = cell "si" T1 in
+      let t1 = cell "sias" T1 in
+      let t2 = cell "sias" T2 in
       spaces := (duration_s, si, t1, t2) :: !spaces;
       let red x = 1.0 -. (x.run_write_mb /. si.run_write_mb) in
       T.add_row tbl
@@ -90,7 +90,7 @@ let table2 () =
         gc_interval_s = Some 30.0;
       }
   in
-  let cells = List.map (fun wh -> (wh, run SIAS wh, run SI wh)) whs in
+  let cells = List.map (fun wh -> (wh, run "sias" wh, run "si" wh)) whs in
   let tbl = T.create ("Warehouses" :: List.map string_of_int whs) in
   let row name get = T.add_row tbl (name :: List.map get cells) in
   row "SIAS (NOTPM)" (fun (_, sias, _) -> T.fmt_float ~decimals:0 sias.result.W.notpm);
@@ -132,11 +132,11 @@ let figure_blocktrace engine figure_name paper_note =
   note "%s" paper_note
 
 let figure3 () =
-  figure_blocktrace SIAS "Figure 3"
+  figure_blocktrace "sias" "Figure 3"
     "paper: almost only read access; appends form per-relation swimlanes"
 
 let figure4 () =
-  figure_blocktrace SI "Figure 4"
+  figure_blocktrace "si" "Figure 4"
     "paper: read and write access mixed; writes scattered across the relations"
 
 (* ------------------------------------------------------------------ *)
@@ -156,7 +156,7 @@ let sweep ~device ~buffer_pages ~whs ~duration_s =
             gc_interval_s = Some 30.0;
           }
       in
-      (warehouses, run SIAS, run SI))
+      (warehouses, run "sias", run "si"))
     whs
 
 let print_sweep cells =
@@ -273,7 +273,7 @@ let ablation_vectors () =
           T.fmt_float o.run_read_mb;
           T.fmt_float o.space_mb;
         ])
-    [ SI; SICV; SIAS; SIASV ];
+    [ "si"; "si-cv"; "sias"; "sias-v" ];
   T.print tbl;
   note "SI-CV co-locates a transaction's new versions (fewer dirty pages than";
   note "FSM placement) but keeps in-place invalidation; SIAS removes it entirely.";
@@ -285,7 +285,7 @@ let ablation_gc () =
   let run gc =
     run_tpcc
       {
-        (default_setup ~engine:SIAS ~warehouses:10) with
+        (default_setup ~engine:"sias" ~warehouses:10) with
         duration_s = (if !full then 300.0 else 120.0);
         buffer_pages = 1024;
         think_time_s = 0.2;
@@ -341,7 +341,7 @@ let ablation_vidmap () =
   let run vidmap_paged =
     run_tpcc
       {
-        (default_setup ~engine:SIAS ~warehouses:50) with
+        (default_setup ~engine:"sias" ~warehouses:50) with
         duration_s = 30.0;
         buffer_pages = 1024;
         gc_interval_s = Some 30.0;
@@ -387,7 +387,7 @@ let ablation_endurance () =
           T.fmt_float ~decimals:0 (get "erases");
           T.fmt_float ~decimals:0 (get "max_block_wear");
         ])
-    [ SI; SIAS ];
+    [ "si"; "sias" ];
   T.print tbl;
   note "SIAS's append pattern + TRIM of reclaimed pages leaves the FTL almost";
   note "nothing to relocate: fewer erases and lower peak wear per unit of work";
@@ -441,7 +441,7 @@ let ablation_contention () =
               verdict;
             ])
         C.all_policies)
-    [ SI; SICV; SIAS; SIASV ];
+    [ "si"; "si-cv"; "sias"; "sias-v" ];
   T.print tbl;
   note "the driver is a serial discrete-event loop: transactions never overlap, so";
   note "client-visible conflicts stay at zero and every policy agrees; policies and";
@@ -545,10 +545,13 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Flag filter: consume --full, --faults <seed>, --fault-profile <name>;
-     whatever remains names the experiments to run. *)
+  (* Flag filter: consume --full, --faults <seed>, --fault-profile <name>,
+     --metrics-out <path>, --trace-out <path>; whatever remains names the
+     experiments to run. *)
   let fault_seed = ref None in
   let fault_profile = ref Flashsim.Faultdev.light in
+  let metrics_out = ref None in
+  let trace_out = ref None in
   let rec filter = function
     | [] -> []
     | "--full" :: rest ->
@@ -564,6 +567,12 @@ let () =
         | Ok p -> fault_profile := p
         | Error e -> Printf.printf "%s\n" e);
         filter rest
+    | "--metrics-out" :: path :: rest ->
+        metrics_out := Some path;
+        filter rest
+    | "--trace-out" :: path :: rest ->
+        trace_out := Some path;
+        filter rest
     | a :: rest -> a :: filter rest
   in
   let args = filter args in
@@ -573,6 +582,14 @@ let () =
       Printf.printf "fault injection: seed %d, profile %s\n%!" seed
         (Flashsim.Faultdev.profile_name !fault_profile)
   | None -> ());
+  if !metrics_out <> None || !trace_out <> None then begin
+    (* each run_tpcc overwrites the files; the surviving artifacts are
+       the last experiment's run, which is what a smoke invocation of a
+       single experiment wants *)
+    obs_override := Some (!metrics_out, !trace_out);
+    Option.iter (fun p -> Printf.printf "metrics -> %s\n%!" p) !metrics_out;
+    Option.iter (fun p -> Printf.printf "trace -> %s\n%!" p) !trace_out
+  end;
   let chosen = match args with [] | [ "all" ] -> List.map fst experiments | l -> l in
   let t0 = Unix.gettimeofday () in
   List.iter

@@ -12,12 +12,14 @@ module B = Flashsim.Blocktrace
 module C = Sias_txn.Contention
 
 let engine_conv =
-  let parse = function
-    | "si" -> Ok SI
-    | "sias" | "chains" -> Ok SIAS
-    | "sias-v" | "vectors" -> Ok SIASV
-    | "si-cv" -> Ok SICV
-    | s -> Error (`Msg (Printf.sprintf "unknown engine %S (si|si-cv|sias|sias-v)" s))
+  let parse s =
+    match Mvcc.Engine.resolve s with
+    | Some (key, _) -> Ok key
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown engine %S (%s)" s
+               (String.concat "|" (Mvcc.Engine.keys ()))))
   in
   let print fmt e = Format.pp_print_string fmt (engine_name e) in
   Arg.conv (parse, print)
@@ -43,7 +45,7 @@ let device_conv =
   Arg.conv (parse, print)
 
 let engine_arg =
-  Arg.(value & opt engine_conv SIAS & info [ "e"; "engine" ] ~doc:"Engine: si, si-cv, sias, sias-v.")
+  Arg.(value & opt engine_conv "sias" & info [ "e"; "engine" ] ~doc:"Engine: si, si-cv, sias, sias-v.")
 
 let device_arg =
   Arg.(value & opt device_conv Ssd_single & info [ "device" ] ~doc:"ssd, ssd:<blocks>, hdd, raid2, raid6.")
@@ -140,8 +142,34 @@ let check_si_arg =
 let terminals_arg =
   Arg.(value & opt int 1 & info [ "terminals" ] ~doc:"Terminals per warehouse.")
 
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ]
+        ~doc:"Write run-phase metrics as Prometheus text to $(docv)." ~docv:"PATH")
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ]
+        ~doc:
+          "Write a Chrome trace-event JSON of the run phase to $(docv) (open \
+           in Perfetto or chrome://tracing)."
+        ~docv:"PATH")
+
+let stats_interval_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "stats-interval" ]
+        ~doc:"Print a progress line to stderr every $(docv) simulated seconds."
+        ~docv:"SECONDS")
+
 let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed
-    fault_seed fault_profile policy retries max_inflight check_si terminals keep =
+    fault_seed fault_profile policy retries max_inflight check_si terminals
+    metrics_out trace_out stats_interval_s keep =
   {
     (default_setup ~engine ~warehouses) with
     device;
@@ -157,8 +185,17 @@ let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div
     retries;
     check_si;
     terminals_per_warehouse = terminals;
+    metrics_out;
+    trace_out;
+    stats_interval_s;
     keep_trace_records = keep;
   }
+
+let report_obs o =
+  Option.iter
+    (fun p -> Format.printf "metrics written to %s@." p)
+    o.setup.metrics_out;
+  Option.iter (fun p -> Format.printf "trace written to %s@." p) o.setup.trace_out
 
 let report_contention o =
   Format.printf "%a" C.pp_stats o.contention_stats;
@@ -170,11 +207,13 @@ let report_contention o =
 
 let run_cmd =
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
-      fault_profile policy retries max_inflight check_si terminals =
+      fault_profile policy retries max_inflight check_si terminals metrics_out
+      trace_out stats_interval =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
-           fault_profile policy retries max_inflight check_si terminals false)
+           fault_profile policy retries max_inflight check_si terminals metrics_out
+           trace_out stats_interval false)
     in
     Format.printf "%a@.@." pp_output_summary o;
     Format.printf "%a@." W.pp_result o.result;
@@ -196,6 +235,7 @@ let run_cmd =
         o.buf_stats.Sias_storage.Bufpool.pages_repaired
         o.buf_stats.Sias_storage.Bufpool.torn_pages;
     List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info;
+    report_obs o;
     report_contention o
   in
   Cmd.v
@@ -203,18 +243,21 @@ let run_cmd =
     Term.(
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
-      $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg)
+      $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
+      $ metrics_out_arg $ trace_out_arg $ stats_interval_arg)
 
 let trace_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the trace to $(docv).")
   in
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
-      fault_profile policy retries max_inflight check_si terminals csv =
+      fault_profile policy retries max_inflight check_si terminals metrics_out
+      trace_out stats_interval csv =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
-           fault_profile policy retries max_inflight check_si terminals true)
+           fault_profile policy retries max_inflight check_si terminals metrics_out
+           trace_out stats_interval true)
     in
     print_endline (B.render_scatter o.trace);
     Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
@@ -226,6 +269,7 @@ let trace_cmd =
         output_string oc (B.to_csv o.trace);
         close_out oc;
         Format.printf "trace written to %s@." path);
+    report_obs o;
     report_contention o
   in
   Cmd.v
@@ -234,7 +278,7 @@ let trace_cmd =
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
-      $ csv_arg)
+      $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ csv_arg)
 
 let () =
   let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in

@@ -21,8 +21,8 @@ let run engine =
   run_tpcc setup
 
 let () =
-  let sias = run SIAS in
-  let si = run SI in
+  let sias = run "sias" in
+  let si = run "si" in
   Format.printf "=== SIAS-Chains blocktrace (cf. paper Figure 3) ===@.";
   Format.printf "%s@." (B.render_scatter sias.trace);
   Format.printf "reads %d / writes %d (%.0f%% reads)@.@."

@@ -11,7 +11,7 @@ module W = Tpcc.Tpcc_workload
 module T = Sias_util.Tablefmt
 
 let () =
-  let base = default_setup ~engine:SI ~warehouses:20 in
+  let base = default_setup ~engine:"si" ~warehouses:20 in
   let base =
     { base with duration_s = 30.0; buffer_pages = 1024; gc_interval_s = Some 10.0 }
   in
@@ -31,7 +31,7 @@ let () =
           T.fmt_float o.run_read_mb;
           T.fmt_float o.space_mb;
         ])
-    [ SI; SICV; SIAS; SIASV ];
+    [ "si"; "si-cv"; "sias"; "sias-v" ];
   print_endline "TPC-C, 20 warehouses, 30 simulated seconds, single SSD:";
   T.print table;
   print_endline "";

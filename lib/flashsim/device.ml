@@ -1,26 +1,75 @@
+module Bus = Sias_obs.Bus
+
 type t = {
   name : string;
   trace : Blocktrace.t;
   submit_impl : now:float -> Blocktrace.op -> sector:int -> bytes:int -> float;
   info_impl : unit -> (string * float) list;
   trim_impl : sector:int -> bytes:int -> unit;
+  gc_probe : (unit -> int * int) option;
+      (* cumulative (relocated flash pages, erases), for GC attribution *)
+  mutable bus : Bus.t option;
 }
 
 let no_trim ~sector:_ ~bytes:_ = ()
 
 let make ?(trim_impl = no_trim) ~name ~submit_impl ~info_impl () =
-  { name; trace = Blocktrace.create (); submit_impl; info_impl; trim_impl }
+  {
+    name;
+    trace = Blocktrace.create ();
+    submit_impl;
+    info_impl;
+    trim_impl;
+    gc_probe = None;
+    bus = None;
+  }
 
 let name t = t.name
 let trace t = t.trace
+let attach_bus t bus = t.bus <- Some bus
+
+let observed t =
+  match t.bus with Some bus -> Bus.active bus | None -> false
 
 let submit t ~now op ~sector ~bytes =
   Blocktrace.add t.trace ~time:now ~op ~sector ~bytes;
-  t.submit_impl ~now op ~sector ~bytes
+  match t.bus with
+  | Some bus when Bus.active bus ->
+      let gc0 = match t.gc_probe with Some p -> p () | None -> (0, 0) in
+      let completion = t.submit_impl ~now op ~sector ~bytes in
+      Bus.publish bus
+        (Bus.Device_io
+           {
+             device = t.name;
+             op = (match op with Blocktrace.Read -> Bus.Io_read | Blocktrace.Write -> Bus.Io_write);
+             sector;
+             bytes;
+             latency_s = completion -. now;
+           });
+      (match t.gc_probe with
+      | Some p ->
+          let moved1, erases1 = p () in
+          let moved0, erases0 = gc0 in
+          if erases1 > erases0 || moved1 > moved0 then
+            Bus.publish bus
+              (Bus.Ftl_gc
+                 {
+                   device = t.name;
+                   moved_pages = moved1 - moved0;
+                   erases = erases1 - erases0;
+                 })
+      | None -> ());
+      completion
+  | _ -> t.submit_impl ~now op ~sector ~bytes
 
 let info t = t.info_impl ()
 
-let trim t ~sector ~bytes = t.trim_impl ~sector ~bytes
+let trim t ~sector ~bytes =
+  (match t.bus with
+  | Some bus when Bus.active bus ->
+      Bus.publish bus (Bus.Device_trim { device = t.name; sector; bytes })
+  | _ -> ());
+  t.trim_impl ~sector ~bytes
 
 (* A bank of [parallelism] servers: a request takes the earliest-free
    server and occupies it for its service time. *)
@@ -41,6 +90,12 @@ let of_ssd ?(name = "ssd") ssd =
   {
     name;
     trace = Blocktrace.create ();
+    bus = None;
+    gc_probe =
+      Some
+        (fun () ->
+          let ftl = Ssd.ftl ssd in
+          (Ftl.nand_writes ftl - Ftl.host_writes ftl, Ftl.erases ftl));
     submit_impl = queued ~parallelism:cfg.Ssd.channels (Ssd.service_time ssd);
     trim_impl = (fun ~sector ~bytes -> Ssd.trim ssd ~sector ~bytes);
     info_impl =
@@ -59,6 +114,8 @@ let of_hdd ?(name = "hdd") hdd =
   {
     name;
     trace = Blocktrace.create ();
+    bus = None;
+    gc_probe = None;
     submit_impl = queued ~parallelism:1 (Hdd.service_time hdd);
     trim_impl = no_trim;
     info_impl = (fun () -> []);
@@ -107,7 +164,15 @@ let raid0 ?(name = "raid0") ?(chunk_sectors = 128) members =
       cur := !cur + ((piece + 511) / 512)
     done
   in
-  { name; trace = Blocktrace.create (); submit_impl; info_impl; trim_impl }
+  {
+    name;
+    trace = Blocktrace.create ();
+    bus = None;
+    gc_probe = None;
+    submit_impl;
+    info_impl;
+    trim_impl;
+  }
 
 let ssd_x25e ?(name = "ssd") ?blocks () =
   of_ssd ~name (Ssd.create (Ssd.x25e_config ?blocks ()))

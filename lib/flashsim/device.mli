@@ -13,6 +13,17 @@ type t
 val name : t -> string
 val trace : t -> Blocktrace.t
 
+val attach_bus : t -> Sias_obs.Bus.t -> unit
+(** Publish every subsequent request on [bus] as
+    [Sias_obs.Bus.Device_io] (with its simulated latency) and trims as
+    [Device_trim]; SSD-backed devices additionally report GC work
+    detected inside a request as [Ftl_gc]. Attach only to the device the
+    measurement reads (for a RAID, the top-level device) — member/inner
+    devices would double-count the logical request. *)
+
+val observed : t -> bool
+(** An attached bus exists and has subscribers. *)
+
 val submit : t -> now:float -> Blocktrace.op -> sector:int -> bytes:int -> float
 (** Enqueue a request at simulated time [now]; returns its completion
     time. The request is recorded in the device trace. *)

@@ -5,17 +5,18 @@ module Bgwriter = Sias_storage.Bgwriter
 module Db = Mvcc.Db
 module W = Tpcc.Tpcc_workload
 module S = Tpcc.Tpcc_schema
+module Bus = Sias_obs.Bus
+module Metrics = Sias_obs.Metrics
+module Tracer = Sias_obs.Tracer
 
-type engine_kind = SI | SIAS | SIASV | SICV
-
-let engine_name = function SI -> "SI" | SIAS -> "SIAS" | SIASV -> "SIAS-V" | SICV -> "SI-CV"
+let engine_name = Mvcc.Engine.display_name
 
 type device_kind = Ssd_single | Ssd_sized of int | Ssd_raid of int | Hdd_single
 
 type flush = T1 | T2
 
 type setup = {
-  engine : engine_kind;
+  engine : string;
   device : device_kind;
   flush : flush;
   buffer_pages : int;
@@ -34,9 +35,14 @@ type setup = {
   contention : Sias_txn.Contention.settings;
   retries : int;
   check_si : bool;
+  metrics_out : string option;
+  trace_out : string option;
+  stats_interval_s : float option;
+  collect_metrics : bool;
 }
 
 let fault_override : (int * Flashsim.Faultdev.profile) option ref = ref None
+let obs_override : (string option * string option) option ref = ref None
 
 let default_setup ~engine ~warehouses =
   {
@@ -59,6 +65,10 @@ let default_setup ~engine ~warehouses =
     contention = Sias_txn.Contention.default_settings;
     retries = 0;
     check_si = false;
+    metrics_out = None;
+    trace_out = None;
+    stats_interval_s = None;
+    collect_metrics = false;
   }
 
 type output = {
@@ -76,6 +86,7 @@ type output = {
   trace : Blocktrace.t;
   contention_stats : Sias_txn.Contention.stats;
   checker : Mvcc.Sichecker.t option;
+  metrics : Metrics.t option;
 }
 
 let make_device = function
@@ -91,11 +102,40 @@ let flush_policy = function
 (* For a RAID, the logical trace is at the RAID device; member devices
    carry their own physical traces. Measurement uses the top device. *)
 
-let engine_module : engine_kind -> (module Mvcc.Engine.S) = function
-  | SI -> (module Mvcc.Si_engine)
-  | SIAS -> (module Mvcc.Sias_engine)
-  | SIASV -> (module Mvcc.Sias_vector)
-  | SICV -> (module Mvcc.Si_cv_engine)
+let engine_module key : (module Mvcc.Engine.S) =
+  match Mvcc.Engine.find key with
+  | Some m -> m
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown engine %S (known: %s)" key
+           (String.concat ", " (Mvcc.Engine.keys ())))
+
+(* Periodic progress line on stderr, driven by simulated time: every
+   event is a chance to notice the sim clock crossed the next tick. *)
+let attach_stats_ticker bus ~clock ~metrics ~interval =
+  let next = ref interval in
+  let metric name labels =
+    match Metrics.value metrics ~labels name with Some v -> v | None -> 0.0
+  in
+  Bus.subscribe bus (fun _ ->
+      let now = Sias_util.Simclock.now clock in
+      if now >= !next then begin
+        while now >= !next do
+          next := !next +. interval
+        done;
+        Printf.eprintf
+          "[sim %8.2fs] commits=%.0f aborts=%.0f retries=%.0f wal-MB=%.2f\n%!"
+          now
+          (metric "sias_txn_total" [ ("event", "commit") ])
+          (metric "sias_txn_total" [ ("event", "abort") ])
+          (metric "sias_txn_total" [ ("event", "retry") ])
+          (metric "sias_wal_bytes_total" [] /. (1024.0 *. 1024.0))
+      end)
+
+let write_text_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
 
 let run_tpcc setup =
   let setup =
@@ -103,6 +143,16 @@ let run_tpcc setup =
     | Some (seed, profile), None ->
         { setup with fault_seed = Some seed; fault_profile = profile }
     | _ -> setup
+  in
+  let setup =
+    match !obs_override with
+    | Some (m, t) ->
+        {
+          setup with
+          metrics_out = (if setup.metrics_out = None then m else setup.metrics_out);
+          trace_out = (if setup.trace_out = None then t else setup.trace_out);
+        }
+    | None -> setup
   in
   let (module E : Mvcc.Engine.S) = engine_module setup.engine in
   let module WE = W.Make (E) in
@@ -116,15 +166,32 @@ let run_tpcc setup =
     match faults with None -> d | Some f -> Flashsim.Faultdev.wrap f d
   in
   Blocktrace.set_keep_records (Device.trace device) setup.keep_trace_records;
+  let bus = Bus.create () in
   let db =
-    Db.create ~device ?faults ~buffer_pages:setup.buffer_pages
+    Db.create ~bus ~device ?faults ~buffer_pages:setup.buffer_pages
       ~flush_policy:(flush_policy setup.flush)
       ~checkpoint_interval:setup.checkpoint_interval_s
       ?append_seal_interval:(match setup.flush with T1 -> Some 0.2 | T2 -> None)
       ~os_cache_interval:30.0 ~os_cache_pages:(setup.buffer_pages / 4)
       ~vidmap_paged:setup.vidmap_paged ~contention:setup.contention ()
   in
-  if setup.check_si then ignore (Db.enable_si_checker db);
+  let checker = if setup.check_si then Some (Mvcc.Sichecker.attach bus) else None in
+  let want_metrics =
+    setup.collect_metrics || setup.metrics_out <> None
+    || setup.stats_interval_s <> None
+  in
+  let metrics =
+    if want_metrics then begin
+      let m = Metrics.create () in
+      Sias_obs.Recorder.attach m bus;
+      Some m
+    end
+    else None
+  in
+  (match (setup.stats_interval_s, metrics) with
+  | Some interval, Some m ->
+      attach_stats_ticker bus ~clock:db.Db.clock ~metrics:m ~interval
+  | _ -> ());
   let eng = E.create db in
   let tables = WE.create_tables eng in
   let cfg =
@@ -152,6 +219,12 @@ let run_tpcc setup =
   let trace = Device.trace device in
   let load_write_mb = Blocktrace.write_mb trace in
   Blocktrace.reset trace;
+  (* metrics and trace cover exactly what the block trace covers: the
+     measured run, not the bulk load *)
+  Option.iter Metrics.reset metrics;
+  let tracer =
+    Option.map (fun _ -> Tracer.attach ~clock:db.Db.clock bus) setup.trace_out
+  in
   let result = WE.run eng tables cfg in
   Bufpool.flush_os_cache db.Db.pool;
   let tables_list =
@@ -179,6 +252,14 @@ let run_tpcc setup =
     if fills = [] then 0.0
     else List.fold_left ( +. ) 0.0 fills /. float_of_int (List.length fills)
   in
+  (* artifacts are written after the table_stats scans so their device
+     counters cover exactly the window the block-trace counters report *)
+  (match (setup.metrics_out, metrics) with
+  | Some path, Some m -> write_text_file path (Metrics.to_prometheus m)
+  | _ -> ());
+  (match (setup.trace_out, tracer) with
+  | Some path, Some tr -> Tracer.write_file tr path
+  | _ -> ());
   {
     setup;
     result;
@@ -193,7 +274,8 @@ let run_tpcc setup =
     buf_stats = Bufpool.stats db.Db.pool;
     trace;
     contention_stats = Sias_txn.Contention.stats db.Db.contention;
-    checker = db.Db.si_checker;
+    checker;
+    metrics;
   }
 
 let pp_output_summary fmt o =

@@ -5,10 +5,14 @@
     block trace so the measured I/O is the benchmark run's (the paper
     traces the steady run, not the bulk load); runs to the simulated
     deadline; and reports throughput, response times, device write/read
-    volumes, space consumption and device-model counters. *)
+    volumes, space consumption and device-model counters.
 
-type engine_kind = SI | SIAS | SIASV | SICV
-val engine_name : engine_kind -> string
+    Engines are named by their registry key ("si", "si-cv", "sias",
+    "sias-v" — see {!Mvcc.Engine.resolve}); unknown keys raise
+    [Invalid_argument] when the experiment runs. *)
+
+val engine_name : string -> string
+(** Display name for an engine key ({!Mvcc.Engine.display_name}). *)
 
 type device_kind = Ssd_single | Ssd_sized of int (** blocks *) | Ssd_raid of int | Hdd_single
 
@@ -17,7 +21,7 @@ type flush =
   | T2  (** checkpoint piggy-back only (30 s) *)
 
 type setup = {
-  engine : engine_kind;
+  engine : string;  (** registry key or alias, e.g. "sias-v" *)
   device : device_kind;
   flush : flush;
   buffer_pages : int;
@@ -44,6 +48,16 @@ type setup = {
   retries : int;
       (** client retries per conflict-aborted transaction; 0 = off *)
   check_si : bool;  (** enable the online SI invariant checker *)
+  metrics_out : string option;
+      (** write run-phase metrics as Prometheus text to this path *)
+  trace_out : string option;
+      (** write a Chrome trace-event JSON of the run phase to this path *)
+  stats_interval_s : float option;
+      (** print a progress line to stderr every this many simulated
+          seconds *)
+  collect_metrics : bool;
+      (** attach the metrics recorder even without [metrics_out] — the
+          {!output.metrics} field is then [Some] *)
 }
 
 val fault_override : (int * Flashsim.Faultdev.profile) option ref
@@ -51,9 +65,14 @@ val fault_override : (int * Flashsim.Faultdev.profile) option ref
     does not carry its own [fault_seed] — lets the benchmark driver turn
     faults on globally from the command line. *)
 
-val default_setup : engine:engine_kind -> warehouses:int -> setup
+val obs_override : (string option * string option) option ref
+(** When set, (metrics_out, trace_out) applied to any setup that does not
+    carry its own — lets the benchmark driver request artifacts globally
+    from the command line. *)
+
+val default_setup : engine:string -> warehouses:int -> setup
 (** Single SSD, T2, 2048 buffer pages, 1/100 scale, 60 s, 1 terminal/WH,
-    1 s think time. *)
+    1 s think time; no observability outputs. *)
 
 type output = {
   setup : setup;
@@ -70,6 +89,10 @@ type output = {
   trace : Flashsim.Blocktrace.t;  (** the data device's run-phase trace *)
   contention_stats : Sias_txn.Contention.stats;
   checker : Mvcc.Sichecker.t option;  (** present when [check_si] was set *)
+  metrics : Sias_obs.Metrics.t option;
+      (** present when metrics were collected; reset at the same instant
+          as the block trace, so its device counters reconcile with
+          {!Flashsim.Blocktrace.write_mb} *)
 }
 
 val run_tpcc : setup -> output

@@ -6,6 +6,7 @@ module Wal = Sias_wal.Wal
 module Txn = Sias_txn.Txn
 module Lockmgr = Sias_txn.Lockmgr
 module Contention = Sias_txn.Contention
+module Bus = Sias_obs.Bus
 
 type t = {
   clock : Simclock.t;
@@ -21,25 +22,35 @@ type t = {
   faults : Flashsim.Faultdev.t option;
   fpw_done : (int * int, unit) Hashtbl.t;
   contention : Contention.t;
-  mutable si_checker : Sichecker.t option;
+  bus : Bus.t;
   mutable next_rel : int;
 }
 
-let create ?device ?wal_device ?(buffer_pages = 2048)
+module Event = struct
+  type Bus.event +=
+    | Txn_snapshot of { xid : int; snapshot : Sias_txn.Snapshot.t }
+    | Row_read of { xid : int; rel : int; pk : int; row : Value.t array option }
+    | Row_write of { xid : int; rel : int; pk : int; row : Value.t array option }
+end
+
+let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
     ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults
     ?(contention = Contention.default_settings) () =
   let clock = Simclock.create () in
+  let bus = match bus with Some b -> b | None -> Bus.create () in
   let device =
     match device with Some d -> d | None -> Device.ssd_x25e ~name:"data-ssd" ()
   in
-  let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages ?faults () in
-  let wal = Wal.create ?device:wal_device ?faults ~clock () in
+  Device.attach_bus device bus;
+  Option.iter (fun d -> Device.attach_bus d bus) wal_device;
+  let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages ~bus ?faults () in
+  let wal = Wal.create ?device:wal_device ?faults ~bus ~clock () in
   let fpw_done = Hashtbl.create 512 in
   let bgwriter =
     Bgwriter.create pool ~clock ~policy:flush_policy ~checkpoint_interval
       ~on_checkpoint:(fun () -> Hashtbl.reset fpw_done)
-      ()
+      ~bus ()
   in
   let lockmgr = Lockmgr.create () in
   {
@@ -55,8 +66,8 @@ let create ?device ?wal_device ?(buffer_pages = 2048)
     vidmap_paged;
     faults;
     fpw_done;
-    contention = Contention.create ~settings:contention ~clock ~lockmgr ();
-    si_checker = None;
+    contention = Contention.create ~settings:contention ~bus ~clock ~lockmgr ();
+    bus;
     next_rel = 0;
   }
 
@@ -67,19 +78,16 @@ let alloc_rel t =
 
 let now t = Simclock.now t.clock
 
-let enable_si_checker t =
-  match t.si_checker with
-  | Some c -> c
-  | None ->
-      let c = Sichecker.create () in
-      t.si_checker <- Some c;
-      c
-
-let observe t f = match t.si_checker with Some c -> f c | None -> ()
+let bus t = t.bus
+let observed t = Bus.active t.bus
+let emit t e = Bus.publish t.bus e
 
 let begin_txn t =
   let txn = Txn.begin_txn ~now:(now t) t.txnmgr in
-  observe t (fun c -> Sichecker.on_begin c ~xid:txn.Txn.xid ~snapshot:txn.Txn.snapshot);
+  if observed t then begin
+    emit t (Bus.Txn_begin { xid = txn.Txn.xid });
+    emit t (Event.Txn_snapshot { xid = txn.Txn.xid; snapshot = txn.Txn.snapshot })
+  end;
   txn
 
 let abort t txn =
@@ -87,7 +95,7 @@ let abort t txn =
   Txn.abort t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
-  observe t (fun c -> Sichecker.on_abort c ~xid:txn.Txn.xid)
+  if observed t then emit t (Bus.Txn_abort { xid = txn.Txn.xid })
 
 let commit t txn =
   if Contention.is_doomed t.contention ~xid:txn.Txn.xid then begin
@@ -101,7 +109,7 @@ let commit t txn =
   Txn.commit t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
-  observe t (fun c -> Sichecker.on_commit c ~xid:txn.Txn.xid)
+  if observed t then emit t (Bus.Txn_commit { xid = txn.Txn.xid })
 
 let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
 

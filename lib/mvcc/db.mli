@@ -29,12 +29,30 @@ type t = {
   contention : Sias_txn.Contention.t;
       (** conflict policy, retry orchestrator and admission gate; engines
           route writer-lock acquisition through it *)
-  mutable si_checker : Sichecker.t option;
-      (** online SI invariant oracle; [None] (default) = disabled *)
+  bus : Sias_obs.Bus.t;
+      (** the context's observability event bus: every layer below
+          (device, buffer pool, WAL, background writer, contention) and
+          above (engines, workload drivers) publishes into it; consumers
+          — the SI checker, the metrics recorder, the span tracer —
+          subscribe through {!Sias_obs.Bus.subscribe}. With no
+          subscribers every publishing site is a single branch. *)
   mutable next_rel : int;
 }
 
+(** Events contributed by the MVCC layer. [Txn_snapshot] accompanies
+    every [Sias_obs.Bus.Txn_begin]; [Row_read]/[Row_write] report
+    primary-key row operations with the row payload ([None] = delete
+    tombstone), published by all engines on success paths — the SI
+    invariant checker consumes exactly these. *)
+module Event : sig
+  type Sias_obs.Bus.event +=
+    | Txn_snapshot of { xid : int; snapshot : Sias_txn.Snapshot.t }
+    | Row_read of { xid : int; rel : int; pk : int; row : Value.t array option }
+    | Row_write of { xid : int; rel : int; pk : int; row : Value.t array option }
+end
+
 val create :
+  ?bus:Sias_obs.Bus.t ->
   ?device:Flashsim.Device.t ->
   ?wal_device:Flashsim.Device.t ->
   ?buffer_pages:int ->
@@ -71,12 +89,17 @@ val commit : t -> Sias_txn.Txn.t -> unit
 
 val abort : t -> Sias_txn.Txn.t -> unit
 
-val enable_si_checker : t -> Sichecker.t
-(** Turn on the online SI invariant oracle (idempotent); engines then
-    report begin/read/write/commit events to it. *)
+val bus : t -> Sias_obs.Bus.t
+(** The context's event bus, for subscribing consumers. *)
 
-val observe : t -> (Sichecker.t -> unit) -> unit
-(** Run [f] against the checker when enabled; no-op otherwise. *)
+val observed : t -> bool
+(** [true] when the bus has subscribers. Publishing sites check this
+    before building an event, so observability costs one branch when
+    off. *)
+
+val emit : t -> Sias_obs.Bus.event -> unit
+(** Publish an event on the context's bus. Call only behind an
+    {!observed} check. *)
 
 val charge_cpu : t -> int -> unit
 (** [charge_cpu db n] advances the clock by [n] row-operation costs. *)

@@ -54,3 +54,40 @@ module type S = sig
   val recover : t -> unit
   val table_stats : t -> table -> table_stats
 end
+
+(* ---------------- first-class-module registry ----------------
+
+   Each engine registers itself from its module initializer; the mvcc
+   library is built with -linkall so every engine is always present.
+   Accessors are functions, not values: this module initializes before
+   the engines do. *)
+
+type entry = {
+  key : string;
+  aliases : string list;
+  display : string;
+  impl : (module S);
+}
+
+let registry : entry list ref = ref []
+
+let register ~key ?(aliases = []) ?display impl =
+  let display = match display with Some d -> d | None -> key in
+  if List.exists (fun e -> e.key = key) !registry then
+    invalid_arg (Printf.sprintf "Engine.register: duplicate key %S" key);
+  registry := !registry @ [ { key; aliases; display; impl } ]
+
+let resolve s =
+  List.find_opt (fun e -> e.key = s || List.mem s e.aliases) !registry
+  |> Option.map (fun e -> (e.key, e.impl))
+
+let find s = Option.map snd (resolve s)
+
+let all () = List.map (fun e -> (e.key, e.impl)) !registry
+
+let keys () = List.map (fun e -> e.key) !registry |> List.sort compare
+
+let display_name s =
+  match List.find_opt (fun e -> e.key = s || List.mem s e.aliases) !registry with
+  | Some e -> e.display
+  | None -> s

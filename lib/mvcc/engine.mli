@@ -74,3 +74,35 @@ module type S = sig
 
   val table_stats : t -> table -> table_stats
 end
+
+(** {1 Engine registry}
+
+    Engines self-register as first-class modules under a stable string
+    key ("si", "si-cv", "sias", "sias-v"), so every selection point —
+    CLI parsing, the benchmark driver, the harness — resolves engines
+    through one table instead of duplicating match arms. The mvcc
+    library links with [-linkall], so registration runs whether or not
+    an engine module is otherwise referenced. *)
+
+val register :
+  key:string -> ?aliases:string list -> ?display:string -> (module S) -> unit
+(** Raises [Invalid_argument] on a duplicate key. [display] is the
+    human-readable name used in reports (defaults to [key]). *)
+
+val find : string -> (module S) option
+(** Look up by key or alias. *)
+
+val resolve : string -> (string * (module S)) option
+(** Like {!find} but also returns the canonical key (argument parsers
+    normalize aliases with this). *)
+
+val all : unit -> (string * (module S)) list
+(** Every registered engine, in registration order. A function, not a
+    value: module initialization order means the registry fills after
+    this module loads. *)
+
+val keys : unit -> string list
+(** Canonical keys, sorted. *)
+
+val display_name : string -> string
+(** Display name for a key or alias; echoes unknown strings back. *)

@@ -1,0 +1,16 @@
+(* Registry population. The mvcc library is linked with -linkall, so
+   this initializer always runs before any executable's [main] — every
+   engine is resolvable through Engine.find/resolve without the
+   executable naming the engine modules. Display names are the report
+   labels (Sias_engine.name is "SIAS-Chains" internally; reports have
+   always printed "SIAS"). *)
+
+let () =
+  Engine.register ~key:"si" ~display:"SI" (module Si_engine);
+  Engine.register ~key:"si-cv" ~display:"SI-CV" (module Si_cv_engine);
+  Engine.register ~key:"sias" ~aliases:[ "chains" ] ~display:"SIAS"
+    (module Sias_engine);
+  Engine.register ~key:"sias-v"
+    ~aliases:[ "vectors" ]
+    ~display:"SIAS-V"
+    (module Sias_vector)

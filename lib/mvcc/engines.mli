@@ -1,0 +1,3 @@
+(** Populates the {!Engine} registry with the four engines (si, si-cv,
+    sias, sias-v). Runs at library initialization via [-linkall]; has no
+    exports. *)

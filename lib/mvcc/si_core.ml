@@ -147,8 +147,10 @@ module Make (P : PROFILE) = struct
     | None ->
         let _ = place_version t txn table row in
         Db.charge_cpu t.db 1;
-        Db.observe t.db (fun c ->
-            Sichecker.on_write c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row:(Some row));
+        if Db.observed t.db then
+          Db.emit t.db
+            (Db.Event.Row_write
+               { xid = txn.Txn.xid; rel = table.rel; pk; row = Some row });
         Ok ()
 
   let read t txn table ~pk =
@@ -157,7 +159,9 @@ module Make (P : PROFILE) = struct
       | Some (_, _, _, row) -> Some row
       | None -> None
     in
-    Db.observe t.db (fun c -> Sichecker.on_read c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row);
+    if Db.observed t.db then
+      Db.emit t.db
+        (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
     row
 
   (* First-updater-wins: refuse when the visible version is already
@@ -206,8 +210,10 @@ module Make (P : PROFILE) = struct
                     ()
                 | None -> ());
                 Db.charge_cpu t.db 2;
-                Db.observe t.db (fun c ->
-                    Sichecker.on_write c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row:new_row);
+                if Db.observed t.db then
+                  Db.emit t.db
+                    (Db.Event.Row_write
+                       { xid = txn.Txn.xid; rel = table.rel; pk; row = new_row });
                 Ok ()))
 
   let update t txn table ~pk f =

@@ -1,0 +1,20 @@
+(** Shared implementation of the SI-family engines.
+
+    The baseline SI engine and SI-CV differ only in where new versions
+    are placed ({!Sias_storage.Heapfile.placement}); everything else —
+    in-place invalidation, index maintenance per version, vacuum — is
+    identical. {!Make} builds a full {!Engine.S} implementation from a
+    placement profile; [si_engine.ml] and [si_cv_engine.ml] are two-line
+    instantiations. *)
+
+module type PROFILE = sig
+  val name : string
+  val placement : Sias_storage.Heapfile.placement
+end
+
+module Make (_ : PROFILE) : sig
+  include Engine.S
+
+  val vacuum_stats : t -> int * int
+  (** (dead versions removed, pages scanned) by all {!gc} runs so far. *)
+end

@@ -246,7 +246,8 @@ let insert t txn table row =
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + List.length table.secondary);
-      Db.observe t.db (fun c -> Sichecker.on_write c ~xid ~rel:table.rel ~pk ~row:(Some row));
+      if Db.observed t.db then
+        Db.emit t.db (Db.Event.Row_write { xid; rel = table.rel; pk; row = Some row });
       Ok ()
 
 (* Algorithm 3. The update must start from the entrypoint: if a newer
@@ -299,9 +300,15 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                       if old_key <> new_key then Btree.insert index ~key:new_key ~payload:vid)
                     table.secondary;
                 Db.charge_cpu t.db 1;
-                Db.observe t.db (fun c ->
-                    Sichecker.on_write c ~xid ~rel:table.rel ~pk
-                      ~row:(if tombstone then None else Some row));
+                if Db.observed t.db then
+                  Db.emit t.db
+                    (Db.Event.Row_write
+                       {
+                         xid;
+                         rel = table.rel;
+                         pk;
+                         row = (if tombstone then None else Some row);
+                       });
                 Ok ()))
 
 let update t txn table ~pk f =
@@ -314,7 +321,8 @@ let read t txn table ~pk =
   let row =
     match find_item t txn table pk with Some (_, _, _, row) -> Some row | None -> None
   in
-  Db.observe t.db (fun c -> Sichecker.on_read c ~xid:txn.Txn.xid ~rel:table.rel ~pk ~row);
+  if Db.observed t.db then
+    Db.emit t.db (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
   row
 
 let lookup t txn table ~col ~key =

@@ -130,3 +130,18 @@ let report t =
     Printf.sprintf "si-checker: %d VIOLATION(S) (%d reads, %d commits checked); first: %s"
       t.violation_count t.reads_checked t.commits_checked
       (match List.rev t.violations with v :: _ -> v | [] -> "?")
+
+(* Bus subscription: the checker is an ordinary observability consumer.
+   The MVCC layer publishes Txn_snapshot alongside every Txn_begin and
+   Row_read/Row_write from each engine's success paths, which is exactly
+   the event stream the checker's callbacks need. *)
+let attach bus =
+  let t = create () in
+  Sias_obs.Bus.subscribe bus (function
+    | Db.Event.Txn_snapshot { xid; snapshot } -> on_begin t ~xid ~snapshot
+    | Db.Event.Row_read { xid; rel; pk; row } -> on_read t ~xid ~rel ~pk ~row
+    | Db.Event.Row_write { xid; rel; pk; row } -> on_write t ~xid ~rel ~pk ~row
+    | Sias_obs.Bus.Txn_commit { xid } -> on_commit t ~xid
+    | Sias_obs.Bus.Txn_abort { xid } -> on_abort t ~xid
+    | _ -> ());
+  t

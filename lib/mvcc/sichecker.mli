@@ -22,6 +22,13 @@ type t
 
 val create : unit -> t
 
+val attach : Sias_obs.Bus.t -> t
+(** Create a checker and subscribe it to a context's event bus
+    ({!Db.bus}): it consumes {!Db.Event.Txn_snapshot},
+    {!Db.Event.Row_read}, {!Db.Event.Row_write} and the generic
+    commit/abort events. Subscribe before running work that should be
+    checked — events published earlier are not replayed. *)
+
 val on_begin : t -> xid:int -> snapshot:Sias_txn.Snapshot.t -> unit
 val on_read : t -> xid:int -> rel:int -> pk:int -> row:Value.t array option -> unit
 

@@ -1,0 +1,48 @@
+type event = ..
+
+type io_op = Io_read | Io_write
+
+type event +=
+  | Txn_begin of { xid : int }
+  | Txn_commit of { xid : int }
+  | Txn_abort of { xid : int }
+  | Txn_retry of { attempt : int }
+  | Txn_shed
+  | Page_hit of { rel : int; block : int }
+  | Page_miss of { rel : int; block : int }
+  | Page_evict of { rel : int; block : int; dirty : bool }
+  | Page_flush of { rel : int; block : int; sync : bool }
+  | Page_repair of { rel : int; block : int }
+  | Page_trim of { rel : int; block : int }
+  | Wal_append of { kind : string; bytes : int }
+  | Wal_flush of { sync : bool; bytes : int }
+  | Device_io of {
+      device : string;
+      op : io_op;
+      sector : int;
+      bytes : int;
+      latency_s : float;
+    }
+  | Device_trim of { device : string; sector : int; bytes : int }
+  | Fault_hit of { kind : string; sector : int }
+  | Checkpoint of { pages : int }
+  | Bgwriter_pass of { pages : int }
+  | Ftl_gc of { device : string; moved_pages : int; erases : int }
+  | Span of { cat : string; name : string; tid : int; t0 : float; t1 : float }
+
+let io_op_to_string = function Io_read -> "read" | Io_write -> "write"
+
+type t = { mutable subs : (event -> unit) array }
+
+let create () = { subs = [||] }
+
+let subscribe t f = t.subs <- Array.append t.subs [| f |]
+
+let active t = Array.length t.subs > 0
+
+let publish t e =
+  for i = 0 to Array.length t.subs - 1 do
+    (Array.unsafe_get t.subs i) e
+  done
+
+let subscriber_count t = Array.length t.subs

@@ -1,0 +1,73 @@
+(** Typed observability event bus.
+
+    Every layer of the stack (device model, buffer pool, WAL, background
+    writer, contention manager, engines, TPC-C driver) publishes into one
+    bus per database context; any number of consumers — the SI invariant
+    checker, the metrics recorder, the span tracer — subscribe to it.
+
+    The event type is extensible so higher layers can add constructors
+    carrying their own payload types (the MVCC layer adds row-level
+    events with [Value.t array] payloads) without this library depending
+    on them.
+
+    {b Overhead when off}: publishing sites must guard event construction
+    with {!active}; with no subscribers the whole observability path costs
+    one branch per site and allocates nothing. *)
+
+type event = ..
+
+type io_op = Io_read | Io_write
+
+type event +=
+  | Txn_begin of { xid : int }
+  | Txn_commit of { xid : int }
+  | Txn_abort of { xid : int }
+  | Txn_retry of { attempt : int }  (** a conflict-aborted tx is resubmitted *)
+  | Txn_shed  (** the admission gate turned a request away *)
+  | Page_hit of { rel : int; block : int }
+  | Page_miss of { rel : int; block : int }
+  | Page_evict of { rel : int; block : int; dirty : bool }
+  | Page_flush of { rel : int; block : int; sync : bool }
+  | Page_repair of { rel : int; block : int }
+      (** a corrupt page was rebuilt from WAL full-page images *)
+  | Page_trim of { rel : int; block : int }
+  | Wal_append of { kind : string; bytes : int }
+  | Wal_flush of { sync : bool; bytes : int }
+  | Device_io of {
+      device : string;
+      op : io_op;
+      sector : int;
+      bytes : int;
+      latency_s : float;  (** queueing + service time of this request *)
+    }
+  | Device_trim of { device : string; sector : int; bytes : int }
+  | Fault_hit of { kind : string; sector : int }
+      (** an injected fault bit: transient read error, checksum failure,
+          torn data-page or WAL write *)
+  | Checkpoint of { pages : int }
+  | Bgwriter_pass of { pages : int }
+  | Ftl_gc of { device : string; moved_pages : int; erases : int }
+      (** flash garbage collection performed inside a host request *)
+  | Span of { cat : string; name : string; tid : int; t0 : float; t1 : float }
+      (** a timed operation, in absolute simulated seconds *)
+
+val io_op_to_string : io_op -> string
+(** ["read"] or ["write"]. *)
+
+type t
+
+val create : unit -> t
+(** A bus with no subscribers: {!active} is [false] and {!publish} is a
+    no-op. *)
+
+val subscribe : t -> (event -> unit) -> unit
+(** Add a consumer; it sees every subsequently published event, in
+    publication order, after previously registered consumers. *)
+
+val active : t -> bool
+(** [true] once anyone subscribed. Publishing sites check this before
+    building an event so the disabled path allocates nothing. *)
+
+val publish : t -> event -> unit
+
+val subscriber_count : t -> int

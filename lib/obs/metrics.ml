@@ -1,0 +1,237 @@
+module Stats = Sias_util.Stats
+
+type counter = { mutable c : int }
+type gauge = { mutable g : float }
+
+type histogram = {
+  width : float;
+  nbuckets : int;
+  mutable hist : Stats.Histogram.t;
+  mutable sum : float;
+}
+
+type series_value =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type family = {
+  name : string;
+  help : string;
+  kind : string; (* "counter" | "gauge" | "histogram" *)
+  mutable series : ((string * string) list * series_value) list;
+      (* insertion order; labels stored sorted by key *)
+}
+
+type t = { mutable families : family list (* insertion order *) }
+
+let create () = { families = [] }
+
+let canon labels = List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let family t ~name ~help ~kind =
+  match List.find_opt (fun f -> f.name = name) t.families with
+  | Some f ->
+      if f.kind <> kind then
+        invalid_arg
+          (Printf.sprintf "Metrics: %s already registered as a %s" name f.kind);
+      f
+  | None ->
+      let f = { name; help; kind; series = [] } in
+      t.families <- t.families @ [ f ];
+      f
+
+let series f ~labels ~fresh =
+  match List.assoc_opt labels f.series with
+  | Some v -> v
+  | None ->
+      let v = fresh () in
+      f.series <- f.series @ [ (labels, v) ];
+      v
+
+let counter t ?(help = "") ?(labels = []) name =
+  let f = family t ~name ~help ~kind:"counter" in
+  match series f ~labels:(canon labels) ~fresh:(fun () -> Counter { c = 0 }) with
+  | Counter c -> c
+  | _ -> assert false
+
+let incr c = c.c <- c.c + 1
+let add c k = c.c <- c.c + k
+let counter_value c = c.c
+
+let gauge t ?(help = "") ?(labels = []) name =
+  let f = family t ~name ~help ~kind:"gauge" in
+  match series f ~labels:(canon labels) ~fresh:(fun () -> Gauge { g = 0.0 }) with
+  | Gauge g -> g
+  | _ -> assert false
+
+let set_gauge g x = g.g <- x
+
+let histogram t ?(help = "") ?(labels = []) ?(bucket_width = 0.0005)
+    ?(buckets = 2000) name =
+  let f = family t ~name ~help ~kind:"histogram" in
+  let fresh () =
+    Histogram
+      {
+        width = bucket_width;
+        nbuckets = buckets;
+        hist = Stats.Histogram.create ~bucket_width ~buckets;
+        sum = 0.0;
+      }
+  in
+  match series f ~labels:(canon labels) ~fresh with
+  | Histogram h -> h
+  | _ -> assert false
+
+let observe h x =
+  Stats.Histogram.add h.hist x;
+  h.sum <- h.sum +. x
+
+let quantile h p =
+  if Stats.Histogram.total h.hist = 0 then 0.0
+  else Stats.Histogram.percentile h.hist p
+
+let histogram_count h = Stats.Histogram.total h.hist
+let histogram_sum h = h.sum
+
+let value t ?(labels = []) name =
+  match List.find_opt (fun f -> f.name = name) t.families with
+  | None -> None
+  | Some f -> (
+      match List.assoc_opt (canon labels) f.series with
+      | Some (Counter c) -> Some (float_of_int c.c)
+      | Some (Gauge g) -> Some g.g
+      | Some (Histogram _) | None -> None)
+
+let reset t =
+  List.iter
+    (fun f ->
+      List.iter
+        (fun (_, v) ->
+          match v with
+          | Counter c -> c.c <- 0
+          | Gauge g -> g.g <- 0.0
+          | Histogram h ->
+              h.hist <-
+                Stats.Histogram.create ~bucket_width:h.width ~buckets:h.nbuckets;
+              h.sum <- 0.0)
+        f.series)
+    t.families
+
+(* ---------------- exporters ---------------- *)
+
+let escape_label v =
+  let b = Buffer.create (String.length v) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    v;
+  Buffer.contents b
+
+let fmt_float x =
+  if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.9g" x
+
+let label_block labels =
+  if labels = [] then ""
+  else
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label v)) labels)
+    ^ "}"
+
+(* label set extended with one more pair, for histogram [le] buckets *)
+let label_block_plus labels extra =
+  label_block (labels @ [ extra ])
+
+let to_prometheus t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun f ->
+      if f.help <> "" then
+        Buffer.add_string b (Printf.sprintf "# HELP %s %s\n" f.name f.help);
+      Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" f.name f.kind);
+      List.iter
+        (fun (labels, v) ->
+          match v with
+          | Counter c ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %d\n" f.name (label_block labels) c.c)
+          | Gauge g ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" f.name (label_block labels)
+                   (fmt_float g.g))
+          | Histogram h ->
+              let counts = Stats.Histogram.counts h.hist in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i n ->
+                  cum := !cum + n;
+                  if n > 0 then
+                    Buffer.add_string b
+                      (Printf.sprintf "%s_bucket%s %d\n" f.name
+                         (label_block_plus labels
+                            ("le", fmt_float (float_of_int (i + 1) *. h.width)))
+                         !cum))
+                counts;
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" f.name
+                   (label_block_plus labels ("le", "+Inf"))
+                   !cum);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" f.name (label_block labels)
+                   (fmt_float h.sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" f.name (label_block labels)
+                   (Stats.Histogram.total h.hist)))
+        f.series)
+    t.families;
+  Buffer.contents b
+
+let json_string s = Printf.sprintf "%S" s
+
+let json_labels labels =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> json_string k ^ ":" ^ json_string v) labels)
+  ^ "}"
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\"metrics\":[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf "{\"name\":%s,\"type\":%s,\"help\":%s,\"series\":["
+           (json_string f.name) (json_string f.kind) (json_string f.help));
+      List.iteri
+        (fun j (labels, v) ->
+          if j > 0 then Buffer.add_char b ',';
+          match v with
+          | Counter c ->
+              Buffer.add_string b
+                (Printf.sprintf "{\"labels\":%s,\"value\":%d}"
+                   (json_labels labels) c.c)
+          | Gauge g ->
+              Buffer.add_string b
+                (Printf.sprintf "{\"labels\":%s,\"value\":%s}"
+                   (json_labels labels) (fmt_float g.g))
+          | Histogram h ->
+              let n = Stats.Histogram.total h.hist in
+              let q p = if n = 0 then 0.0 else Stats.Histogram.percentile h.hist p in
+              Buffer.add_string b
+                (Printf.sprintf
+                   "{\"labels\":%s,\"count\":%d,\"sum\":%s,\"p50\":%s,\"p95\":%s,\"p99\":%s}"
+                   (json_labels labels) n (fmt_float h.sum)
+                   (fmt_float (q 50.0)) (fmt_float (q 95.0))
+                   (fmt_float (q 99.0))))
+        f.series;
+      Buffer.add_string b "]}")
+    t.families;
+  Buffer.add_string b "]}";
+  Buffer.contents b

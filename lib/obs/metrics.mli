@@ -1,0 +1,65 @@
+(** Metrics registry: labeled counters, gauges and fixed-bucket latency
+    histograms, with Prometheus-style text and JSON exporters.
+
+    A registry holds metric {e families} (one per name) each carrying any
+    number of label-distinguished series. Handle lookup
+    ({!counter}/{!gauge}/{!histogram}) is idempotent — the same
+    (name, labels) pair always returns the same handle — so consumers
+    resolve handles once and update them on the hot path without
+    allocation. Histograms reuse {!Sias_util.Stats.Histogram} buckets and
+    report p50/p95/p99 through {!quantile} and the JSON exporter. *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+val counter :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+val gauge :
+  t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
+
+val set_gauge : gauge -> float -> unit
+
+val histogram :
+  t ->
+  ?help:string ->
+  ?labels:(string * string) list ->
+  ?bucket_width:float ->
+  ?buckets:int ->
+  string ->
+  histogram
+(** Default buckets: 2000 × 0.5 ms — covers one simulated second of
+    latency; observations beyond the last bucket clamp into it. *)
+
+val observe : histogram -> float -> unit
+
+val quantile : histogram -> float -> float
+(** [quantile h p] with [p] in [0,100]; 0 when the histogram is empty. *)
+
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val value : t -> ?labels:(string * string) list -> string -> float option
+(** Current value of a counter or gauge series, if registered. *)
+
+val reset : t -> unit
+(** Zero every series, keeping all registrations (and thus exporter
+    layout) intact. The harness resets the registry when it resets the
+    block trace, so metrics cover exactly the measured window. *)
+
+val to_prometheus : t -> string
+(** Prometheus text exposition format: [# HELP]/[# TYPE] headers,
+    [name{label="v"} value] samples, histograms as cumulative
+    [_bucket{le="..."}] plus [_sum]/[_count]. *)
+
+val to_json : t -> string
+(** Single JSON object; histogram series carry count/sum/p50/p95/p99. *)

@@ -1,0 +1,155 @@
+type state = {
+  m : Metrics.t;
+  txn : (string, Metrics.counter) Hashtbl.t;
+  page : (string, Metrics.counter) Hashtbl.t;
+  wal_records : (string, Metrics.counter) Hashtbl.t;
+  wal_bytes : Metrics.counter;
+  wal_flushes : (bool, Metrics.counter) Hashtbl.t;
+  wal_flush_bytes : Metrics.counter;
+  dev_io : (string * Bus.io_op, Metrics.counter) Hashtbl.t;
+  dev_bytes : (string * Bus.io_op, Metrics.counter) Hashtbl.t;
+  dev_lat : (string * Bus.io_op, Metrics.histogram) Hashtbl.t;
+  faults : (string, Metrics.counter) Hashtbl.t;
+  checkpoints : Metrics.counter;
+  checkpoint_pages : Metrics.counter;
+  bgwriter_passes : Metrics.counter;
+  bgwriter_pages : Metrics.counter;
+  gc_runs : (string, Metrics.counter) Hashtbl.t;
+  gc_erases : (string, Metrics.counter) Hashtbl.t;
+  gc_moved : (string, Metrics.counter) Hashtbl.t;
+  spans : (string * string, Metrics.histogram) Hashtbl.t;
+}
+
+let memo tbl key fresh =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = fresh () in
+      Hashtbl.add tbl key v;
+      v
+
+let txn_counter st event =
+  memo st.txn event (fun () ->
+      Metrics.counter st.m ~help:"Transaction lifecycle events"
+        ~labels:[ ("event", event) ]
+        "sias_txn_total")
+
+let page_counter st event =
+  memo st.page event (fun () ->
+      Metrics.counter st.m ~help:"Buffer-pool page events"
+        ~labels:[ ("event", event) ]
+        "sias_page_ops_total")
+
+let dev_labels device op =
+  [ ("device", device); ("op", Bus.io_op_to_string op) ]
+
+let on_event st e =
+  match e with
+  | Bus.Txn_begin _ -> Metrics.incr (txn_counter st "begin")
+  | Bus.Txn_commit _ -> Metrics.incr (txn_counter st "commit")
+  | Bus.Txn_abort _ -> Metrics.incr (txn_counter st "abort")
+  | Bus.Txn_retry _ -> Metrics.incr (txn_counter st "retry")
+  | Bus.Txn_shed -> Metrics.incr (txn_counter st "shed")
+  | Bus.Page_hit _ -> Metrics.incr (page_counter st "hit")
+  | Bus.Page_miss _ -> Metrics.incr (page_counter st "miss")
+  | Bus.Page_evict _ -> Metrics.incr (page_counter st "evict")
+  | Bus.Page_flush _ -> Metrics.incr (page_counter st "flush")
+  | Bus.Page_repair _ -> Metrics.incr (page_counter st "repair")
+  | Bus.Page_trim _ -> Metrics.incr (page_counter st "trim")
+  | Bus.Wal_append { kind; bytes } ->
+      Metrics.incr
+        (memo st.wal_records kind (fun () ->
+             Metrics.counter st.m ~help:"WAL records appended"
+               ~labels:[ ("kind", kind) ]
+               "sias_wal_records_total"));
+      Metrics.add st.wal_bytes bytes
+  | Bus.Wal_flush { sync; bytes } ->
+      Metrics.incr
+        (memo st.wal_flushes sync (fun () ->
+             Metrics.counter st.m ~help:"WAL flushes"
+               ~labels:[ ("sync", if sync then "true" else "false") ]
+               "sias_wal_flushes_total"));
+      Metrics.add st.wal_flush_bytes bytes
+  | Bus.Device_io { device; op; bytes; latency_s; _ } ->
+      Metrics.incr
+        (memo st.dev_io (device, op) (fun () ->
+             Metrics.counter st.m ~help:"Device requests"
+               ~labels:(dev_labels device op) "sias_device_io_total"));
+      Metrics.add
+        (memo st.dev_bytes (device, op) (fun () ->
+             Metrics.counter st.m ~help:"Device bytes transferred"
+               ~labels:(dev_labels device op) "sias_device_bytes_total"))
+        bytes;
+      Metrics.observe
+        (memo st.dev_lat (device, op) (fun () ->
+             Metrics.histogram st.m ~help:"Device request latency (s)"
+               ~labels:(dev_labels device op) ~bucket_width:0.0001 ~buckets:1000
+               "sias_device_latency_seconds"))
+        latency_s
+  | Bus.Device_trim _ -> Metrics.incr (page_counter st "device_trim")
+  | Bus.Fault_hit { kind; _ } ->
+      Metrics.incr
+        (memo st.faults kind (fun () ->
+             Metrics.counter st.m ~help:"Injected-fault hits"
+               ~labels:[ ("kind", kind) ]
+               "sias_fault_hits_total"))
+  | Bus.Checkpoint { pages } ->
+      Metrics.incr st.checkpoints;
+      Metrics.add st.checkpoint_pages pages
+  | Bus.Bgwriter_pass { pages } ->
+      Metrics.incr st.bgwriter_passes;
+      Metrics.add st.bgwriter_pages pages
+  | Bus.Ftl_gc { device; moved_pages; erases } ->
+      let dev_counter tbl name help =
+        memo tbl device (fun () ->
+            Metrics.counter st.m ~help ~labels:[ ("device", device) ] name)
+      in
+      Metrics.incr (dev_counter st.gc_runs "sias_ftl_gc_total" "FTL GC rounds");
+      Metrics.add
+        (dev_counter st.gc_erases "sias_ftl_gc_erases_total" "FTL GC block erases")
+        erases;
+      Metrics.add
+        (dev_counter st.gc_moved "sias_ftl_gc_moved_pages_total"
+           "Flash pages relocated by GC")
+        moved_pages
+  | Bus.Span { cat; name; t0; t1; _ } ->
+      Metrics.observe
+        (memo st.spans (cat, name) (fun () ->
+             Metrics.histogram st.m ~help:"Span durations (s)"
+               ~labels:[ ("cat", cat); ("name", name) ]
+               "sias_span_seconds"))
+        (Float.max 0.0 (t1 -. t0))
+  | _ -> ()
+
+let attach m bus =
+  let st =
+    {
+      m;
+      txn = Hashtbl.create 8;
+      page = Hashtbl.create 8;
+      wal_records = Hashtbl.create 8;
+      wal_bytes = Metrics.counter m ~help:"WAL bytes appended" "sias_wal_bytes_total";
+      wal_flushes = Hashtbl.create 2;
+      wal_flush_bytes =
+        Metrics.counter m ~help:"WAL bytes flushed" "sias_wal_flushed_bytes_total";
+      dev_io = Hashtbl.create 8;
+      dev_bytes = Hashtbl.create 8;
+      dev_lat = Hashtbl.create 8;
+      faults = Hashtbl.create 8;
+      checkpoints =
+        Metrics.counter m ~help:"Checkpoints completed" "sias_checkpoints_total";
+      checkpoint_pages =
+        Metrics.counter m ~help:"Pages written by checkpoints"
+          "sias_checkpoint_pages_total";
+      bgwriter_passes =
+        Metrics.counter m ~help:"Background-writer sweeps" "sias_bgwriter_passes_total";
+      bgwriter_pages =
+        Metrics.counter m ~help:"Pages written by the background writer"
+          "sias_bgwriter_pages_total";
+      gc_runs = Hashtbl.create 4;
+      gc_erases = Hashtbl.create 4;
+      gc_moved = Hashtbl.create 4;
+      spans = Hashtbl.create 16;
+    }
+  in
+  Bus.subscribe bus (on_event st)

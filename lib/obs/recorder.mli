@@ -1,0 +1,13 @@
+(** The standard bus → metrics mapping.
+
+    Subscribes a registry to a bus and maintains the stack's canonical
+    metric families: transaction/page/WAL event counters, per-device I/O
+    counts, byte volumes and latency histograms, fault-hit counters,
+    checkpoint/bgwriter/FTL-GC counters, and per-span latency histograms
+    (from which the p50/p95/p99 readouts come).
+
+    [sias_device_bytes_total{device=...,op="write"}] counts exactly the
+    bytes the named device's {!Flashsim.Blocktrace} records, so a metrics
+    dump reconciles with [Blocktrace.write_mb] over the same window. *)
+
+val attach : Metrics.t -> Bus.t -> unit

@@ -1,0 +1,92 @@
+module Simclock = Sias_util.Simclock
+
+type t = {
+  buf : Buffer.t;
+  clock : Simclock.t;
+  max_events : int;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let us s = s *. 1e6
+
+let add_event t line =
+  if t.count >= t.max_events then t.dropped <- t.dropped + 1
+  else begin
+    if t.count > 0 then Buffer.add_char t.buf ',';
+    Buffer.add_string t.buf line;
+    t.count <- t.count + 1
+  end
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let complete t ~cat ~name ~tid ~t0 ~t1 =
+  add_event t
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+       (escape name) (escape cat) (us t0)
+       (us (Float.max 0.0 (t1 -. t0)))
+       tid)
+
+let instant t ~cat ~name ~tid ~args =
+  let args_s =
+    if args = [] then ""
+    else
+      Printf.sprintf ",\"args\":{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (escape k) v) args))
+  in
+  add_event t
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"ts\":%.3f,\"pid\":1,\"tid\":%d%s}"
+       (escape name) (escape cat) (us (Simclock.now t.clock)) tid args_s)
+
+let on_event t = function
+  | Bus.Span { cat; name; tid; t0; t1 } -> complete t ~cat ~name ~tid ~t0 ~t1
+  | Bus.Checkpoint { pages } ->
+      instant t ~cat:"storage" ~name:"checkpoint" ~tid:102
+        ~args:[ ("pages", string_of_int pages) ]
+  | Bus.Bgwriter_pass { pages } ->
+      instant t ~cat:"storage" ~name:"bgwriter-pass" ~tid:102
+        ~args:[ ("pages", string_of_int pages) ]
+  | Bus.Ftl_gc { device; moved_pages; erases } ->
+      instant t ~cat:"device" ~name:"ftl-gc" ~tid:103
+        ~args:
+          [
+            ("device", Printf.sprintf "\"%s\"" (escape device));
+            ("moved_pages", string_of_int moved_pages);
+            ("erases", string_of_int erases);
+          ]
+  | Bus.Fault_hit { kind; sector } ->
+      instant t ~cat:"fault" ~name:kind ~tid:104
+        ~args:[ ("sector", string_of_int sector) ]
+  | Bus.Txn_shed -> instant t ~cat:"txn" ~name:"shed" ~tid:105 ~args:[]
+  | _ -> ()
+
+let attach ?(max_events = 1_000_000) ~clock bus =
+  let t =
+    { buf = Buffer.create 65536; clock; max_events; count = 0; dropped = 0 }
+  in
+  Bus.subscribe bus (on_event t);
+  t
+
+let event_count t = t.count
+let dropped t = t.dropped
+
+let to_json t =
+  Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}"
+    (Buffer.contents t.buf)
+
+let write_file t path =
+  let oc = open_out path in
+  output_string oc (to_json t);
+  close_out oc

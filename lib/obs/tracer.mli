@@ -1,0 +1,24 @@
+(** Span tracer: collects {!Bus.Span} events (and a few instantaneous
+    markers — checkpoints, bgwriter passes, FTL GC, fault hits, shed
+    requests) into Chrome trace-event JSON, loadable in Perfetto or
+    chrome://tracing.
+
+    Timestamps are simulated seconds converted to microseconds, so the
+    trace timeline is the simulation timeline. Each span becomes a
+    complete ("ph":"X") event with its category as the track grouping;
+    markers become instant ("ph":"i") events stamped with the simulated
+    clock at publication time. *)
+
+type t
+
+val attach : ?max_events:int -> clock:Sias_util.Simclock.t -> Bus.t -> t
+(** Subscribe a tracer to [bus]. At most [max_events] (default 1_000_000)
+    events are retained; later ones are counted in {!dropped}. *)
+
+val event_count : t -> int
+val dropped : t -> int
+
+val to_json : t -> string
+(** [{"traceEvents":[...],"displayTimeUnit":"ms"}]. *)
+
+val write_file : t -> string -> unit

@@ -1,4 +1,5 @@
 module Simclock = Sias_util.Simclock
+module Bus = Sias_obs.Bus
 
 type policy =
   | T1_bgwriter of { interval : float; max_pages : int }
@@ -11,6 +12,7 @@ type t = {
   policy : policy;
   checkpoint_interval : float;
   on_checkpoint : unit -> unit;
+  bus : Bus.t option;
   mutable next_bgwriter : float;
   mutable next_checkpoint : float;
   mutable checkpoints : int;
@@ -18,7 +20,7 @@ type t = {
 }
 
 let create pool ~clock ~policy ?(checkpoint_interval = 30.0)
-    ?(on_checkpoint = fun () -> ()) () =
+    ?(on_checkpoint = fun () -> ()) ?bus () =
   let now = Simclock.now clock in
   let next_bgwriter =
     match policy with T1_bgwriter { interval; _ } -> now +. interval | _ -> infinity
@@ -32,16 +34,47 @@ let create pool ~clock ~policy ?(checkpoint_interval = 30.0)
     policy;
     checkpoint_interval;
     on_checkpoint;
+    bus;
     next_bgwriter;
     next_checkpoint;
     checkpoints = 0;
     bgwriter_rounds = 0;
   }
 
-let checkpoint_now t =
-  Bufpool.flush_all t.pool ~sync:false;
+let obs t =
+  match t.bus with Some b when Bus.active b -> Some b | _ -> None
+
+let flushes_delta t f =
+  match obs t with
+  | None ->
+      f ();
+      (None, 0)
+  | Some b ->
+      let before = (Bufpool.stats t.pool).Bufpool.flushes in
+      f ();
+      (Some b, (Bufpool.stats t.pool).Bufpool.flushes - before)
+
+let run_checkpoint t =
+  let t0 = Simclock.now t.clock in
+  let b, pages = flushes_delta t (fun () -> Bufpool.flush_all t.pool ~sync:false) in
+  (match b with
+  | Some b ->
+      Bus.publish b (Bus.Checkpoint { pages });
+      Bus.publish b
+        (Bus.Span
+           {
+             cat = "storage";
+             name = "checkpoint";
+             tid = 102;
+             t0;
+             t1 = Simclock.now t.clock;
+           })
+  | None -> ());
   t.on_checkpoint ();
-  t.checkpoints <- t.checkpoints + 1;
+  t.checkpoints <- t.checkpoints + 1
+
+let checkpoint_now t =
+  run_checkpoint t;
   t.next_checkpoint <- Simclock.now t.clock +. t.checkpoint_interval
 
 let tick t =
@@ -49,15 +82,18 @@ let tick t =
   (match t.policy with
   | T1_bgwriter { interval; max_pages } ->
       while t.next_bgwriter <= now do
-        Bufpool.flush_some t.pool ~max_pages;
+        let b, pages =
+          flushes_delta t (fun () -> Bufpool.flush_some t.pool ~max_pages)
+        in
+        (match b with
+        | Some b -> Bus.publish b (Bus.Bgwriter_pass { pages })
+        | None -> ());
         t.bgwriter_rounds <- t.bgwriter_rounds + 1;
         t.next_bgwriter <- t.next_bgwriter +. interval
       done
   | T2_checkpoint_only | Disabled -> ());
   while t.next_checkpoint <= now do
-    Bufpool.flush_all t.pool ~sync:false;
-    t.on_checkpoint ();
-    t.checkpoints <- t.checkpoints + 1;
+    run_checkpoint t;
     t.next_checkpoint <- t.next_checkpoint +. t.checkpoint_interval
   done
 

@@ -28,6 +28,7 @@ val create :
   policy:policy ->
   ?checkpoint_interval:float ->
   ?on_checkpoint:(unit -> unit) ->
+  ?bus:Sias_obs.Bus.t ->
   unit ->
   t
 (** A checkpoint flushing all dirty pages runs every [checkpoint_interval]

@@ -2,6 +2,7 @@ module Device = Flashsim.Device
 module Blocktrace = Flashsim.Blocktrace
 module Faultdev = Flashsim.Faultdev
 module Simclock = Sias_util.Simclock
+module Bus = Sias_obs.Bus
 
 type key = { rel : int; block : int }
 
@@ -45,6 +46,7 @@ type t = {
   frames : frame array;
   index : (key, int) Hashtbl.t;
   disk : (key, Page.t) Hashtbl.t; (* flushed page images *)
+  bus : Bus.t option;
   faults : Faultdev.t option;
   max_read_retries : int;
   torn_pending : (key, Page.t) Hashtbl.t;
@@ -69,7 +71,7 @@ type t = {
 }
 
 let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_blocks = 65536)
-    ?os_cache_interval ?os_cache_pages ?faults ?(max_read_retries = 4) () =
+    ?os_cache_interval ?os_cache_pages ?bus ?faults ?(max_read_retries = 4) () =
   if capacity_pages <= 0 then invalid_arg "Bufpool.create: capacity must be positive";
   let dummy_key = { rel = -1; block = -1 } in
   let frames =
@@ -113,6 +115,7 @@ let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_block
     checksum_failures = 0;
     pages_repaired = 0;
     torn_pages = 0;
+    bus;
     faults;
     max_read_retries;
     torn_pending = Hashtbl.create 64;
@@ -122,6 +125,11 @@ let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_block
 let page_size t = t.page_size
 let device t = t.device
 let now t = Simclock.now t.clock
+
+(* The bus with subscribers, if observability is on; publishing sites
+   build their events only behind this check. *)
+let obs t =
+  match t.bus with Some b when Bus.active b -> Some b | _ -> None
 
 let sectors_per_page t = t.page_size / 512
 
@@ -155,8 +163,12 @@ let read_image t key =
   | None -> None
   | Some image ->
       let sector = sector_of t ~rel:key.rel ~block:key.block in
+      let t0 = Simclock.now t.clock in
       let backoff i =
         t.read_retries <- t.read_retries + 1;
+        (match obs t with
+        | Some b -> Bus.publish b (Bus.Fault_hit { kind = "read_retry"; sector })
+        | None -> ());
         let stall = read_backoff_base_s *. (2.0 ** float_of_int i) in
         t.read_stall <- t.read_stall +. stall;
         Simclock.advance t.clock stall
@@ -186,7 +198,12 @@ let read_image t key =
         let page = Page.of_bytes raw in
         if (not unreadable) && Page.checksum_ok page then Some page
         else if tries < t.max_read_retries then begin
-          if not unreadable then t.checksum_failures <- t.checksum_failures + 1;
+          if not unreadable then begin
+            t.checksum_failures <- t.checksum_failures + 1;
+            match obs t with
+            | Some b -> Bus.publish b (Bus.Fault_hit { kind = "checksum"; sector })
+            | None -> ()
+          end;
           backoff tries;
           read_verified (tries + 1)
         end
@@ -194,10 +211,25 @@ let read_image t key =
       in
       let verified = read_verified 0 in
       submit_io t ~sync:true Blocktrace.Read key;
+      (match obs t with
+      | Some b ->
+          Bus.publish b
+            (Bus.Span
+               {
+                 cat = "storage";
+                 name = "page_read";
+                 tid = 100;
+                 t0;
+                 t1 = Simclock.now t.clock;
+               })
+      | None -> ());
       match verified with
       | Some page -> Some page
       | None -> begin
         t.checksum_failures <- t.checksum_failures + 1;
+        (match obs t with
+        | Some b -> Bus.publish b (Bus.Fault_hit { kind = "checksum"; sector })
+        | None -> ());
         let repaired =
           match t.repair with
           | None -> None
@@ -206,6 +238,11 @@ let read_image t key =
         match repaired with
         | Some fixed ->
             t.pages_repaired <- t.pages_repaired + 1;
+            (match obs t with
+            | Some b ->
+                Bus.publish b
+                  (Bus.Page_repair { rel = key.rel; block = key.block })
+            | None -> ());
             let durable = Page.copy fixed in
             Page.stamp_checksum durable;
             Hashtbl.replace t.disk key durable;
@@ -249,6 +286,9 @@ let write_back t frame ~sync =
           (* prefix of the new image over the previous durable content;
              manifests only if a crash strikes before the next atomic
              write of this page *)
+          (match obs t with
+          | Some b -> Bus.publish b (Bus.Fault_hit { kind = "torn_write"; sector })
+          | None -> ());
           let torn =
             match Hashtbl.find_opt t.disk frame.key with
             | Some old -> Page.to_bytes old
@@ -258,7 +298,21 @@ let write_back t frame ~sync =
           Hashtbl.replace t.torn_pending frame.key (Page.of_bytes torn)));
   Hashtbl.replace t.disk frame.key durable;
   (match t.os_cache_interval with
-  | None -> submit_io t ~sync Blocktrace.Write frame.key
+  | None -> (
+      match obs t with
+      | None -> submit_io t ~sync Blocktrace.Write frame.key
+      | Some b ->
+          let t0 = Simclock.now t.clock in
+          submit_io t ~sync Blocktrace.Write frame.key;
+          Bus.publish b
+            (Bus.Span
+               {
+                 cat = "storage";
+                 name = "page_write";
+                 tid = 100;
+                 t0;
+                 t1 = Simclock.now t.clock;
+               }))
   | Some _ ->
       Hashtbl.replace t.os_pending frame.key ();
       (* bounded cache: a dirty set beyond the kernel's writeback
@@ -267,7 +321,12 @@ let write_back t frame ~sync =
       if Hashtbl.length t.os_pending > t.os_cache_pages then flush_os_cache t
       else os_cache_tick t);
   frame.dirty <- false;
-  t.flushes <- t.flushes + 1
+  t.flushes <- t.flushes + 1;
+  match obs t with
+  | Some b ->
+      Bus.publish b
+        (Bus.Page_flush { rel = frame.key.rel; block = frame.key.block; sync })
+  | None -> ()
 
 (* Clock sweep: find an unpinned victim, giving recently referenced frames
    a second chance. Dirty victims are written back synchronously. *)
@@ -289,6 +348,12 @@ let find_victim t =
 let load_frame t key =
   let f = find_victim t in
   if f.used then begin
+    (match obs t with
+    | Some b ->
+        Bus.publish b
+          (Bus.Page_evict
+             { rel = f.key.rel; block = f.key.block; dirty = f.dirty })
+    | None -> ());
     if f.dirty then write_back t f ~sync:true;
     Hashtbl.remove t.index f.key;
     t.evictions <- t.evictions + 1
@@ -307,10 +372,16 @@ let get_frame t key =
   | Some i ->
       let f = t.frames.(i) in
       t.hits <- t.hits + 1;
+      (match obs t with
+      | Some b -> Bus.publish b (Bus.Page_hit { rel = key.rel; block = key.block })
+      | None -> ());
       f.refbit <- true;
       f
   | None ->
       t.misses <- t.misses + 1;
+      (match obs t with
+      | Some b -> Bus.publish b (Bus.Page_miss { rel = key.rel; block = key.block })
+      | None -> ());
       let f = load_frame t key in
       Hashtbl.replace t.index key f.idx;
       f
@@ -348,15 +419,24 @@ let with_page_ro t ~rel ~block fn =
   | Some i ->
       let f = t.frames.(i) in
       t.hits <- t.hits + 1;
+      (match obs t with
+      | Some b -> Bus.publish b (Bus.Page_hit { rel; block })
+      | None -> ());
       f.pin <- f.pin + 1;
       Fun.protect ~finally:(fun () -> f.pin <- f.pin - 1) (fun () -> fn f.page)
   | None -> (
       match Hashtbl.find_opt t.ring key with
       | Some page ->
           t.hits <- t.hits + 1;
+          (match obs t with
+          | Some b -> Bus.publish b (Bus.Page_hit { rel; block })
+          | None -> ());
           fn page
       | None ->
           t.misses <- t.misses + 1;
+          (match obs t with
+          | Some b -> Bus.publish b (Bus.Page_miss { rel; block })
+          | None -> ());
           let page =
             match read_image t key with
             | Some page -> page
@@ -475,6 +555,9 @@ let trim_block t ~rel ~block =
   Hashtbl.remove t.torn_pending { rel; block };
   (* tell the device: its GC must never relocate this dead data *)
   Device.trim t.device ~sector:(sector_of t ~rel ~block) ~bytes:t.page_size;
-  t.trims <- t.trims + 1
+  t.trims <- t.trims + 1;
+  match obs t with
+  | Some b -> Bus.publish b (Bus.Page_trim { rel; block })
+  | None -> ()
 
 let trims t = t.trims

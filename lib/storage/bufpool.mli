@@ -27,6 +27,7 @@ val create :
   ?rel_region_blocks:int ->
   ?os_cache_interval:float ->
   ?os_cache_pages:int ->
+  ?bus:Sias_obs.Bus.t ->
   ?faults:Flashsim.Faultdev.t ->
   ?max_read_retries:int ->
   unit ->

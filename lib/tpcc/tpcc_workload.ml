@@ -603,6 +603,18 @@ module Make (E : Mvcc.Engine.S) = struct
             Contention.release contention;
             Mvcc.Db.tick db;
             let finished = Simclock.now clock in
+            (* one span per transaction attempt chain, on the terminal's
+               trace lane (tid 0 is the trace metadata convention) *)
+            if Mvcc.Db.observed db then
+              Mvcc.Db.emit db
+                (Sias_obs.Bus.Span
+                   {
+                     cat = "txn";
+                     name = tx_kind_to_string kind;
+                     tid = 1 + !best;
+                     t0 = arrival;
+                     t1 = finished;
+                   });
             match outcome with
             | Committed ->
                 acc.a_committed <- acc.a_committed + 1;

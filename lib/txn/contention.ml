@@ -1,5 +1,6 @@
 module Simclock = Sias_util.Simclock
 module Rng = Sias_util.Rng
+module Bus = Sias_obs.Bus
 
 type policy = No_wait | Wait_die | Wound_wait | Detect
 
@@ -82,6 +83,7 @@ type t = {
   lockmgr : Lockmgr.t;
   rng : Rng.t;
   doomed : (int, unit) Hashtbl.t;
+  bus : Bus.t option;
   mutable inflight : int;
   mutable queue_depth : int;
   stats : stats;
@@ -89,17 +91,25 @@ type t = {
 
 exception Wounded of int
 
-let create ?(settings = default_settings) ~clock ~lockmgr () =
+let create ?(settings = default_settings) ?bus ~clock ~lockmgr () =
   {
     settings;
     clock;
     lockmgr;
     rng = Rng.create settings.seed;
     doomed = Hashtbl.create 16;
+    bus;
     inflight = 0;
     queue_depth = 0;
     stats = zero_stats ();
   }
+
+let obs t =
+  match t.bus with Some b when Bus.active b -> Some b | _ -> None
+
+let note_shed t =
+  t.stats.shed <- t.stats.shed + 1;
+  match obs t with Some b -> Bus.publish b Bus.Txn_shed | None -> ()
 
 let settings t = t.settings
 let stats t = t.stats
@@ -246,6 +256,9 @@ let run_with_retries t ~cfg ~retryable ~f =
         Simclock.advance t.clock backoff;
         t.stats.backoff_time_s <- t.stats.backoff_time_s +. backoff;
         t.stats.retries <- t.stats.retries + 1;
+        (match obs t with
+        | Some b -> Bus.publish b (Bus.Txn_retry { attempt = attempt + 1 })
+        | None -> ());
         go (attempt + 1)
       end
     end
@@ -266,7 +279,7 @@ let admit t =
         Admitted
       end
       else if t.queue_depth >= t.settings.queue_capacity then begin
-        t.stats.shed <- t.stats.shed + 1;
+        note_shed t;
         Shed
       end
       else begin
@@ -286,7 +299,7 @@ let admit t =
           Admitted
         end
         else begin
-          t.stats.shed <- t.stats.shed + 1;
+          note_shed t;
           Shed
         end
       end

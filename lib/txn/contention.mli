@@ -67,7 +67,8 @@ exception Wounded of int
     transaction reaches commit; the transaction has been aborted. *)
 
 val create :
-  ?settings:settings -> clock:Sias_util.Simclock.t -> lockmgr:Lockmgr.t -> unit -> t
+  ?settings:settings ->
+  ?bus:Sias_obs.Bus.t -> clock:Sias_util.Simclock.t -> lockmgr:Lockmgr.t -> unit -> t
 
 val settings : t -> settings
 val stats : t -> stats

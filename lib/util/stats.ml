@@ -116,4 +116,19 @@ module Histogram = struct
   let counts t = Array.copy t.counts
   let total t = t.total
   let bucket_width t = t.width
+
+  (* Nearest-rank percentile estimated from the buckets: the upper edge
+     of the bucket containing the rank-th observation. *)
+  let percentile t p =
+    if t.total = 0 then invalid_arg "Stats.Histogram.percentile: empty histogram";
+    if p < 0.0 || p > 100.0 then invalid_arg "Stats.Histogram.percentile: p out of range";
+    let rank = Stdlib.max 1 (int_of_float (ceil (p /. 100.0 *. float_of_int t.total))) in
+    let n = Array.length t.counts in
+    let rec go i cum =
+      if i >= n then float_of_int n *. t.width
+      else
+        let cum = cum + t.counts.(i) in
+        if cum >= rank then float_of_int (i + 1) *. t.width else go (i + 1) cum
+    in
+    go 0 0
 end

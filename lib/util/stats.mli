@@ -68,4 +68,10 @@ module Histogram : sig
   val counts : t -> int array
   val total : t -> int
   val bucket_width : t -> float
+
+  val percentile : t -> float -> float
+  (** Nearest-rank percentile estimated from the buckets (the upper edge
+      of the bucket holding the rank-th observation), so the estimate is
+      an upper bound within one bucket width. Raises [Invalid_argument]
+      when the histogram is empty or [p] is outside [0,100]. *)
 end

@@ -3,6 +3,7 @@ module Faultdev = Flashsim.Faultdev
 module Blocktrace = Flashsim.Blocktrace
 module Simclock = Sias_util.Simclock
 module Crc32 = Sias_util.Crc32
+module Bus = Sias_obs.Bus
 
 type kind =
   | Insert
@@ -65,6 +66,7 @@ let record_bytes r = record_header_bytes + Bytes.length r.payload
 type t = {
   device : Device.t option;
   faults : Faultdev.t option;
+  bus : Bus.t option;
   clock : Simclock.t;
   mutable records : record list; (* newest first, retained for recovery *)
   mutable next_lsn : int;
@@ -81,10 +83,11 @@ type t = {
   mutable tear : int option;
 }
 
-let create ?device ?faults ~clock () =
+let create ?device ?faults ?bus ~clock () =
   {
     device;
     faults;
+    bus;
     clock;
     records = [];
     next_lsn = 1;
@@ -97,12 +100,24 @@ let create ?device ?faults ~clock () =
     tear = None;
   }
 
+let obs t =
+  match t.bus with Some b when Bus.active b -> Some b | _ -> None
+
 let append t ~xid ~rel ~kind ~payload =
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   let crc = record_crc ~lsn ~xid ~rel ~kind ~payload in
   t.records <- { lsn; xid; rel; kind; payload; crc } :: t.records;
   t.pending_bytes <- t.pending_bytes + record_header_bytes + Bytes.length payload;
+  (match obs t with
+  | Some b ->
+      Bus.publish b
+        (Bus.Wal_append
+           {
+             kind = kind_to_string kind;
+             bytes = record_header_bytes + Bytes.length payload;
+           })
+  | None -> ());
   lsn
 
 (* Of the batch (old_flushed, new_flushed], find the LSN of the first
@@ -123,6 +138,7 @@ let tear_point t ~old_flushed ~persisted =
 let flush t ~sync =
   if t.pending_bytes > 0 then begin
     let old_flushed = t.flushed_lsn in
+    let t0 = Simclock.now t.clock in
     (match t.device with
     | None -> ()
     | Some device ->
@@ -133,6 +149,20 @@ let flush t ~sync =
         in
         t.write_sector <- t.write_sector + ((t.pending_bytes + 511) / 512);
         if sync then Simclock.advance_to t.clock completion);
+    (match obs t with
+    | Some b ->
+        Bus.publish b (Bus.Wal_flush { sync; bytes = t.pending_bytes });
+        if sync then
+          Bus.publish b
+            (Bus.Span
+               {
+                 cat = "wal";
+                 name = "wal_fsync";
+                 tid = 101;
+                 t0;
+                 t1 = Simclock.now t.clock;
+               })
+    | None -> ());
     if sync then t.tear <- None
     else begin
       match t.faults with
@@ -143,6 +173,11 @@ let flush t ~sync =
           with
           | None -> ()
           | Some persisted ->
+              (match obs t with
+              | Some b ->
+                  Bus.publish b
+                    (Bus.Fault_hit { kind = "torn_wal"; sector = t.write_sector })
+              | None -> ());
               t.tear <- tear_point t ~old_flushed ~persisted)
     end;
     t.bytes_written <- t.bytes_written + t.pending_bytes;

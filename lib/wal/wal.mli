@@ -49,6 +49,7 @@ type t
 val create :
   ?device:Flashsim.Device.t ->
   ?faults:Flashsim.Faultdev.t ->
+  ?bus:Sias_obs.Bus.t ->
   clock:Sias_util.Simclock.t ->
   unit ->
   t

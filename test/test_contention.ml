@@ -277,7 +277,7 @@ let test_checker_catches_fcw () =
 let test_wound_wait_through_engine () =
   let module E = Mvcc.Si_engine in
   let db = Mvcc.Db.create ~buffer_pages:128 ~contention:(with_policy C.Wound_wait) () in
-  let ck = Mvcc.Db.enable_si_checker db in
+  let ck = Mvcc.Sichecker.attach (Mvcc.Db.bus db) in
   let eng = E.create db in
   let table = E.create_table eng ~name:"t" ~pk_col:0 () in
   let setup = E.begin_txn eng in
@@ -330,7 +330,7 @@ module Torture (E : Mvcc.Engine.S) = struct
 
   let run ~policy ops =
     let db = Mvcc.Db.create ~buffer_pages:128 ~contention:(with_policy policy) () in
-    let ck = Mvcc.Db.enable_si_checker db in
+    let ck = Mvcc.Sichecker.attach (Mvcc.Db.bus db) in
     let eng = E.create db in
     let table = E.create_table eng ~name:"t" ~pk_col:0 () in
     let nkeys = 8 in

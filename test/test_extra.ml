@@ -219,7 +219,7 @@ let test_harness_devices () =
       let o =
         run_tpcc
           {
-            (default_setup ~engine:SIAS ~warehouses:2) with
+            (default_setup ~engine:"sias" ~warehouses:2) with
             device;
             duration_s = 5.0;
             scale_div = 300;
@@ -235,7 +235,7 @@ let test_harness_flush_policies_differ () =
   let run flush =
     run_tpcc
       {
-        (default_setup ~engine:SIAS ~warehouses:5) with
+        (default_setup ~engine:"sias" ~warehouses:5) with
         flush;
         duration_s = 30.0;
         scale_div = 300;

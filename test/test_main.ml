@@ -25,4 +25,5 @@ let () =
       ("crash-fuzz", Test_crash.suite);
       ("fault-torture", Test_faults.suite);
       ("ssi", Test_ssi.suite);
+      ("obs", Test_obs.suite);
     ]

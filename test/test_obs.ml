@@ -1,0 +1,352 @@
+(* Observability layer: event bus, metrics registry, span tracer, the
+   engine registry, blocktrace record retention, and the end-to-end
+   guarantee that recorder counters reconcile with the block trace. *)
+
+open Alcotest
+module Bus = Sias_obs.Bus
+module Metrics = Sias_obs.Metrics
+module Tracer = Sias_obs.Tracer
+module Stats = Sias_util.Stats
+module B = Flashsim.Blocktrace
+
+let checki = check int
+let checkf = check (float 1e-9)
+
+(* ---------------- bus ---------------- *)
+
+let test_bus_basics () =
+  let bus = Bus.create () in
+  check bool "fresh bus inactive" false (Bus.active bus);
+  (* publish with no subscribers is a no-op *)
+  Bus.publish bus (Bus.Txn_begin { xid = 1 });
+  let seen = ref [] in
+  Bus.subscribe bus (fun e -> seen := e :: !seen);
+  check bool "active after subscribe" true (Bus.active bus);
+  checki "subscriber count" 1 (Bus.subscriber_count bus);
+  Bus.publish bus (Bus.Txn_begin { xid = 7 });
+  Bus.publish bus (Bus.Txn_commit { xid = 7 });
+  checki "events delivered" 2 (List.length !seen);
+  (match List.rev !seen with
+  | [ Bus.Txn_begin { xid = a }; Bus.Txn_commit { xid = b } ] ->
+      checki "payload xid begin" 7 a;
+      checki "payload xid commit" 7 b
+  | _ -> fail "wrong events or order");
+  (* every subscriber sees every event *)
+  let n2 = ref 0 in
+  Bus.subscribe bus (fun _ -> incr n2);
+  Bus.publish bus Bus.Txn_shed;
+  checki "second subscriber sees event" 1 !n2;
+  checki "first subscriber still fed" 3 (List.length !seen)
+
+(* ---------------- Sample / Histogram percentile edges ---------------- *)
+
+let test_sample_percentile_edges () =
+  let s = Stats.Sample.create () in
+  check_raises "empty sample raises"
+    (Invalid_argument "Stats.Sample.percentile: empty sample") (fun () ->
+      ignore (Stats.Sample.percentile s 50.0));
+  Stats.Sample.add s 3.0;
+  checkf "single obs p0" 3.0 (Stats.Sample.percentile s 0.0);
+  checkf "single obs p50" 3.0 (Stats.Sample.percentile s 50.0);
+  checkf "single obs p100" 3.0 (Stats.Sample.percentile s 100.0);
+  Stats.Sample.add s 1.0;
+  Stats.Sample.add s 2.0;
+  checkf "p0 is min" 1.0 (Stats.Sample.percentile s 0.0);
+  checkf "p100 is max" 3.0 (Stats.Sample.percentile s 100.0);
+  check_raises "p out of range raises"
+    (Invalid_argument "Stats.Sample.percentile: p out of range")
+    (fun () -> ignore (Stats.Sample.percentile s 101.0))
+
+let test_histogram_percentile () =
+  let h = Stats.Histogram.create ~bucket_width:0.1 ~buckets:10 in
+  check_raises "empty histogram raises"
+    (Invalid_argument "Stats.Histogram.percentile: empty histogram")
+    (fun () -> ignore (Stats.Histogram.percentile h 50.0));
+  Stats.Histogram.add h 0.05;
+  (* single observation in bucket 0: every percentile reports its upper
+     edge *)
+  checkf "single obs p0" 0.1 (Stats.Histogram.percentile h 0.0);
+  checkf "single obs p100" 0.1 (Stats.Histogram.percentile h 100.0);
+  for _ = 1 to 98 do
+    Stats.Histogram.add h 0.25 (* bucket 2, edge 0.3 *)
+  done;
+  Stats.Histogram.add h 0.95 (* last bucket, edge 1.0 *);
+  checkf "p50 mid bucket" 0.3 (Stats.Histogram.percentile h 50.0);
+  checkf "p100 last bucket" 1.0 (Stats.Histogram.percentile h 100.0);
+  (* clamping: beyond-range observations land in the last bucket *)
+  Stats.Histogram.add h 99.0;
+  checkf "clamped obs in last bucket" 1.0 (Stats.Histogram.percentile h 100.0);
+  check_raises "p out of range raises"
+    (Invalid_argument "Stats.Histogram.percentile: p out of range")
+    (fun () -> ignore (Stats.Histogram.percentile h (-1.0)))
+
+(* ---------------- metrics registry ---------------- *)
+
+let test_metrics_counters () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("op", "read") ] "io_total" in
+  let c' = Metrics.counter m ~labels:[ ("op", "read") ] "io_total" in
+  Metrics.incr c;
+  Metrics.add c' 4;
+  checki "same (name,labels) is same handle" 5 (Metrics.counter_value c);
+  (* label order does not create a distinct series *)
+  let c'' =
+    Metrics.counter m ~labels:[ ("b", "2"); ("a", "1") ] "multi"
+  and c3 = Metrics.counter m ~labels:[ ("a", "1"); ("b", "2") ] "multi" in
+  Metrics.incr c'';
+  checki "canonicalized labels share series" 1 (Metrics.counter_value c3);
+  check (option (float 1e-9)) "value lookup" (Some 5.0)
+    (Metrics.value m ~labels:[ ("op", "read") ] "io_total");
+  check (option (float 1e-9)) "missing series" None
+    (Metrics.value m ~labels:[ ("op", "write") ] "io_total");
+  Metrics.reset m;
+  checki "reset zeroes, keeps handle" 0 (Metrics.counter_value c);
+  Metrics.incr c;
+  checki "handle live after reset" 1 (Metrics.counter_value c)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h =
+    Metrics.histogram m ~bucket_width:0.001 ~buckets:100 "lat_seconds"
+  in
+  checkf "empty quantile is 0" 0.0 (Metrics.quantile h 99.0);
+  for _ = 1 to 90 do
+    Metrics.observe h 0.0005
+  done;
+  for _ = 1 to 10 do
+    Metrics.observe h 0.0505
+  done;
+  checki "count" 100 (Metrics.histogram_count h);
+  checkf "p50 in first bucket" 0.001 (Metrics.quantile h 50.0);
+  checkf "p99 in tail bucket" 0.051 (Metrics.quantile h 99.0);
+  check bool "sum accumulates" true
+    (abs_float (Metrics.histogram_sum h -. ((90.0 *. 0.0005) +. (10.0 *. 0.0505)))
+    < 1e-9)
+
+let test_prometheus_golden () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~help:"Requests" ~labels:[ ("op", "read") ] "req_total" in
+  Metrics.add c 3;
+  let g = Metrics.gauge m ~help:"Depth" "queue_depth" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram m ~help:"Latency" ~bucket_width:0.5 ~buckets:2 "lat" in
+  Metrics.observe h 0.1;
+  Metrics.observe h 0.7;
+  Metrics.observe h 0.7;
+  let expected =
+    String.concat "\n"
+      [
+        "# HELP req_total Requests";
+        "# TYPE req_total counter";
+        "req_total{op=\"read\"} 3";
+        "# HELP queue_depth Depth";
+        "# TYPE queue_depth gauge";
+        "queue_depth 2.5";
+        "# HELP lat Latency";
+        "# TYPE lat histogram";
+        "lat_bucket{le=\"0.5\"} 1";
+        "lat_bucket{le=\"1\"} 3";
+        "lat_bucket{le=\"+Inf\"} 3";
+        "lat_sum 1.5";
+        "lat_count 3";
+        "";
+      ]
+  in
+  check string "prometheus text" expected (Metrics.to_prometheus m)
+
+let test_metrics_json_valid () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m ~labels:[ ("k", "a\"b\\c") ] "esc_total" in
+  Metrics.incr c;
+  let h = Metrics.histogram m "lat" in
+  Metrics.observe h 0.001;
+  let json = Metrics.to_json m in
+  (* minimal well-formedness: balanced braces/brackets outside strings,
+     no trailing commas before closers *)
+  let depth = ref 0 and in_str = ref false and prev = ref ' ' and ok = ref true in
+  String.iter
+    (fun ch ->
+      if !in_str then begin
+        if ch = '"' && !prev <> '\\' then in_str := false
+      end
+      else begin
+        (match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !prev = ',' then ok := false
+        | _ -> ());
+        if !depth < 0 then ok := false
+      end;
+      (* a backslash escaping a backslash must not hide the next quote *)
+      prev := (if !prev = '\\' && ch = '\\' then ' ' else ch))
+    json;
+  check bool "balanced and comma-clean" true (!ok && !depth = 0 && not !in_str);
+  check bool "escaped label survives" true
+    (let sub = "a\\\"b\\\\c" in
+     let n = String.length json and m' = String.length sub in
+     let rec find i = i + m' <= n && (String.sub json i m' = sub || find (i + 1)) in
+     find 0)
+
+(* ---------------- tracer ---------------- *)
+
+let test_tracer_spans () =
+  let bus = Bus.create () in
+  let clock = Sias_util.Simclock.create () in
+  let tr = Tracer.attach ~clock bus in
+  Bus.publish bus
+    (Bus.Span { cat = "txn"; name = "new-order"; tid = 3; t0 = 0.5; t1 = 0.75 });
+  Sias_util.Simclock.advance clock 1.0;
+  Bus.publish bus (Bus.Checkpoint { pages = 10 });
+  Bus.publish bus (Bus.Txn_begin { xid = 1 });
+  (* non-traced event ignored *)
+  checki "span + instant retained" 2 (Tracer.event_count tr);
+  let json = Tracer.to_json tr in
+  let contains sub =
+    let n = String.length json and m = String.length sub in
+    let rec find i = i + m <= n && (String.sub json i m = sub || find (i + 1)) in
+    find 0
+  in
+  check bool "wrapper object" true (contains "{\"traceEvents\":[");
+  check bool "complete event" true (contains "\"ph\":\"X\"");
+  check bool "micros timestamp" true (contains "\"ts\":500000.000");
+  check bool "duration" true (contains "\"dur\":250000.000");
+  check bool "instant event at sim-now" true
+    (contains "\"ph\":\"i\"" && contains "\"ts\":1000000.000")
+
+let test_tracer_drop_cap () =
+  let bus = Bus.create () in
+  let clock = Sias_util.Simclock.create () in
+  let tr = Tracer.attach ~max_events:3 ~clock bus in
+  for i = 1 to 5 do
+    Bus.publish bus
+      (Bus.Span
+         { cat = "c"; name = "s"; tid = 0; t0 = float_of_int i; t1 = float_of_int i })
+  done;
+  checki "capped" 3 (Tracer.event_count tr);
+  checki "overflow counted" 2 (Tracer.dropped tr)
+
+(* ---------------- engine registry ---------------- *)
+
+let test_engine_registry () =
+  check (list string) "canonical keys"
+    [ "si"; "si-cv"; "sias"; "sias-v" ]
+    (Mvcc.Engine.keys ());
+  List.iter
+    (fun (alias, key) ->
+      match Mvcc.Engine.resolve alias with
+      | Some (k, _) -> check string (alias ^ " resolves") key k
+      | None -> fail (alias ^ " did not resolve"))
+    [
+      ("si", "si"); ("si-cv", "si-cv"); ("sias", "sias"); ("chains", "sias");
+      ("sias-v", "sias-v"); ("vectors", "sias-v");
+    ];
+  check bool "unknown engine" true (Mvcc.Engine.find "nonesuch" = None);
+  List.iter
+    (fun (key, display) ->
+      check string (key ^ " display") display (Mvcc.Engine.display_name key))
+    [ ("si", "SI"); ("si-cv", "SI-CV"); ("sias", "SIAS"); ("sias-v", "SIAS-V") ];
+  check string "unknown display echoes" "x" (Mvcc.Engine.display_name "x");
+  (* registered modules are the real engines, usable as first-class
+     modules *)
+  let (module E : Mvcc.Engine.S) = Option.get (Mvcc.Engine.find "sias-v") in
+  let db = Mvcc.Db.create ~buffer_pages:64 () in
+  let eng = E.create db in
+  let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+  let txn = E.begin_txn eng in
+  Result.get_ok (E.insert eng txn table [| Mvcc.Value.Int 1; Mvcc.Value.Int 9 |]);
+  E.commit eng txn;
+  let txn = E.begin_txn eng in
+  (match E.read eng txn table ~pk:1 with
+  | Some row -> (
+      match row.(1) with
+      | Mvcc.Value.Int v -> checki "registry module round-trips" 9 v
+      | _ -> fail "wrong column type")
+  | None -> fail "row not visible");
+  E.commit eng txn
+
+(* ---------------- blocktrace record retention ---------------- *)
+
+let test_blocktrace_retention () =
+  let t = B.create ~keep_records:true ~max_records:4 () in
+  for i = 0 to 9 do
+    B.add t ~time:(float_of_int i)
+      ~op:(if i mod 2 = 0 then B.Read else B.Write)
+      ~sector:(i * 8) ~bytes:4096
+  done;
+  (* counters stay exact after eviction of the record window *)
+  checki "read count exact" 5 (B.read_count t);
+  checki "write count exact" 5 (B.write_count t);
+  checki "read bytes exact" (5 * 4096) (B.read_bytes t);
+  checki "write bytes exact" (5 * 4096) (B.write_bytes t);
+  let recs = B.records t in
+  checki "record window bounded" 4 (List.length recs);
+  (* retention stops once full: the earliest window survives, in
+     submission order *)
+  check (list (float 1e-9)) "earliest records kept" [ 0.0; 1.0; 2.0; 3.0 ]
+    (List.map (fun r -> r.B.time) recs);
+  (* toggling retention mid-run drops records, never counters *)
+  B.set_keep_records t false;
+  checki "records dropped" 0 (List.length (B.records t));
+  B.add t ~time:10.0 ~op:B.Write ~sector:80 ~bytes:4096;
+  checki "counters still accumulate" 6 (B.write_count t);
+  checki "no records while off" 0 (List.length (B.records t));
+  B.set_keep_records t true;
+  B.add t ~time:11.0 ~op:B.Read ~sector:88 ~bytes:4096;
+  checki "retention resumes" 1 (List.length (B.records t));
+  checki "read counter unbroken" 6 (B.read_count t)
+
+(* ---------------- end-to-end: recorder vs blocktrace ---------------- *)
+
+let test_recorder_reconciles_blocktrace () =
+  let o =
+    Harness.Experiments.run_tpcc
+      {
+        (Harness.Experiments.default_setup ~engine:"si" ~warehouses:2) with
+        Harness.Experiments.duration_s = 20.0;
+        buffer_pages = 128;
+        scale_div = 300;
+        flush = Harness.Experiments.T1;
+        collect_metrics = true;
+      }
+  in
+  let m = Option.get o.Harness.Experiments.metrics in
+  let metric name labels =
+    match Metrics.value m ~labels name with Some v -> int_of_float v | None -> 0
+  in
+  let trace = o.Harness.Experiments.trace in
+  checki "write requests reconcile" (B.write_count trace)
+    (metric "sias_device_io_total" [ ("device", "data-ssd"); ("op", "write") ]);
+  checki "write bytes reconcile" (B.write_bytes trace)
+    (metric "sias_device_bytes_total" [ ("device", "data-ssd"); ("op", "write") ]);
+  checki "read requests reconcile" (B.read_count trace)
+    (metric "sias_device_io_total" [ ("device", "data-ssd"); ("op", "read") ]);
+  checki "read bytes reconcile" (B.read_bytes trace)
+    (metric "sias_device_bytes_total" [ ("device", "data-ssd"); ("op", "read") ]);
+  check bool "some io actually happened" true (B.write_count trace > 0);
+  (* txn counters agree with the workload report *)
+  let committed =
+    List.fold_left
+      (fun acc (_, ks) -> acc + ks.Tpcc.Tpcc_workload.committed)
+      0 o.Harness.Experiments.result.Tpcc.Tpcc_workload.per_kind
+  in
+  checki "commit counter matches driver" committed
+    (metric "sias_txn_total" [ ("event", "commit") ])
+
+let suite =
+  [
+    test_case "bus: subscribe/publish/active" `Quick test_bus_basics;
+    test_case "sample percentile edge cases" `Quick test_sample_percentile_edges;
+    test_case "bucket histogram percentile" `Quick test_histogram_percentile;
+    test_case "metrics: counters, labels, reset" `Quick test_metrics_counters;
+    test_case "metrics: histogram quantiles" `Quick test_metrics_histogram;
+    test_case "metrics: prometheus golden text" `Quick test_prometheus_golden;
+    test_case "metrics: json exporter well-formed" `Quick test_metrics_json_valid;
+    test_case "tracer: chrome trace events" `Quick test_tracer_spans;
+    test_case "tracer: drop cap" `Quick test_tracer_drop_cap;
+    test_case "engine registry: keys, aliases, modules" `Quick test_engine_registry;
+    test_case "blocktrace: retention vs counters" `Quick test_blocktrace_retention;
+    test_case "recorder reconciles with blocktrace" `Quick
+      test_recorder_reconciles_blocktrace;
+  ]

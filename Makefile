@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench demo contention obs clean
+.PHONY: all build test check bench demo contention obs groupcommit clean
 
 all: build
 
@@ -39,6 +39,13 @@ obs:
 	grep -q '^sias_device_bytes_total{device="data-ssd",op="write"}' _obs/metrics.prom
 	grep -q '"traceEvents"' _obs/trace.json
 	@echo "obs artifacts OK: _obs/metrics.prom _obs/trace.json"
+
+# Commit-pipeline ablation: every engine under per-commit fsync, group
+# commit and async commit. Going sync -> group -> async, commit-path
+# fsyncs must fall and throughput must not regress.
+groupcommit:
+	mkdir -p _obs
+	dune exec bench/main.exe -- groupcommit | tee _obs/groupcommit.txt
 
 clean:
 	dune clean

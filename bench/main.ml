@@ -447,6 +447,67 @@ let ablation_contention () =
   note "client-visible conflicts stay at zero and every policy agrees; policies and";
   note "the retry loop differentiate under the interleaved-transaction test suite."
 
+let ablation_groupcommit () =
+  section
+    "Commit pipeline: sync vs group vs async -- TPC-C 1 WH, WAL on its own SSD";
+  let modes =
+    [ ("sync", true, 0.0); ("group", true, 0.0007); ("async", false, 0.0) ]
+  in
+  let terminal_counts = if !full then [ 8; 16; 32 ] else [ 8; 16 ] in
+  let tbl =
+    T.create
+      [
+        "engine"; "terms"; "mode"; "NOTPM"; "resp(ms)"; "fsyncs"; "saved";
+        "max grp"; "walwr"; "WAL MB";
+      ]
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun terminals ->
+          List.iter
+            (fun (label, sync_commit, delay) ->
+              let o =
+                run_tpcc
+                  {
+                    (default_setup ~engine ~warehouses:1) with
+                    duration_s = 30.0;
+                    buffer_pages = 4096;
+                    scale_div = 300;
+                    terminals_per_warehouse = terminals;
+                    (* saturation regime: terminals pile up inside the
+                       commit window, so sharing the fsync pays *)
+                    think_time_s = 0.005;
+                    gc_interval_s = Some 30.0;
+                    synchronous_commit = sync_commit;
+                    commit_delay_s = delay;
+                    wal_device = Some Ssd_single;
+                  }
+              in
+              let cs = o.commit_stats in
+              T.add_row tbl
+                [
+                  engine_name engine;
+                  string_of_int terminals;
+                  label;
+                  T.fmt_float ~decimals:0 o.result.W.notpm;
+                  T.fmt_float ~decimals:2
+                    (1000.0 *. W.resp_mean o.result W.New_order);
+                  string_of_int cs.Sias_wal.Commitpipe.commit_fsyncs;
+                  string_of_int cs.Sias_wal.Commitpipe.fsyncs_saved;
+                  string_of_int cs.Sias_wal.Commitpipe.max_group;
+                  string_of_int cs.Sias_wal.Commitpipe.walwriter_flushes;
+                  T.fmt_float ~decimals:1 o.wal_write_mb;
+                ])
+            modes)
+        terminal_counts)
+    [ "si"; "si-cv"; "sias"; "sias-v" ];
+  T.print tbl;
+  note "group: commits arriving within commit_delay share one fsync and are";
+  note "charged its completion; async: commit acks at WAL append and the";
+  note "WAL-writer trickle bounds the loss window (never corruption).";
+  note "postgres: commit_delay / synchronous_commit=off, on a simulated SSD."
+
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the core data structures               *)
 
@@ -540,6 +601,7 @@ let experiments =
     ("vidmap", ablation_vidmap);
     ("endurance", ablation_endurance);
     ("contention", ablation_contention);
+    ("groupcommit", ablation_groupcommit);
     ("micro", micro);
   ]
 
@@ -552,10 +614,23 @@ let () =
   let fault_profile = ref Flashsim.Faultdev.light in
   let metrics_out = ref None in
   let trace_out = ref None in
+  let sync_commit = ref true in
+  let commit_delay = ref 0.0 in
   let rec filter = function
     | [] -> []
     | "--full" :: rest ->
         full := true;
+        filter rest
+    | "--commit-delay" :: s :: rest ->
+        (match float_of_string_opt s with
+        | Some d when d >= 0.0 -> commit_delay := d
+        | _ -> Printf.printf "--commit-delay needs a non-negative float, got %S\n" s);
+        filter rest
+    | "--synchronous-commit" :: s :: rest ->
+        (match s with
+        | "on" -> sync_commit := true
+        | "off" -> sync_commit := false
+        | _ -> Printf.printf "--synchronous-commit needs on or off, got %S\n" s);
         filter rest
     | "--faults" :: seed :: rest ->
         (match int_of_string_opt seed with
@@ -582,6 +657,12 @@ let () =
       Printf.printf "fault injection: seed %d, profile %s\n%!" seed
         (Flashsim.Faultdev.profile_name !fault_profile)
   | None -> ());
+  if (not !sync_commit) || !commit_delay > 0.0 then begin
+    commit_override := Some (!sync_commit, !commit_delay);
+    Printf.printf "commit pipeline: synchronous_commit=%s commit_delay=%gs\n%!"
+      (if !sync_commit then "on" else "off")
+      !commit_delay
+  end;
   if !metrics_out <> None || !trace_out <> None then begin
     (* each run_tpcc overwrites the files; the surviving artifacts are
        the last experiment's run, which is what a smoke invocation of a

@@ -167,9 +167,47 @@ let stats_interval_arg =
         ~doc:"Print a progress line to stderr every $(docv) simulated seconds."
         ~docv:"SECONDS")
 
+let onoff_conv =
+  Arg.conv
+    ( (function
+      | "on" -> Ok true
+      | "off" -> Ok false
+      | s -> Error (`Msg (Printf.sprintf "expected on or off, got %S" s))),
+      fun fmt b -> Format.pp_print_string fmt (if b then "on" else "off") )
+
+let sync_commit_arg =
+  Arg.(
+    value
+    & opt onoff_conv true
+    & info [ "synchronous-commit" ]
+        ~doc:
+          "off acks commits at WAL append and trickle-flushes in the \
+           background (a crash may lose the last instants of acked work, \
+           never corrupt the log).")
+
+let commit_delay_arg =
+  Arg.(
+    value
+    & opt float 0.0
+    & info [ "commit-delay" ]
+        ~doc:
+          "Group commits arriving within $(docv) simulated seconds behind \
+           one shared fsync (0 = per-commit fsync)."
+        ~docv:"SECONDS")
+
+let wal_device_arg =
+  Arg.(
+    value
+    & opt (some device_conv) None
+    & info [ "wal-device" ]
+        ~doc:
+          "Put the WAL on its own modeled device (ssd, ssd:<blocks>, hdd, \
+           raid2, raid6) so commit fsyncs cost simulated time; default \
+           in-memory sink.")
+
 let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed
     fault_seed fault_profile policy retries max_inflight check_si terminals
-    metrics_out trace_out stats_interval_s keep =
+    metrics_out trace_out stats_interval_s sync_commit commit_delay wal_device keep =
   {
     (default_setup ~engine ~warehouses) with
     device;
@@ -188,6 +226,9 @@ let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div
     metrics_out;
     trace_out;
     stats_interval_s;
+    synchronous_commit = sync_commit;
+    commit_delay_s = commit_delay;
+    wal_device;
     keep_trace_records = keep;
   }
 
@@ -196,6 +237,14 @@ let report_obs o =
     (fun p -> Format.printf "metrics written to %s@." p)
     o.setup.metrics_out;
   Option.iter (fun p -> Format.printf "trace written to %s@." p) o.setup.trace_out
+
+let report_commit o =
+  (* only non-default pipelines print, keeping default output unchanged *)
+  if (not o.setup.synchronous_commit) || o.setup.commit_delay_s > 0.0 then begin
+    Format.printf "%a" Sias_wal.Commitpipe.pp_stats o.commit_stats;
+    if o.setup.wal_device <> None then
+      Format.printf "wal device: %.2f MB written@." o.wal_write_mb
+  end
 
 let report_contention o =
   Format.printf "%a" C.pp_stats o.contention_stats;
@@ -208,12 +257,12 @@ let report_contention o =
 let run_cmd =
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
       fault_profile policy retries max_inflight check_si terminals metrics_out
-      trace_out stats_interval =
+      trace_out stats_interval sync_commit commit_delay wal_device =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
            fault_profile policy retries max_inflight check_si terminals metrics_out
-           trace_out stats_interval false)
+           trace_out stats_interval sync_commit commit_delay wal_device false)
     in
     Format.printf "%a@.@." pp_output_summary o;
     Format.printf "%a@." W.pp_result o.result;
@@ -236,6 +285,7 @@ let run_cmd =
         o.buf_stats.Sias_storage.Bufpool.torn_pages;
     List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info;
     report_obs o;
+    report_commit o;
     report_contention o
   in
   Cmd.v
@@ -244,7 +294,8 @@ let run_cmd =
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
-      $ metrics_out_arg $ trace_out_arg $ stats_interval_arg)
+      $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
+      $ commit_delay_arg $ wal_device_arg)
 
 let trace_cmd =
   let csv_arg =
@@ -252,12 +303,12 @@ let trace_cmd =
   in
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
       fault_profile policy retries max_inflight check_si terminals metrics_out
-      trace_out stats_interval csv =
+      trace_out stats_interval sync_commit commit_delay wal_device csv =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
            fault_profile policy retries max_inflight check_si terminals metrics_out
-           trace_out stats_interval true)
+           trace_out stats_interval sync_commit commit_delay wal_device true)
     in
     print_endline (B.render_scatter o.trace);
     Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
@@ -270,6 +321,7 @@ let trace_cmd =
         close_out oc;
         Format.printf "trace written to %s@." path);
     report_obs o;
+    report_commit o;
     report_contention o
   in
   Cmd.v
@@ -278,7 +330,8 @@ let trace_cmd =
       const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
-      $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ csv_arg)
+      $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
+      $ commit_delay_arg $ wal_device_arg $ csv_arg)
 
 let () =
   let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in

@@ -4,9 +4,10 @@ type record = { time : float; op : op; sector : int; bytes : int }
 
 type t = {
   mutable keep_records : bool;
-  max_records : int;
+  mutable max_records : int;
   mutable recs : record list; (* reversed *)
   mutable n_recs : int;
+  mutable dropped : int; (* records not retained once max_records was hit *)
   mutable read_bytes : int;
   mutable write_bytes : int;
   mutable read_count : int;
@@ -19,6 +20,7 @@ let create ?(keep_records = true) ?(max_records = 500_000) () =
     max_records;
     recs = [];
     n_recs = 0;
+    dropped = 0;
     read_bytes = 0;
     write_bytes = 0;
     read_count = 0;
@@ -33,9 +35,12 @@ let add t ~time ~op ~sector ~bytes =
   | Write ->
       t.write_bytes <- t.write_bytes + bytes;
       t.write_count <- t.write_count + 1);
-  if t.keep_records && t.n_recs < t.max_records then begin
-    t.recs <- { time; op; sector; bytes } :: t.recs;
-    t.n_recs <- t.n_recs + 1
+  if t.keep_records then begin
+    if t.n_recs < t.max_records then begin
+      t.recs <- { time; op; sector; bytes } :: t.recs;
+      t.n_recs <- t.n_recs + 1
+    end
+    else t.dropped <- t.dropped + 1
   end
 
 let read_bytes t = t.read_bytes
@@ -45,17 +50,29 @@ let write_count t = t.write_count
 let write_mb t = float_of_int t.write_bytes /. (1024.0 *. 1024.0)
 let read_mb t = float_of_int t.read_bytes /. (1024.0 *. 1024.0)
 let records t = List.rev t.recs
+let dropped_records t = t.dropped
+
+let set_max_records t n =
+  t.max_records <- Stdlib.max 0 n;
+  (* retention restarts under the new cap; no partial eviction *)
+  if t.n_recs > t.max_records then begin
+    t.dropped <- t.dropped + t.n_recs;
+    t.recs <- [];
+    t.n_recs <- 0
+  end
 
 let set_keep_records t keep =
   t.keep_records <- keep;
   if not keep then begin
     t.recs <- [];
-    t.n_recs <- 0
+    t.n_recs <- 0;
+    t.dropped <- 0
   end
 
 let reset t =
   t.recs <- [];
   t.n_recs <- 0;
+  t.dropped <- 0;
   t.read_bytes <- 0;
   t.write_bytes <- 0;
   t.read_count <- 0;
@@ -96,6 +113,13 @@ let render_scatter ?(width = 78) ?(height = 22) t =
           Buffer.add_char buf '\n')
         grid;
       Buffer.add_string buf ("+" ^ String.make width '-');
+      if t.dropped > 0 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "\n(truncated: %d of %d requests not plotted — retention cap %d)"
+             t.dropped
+             (t.read_count + t.write_count)
+             t.max_records);
       Buffer.contents buf
 
 let to_csv t =
@@ -108,6 +132,10 @@ let to_csv t =
            (match r.op with Read -> "R" | Write -> "W")
            r.sector r.bytes))
     (records t);
+  if t.dropped > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "# truncated: %d records dropped (retention cap %d)\n"
+         t.dropped t.max_records);
   Buffer.contents b
 
 (* Sequentiality: fraction of requests of the given kind whose sector

@@ -35,11 +35,23 @@ val read_mb : t -> float
 val records : t -> record list
 (** Retained records in submission order. *)
 
+val dropped_records : t -> int
+(** Requests NOT retained as records because the [max_records] cap was
+    already reached when they arrived. Aggregate counters still include
+    them; any rendering of {!records} with [dropped_records > 0] shows a
+    truncated view. *)
+
 val reset : t -> unit
 
 val set_keep_records : t -> bool -> unit
 (** Enable/disable retention of per-request records (aggregate counters
-    are unaffected). Disabling drops already-retained records. *)
+    are unaffected). Disabling drops already-retained records and clears
+    the dropped counter. *)
+
+val set_max_records : t -> int -> unit
+(** Change the retention cap. Shrinking below the currently retained
+    count discards the retained records (counting them as dropped) and
+    restarts retention under the new cap. *)
 
 val render_scatter :
   ?width:int -> ?height:int -> t -> string

@@ -62,7 +62,11 @@ let submit t ~now op ~sector ~bytes =
       completion
   | _ -> t.submit_impl ~now op ~sector ~bytes
 
-let info t = t.info_impl ()
+let info t =
+  let base = t.info_impl () in
+  match Blocktrace.dropped_records t.trace with
+  | 0 -> base
+  | n -> base @ [ ("trace_dropped_records", float_of_int n) ]
 
 let trim t ~sector ~bytes =
   (match t.bus with

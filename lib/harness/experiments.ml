@@ -3,6 +3,7 @@ module Blocktrace = Flashsim.Blocktrace
 module Bufpool = Sias_storage.Bufpool
 module Bgwriter = Sias_storage.Bgwriter
 module Db = Mvcc.Db
+module Commitpipe = Sias_wal.Commitpipe
 module W = Tpcc.Tpcc_workload
 module S = Tpcc.Tpcc_schema
 module Bus = Sias_obs.Bus
@@ -30,6 +31,9 @@ type setup = {
   checkpoint_interval_s : float;
   vidmap_paged : bool;
   keep_trace_records : bool;
+  synchronous_commit : bool;
+  commit_delay_s : float;
+  wal_device : device_kind option;
   fault_seed : int option;
   fault_profile : Flashsim.Faultdev.profile;
   contention : Sias_txn.Contention.settings;
@@ -43,6 +47,7 @@ type setup = {
 
 let fault_override : (int * Flashsim.Faultdev.profile) option ref = ref None
 let obs_override : (string option * string option) option ref = ref None
+let commit_override : (bool * float) option ref = ref None
 
 let default_setup ~engine ~warehouses =
   {
@@ -60,6 +65,9 @@ let default_setup ~engine ~warehouses =
     checkpoint_interval_s = 30.0;
     vidmap_paged = false;
     keep_trace_records = false;
+    synchronous_commit = true;
+    commit_delay_s = 0.0;
+    wal_device = None;
     fault_seed = None;
     fault_profile = Flashsim.Faultdev.light;
     contention = Sias_txn.Contention.default_settings;
@@ -85,6 +93,8 @@ type output = {
   buf_stats : Bufpool.stats;
   trace : Blocktrace.t;
   contention_stats : Sias_txn.Contention.stats;
+  commit_stats : Commitpipe.stats;
+  wal_write_mb : float;
   checker : Mvcc.Sichecker.t option;
   metrics : Metrics.t option;
 }
@@ -94,6 +104,12 @@ let make_device = function
   | Ssd_sized blocks -> Device.ssd_x25e ~name:"data-ssd" ~blocks ()
   | Ssd_raid n -> Device.ssd_raid ~blocks_per_ssd:8192 n
   | Hdd_single -> Device.hdd_7200 ~name:"data-hdd" ()
+
+let make_wal_device = function
+  | Ssd_single -> Device.ssd_x25e ~name:"wal-ssd" ~blocks:8192 ()
+  | Ssd_sized blocks -> Device.ssd_x25e ~name:"wal-ssd" ~blocks ()
+  | Ssd_raid n -> Device.ssd_raid ~blocks_per_ssd:8192 n
+  | Hdd_single -> Device.hdd_7200 ~name:"wal-hdd" ()
 
 let flush_policy = function
   | T1 -> Bgwriter.T1_bgwriter { interval = 0.2; max_pages = 100 }
@@ -145,6 +161,13 @@ let run_tpcc setup =
     | _ -> setup
   in
   let setup =
+    match !commit_override with
+    | Some (sync_commit, delay)
+      when setup.synchronous_commit && setup.commit_delay_s = 0.0 ->
+        { setup with synchronous_commit = sync_commit; commit_delay_s = delay }
+    | _ -> setup
+  in
+  let setup =
     match !obs_override with
     | Some (m, t) ->
         {
@@ -166,14 +189,25 @@ let run_tpcc setup =
     match faults with None -> d | Some f -> Flashsim.Faultdev.wrap f d
   in
   Blocktrace.set_keep_records (Device.trace device) setup.keep_trace_records;
+  let wal_device = Option.map make_wal_device setup.wal_device in
+  let commit_mode =
+    if not setup.synchronous_commit then
+      (* PostgreSQL synchronous_commit=off: ack at append, WAL-writer
+         trickle (wal_writer_delay-style) makes the loss window bounded *)
+      Commitpipe.Async { interval = 0.1; max_bytes = 64 * 1024 }
+    else if setup.commit_delay_s > 0.0 then
+      Commitpipe.Group { delay = setup.commit_delay_s }
+    else Commitpipe.Sync
+  in
   let bus = Bus.create () in
   let db =
-    Db.create ~bus ~device ?faults ~buffer_pages:setup.buffer_pages
+    Db.create ~bus ~device ?wal_device ?faults ~buffer_pages:setup.buffer_pages
       ~flush_policy:(flush_policy setup.flush)
       ~checkpoint_interval:setup.checkpoint_interval_s
       ?append_seal_interval:(match setup.flush with T1 -> Some 0.2 | T2 -> None)
       ~os_cache_interval:30.0 ~os_cache_pages:(setup.buffer_pages / 4)
-      ~vidmap_paged:setup.vidmap_paged ~contention:setup.contention ()
+      ~vidmap_paged:setup.vidmap_paged ~contention:setup.contention
+      ~commit_mode ()
   in
   let checker = if setup.check_si then Some (Mvcc.Sichecker.attach bus) else None in
   let want_metrics =
@@ -214,11 +248,16 @@ let run_tpcc setup =
   WE.load eng tables cfg;
   (* settle: persist the loaded state once, as a freshly started server
      would, then measure only the benchmark run *)
+  Commitpipe.finalize db.Db.commitpipe;
   Bufpool.flush_all db.Db.pool ~sync:false;
   Bufpool.flush_os_cache db.Db.pool;
   let trace = Device.trace device in
   let load_write_mb = Blocktrace.write_mb trace in
   Blocktrace.reset trace;
+  (* commit-pipeline stats and the WAL device's trace likewise cover only
+     the measured run *)
+  Commitpipe.reset_stats db.Db.commitpipe;
+  Option.iter (fun d -> Blocktrace.reset (Device.trace d)) wal_device;
   (* metrics and trace cover exactly what the block trace covers: the
      measured run, not the bulk load *)
   Option.iter Metrics.reset metrics;
@@ -274,6 +313,11 @@ let run_tpcc setup =
     buf_stats = Bufpool.stats db.Db.pool;
     trace;
     contention_stats = Sias_txn.Contention.stats db.Db.contention;
+    commit_stats = Commitpipe.stats db.Db.commitpipe;
+    wal_write_mb =
+      (match wal_device with
+      | Some d -> Blocktrace.write_mb (Device.trace d)
+      | None -> 0.0);
     checker;
     metrics;
   }

@@ -37,6 +37,17 @@ type setup = {
           default against 10–30 min runs, a 2–6x ratio *)
   vidmap_paged : bool;  (** VID_map buckets live in buffer-pool pages *)
   keep_trace_records : bool;  (** retain per-request records (Figures 3/4) *)
+  synchronous_commit : bool;
+      (** PostgreSQL's synchronous_commit: [false] acks commits at WAL
+          append and lets the WAL-writer trickle flush them (bounded-loss
+          window, no corruption); default [true] *)
+  commit_delay_s : float;
+      (** PostgreSQL's commit_delay: > 0 groups commits arriving within
+          this window behind one shared fsync; 0 = per-commit fsync *)
+  wal_device : device_kind option;
+      (** give the WAL its own modeled device (so commit fsyncs cost
+          simulated time); [None] = in-memory WAL sink, the historical
+          default *)
   fault_seed : int option;
       (** enable seeded fault injection (transient read errors, bit rot,
           torn writes) on the data device and WAL; [None] = no faults *)
@@ -70,6 +81,11 @@ val obs_override : (string option * string option) option ref
     carry its own — lets the benchmark driver request artifacts globally
     from the command line. *)
 
+val commit_override : (bool * float) option ref
+(** When set, (synchronous_commit, commit_delay_s) applied to any setup
+    still carrying the defaults — lets the benchmark driver select the
+    commit pipeline globally from the command line. *)
+
 val default_setup : engine:string -> warehouses:int -> setup
 (** Single SSD, T2, 2048 buffer pages, 1/100 scale, 60 s, 1 terminal/WH,
     1 s think time; no observability outputs. *)
@@ -88,6 +104,12 @@ type output = {
   buf_stats : Sias_storage.Bufpool.stats;
   trace : Flashsim.Blocktrace.t;  (** the data device's run-phase trace *)
   contention_stats : Sias_txn.Contention.stats;
+  commit_stats : Sias_wal.Commitpipe.stats;
+      (** commit-pipeline counters over the measured run (fsyncs, group
+          sizes, WAL-writer flushes, async backlog) *)
+  wal_write_mb : float;
+      (** run-phase writes to the WAL device; 0 when the WAL is the
+          in-memory sink *)
   checker : Mvcc.Sichecker.t option;  (** present when [check_si] was set *)
   metrics : Sias_obs.Metrics.t option;
       (** present when metrics were collected; reset at the same instant

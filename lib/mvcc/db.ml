@@ -3,6 +3,7 @@ module Device = Flashsim.Device
 module Bufpool = Sias_storage.Bufpool
 module Bgwriter = Sias_storage.Bgwriter
 module Wal = Sias_wal.Wal
+module Commitpipe = Sias_wal.Commitpipe
 module Txn = Sias_txn.Txn
 module Lockmgr = Sias_txn.Lockmgr
 module Contention = Sias_txn.Contention
@@ -13,6 +14,7 @@ type t = {
   device : Device.t;
   pool : Bufpool.t;
   wal : Wal.t;
+  commitpipe : Commitpipe.t;
   txnmgr : Txn.mgr;
   lockmgr : Lockmgr.t;
   bgwriter : Bgwriter.t;
@@ -36,7 +38,7 @@ end
 let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
     ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults
-    ?(contention = Contention.default_settings) () =
+    ?(contention = Contention.default_settings) ?(commit_mode = Commitpipe.Sync) () =
   let clock = Simclock.create () in
   let bus = match bus with Some b -> b | None -> Bus.create () in
   let device =
@@ -46,9 +48,11 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
   Option.iter (fun d -> Device.attach_bus d bus) wal_device;
   let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages ~bus ?faults () in
   let wal = Wal.create ?device:wal_device ?faults ~bus ~clock () in
+  let commitpipe = Commitpipe.create ~wal ~clock ~bus commit_mode in
   let fpw_done = Hashtbl.create 512 in
   let bgwriter =
     Bgwriter.create pool ~clock ~policy:flush_policy ~checkpoint_interval
+      ~before_checkpoint:(fun () -> Commitpipe.before_checkpoint commitpipe)
       ~on_checkpoint:(fun () -> Hashtbl.reset fpw_done)
       ~bus ()
   in
@@ -58,6 +62,7 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     device;
     pool;
     wal;
+    commitpipe;
     txnmgr = Txn.create_mgr ();
     lockmgr;
     bgwriter;
@@ -104,8 +109,8 @@ let commit t txn =
     abort t txn;
     raise (Contention.Wounded txn.Txn.xid)
   end;
-  let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
-  Wal.flush t.wal ~sync:true;
+  let lsn = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
+  ignore (Commitpipe.commit t.commitpipe ~xid:txn.Txn.xid ~lsn);
   Txn.commit t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
@@ -113,6 +118,8 @@ let commit t txn =
 
 let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
 
-let tick t = Bgwriter.tick t.bgwriter
+let tick t =
+  Commitpipe.tick t.commitpipe;
+  Bgwriter.tick t.bgwriter
 
 let log_op t ~xid ~rel ~kind ~payload = Wal.append t.wal ~xid ~rel ~kind ~payload

@@ -11,6 +11,9 @@ type t = {
   device : Flashsim.Device.t;  (** data device *)
   pool : Sias_storage.Bufpool.t;
   wal : Sias_wal.Wal.t;
+  commitpipe : Sias_wal.Commitpipe.t;
+      (** how commits reach durability: per-commit fsync (default),
+          group commit, or async commit with a WAL-writer trickle *)
   txnmgr : Sias_txn.Txn.mgr;
   lockmgr : Sias_txn.Lockmgr.t;
   bgwriter : Sias_storage.Bgwriter.t;
@@ -65,6 +68,7 @@ val create :
   ?vidmap_paged:bool ->
   ?faults:Flashsim.Faultdev.t ->
   ?contention:Sias_txn.Contention.settings ->
+  ?commit_mode:Sias_wal.Commitpipe.mode ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
@@ -72,7 +76,9 @@ val create :
     seconds, and 5 µs CPU per row operation. [faults] injects the same
     fault plan into the buffer pool (reads/writes of data pages) and the
     WAL (torn async flushes). [contention] selects the conflict policy
-    and admission limits (default: no-wait, unlimited). *)
+    and admission limits (default: no-wait, unlimited). [commit_mode]
+    selects the commit pipeline (default: synchronous per-commit fsync,
+    the historical behavior). *)
 
 val alloc_rel : t -> int
 (** Relation ids place each relation in its own device region. *)
@@ -82,8 +88,11 @@ val now : t -> float
 val begin_txn : t -> Sias_txn.Txn.t
 
 val commit : t -> Sias_txn.Txn.t -> unit
-(** Append and force the commit record (group-commit granularity of one),
-    mark committed, release locks. If the transaction was doomed by a
+(** Append the commit record and route it through the commit pipeline —
+    per-commit fsync by default, deferred group fsync or async ack under
+    the other modes (the driver inspects
+    {!Sias_wal.Commitpipe.last_ack} to learn which) — then mark
+    committed and release locks. If the transaction was doomed by a
     wound-wait or deadlock-victim decision, it is aborted instead and
     {!Sias_txn.Contention.Wounded} is raised. *)
 

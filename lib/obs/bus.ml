@@ -16,6 +16,7 @@ type event +=
   | Page_trim of { rel : int; block : int }
   | Wal_append of { kind : string; bytes : int }
   | Wal_flush of { sync : bool; bytes : int }
+  | Commit_group of { size : int }
   | Device_io of {
       device : string;
       op : io_op;

@@ -33,6 +33,9 @@ type event +=
   | Page_trim of { rel : int; block : int }
   | Wal_append of { kind : string; bytes : int }
   | Wal_flush of { sync : bool; bytes : int }
+  | Commit_group of { size : int }
+      (** one commit-group fsync covered [size] member commits (group
+          commit; [size - 1] per-commit fsyncs were saved) *)
   | Device_io of {
       device : string;
       op : io_op;

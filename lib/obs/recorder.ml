@@ -6,6 +6,11 @@ type state = {
   wal_bytes : Metrics.counter;
   wal_flushes : (bool, Metrics.counter) Hashtbl.t;
   wal_flush_bytes : Metrics.counter;
+  (* created on the first Commit_group event so runs without group
+     commit export exactly the historical metric set *)
+  mutable commit_group_metrics :
+    (Metrics.counter * Metrics.counter * Metrics.counter * Metrics.histogram)
+    option;
   dev_io : (string * Bus.io_op, Metrics.counter) Hashtbl.t;
   dev_bytes : (string * Bus.io_op, Metrics.counter) Hashtbl.t;
   dev_lat : (string * Bus.io_op, Metrics.histogram) Hashtbl.t;
@@ -70,6 +75,29 @@ let on_event st e =
                ~labels:[ ("sync", if sync then "true" else "false") ]
                "sias_wal_flushes_total"));
       Metrics.add st.wal_flush_bytes bytes
+  | Bus.Commit_group { size } ->
+      let groups, grouped, saved, hist =
+        match st.commit_group_metrics with
+        | Some v -> v
+        | None ->
+            let v =
+              ( Metrics.counter st.m ~help:"Commit groups fsynced"
+                  "sias_commit_groups_total",
+                Metrics.counter st.m ~help:"Commits covered by a group fsync"
+                  "sias_commit_grouped_total",
+                Metrics.counter st.m
+                  ~help:"Per-commit fsyncs saved by group commit"
+                  "sias_commit_fsyncs_saved_total",
+                Metrics.histogram st.m ~help:"Commit group size"
+                  ~bucket_width:1.0 ~buckets:64 "sias_commit_group_size" )
+            in
+            st.commit_group_metrics <- Some v;
+            v
+      in
+      Metrics.incr groups;
+      Metrics.add grouped size;
+      Metrics.add saved (size - 1);
+      Metrics.observe hist (float_of_int size)
   | Bus.Device_io { device; op; bytes; latency_s; _ } ->
       Metrics.incr
         (memo st.dev_io (device, op) (fun () ->
@@ -132,6 +160,7 @@ let attach m bus =
       wal_flushes = Hashtbl.create 2;
       wal_flush_bytes =
         Metrics.counter m ~help:"WAL bytes flushed" "sias_wal_flushed_bytes_total";
+      commit_group_metrics = None;
       dev_io = Hashtbl.create 8;
       dev_bytes = Hashtbl.create 8;
       dev_lat = Hashtbl.create 8;

@@ -11,6 +11,7 @@ type t = {
   clock : Simclock.t;
   policy : policy;
   checkpoint_interval : float;
+  before_checkpoint : unit -> unit;
   on_checkpoint : unit -> unit;
   bus : Bus.t option;
   mutable next_bgwriter : float;
@@ -20,7 +21,7 @@ type t = {
 }
 
 let create pool ~clock ~policy ?(checkpoint_interval = 30.0)
-    ?(on_checkpoint = fun () -> ()) ?bus () =
+    ?(before_checkpoint = fun () -> ()) ?(on_checkpoint = fun () -> ()) ?bus () =
   let now = Simclock.now clock in
   let next_bgwriter =
     match policy with T1_bgwriter { interval; _ } -> now +. interval | _ -> infinity
@@ -33,6 +34,7 @@ let create pool ~clock ~policy ?(checkpoint_interval = 30.0)
     clock;
     policy;
     checkpoint_interval;
+    before_checkpoint;
     on_checkpoint;
     bus;
     next_bgwriter;
@@ -55,6 +57,9 @@ let flushes_delta t f =
       (Some b, (Bufpool.stats t.pool).Bufpool.flushes - before)
 
 let run_checkpoint t =
+  (* WAL first: buffered log records must reach the device before the
+     heap pages they describe (the commit pipeline's flush hook) *)
+  t.before_checkpoint ();
   let t0 = Simclock.now t.clock in
   let b, pages = flushes_delta t (fun () -> Bufpool.flush_all t.pool ~sync:false) in
   (match b with

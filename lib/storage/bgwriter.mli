@@ -27,15 +27,17 @@ val create :
   clock:Sias_util.Simclock.t ->
   policy:policy ->
   ?checkpoint_interval:float ->
+  ?before_checkpoint:(unit -> unit) ->
   ?on_checkpoint:(unit -> unit) ->
   ?bus:Sias_obs.Bus.t ->
   unit ->
   t
 (** A checkpoint flushing all dirty pages runs every [checkpoint_interval]
     simulated seconds (default 30.) under every policy except [Disabled].
-    [on_checkpoint] runs after each checkpoint flush (e.g. to reset the
-    full-page-write tracking so the next touch of a page logs a fresh
-    image). *)
+    [before_checkpoint] runs first (e.g. the commit pipeline flushing
+    buffered WAL ahead of the heap writes); [on_checkpoint] runs after
+    each checkpoint flush (e.g. to reset the full-page-write tracking so
+    the next touch of a page logs a fresh image). *)
 
 val tick : t -> unit
 (** Run any bgwriter round / checkpoint that has become due. *)

@@ -2,6 +2,7 @@ module Rng = Sias_util.Rng
 module Stats = Sias_util.Stats
 module Simclock = Sias_util.Simclock
 module Contention = Sias_txn.Contention
+module Commitpipe = Sias_wal.Commitpipe
 module Value = Mvcc.Value
 module S = Tpcc_schema
 module Col = Tpcc_schema.Col
@@ -519,6 +520,7 @@ module Make (E : Mvcc.Engine.S) = struct
     let db = E.db eng in
     let clock = db.Mvcc.Db.clock in
     let contention = db.Mvcc.Db.contention in
+    let commitpipe = db.Mvcc.Db.commitpipe in
     let st = make_session eng tables cfg in
     let rng = Rng.create (cfg.seed + 7) in
     let terminals =
@@ -550,15 +552,46 @@ module Make (E : Mvcc.Engine.S) = struct
     let next_gc =
       ref (match cfg.gc_interval_s with Some g -> start +. g | None -> infinity)
     in
+    (* Group commit: a terminal whose commit is queued behind the shared
+       window fsync parks (ready_at = infinity) until the group resolves;
+       its response time is charged to the group's fsync completion. *)
+    let pending : (int, int * tx_kind * float) Hashtbl.t = Hashtbl.create 64 in
+    let resolve () =
+      List.iter
+        (fun (seq, completion) ->
+          match Hashtbl.find_opt pending seq with
+          | None -> ()
+          | Some (idx, kind, arrival) ->
+              Hashtbl.remove pending seq;
+              let term = terminals.(idx) in
+              let acc = List.assoc kind accs in
+              acc.a_committed <- acc.a_committed + 1;
+              Stats.Sample.add acc.a_resp (completion -. arrival);
+              term.ready_at <-
+                completion +. Rng.exponential term.t_rng cfg.think_time_s)
+        (Commitpipe.drain_resolved commitpipe)
+    in
     let running = ref true in
     while !running do
+      (* groups closed since the last iteration unpark their terminals *)
+      resolve ();
       (* earliest-ready terminal *)
       let best = ref 0 in
       for i = 1 to Array.length terminals - 1 do
         if terminals.(i).ready_at < terminals.(!best).ready_at then best := i
       done;
       let term = terminals.(!best) in
-      if term.ready_at >= deadline then running := false
+      if term.ready_at = infinity then begin
+        (* every terminal is parked in the open commit window: close it *)
+        if not (Commitpipe.close_due commitpipe ~upto:infinity) then
+          failwith "tpcc: all terminals parked with no open commit group";
+        resolve ()
+      end
+      else if term.ready_at >= deadline then running := false
+      else if Commitpipe.close_due commitpipe ~upto:term.ready_at then
+        (* a commit-window deadline precedes the next arrival: service it
+           first so its members can re-enter the pick *)
+        resolve ()
       else begin
         Simclock.advance_to clock term.ready_at;
         if Simclock.now clock >= !next_gc then begin
@@ -570,6 +603,7 @@ module Make (E : Mvcc.Engine.S) = struct
         let kind = Rng.pick_weighted term.t_rng cfg.mix in
         let arrival = term.ready_at in
         let acc = List.assoc kind accs in
+        let parked = ref false in
         (match Contention.admit contention with
         | Contention.Shed ->
             (* the admission gate turned the request away; the terminal
@@ -616,16 +650,27 @@ module Make (E : Mvcc.Engine.S) = struct
                      t1 = finished;
                    });
             match outcome with
-            | Committed ->
-                acc.a_committed <- acc.a_committed + 1;
-                Stats.Sample.add acc.a_resp (finished -. arrival)
+            | Committed -> (
+                match Commitpipe.last_ack commitpipe with
+                | Commitpipe.Queued seq ->
+                    Hashtbl.replace pending seq (!best, kind, arrival);
+                    parked := true;
+                    term.ready_at <- infinity
+                | Commitpipe.Durable _ ->
+                    acc.a_committed <- acc.a_committed + 1;
+                    Stats.Sample.add acc.a_resp (finished -. arrival))
             | User_abort -> acc.a_user <- acc.a_user + 1
             | Conflict_abort -> acc.a_conflict <- acc.a_conflict + 1
             | Failed -> acc.a_failed <- acc.a_failed + 1);
-        term.ready_at <-
-          Simclock.now clock +. Rng.exponential term.t_rng cfg.think_time_s
+        if not !parked then
+          term.ready_at <-
+            Simclock.now clock +. Rng.exponential term.t_rng cfg.think_time_s
       end
     done;
+    (* drain: commits registered inside the run still count even when the
+       window's fsync lands past the simulated end *)
+    ignore (Commitpipe.close_due commitpipe ~upto:infinity);
+    resolve ();
     let elapsed = Simclock.now clock -. start in
     let per_kind =
       List.map

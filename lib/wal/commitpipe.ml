@@ -1,0 +1,199 @@
+module Simclock = Sias_util.Simclock
+module Bus = Sias_obs.Bus
+module Commitgroup = Sias_txn.Commitgroup
+
+type mode =
+  | Sync
+  | Group of { delay : float }
+  | Async of { interval : float; max_bytes : int }
+
+let mode_name = function
+  | Sync -> "sync"
+  | Group _ -> "group"
+  | Async _ -> "async"
+
+type ack = Durable of float | Queued of int
+
+type t = {
+  wal : Wal.t;
+  clock : Simclock.t;
+  bus : Bus.t option;
+  mode : mode;
+  group : Commitgroup.t option; (* Some only in Group mode with delay > 0 *)
+  mutable last : ack;
+  mutable next_wflush : float; (* async: next WAL-writer time-based flush *)
+  mutable acked_lsns : int list; (* async: acked commit LSNs not yet flushed *)
+  mutable commit_fsyncs : int;
+  mutable walwriter_flushes : int;
+  mutable async_acked : int;
+}
+
+let create ~wal ~clock ?bus mode =
+  let group =
+    match mode with
+    | Group { delay } when delay > 0.0 -> Some (Commitgroup.create ~delay)
+    | _ -> None
+  in
+  let next_wflush =
+    match mode with
+    | Async { interval; _ } -> Simclock.now clock +. interval
+    | _ -> infinity
+  in
+  {
+    wal;
+    clock;
+    bus;
+    mode;
+    group;
+    last = Durable 0.0;
+    next_wflush;
+    acked_lsns = [];
+    commit_fsyncs = 0;
+    walwriter_flushes = 0;
+    async_acked = 0;
+  }
+
+let mode t = t.mode
+
+let obs t =
+  match t.bus with Some b when Bus.active b -> Some b | _ -> None
+
+let close_group t cg g ~at =
+  let completion = Wal.flush_upto t.wal ~sync:true ~at ~lsn:g.Commitgroup.high_lsn in
+  t.commit_fsyncs <- t.commit_fsyncs + 1;
+  (match obs t with
+  | Some b ->
+      Bus.publish b (Bus.Commit_group { size = List.length g.Commitgroup.members })
+  | None -> ());
+  Commitgroup.resolve cg g ~completion
+
+(* Async WAL-writer trickle: an un-synced sequential append, so a crash
+   before the next fsync may tear it — that is the bounded-loss window. *)
+let wflush t =
+  if Wal.pending_bytes t.wal > 0 then begin
+    Wal.flush t.wal ~sync:false;
+    t.walwriter_flushes <- t.walwriter_flushes + 1;
+    let flushed = Wal.flushed_lsn t.wal in
+    t.acked_lsns <- List.filter (fun l -> l > flushed) t.acked_lsns
+  end
+
+let commit t ~xid ~lsn =
+  let ack =
+    match (t.mode, t.group) with
+    | Group _, Some cg ->
+        let now = Simclock.now t.clock in
+        (* a group left open past its deadline (the clock advanced during
+           this transaction's own work) is closed before a new window opens *)
+        (match Commitgroup.take_due cg ~upto:now with
+        | Some g -> close_group t cg g ~at:g.Commitgroup.deadline
+        | None -> ());
+        Queued (Commitgroup.register cg ~now ~xid ~lsn)
+    | Async _, _ ->
+        t.async_acked <- t.async_acked + 1;
+        t.acked_lsns <- lsn :: t.acked_lsns;
+        Durable (Simclock.now t.clock)
+    | (Sync | Group _), _ ->
+        (* Group with delay <= 0 degenerates to exactly today's per-commit
+           fsync — the determinism tests pin this *)
+        Wal.flush t.wal ~sync:true;
+        t.commit_fsyncs <- t.commit_fsyncs + 1;
+        Durable (Simclock.now t.clock)
+  in
+  t.last <- ack;
+  ack
+
+let last_ack t = t.last
+
+let close_due t ~upto =
+  match t.group with
+  | None -> false
+  | Some cg -> (
+      match Commitgroup.take_due cg ~upto with
+      | Some g ->
+          close_group t cg g ~at:g.Commitgroup.deadline;
+          true
+      | None -> false)
+
+let drain_resolved t =
+  match t.group with None -> [] | Some cg -> Commitgroup.drain_resolved cg
+
+let tick t =
+  match t.mode with
+  | Sync -> ()
+  | Group _ -> ignore (close_due t ~upto:(Simclock.now t.clock))
+  | Async { interval; max_bytes } ->
+      let now = Simclock.now t.clock in
+      if Wal.pending_bytes t.wal >= max_bytes then begin
+        wflush t;
+        t.next_wflush <- now +. interval
+      end
+      else if now >= t.next_wflush then begin
+        wflush t;
+        while t.next_wflush <= now do
+          t.next_wflush <- t.next_wflush +. interval
+        done
+      end
+
+let before_checkpoint t =
+  match t.mode with
+  | Sync -> ()
+  | Group _ -> (
+      (* flush the open window early rather than let the checkpoint write
+         heap pages whose commit records are still buffered *)
+      match t.group with
+      | None -> ()
+      | Some cg -> (
+          match Commitgroup.take_due cg ~upto:infinity with
+          | Some g ->
+              let at = Float.min g.Commitgroup.deadline (Simclock.now t.clock) in
+              close_group t cg g ~at
+          | None -> ()))
+  | Async _ -> wflush t
+
+let finalize t =
+  ignore (close_due t ~upto:infinity);
+  ignore (drain_resolved t);
+  match t.mode with Async _ -> wflush t | _ -> ()
+
+let async_backlog t = List.length t.acked_lsns
+
+let reset_stats t =
+  t.commit_fsyncs <- 0;
+  t.walwriter_flushes <- 0;
+  t.async_acked <- 0;
+  Option.iter Commitgroup.reset_stats t.group
+
+type stats = {
+  mode_label : string;
+  commit_fsyncs : int;
+  groups : int;
+  grouped_commits : int;
+  fsyncs_saved : int;
+  max_group : int;
+  walwriter_flushes : int;
+  async_acked : int;
+  async_backlog : int;
+}
+
+let stats (t : t) =
+  {
+    mode_label = mode_name t.mode;
+    commit_fsyncs = t.commit_fsyncs;
+    groups = (match t.group with Some cg -> Commitgroup.groups cg | None -> 0);
+    grouped_commits =
+      (match t.group with Some cg -> Commitgroup.grouped_commits cg | None -> 0);
+    fsyncs_saved =
+      (match t.group with Some cg -> Commitgroup.fsyncs_saved cg | None -> 0);
+    max_group =
+      (match t.group with Some cg -> Commitgroup.max_group cg | None -> 0);
+    walwriter_flushes = t.walwriter_flushes;
+    async_acked = t.async_acked;
+    async_backlog = async_backlog t;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt
+    "commit pipeline: mode=%s commit-fsyncs=%d groups=%d grouped=%d \
+     fsyncs-saved=%d max-group=%d walwriter-flushes=%d acked=%d backlog=%d@."
+    s.mode_label s.commit_fsyncs s.groups s.grouped_commits s.fsyncs_saved
+    s.max_group s.walwriter_flushes s.async_acked s.async_backlog

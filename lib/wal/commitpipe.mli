@@ -1,0 +1,111 @@
+(** The commit pipeline: how a transaction's commit record reaches
+    durable storage, and when the commit is acknowledged.
+
+    Three modes, mirroring PostgreSQL:
+
+    - {b Sync} (default) — every commit pays its own synchronous WAL
+      flush, stalling the committing terminal's clock until the device
+      completes. Byte-identical to the historical [Wal.flush ~sync:true]
+      commit path.
+    - {b Group} ([commit_delay > 0]) — a committing transaction
+      registers in the open commit group and is acknowledged later: when
+      simulated time passes the window deadline, one fsync (submitted at
+      the deadline, {e without} stopping the global clock) covers every
+      member, and each is charged the shared completion time. A delay of
+      zero or less degenerates to [Sync] exactly.
+    - {b Async} ([synchronous_commit = off]) — commit is acknowledged at
+      WAL-append time; a WAL-writer trickle ({!tick}) flushes un-synced
+      on a byte or time threshold. Acked-but-unflushed commits form the
+      bounded loss window: after a crash, replay recovers a prefix of
+      the acked commit order (never a corrupt state), losing at most
+      {!async_backlog} transactions.
+
+    The pipeline owns every flush-scheduling decision: the commit path,
+    the WAL-writer trickle, and the pre-checkpoint flush hook all route
+    through it. *)
+
+type mode =
+  | Sync
+  | Group of { delay : float }  (** the [commit_delay] window, sim-seconds *)
+  | Async of { interval : float; max_bytes : int }
+      (** WAL-writer trickle thresholds: flush when this much time has
+          passed or this many bytes are buffered *)
+
+val mode_name : mode -> string
+(** ["sync"], ["group"] or ["async"]. *)
+
+type ack =
+  | Durable of float
+      (** commit acknowledged at this simulated time; accounting can
+          proceed immediately *)
+  | Queued of int
+      (** group commit: the transaction is a member of the open group;
+          the ticket resolves via {!drain_resolved} once the group's
+          shared fsync completes *)
+
+type t
+
+val create :
+  wal:Wal.t -> clock:Sias_util.Simclock.t -> ?bus:Sias_obs.Bus.t -> mode -> t
+
+val mode : t -> mode
+
+val commit : t -> xid:int -> lsn:int -> ack
+(** Called by [Db.commit] right after the commit record is appended at
+    [lsn]. Sync/degenerate-group: flushes synchronously and returns
+    [Durable]. Group: closes an overdue window, then registers and
+    returns [Queued]. Async: returns [Durable] immediately. *)
+
+val last_ack : t -> ack
+(** The ack of the most recent {!commit} — the driver reads this after a
+    transaction commits to decide whether to defer its accounting (the
+    engines' commit signature stays unchanged). *)
+
+val tick : t -> unit
+(** Periodic duties, called from [Db.tick]: close a group whose deadline
+    has passed (Group), run the WAL-writer trickle when a threshold is
+    due (Async). No-op in Sync mode. *)
+
+val close_due : t -> upto:float -> bool
+(** Close the open commit group if its deadline is at or before [upto],
+    flushing at the deadline (which may lie ahead of the global clock —
+    the driver calls this before advancing to the next terminal's ready
+    time, and with [upto = infinity] when every terminal is blocked
+    waiting on the group). Returns whether a group was closed; follow
+    with {!drain_resolved}. *)
+
+val drain_resolved : t -> (int * float) list
+(** Group-commit tickets resolved since the last drain, with the shared
+    completion time each member is charged. *)
+
+val before_checkpoint : t -> unit
+(** Checkpoint hook: flush buffered WAL ahead of the checkpoint's heap
+    writes — closes the open group early (Group) or runs the trickle
+    (Async). No-op in Sync mode, where the commit path left nothing
+    buffered that a checkpoint may not see. *)
+
+val finalize : t -> unit
+(** Settle at a quiesce point (end of load, end of run): force-close any
+    open group, discard unclaimed resolutions, flush async backlog. *)
+
+val async_backlog : t -> int
+(** Async mode: commits acknowledged but not yet flushed — the loss
+    window if the machine died now. *)
+
+type stats = {
+  mode_label : string;
+  commit_fsyncs : int;
+      (** fsyncs issued on the commit path (per-commit in sync mode, one
+          per group in group mode, zero in async mode) *)
+  groups : int;
+  grouped_commits : int;
+  fsyncs_saved : int;  (** sum over groups of (size - 1) *)
+  max_group : int;
+  walwriter_flushes : int;
+  async_acked : int;
+  async_backlog : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -69,6 +69,10 @@ type t = {
   bus : Bus.t option;
   clock : Simclock.t;
   mutable records : record list; (* newest first, retained for recovery *)
+  (* Unflushed records, newest first — the explicit pending batch. Flush
+     slices come off this list directly instead of being re-derived by
+     filtering [records] against the flushed LSN on every flush. *)
+  mutable batch : record list;
   mutable next_lsn : int;
   mutable flushed_lsn : int;
   mutable truncated_below : int;
@@ -76,10 +80,12 @@ type t = {
   mutable write_sector : int;
   mutable bytes_written : int;
   mutable flush_count : int;
-  (* First LSN of the last un-fsynced flush that would tear if the
+  (* First LSN of the earliest un-fsynced flush that would tear if the
      machine died now (the record at this LSN persists only partially;
-     later ones not at all). Cleared by any sync flush: fsync makes all
-     previously written bytes durable. *)
+     later ones not at all). Earliest wins: a hole in the log invalidates
+     everything after it, even bytes from later flushes that landed
+     whole. Cleared by any sync flush: fsync makes all previously written
+     bytes durable. *)
   mutable tear : int option;
 }
 
@@ -90,6 +96,7 @@ let create ?device ?faults ?bus ~clock () =
     bus;
     clock;
     records = [];
+    batch = [];
     next_lsn = 1;
     flushed_lsn = 0;
     truncated_below = 1;
@@ -107,7 +114,9 @@ let append t ~xid ~rel ~kind ~payload =
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   let crc = record_crc ~lsn ~xid ~rel ~kind ~payload in
-  t.records <- { lsn; xid; rel; kind; payload; crc } :: t.records;
+  let r = { lsn; xid; rel; kind; payload; crc } in
+  t.records <- r :: t.records;
+  t.batch <- r :: t.batch;
   t.pending_bytes <- t.pending_bytes + record_header_bytes + Bytes.length payload;
   (match obs t with
   | Some b ->
@@ -120,12 +129,11 @@ let append t ~xid ~rel ~kind ~payload =
   | None -> ());
   lsn
 
-(* Of the batch (old_flushed, new_flushed], find the LSN of the first
-   record that does not fit entirely within [persisted] bytes. *)
-let tear_point t ~old_flushed ~persisted =
-  let batch =
-    List.filter (fun r -> r.lsn > old_flushed) t.records |> List.rev
-  in
+(* Of a flushed slice (oldest first), find the LSN of the first record
+   that does not fit entirely within [persisted] bytes. The slice comes
+   straight off the pending batch, so this costs O(|slice|) — not a scan
+   of the whole retained log. *)
+let tear_point ~slice ~persisted =
   let rec scan remaining = function
     | [] -> None
     | r :: rest ->
@@ -133,58 +141,81 @@ let tear_point t ~old_flushed ~persisted =
           scan (remaining - record_bytes r) rest
         else Some r.lsn
   in
-  scan persisted batch
+  scan persisted slice
+
+(* Flush the pending batch up to and including [lsn], submitted to the
+   device at time [at]; returns the completion time ([at] with no
+   device). [advance] stalls the global clock to the completion — the
+   legacy commit path; group commit instead charges the shared
+   completion to each member without stopping the world. *)
+let flush_slice t ~sync ~advance ~at ~lsn =
+  (* [batch] is newest-first with strictly decreasing LSNs, so the
+     records to flush are a suffix of the list *)
+  let rec split keep = function
+    | r :: rest when r.lsn > lsn -> split (r :: keep) rest
+    | slice -> (List.rev keep, slice)
+  in
+  let keep, slice_newest = split [] t.batch in
+  match slice_newest with
+  | [] -> at
+  | top :: _ ->
+      let slice = List.rev slice_newest in
+      let bytes = List.fold_left (fun a r -> a + record_bytes r) 0 slice in
+      let sector0 = t.write_sector in
+      let completion =
+        match t.device with
+        | None -> at
+        | Some device ->
+            let c =
+              Device.submit device ~now:at Blocktrace.Write ~sector:sector0
+                ~bytes
+            in
+            t.write_sector <- sector0 + ((bytes + 511) / 512);
+            if advance && sync then Simclock.advance_to t.clock c;
+            c
+      in
+      (match obs t with
+      | Some b ->
+          Bus.publish b (Bus.Wal_flush { sync; bytes });
+          if sync then
+            Bus.publish b
+              (Bus.Span
+                 { cat = "wal"; name = "wal_fsync"; tid = 101; t0 = at; t1 = completion })
+      | None -> ());
+      if sync then t.tear <- None
+      else begin
+        match t.faults with
+        | None -> ()
+        | Some f -> (
+            (* probe with the sector this batch was written at, not the
+               post-advance sector after it *)
+            match Faultdev.torn_write f ~sector:sector0 ~bytes with
+            | None -> ()
+            | Some persisted ->
+                (match obs t with
+                | Some b ->
+                    Bus.publish b
+                      (Bus.Fault_hit { kind = "torn_wal"; sector = sector0 })
+                | None -> ());
+                if t.tear = None then t.tear <- tear_point ~slice ~persisted)
+      end;
+      t.batch <- keep;
+      t.bytes_written <- t.bytes_written + bytes;
+      t.pending_bytes <- t.pending_bytes - bytes;
+      if top.lsn > t.flushed_lsn then t.flushed_lsn <- top.lsn;
+      t.flush_count <- t.flush_count + 1;
+      completion
 
 let flush t ~sync =
-  if t.pending_bytes > 0 then begin
-    let old_flushed = t.flushed_lsn in
-    let t0 = Simclock.now t.clock in
-    (match t.device with
-    | None -> ()
-    | Some device ->
-        let now = Simclock.now t.clock in
-        let completion =
-          Device.submit device ~now Blocktrace.Write ~sector:t.write_sector
-            ~bytes:t.pending_bytes
-        in
-        t.write_sector <- t.write_sector + ((t.pending_bytes + 511) / 512);
-        if sync then Simclock.advance_to t.clock completion);
-    (match obs t with
-    | Some b ->
-        Bus.publish b (Bus.Wal_flush { sync; bytes = t.pending_bytes });
-        if sync then
-          Bus.publish b
-            (Bus.Span
-               {
-                 cat = "wal";
-                 name = "wal_fsync";
-                 tid = 101;
-                 t0;
-                 t1 = Simclock.now t.clock;
-               })
-    | None -> ());
-    if sync then t.tear <- None
-    else begin
-      match t.faults with
-      | None -> ()
-      | Some f -> (
-          match
-            Faultdev.torn_write f ~sector:t.write_sector ~bytes:t.pending_bytes
-          with
-          | None -> ()
-          | Some persisted ->
-              (match obs t with
-              | Some b ->
-                  Bus.publish b
-                    (Bus.Fault_hit { kind = "torn_wal"; sector = t.write_sector })
-              | None -> ());
-              t.tear <- tear_point t ~old_flushed ~persisted)
-    end;
-    t.bytes_written <- t.bytes_written + t.pending_bytes;
-    t.pending_bytes <- 0;
-    t.flushed_lsn <- t.next_lsn - 1;
-    t.flush_count <- t.flush_count + 1
-  end
+  if t.pending_bytes > 0 then
+    ignore
+      (flush_slice t ~sync ~advance:true ~at:(Simclock.now t.clock)
+         ~lsn:(t.next_lsn - 1))
+
+let flush_upto t ~sync ~at ~lsn = flush_slice t ~sync ~advance:false ~at ~lsn
+
+let pending_bytes t = t.pending_bytes
+let pending_records t = List.rev t.batch
 
 let current_lsn t = t.next_lsn - 1
 let flushed_lsn t = t.flushed_lsn
@@ -214,6 +245,13 @@ let verified_from t ~lsn =
 
 let truncate_before t ~lsn =
   t.records <- List.filter (fun r -> r.lsn >= lsn) t.records;
+  (match List.filter (fun r -> r.lsn < lsn) t.batch with
+  | [] -> ()
+  | dropped ->
+      (* truncating into the unflushed batch forgets those writes *)
+      t.batch <- List.filter (fun r -> r.lsn >= lsn) t.batch;
+      t.pending_bytes <-
+        t.pending_bytes - List.fold_left (fun a r -> a + record_bytes r) 0 dropped);
   if lsn > t.truncated_below then t.truncated_below <- lsn
 
 let crash t =
@@ -232,6 +270,7 @@ let crash t =
             else if r.lsn = cut then Some { r with crc = r.crc lxor 0xBAD }
             else Some r)
           t.records);
+  t.batch <- [];
   t.pending_bytes <- 0;
   t.tear <- None
 

@@ -67,6 +67,33 @@ val flush : t -> sync:bool -> unit
     so far durable; async flushes model WAL writer activity and may tear
     at a crash. *)
 
+val flush_upto : t -> sync:bool -> at:float -> lsn:int -> float
+(** Flush the pending batch up to and including [lsn], submitting to the
+    device at simulated time [at] (which may lie ahead of the global
+    clock), and return the device completion time ([at] when the log has
+    no device). Unlike {!flush} the global clock is {e not} advanced:
+    a commit group charges the shared completion to each member while
+    the rest of the system keeps running. A [sync] flush clears any
+    pending tear, exactly as {!flush}[ ~sync:true] does. *)
+
+val pending_bytes : t -> int
+(** Bytes buffered but not yet handed to the device — the WAL-writer
+    trickle's byte threshold reads this. *)
+
+val pending_records : t -> record list
+(** The unflushed batch in log order (test hook; the batch is tracked
+    explicitly rather than re-derived from the retained log). *)
+
+val record_bytes : record -> int
+(** On-disk size of a record: fixed header plus payload. *)
+
+val tear_point : slice:record list -> persisted:int -> int option
+(** Of a flushed [slice] (oldest first), the LSN of the first record not
+    wholly contained in the first [persisted] bytes; [None] when all fit.
+    Operates on the flushed slice alone — O(|slice|), not a scan of the
+    retained log. Exposed as a test hook so the equivalence against a
+    whole-log reference scan stays pinned. *)
+
 val current_lsn : t -> int
 val flushed_lsn : t -> int
 
@@ -95,9 +122,11 @@ val oldest_retained : t -> int
     scratch is possible iff this is <= the first LSN ever issued. *)
 
 val crash : t -> unit
-(** Simulate losing the machine: un-flushed records vanish; if the last
-    async flush would tear, its tail is lost and the boundary record's
-    checksum breaks (a real torn tail for {!verified_from} to find).
+(** Simulate losing the machine: un-flushed records vanish; if any
+    un-fsynced async flush would tear, everything from the {e earliest}
+    tear on is lost and the boundary record's checksum breaks (a real
+    torn tail for {!verified_from} to find) — a hole in the log
+    invalidates later flushes even when their own bytes landed whole.
     [next_lsn] is preserved — LSNs are never reused. *)
 
 val corrupt : t -> lsn:int -> unit

@@ -1,0 +1,315 @@
+(* The commit pipeline: group commit shares one fsync across a window,
+   async commit acks at append and bounds its loss window, and the
+   default mode stays byte-identical to the historical per-commit
+   fsync. *)
+
+module Wal = Sias_wal.Wal
+module Commitpipe = Sias_wal.Commitpipe
+module Device = Flashsim.Device
+module Faultdev = Flashsim.Faultdev
+module Simclock = Sias_util.Simclock
+module Bus = Sias_obs.Bus
+
+let check = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-12))
+
+(* Append a commit record for [xid] and route it through the pipeline. *)
+let commit_txn w p ~xid =
+  let lsn = Wal.append w ~xid ~rel:0 ~kind:Wal.Commit ~payload:Bytes.empty in
+  Commitpipe.commit p ~xid ~lsn
+
+let test_group_shares_one_fsync () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let bus = Bus.create () in
+  let group_sizes = ref [] in
+  Bus.subscribe bus (fun e ->
+      match e with
+      | Bus.Commit_group { size } -> group_sizes := size :: !group_sizes
+      | _ -> ());
+  let p =
+    Commitpipe.create ~wal:w ~clock ~bus (Commitpipe.Group { delay = 0.002 })
+  in
+  let a1 = commit_txn w p ~xid:1 in
+  let a2 = commit_txn w p ~xid:2 in
+  let s1, s2 =
+    match (a1, a2) with
+    | Commitpipe.Queued s1, Commitpipe.Queued s2 -> (s1, s2)
+    | _ -> Alcotest.fail "group commit must queue, not ack inline"
+  in
+  check "tickets are distinct" true (s1 <> s2);
+  check "nothing resolved before the deadline" true
+    (Commitpipe.drain_resolved p = []);
+  check "window not closed before its deadline" false
+    (Commitpipe.close_due p ~upto:0.001);
+  checki "wal untouched while the window is open" 0 (Wal.flushed_lsn w);
+  check "window closes at its deadline" true
+    (Commitpipe.close_due p ~upto:0.002);
+  (match Commitpipe.drain_resolved p with
+  | [ (r1, c1); (r2, c2) ] ->
+      checki "first ticket resolves first" s1 r1;
+      checki "second ticket resolves second" s2 r2;
+      checkf "members share one completion" c1 c2;
+      checkf "completion is the window deadline" 0.002 c1
+  | l -> Alcotest.failf "expected 2 resolutions, got %d" (List.length l));
+  checki "both commit records flushed" (Wal.current_lsn w) (Wal.flushed_lsn w);
+  let st = Commitpipe.stats p in
+  checki "one fsync for the whole group" 1 st.Commitpipe.commit_fsyncs;
+  checki "one group" 1 st.Commitpipe.groups;
+  checki "two grouped commits" 2 st.Commitpipe.grouped_commits;
+  checki "one fsync saved" 1 st.Commitpipe.fsyncs_saved;
+  checki "max group size" 2 st.Commitpipe.max_group;
+  check "group size published on the bus" true (!group_sizes = [ 2 ])
+
+let test_group_overdue_closed_by_next_commit () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let p =
+    Commitpipe.create ~wal:w ~clock (Commitpipe.Group { delay = 0.002 })
+  in
+  Simclock.advance clock 0.01;
+  let a3 = commit_txn w p ~xid:3 in
+  check "opens a fresh window" true
+    (match a3 with Commitpipe.Queued _ -> true | _ -> false);
+  (* the window (deadline 0.012) goes overdue while this terminal works;
+     the next commit must close it before registering itself *)
+  Simclock.advance clock 0.02;
+  ignore (commit_txn w p ~xid:4);
+  (match Commitpipe.drain_resolved p with
+  | [ (_, c) ] -> checkf "overdue group closed at its own deadline" 0.012 c
+  | l -> Alcotest.failf "expected 1 resolution, got %d" (List.length l));
+  (* quiesce: finalize force-closes the still-open window *)
+  Commitpipe.finalize p;
+  checki "finalize flushes everything" (Wal.current_lsn w) (Wal.flushed_lsn w);
+  checki "two groups total" 2 (Commitpipe.stats p).Commitpipe.groups
+
+let test_group_fsync_does_not_stall_clock () =
+  let clock = Simclock.create () in
+  let device = Device.ssd_x25e ~blocks:256 () in
+  let w = Wal.create ~device ~clock () in
+  let p =
+    Commitpipe.create ~wal:w ~clock (Commitpipe.Group { delay = 0.002 })
+  in
+  ignore (commit_txn w p ~xid:1);
+  ignore (commit_txn w p ~xid:2);
+  check "closed" true (Commitpipe.close_due p ~upto:infinity);
+  (match Commitpipe.drain_resolved p with
+  | [ (_, c1); (_, c2) ] ->
+      checkf "shared completion" c1 c2;
+      check "completion includes device latency past the deadline" true
+        (c1 > 0.002)
+  | _ -> Alcotest.fail "expected 2 resolutions");
+  (* the group fsync charges its members, not the world *)
+  checkf "global clock untouched by the group fsync" 0.0 (Simclock.now clock)
+
+let test_group_delay_zero_is_sync () =
+  (* commit_delay = 0 must degenerate to the per-commit fsync path with
+     identical timing and identical device traffic *)
+  let run mode =
+    let clock = Simclock.create () in
+    let device = Device.ssd_x25e ~blocks:256 () in
+    let w = Wal.create ~device ~clock () in
+    let p = Commitpipe.create ~wal:w ~clock mode in
+    let acks =
+      List.map
+        (fun xid ->
+          ignore
+            (Wal.append w ~xid ~rel:0 ~kind:Wal.Insert
+               ~payload:(Bytes.make 100 'x'));
+          match commit_txn w p ~xid with
+          | Commitpipe.Durable at -> at
+          | Commitpipe.Queued _ -> Alcotest.fail "delay=0 must ack inline")
+        [ 1; 2; 3; 4; 5 ]
+    in
+    ( acks,
+      Simclock.now clock,
+      Wal.bytes_written w,
+      Wal.flush_count w,
+      (Commitpipe.stats p).Commitpipe.commit_fsyncs )
+  in
+  let sync = run Commitpipe.Sync in
+  let zero = run (Commitpipe.Group { delay = 0.0 }) in
+  check "group delay=0 identical to sync" true (sync = zero)
+
+let test_db_group_delay_zero_determinism () =
+  (* end to end through an engine: the default pipeline and a zero-width
+     group window must produce the same clock, the same WAL traffic and
+     the same fsync count *)
+  let run mode =
+    let wal_device = Device.ssd_x25e ~blocks:256 () in
+    let db = Mvcc.Db.create ~buffer_pages:64 ~wal_device ~commit_mode:mode () in
+    let (module E : Mvcc.Engine.S) = Option.get (Mvcc.Engine.find "sias") in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    for i = 1 to 40 do
+      let txn = E.begin_txn eng in
+      Result.get_ok
+        (E.insert eng txn table [| Mvcc.Value.Int i; Mvcc.Value.Int (i * 7) |]);
+      E.commit eng txn;
+      Mvcc.Db.tick db
+    done;
+    ( Simclock.now db.Mvcc.Db.clock,
+      Wal.bytes_written db.Mvcc.Db.wal,
+      Wal.flush_count db.Mvcc.Db.wal,
+      (Commitpipe.stats db.Mvcc.Db.commitpipe).Commitpipe.commit_fsyncs )
+  in
+  check "engine run identical under delay=0" true
+    (run Commitpipe.Sync = run (Commitpipe.Group { delay = 0.0 }))
+
+let test_async_ack_and_trickle () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let p =
+    Commitpipe.create ~wal:w ~clock
+      (Commitpipe.Async { interval = 0.5; max_bytes = 1_000_000 })
+  in
+  (match commit_txn w p ~xid:1 with
+  | Commitpipe.Durable at -> checkf "acked at append time" 0.0 at
+  | Commitpipe.Queued _ -> Alcotest.fail "async must ack inline");
+  checki "nothing flushed yet" 0 (Wal.flushed_lsn w);
+  checki "one commit in the loss window" 1 (Commitpipe.async_backlog p);
+  Commitpipe.tick p;
+  checki "no threshold met: still buffered" 0 (Wal.flushed_lsn w);
+  Simclock.advance clock 0.6;
+  Commitpipe.tick p;
+  checki "time threshold flushes" (Wal.current_lsn w) (Wal.flushed_lsn w);
+  checki "loss window drained" 0 (Commitpipe.async_backlog p);
+  let st = Commitpipe.stats p in
+  checki "walwriter did the flush" 1 st.Commitpipe.walwriter_flushes;
+  checki "no commit-path fsyncs" 0 st.Commitpipe.commit_fsyncs;
+  checki "acks counted" 1 st.Commitpipe.async_acked
+
+let test_async_byte_threshold () =
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let p =
+    Commitpipe.create ~wal:w ~clock
+      (Commitpipe.Async { interval = 1000.0; max_bytes = 64 })
+  in
+  ignore (commit_txn w p ~xid:1);
+  Commitpipe.tick p;
+  checki "under the byte threshold: buffered" 0 (Wal.flushed_lsn w);
+  ignore (commit_txn w p ~xid:2);
+  ignore (commit_txn w p ~xid:3);
+  Commitpipe.tick p;
+  checki "byte threshold flushes without time passing" (Wal.current_lsn w)
+    (Wal.flushed_lsn w);
+  checki "backlog drained" 0 (Commitpipe.async_backlog p)
+
+let test_before_checkpoint_flushes () =
+  (* the checkpoint hook must leave no buffered commit record behind,
+     whichever pipeline is active *)
+  let run mode =
+    let clock = Simclock.create () in
+    let w = Wal.create ~clock () in
+    let p = Commitpipe.create ~wal:w ~clock mode in
+    ignore (commit_txn w p ~xid:1);
+    Commitpipe.before_checkpoint p;
+    ignore (Commitpipe.drain_resolved p);
+    Wal.flushed_lsn w = Wal.current_lsn w
+  in
+  check "group window closed ahead of checkpoint" true
+    (run (Commitpipe.Group { delay = 5.0 }));
+  check "async backlog flushed ahead of checkpoint" true
+    (run (Commitpipe.Async { interval = 1000.0; max_bytes = 1_000_000 }))
+
+(* ------------- async commit: crash recovery properties ------------- *)
+
+(* Replay a random interleaving of commits and clock advances against an
+   async pipeline, then crash. Returns (acked xids in order, loss window
+   at the crash, committed xids that survive replay, tail verdict). *)
+let run_async_ops ?device ?faults ops =
+  let clock = Simclock.create () in
+  let w = Wal.create ?device ?faults ~clock () in
+  let p =
+    Commitpipe.create ~wal:w ~clock
+      (Commitpipe.Async { interval = 0.05; max_bytes = 4096 })
+  in
+  let acked = ref [] in
+  let xid = ref 0 in
+  List.iter
+    (fun (is_commit, k) ->
+      if is_commit then begin
+        incr xid;
+        ignore
+          (Wal.append w ~xid:!xid ~rel:0 ~kind:Wal.Insert
+             ~payload:(Bytes.make (k * 16) 'd'));
+        let lsn =
+          Wal.append w ~xid:!xid ~rel:0 ~kind:Wal.Commit ~payload:Bytes.empty
+        in
+        (match Commitpipe.commit p ~xid:!xid ~lsn with
+        | Commitpipe.Durable _ -> acked := !xid :: !acked
+        | Commitpipe.Queued _ -> failwith "async must ack inline")
+      end
+      else Simclock.advance clock (float_of_int k /. 100.0);
+      Commitpipe.tick p)
+    ops;
+  let backlog = Commitpipe.async_backlog p in
+  Wal.crash w;
+  let recs, tail = Wal.verified_from w ~lsn:1 in
+  let survivors =
+    List.filter_map
+      (fun r -> if r.Wal.kind = Wal.Commit then Some r.Wal.xid else None)
+      recs
+  in
+  (List.rev !acked, backlog, survivors, tail)
+
+let rec is_prefix xs ys =
+  match (xs, ys) with
+  | [], _ -> true
+  | x :: xs', y :: ys' -> x = y && is_prefix xs' ys'
+  | _ :: _, [] -> false
+
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
+
+let qcheck_async_crash_no_faults =
+  QCheck.Test.make ~name:"async crash: survivors = acked minus loss window"
+    ~count:150
+    QCheck.(list_of_size Gen.(int_range 1 80) (pair bool (int_bound 50)))
+    (fun ops ->
+      let acked, backlog, survivors, tail = run_async_ops ops in
+      (* without faults nothing tears: the loss window is exact *)
+      tail = `Clean
+      && survivors = take (List.length acked - backlog) acked)
+
+let qcheck_async_crash_torn =
+  QCheck.Test.make
+    ~name:"async crash with torn writes: prefix of acks, never corrupt"
+    ~count:150
+    QCheck.(
+      pair (int_bound 1000)
+        (list_of_size Gen.(int_range 1 80) (pair bool (int_bound 50))))
+    (fun (seed, ops) ->
+      let device = Device.ssd_x25e ~blocks:256 () in
+      let faults =
+        Faultdev.create
+          ~profile:{ Faultdev.none with Faultdev.torn_write_p = 1.0 }
+          ~seed ()
+      in
+      (* verified_from raising Corrupt_wal fails the property loudly *)
+      let acked, _, survivors, _ = run_async_ops ~device ~faults ops in
+      is_prefix survivors acked)
+
+let suite =
+  [
+    Alcotest.test_case "group: one fsync per window" `Quick
+      test_group_shares_one_fsync;
+    Alcotest.test_case "group: overdue window closed by next commit" `Quick
+      test_group_overdue_closed_by_next_commit;
+    Alcotest.test_case "group: fsync does not stall the clock" `Quick
+      test_group_fsync_does_not_stall_clock;
+    Alcotest.test_case "group: delay=0 identical to sync" `Quick
+      test_group_delay_zero_is_sync;
+    Alcotest.test_case "db: delay=0 deterministic vs sync" `Quick
+      test_db_group_delay_zero_determinism;
+    Alcotest.test_case "async: ack at append, trickle on time" `Quick
+      test_async_ack_and_trickle;
+    Alcotest.test_case "async: byte threshold" `Quick test_async_byte_threshold;
+    Alcotest.test_case "checkpoint hook flushes buffered commits" `Quick
+      test_before_checkpoint_flushes;
+    QCheck_alcotest.to_alcotest qcheck_async_crash_no_faults;
+    QCheck_alcotest.to_alcotest qcheck_async_crash_torn;
+  ]

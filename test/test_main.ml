@@ -8,6 +8,7 @@ let () =
       ("noftl", Test_noftl.suite);
       ("storage", Test_storage.suite);
       ("wal", Test_wal.suite);
+      ("commitpipe", Test_commitpipe.suite);
       ("txn", Test_txn.suite);
       ("contention", Test_contention.suite);
       ("vidmap", Test_vidmap.suite);

@@ -297,6 +297,63 @@ let test_blocktrace_retention () =
   checki "retention resumes" 1 (List.length (B.records t));
   checki "read counter unbroken" 6 (B.read_count t)
 
+let contains hay sub =
+  let n = String.length hay and m = String.length sub in
+  let rec find i = i + m <= n && (String.sub hay i m = sub || find (i + 1)) in
+  find 0
+
+let test_blocktrace_truncation_accounting () =
+  let t = B.create ~keep_records:true ~max_records:4 () in
+  for i = 0 to 9 do
+    B.add t ~time:(float_of_int i)
+      ~op:(if i mod 2 = 0 then B.Read else B.Write)
+      ~sector:(i * 8) ~bytes:4096
+  done;
+  (* requests beyond the cap are counted, not silently forgotten *)
+  checki "dropped counted" 6 (B.dropped_records t);
+  checki "counters = retained + dropped"
+    (B.read_count t + B.write_count t)
+    (List.length (B.records t) + B.dropped_records t);
+  (* renderings of a truncated trace say so *)
+  check bool "scatter carries truncation notice" true
+    (contains (B.render_scatter t) "truncated");
+  check bool "csv carries truncation comment" true
+    (contains (B.to_csv t) "# truncated: 6 records dropped");
+  (* shrinking the cap discards retained records into the dropped count
+     and restarts retention under the new cap *)
+  B.set_max_records t 2;
+  checki "retained discarded on shrink" 0 (List.length (B.records t));
+  checki "dropped includes discarded" 10 (B.dropped_records t);
+  B.add t ~time:10.0 ~op:B.Write ~sector:80 ~bytes:512;
+  checki "retention restarts under new cap" 1 (List.length (B.records t));
+  (* toggling retention off clears the truncation state with the records *)
+  B.set_keep_records t false;
+  checki "dropped cleared with retention off" 0 (B.dropped_records t);
+  (* an untruncated trace renders without notices *)
+  let t2 = B.create ~keep_records:true () in
+  B.add t2 ~time:0.0 ~op:B.Write ~sector:0 ~bytes:4096;
+  check bool "clean scatter has no notice" false
+    (contains (B.render_scatter t2) "truncated");
+  check bool "clean csv has no notice" false (contains (B.to_csv t2) "truncated")
+
+let test_device_info_reports_trace_drops () =
+  let module Device = Flashsim.Device in
+  let d = Device.ssd_x25e ~blocks:256 () in
+  B.set_max_records (Device.trace d) 2;
+  for i = 0 to 5 do
+    ignore
+      (Device.submit d
+         ~now:(float_of_int i *. 0.01)
+         B.Write ~sector:(i * 8) ~bytes:4096)
+  done;
+  check bool "info reports dropped trace records" true
+    (List.assoc_opt "trace_dropped_records" (Device.info d) = Some 4.0);
+  (* the reconciliation key only appears once something was dropped *)
+  let d2 = Device.ssd_x25e ~blocks:256 () in
+  ignore (Device.submit d2 ~now:0.0 B.Write ~sector:0 ~bytes:4096);
+  check bool "no dropped key on a complete trace" true
+    (List.assoc_opt "trace_dropped_records" (Device.info d2) = None)
+
 (* ---------------- end-to-end: recorder vs blocktrace ---------------- *)
 
 let test_recorder_reconciles_blocktrace () =
@@ -347,6 +404,10 @@ let suite =
     test_case "tracer: drop cap" `Quick test_tracer_drop_cap;
     test_case "engine registry: keys, aliases, modules" `Quick test_engine_registry;
     test_case "blocktrace: retention vs counters" `Quick test_blocktrace_retention;
+    test_case "blocktrace: truncation accounting and notices" `Quick
+      test_blocktrace_truncation_accounting;
+    test_case "device info reports trace drops" `Quick
+      test_device_info_reports_trace_drops;
     test_case "recorder reconciles with blocktrace" `Quick
       test_recorder_reconciles_blocktrace;
   ]

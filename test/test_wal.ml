@@ -2,8 +2,10 @@
 
 module Wal = Sias_wal.Wal
 module Device = Flashsim.Device
+module Faultdev = Flashsim.Faultdev
 module Blocktrace = Flashsim.Blocktrace
 module Simclock = Sias_util.Simclock
+module Bus = Sias_obs.Bus
 
 let check = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -159,6 +161,128 @@ let test_crash_drops_unflushed () =
   let lsn = Wal.append w ~xid:10 ~rel:0 ~kind:Wal.Insert ~payload:Bytes.empty in
   checki "next_lsn preserved across crash" 10 lsn
 
+(* A fault plan that tears every multi-sector write — crash behaviour
+   becomes deterministic modulo the persisted-prefix draw. *)
+let always_torn ~seed =
+  Faultdev.create
+    ~profile:{ Faultdev.none with Faultdev.torn_write_p = 1.0 }
+    ~seed ()
+
+let test_torn_probe_uses_batch_sector () =
+  (* Regression: the torn-write probe must see the sector the batch was
+     written at, not the already-advanced next-append sector. With the
+     bug, the Fault_hit sector never matches the trace record's. *)
+  let clock = Simclock.create () in
+  let device = Device.ssd_x25e ~blocks:256 () in
+  let faults = always_torn ~seed:42 in
+  let bus = Bus.create () in
+  let hit_sectors = ref [] in
+  Bus.subscribe bus (fun e ->
+      match e with
+      | Bus.Fault_hit { kind = "torn_wal"; sector } ->
+          hit_sectors := sector :: !hit_sectors
+      | _ -> ());
+  let w = Wal.create ~device ~faults ~bus ~clock () in
+  (* two async flushes of two ~1 KiB records each: both multi-sector, so
+     the always-torn plan fires on each *)
+  for round = 0 to 1 do
+    for i = 1 to 2 do
+      ignore
+        (Wal.append w ~xid:((round * 2) + i) ~rel:0 ~kind:Wal.Insert
+           ~payload:(Bytes.make 1000 'p'))
+    done;
+    Wal.flush w ~sync:false
+  done;
+  let trace_sectors =
+    List.map (fun r -> r.Blocktrace.sector) (Blocktrace.records (Device.trace device))
+  in
+  checki "both flushes probed" 2 (List.length !hit_sectors);
+  check "probe sectors equal trace sectors" true
+    (List.rev !hit_sectors = trace_sectors);
+  (* the first batch starts at the head of the log device *)
+  checki "first probe at sector 0" 0 (List.nth (List.rev !hit_sectors) 0)
+
+let test_tear_point_equivalence () =
+  (* The incremental batch-slice scan must agree with a whole-log
+     reference scan for every prefix length. *)
+  let clock = Simclock.create () in
+  let w = Wal.create ~clock () in
+  let sizes = [ 0; 1; 7; 64; 100; 3; 511; 512; 513 ] in
+  List.iteri
+    (fun i n ->
+      ignore
+        (Wal.append w ~xid:(i + 1) ~rel:0 ~kind:Wal.Insert
+           ~payload:(Bytes.make n 'x')))
+    sizes;
+  let slice = Wal.pending_records w in
+  let total = List.fold_left (fun a r -> a + Wal.record_bytes r) 0 slice in
+  (* reference: walk the full retained log with explicit byte offsets *)
+  let reference persisted =
+    let rec go off = function
+      | [] -> None
+      | r :: rest ->
+          if off + Wal.record_bytes r <= persisted then
+            go (off + Wal.record_bytes r) rest
+          else Some r.Wal.lsn
+    in
+    go 0 (Wal.records_from w ~lsn:0)
+  in
+  for persisted = 0 to total + 16 do
+    let got = Wal.tear_point ~slice ~persisted
+    and want = reference persisted in
+    if got <> want then
+      Alcotest.failf "tear_point mismatch at persisted=%d" persisted
+  done;
+  check "full prefix means no tear" true
+    (Wal.tear_point ~slice ~persisted:total = None);
+  check "empty prefix tears at first record" true
+    (Wal.tear_point ~slice ~persisted:0 = Some 1)
+
+let test_earliest_tear_wins () =
+  (* Two torn async flushes, then a crash: replay must stop at the tear
+     of the FIRST flush — bytes of the second flush that landed whole
+     sit beyond a hole and are unreachable. *)
+  let clock = Simclock.create () in
+  let device = Device.ssd_x25e ~blocks:256 () in
+  let faults = always_torn ~seed:7 in
+  let w = Wal.create ~device ~faults ~clock () in
+  for i = 1 to 3 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.make 1000 'a'))
+  done;
+  Wal.flush w ~sync:false;
+  for i = 4 to 6 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.make 1000 'b'))
+  done;
+  Wal.flush w ~sync:false;
+  Wal.crash w;
+  let recs, tail = Wal.verified_from w ~lsn:0 in
+  (match tail with
+  | `Torn cut ->
+      check "tear inside the first flush" true (cut >= 1 && cut <= 3);
+      check "only the clean prefix replays" true
+        (List.map (fun r -> r.Wal.lsn) recs
+        = List.init (cut - 1) (fun i -> i + 1))
+  | `Clean -> Alcotest.fail "crash after torn async flushes must report a tear")
+
+let test_sync_flush_clears_tear () =
+  (* An fsync makes everything previously written durable: a pending tear
+     from an earlier async flush must not survive it. *)
+  let clock = Simclock.create () in
+  let device = Device.ssd_x25e ~blocks:256 () in
+  let faults = always_torn ~seed:11 in
+  let w = Wal.create ~device ~faults ~clock () in
+  for i = 1 to 3 do
+    ignore (Wal.append w ~xid:i ~rel:0 ~kind:Wal.Insert ~payload:(Bytes.make 1000 'a'))
+  done;
+  Wal.flush w ~sync:false;
+  ignore (Wal.append w ~xid:4 ~rel:0 ~kind:Wal.Commit ~payload:Bytes.empty);
+  Wal.flush w ~sync:true;
+  Wal.crash w;
+  let recs, tail = Wal.verified_from w ~lsn:0 in
+  check "log clean after fsync" true (tail = `Clean);
+  check "everything survives" true
+    (List.map (fun r -> r.Wal.lsn) recs = [ 1; 2; 3; 4 ])
+
 let suite =
   [
     Alcotest.test_case "lsn monotone" `Quick test_lsn_monotone;
@@ -172,4 +296,12 @@ let suite =
     Alcotest.test_case "torn tail scan" `Quick test_torn_tail_scan;
     Alcotest.test_case "mid-log corruption is loud" `Quick test_midlog_corruption_is_loud;
     Alcotest.test_case "crash drops unflushed" `Quick test_crash_drops_unflushed;
+    Alcotest.test_case "torn probe uses batch sector" `Quick
+      test_torn_probe_uses_batch_sector;
+    Alcotest.test_case "tear point equals whole-log reference" `Quick
+      test_tear_point_equivalence;
+    Alcotest.test_case "earliest tear wins across flushes" `Quick
+      test_earliest_tear_wins;
+    Alcotest.test_case "sync flush clears pending tear" `Quick
+      test_sync_flush_clears_tear;
   ]

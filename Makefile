@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench demo contention obs groupcommit clean
+.PHONY: all build test check bench micro determinism demo contention obs groupcommit clean
 
 all: build
 
@@ -14,6 +14,27 @@ check: build test
 
 bench:
 	dune exec bench/main.exe
+
+# Wall-clock microbenchmarks over the engine hot paths (point read,
+# scan, update, visibility-heavy scan, TPC-C NOTPM) with a
+# machine-readable summary. Pass BASELINE=path/to/old.json to print
+# speedups against a previously recorded run.
+micro:
+	mkdir -p _obs
+	dune exec bench/main.exe -- micro --bench-out _obs/BENCH_5.json \
+	  $(if $(BASELINE),--bench-baseline $(BASELINE),)
+
+# Simulated results are part of the model: the default-seed run of every
+# engine must reproduce the committed golden output byte for byte.
+# Wall-clock optimisations that leak into simulated time fail here.
+determinism:
+	mkdir -p _obs
+	for e in si si-cv sias sias-v; do \
+	  echo "== $$e =="; \
+	  dune exec bin/sias_cli.exe -- run -e $$e > _obs/run_$$e.txt 2>&1 || exit 1; \
+	  diff -u test/golden/run_$$e.txt _obs/run_$$e.txt || exit 1; \
+	done
+	@echo "determinism OK: default-seed outputs match test/golden"
 
 demo:
 	dune exec examples/recovery_demo.exe

@@ -18,6 +18,13 @@ module B = Flashsim.Blocktrace
 
 let full = ref false
 
+(* --bench-out / --bench-baseline: machine-readable results (BENCH_5.json) *)
+let bench_out : string option ref = ref None
+let bench_baseline : string option ref = ref None
+
+(* per-engine (metric, value) rows collected by the micro bench *)
+let micro_results : (string * (string * float) list) list ref = ref []
+
 let section title =
   Printf.printf "\n============================================================\n";
   Printf.printf "%s\n" title;
@@ -509,9 +516,284 @@ let ablation_groupcommit () =
   note "postgres: commit_delay / synchronous_commit=off, on a simulated SSD."
 
 (* ------------------------------------------------------------------ *)
-(* Bechamel micro-benchmarks of the core data structures               *)
+(* bench micro: wall-clock ops/sec on the engine hot paths             *)
+
+(* Unlike everything above, these measure host wall time, not simulated
+   time: they exist to prove the hot-path data structures (hint bits,
+   array CLOG, binary-search snapshots, fixed-slot vectors) got faster.
+   Simulated results are byte-identical by construction; wall clock is
+   where the win shows. --bench-out writes BENCH_5.json; --bench-baseline
+   embeds a pre-change run's JSON and prints the speedups. *)
+
+let wall = Unix.gettimeofday
+
+(* Best-of-trials peak rate: short timed windows, keep the fastest. The
+   max filters out bursty interference from a shared host, which a single
+   long window folds into the mean. [batch] returns its op count. *)
+let time_ops ~min_time batch =
+  ignore (batch ());
+  let trials = if !full then 12 else 6 in
+  let window = Float.max 0.05 (min_time /. float_of_int trials) in
+  let best = ref 0.0 in
+  for _ = 1 to trials do
+    let t0 = wall () in
+    let ops = ref 0 in
+    while wall () -. t0 < window do
+      ops := !ops + batch ()
+    done;
+    let rate = float_of_int !ops /. Float.max 1e-9 (wall () -. t0) in
+    if rate > !best then best := rate
+  done;
+  !best
+
+let micro_engine key (module E : Mvcc.Engine.S) =
+  let module V = Mvcc.Value in
+  let min_time = if !full then 2.0 else 0.4 in
+  let rng = Sias_util.Rng.create 99 in
+  (* plain table: point reads, scans, updates *)
+  let db = Mvcc.Db.create ~buffer_pages:4096 () in
+  let eng = E.create db in
+  let plain = E.create_table eng ~name:"plain" ~pk_col:0 () in
+  let n_plain = 2_000 in
+  let txn = E.begin_txn eng in
+  for k = 1 to n_plain do
+    E.insert eng txn plain [| V.Int k; V.Str (String.make 40 'p') |] |> Result.get_ok
+  done;
+  E.commit eng txn;
+  let reader = E.begin_txn eng in
+  let point_read =
+    time_ops ~min_time (fun () ->
+        for _ = 1 to 256 do
+          ignore (E.read eng reader plain ~pk:(1 + Sias_util.Rng.int rng n_plain))
+        done;
+        256)
+  in
+  let scan = time_ops ~min_time (fun () -> E.scan eng reader plain (fun _ -> ())) in
+  E.commit eng reader;
+  let update =
+    time_ops ~min_time (fun () ->
+        let txn = E.begin_txn eng in
+        let ok = ref 0 in
+        for _ = 1 to 64 do
+          match
+            E.update eng txn plain ~pk:(1 + Sias_util.Rng.int rng n_plain) (fun r -> r)
+          with
+          | Ok () -> incr ok
+          | Error _ -> ()
+        done;
+        E.commit eng txn;
+        !ok)
+  in
+  (* visibility-heavy scan: deep version history read under snapshots
+     with a large concurrent set -- the hot path the hint bits, array
+     CLOG and binary-search snapshots attack *)
+  let db = Mvcc.Db.create ~buffer_pages:8192 () in
+  let eng = E.create db in
+  let hot = E.create_table eng ~name:"hot" ~pk_col:0 () in
+  let n_hot = 400 in
+  let txn = E.begin_txn eng in
+  for k = 1 to n_hot do
+    E.insert eng txn hot [| V.Int k; V.Str (String.make 24 'h') |] |> Result.get_ok
+  done;
+  E.commit eng txn;
+  (* deep version history, half of it from aborted writers: a scan must
+     reject every aborted and superseded version it meets *)
+  for round = 1 to 24 do
+    let txn = E.begin_txn eng in
+    for k = 1 to n_hot do
+      E.update eng txn hot ~pk:k (fun r -> r) |> Result.get_ok
+    done;
+    if round land 1 = 0 then E.abort eng txn else E.commit eng txn
+  done;
+  (* a crowd of transactions stays open so every snapshot carries a big
+     concurrent set, and the crowd keeps the CLOG busy *)
+  let crowd = List.init 2_000 (fun _ -> E.begin_txn eng) in
+  let reader = E.begin_txn eng in
+  ignore (E.scan eng reader hot (fun _ -> ()));
+  let vis_scan = time_ops ~min_time (fun () -> E.scan eng reader hot (fun _ -> ())) in
+  E.commit eng reader;
+  List.iter (fun t -> E.abort eng t) crowd;
+  (* the simulated headline number, for the record *)
+  let t0 = wall () in
+  let o =
+    run_tpcc
+      {
+        (default_setup ~engine:key ~warehouses:2) with
+        duration_s = 10.0;
+        buffer_pages = 1024;
+        scale_div = 300;
+        gc_interval_s = Some 30.0;
+      }
+  in
+  let tpcc_wall = wall () -. t0 in
+  [
+    ("point_read_ops_per_s", point_read);
+    ("scan_rows_per_s", scan);
+    ("update_ops_per_s", update);
+    ("visibility_scan_rows_per_s", vis_scan);
+    ("notpm", o.result.W.notpm);
+    ("tpcc_wall_s", tpcc_wall);
+  ]
+
+(* Engine-independent visibility check: the bare isVisible predicate
+   against a populated transaction manager -- CLOG representation and
+   snapshot membership with nothing else on the path. *)
+let micro_core_results : (string * float) list ref = ref []
+
+let micro_core () =
+  let module Txn = Sias_txn.Txn in
+  let min_time = if !full then 2.0 else 0.4 in
+  let mgr = Txn.create_mgr () in
+  let n = 20_000 in
+  let xids = Array.init n (fun _ -> Txn.begin_txn mgr) in
+  Array.iteri
+    (fun i t -> if i land 3 = 3 then Txn.abort mgr t else Txn.commit mgr t)
+    xids;
+  let crowd = List.init 2_000 (fun _ -> Txn.begin_txn mgr) in
+  let reader = Txn.begin_txn mgr in
+  let rng = Sias_util.Rng.create 7 in
+  let rate =
+    time_ops ~min_time (fun () ->
+        let hits = ref 0 in
+        for _ = 1 to 1024 do
+          if Txn.visible mgr reader.Txn.snapshot (1 + Sias_util.Rng.int rng n) then
+            incr hits
+        done;
+        1024)
+  in
+  Txn.commit mgr reader;
+  List.iter (fun t -> Txn.abort mgr t) crowd;
+  micro_core_results := [ ("visibility_check_ops_per_s", rate) ];
+  note "isVisible predicate (20k xids, 2k concurrent): %.0f checks/s" rate
+
+(* Pull ["<engine>": {... "<field>": <num> ...}] out of a baseline JSON
+   with plain string scanning -- no JSON dependency for one float. *)
+let baseline_field ~json ~engine ~field =
+  let find_from pos needle =
+    let n = String.length needle and len = String.length json in
+    let rec go i =
+      if i + n > len then None
+      else if String.sub json i n = needle then Some (i + n)
+      else go (i + 1)
+    in
+    go pos
+  in
+  match find_from 0 (Printf.sprintf "%S: {" engine) with
+  | None -> None
+  | Some p -> (
+      match find_from p (Printf.sprintf "%S: " field) with
+      | None -> None
+      | Some q ->
+          let r = ref q in
+          let len = String.length json in
+          while !r < len && not (List.mem json.[!r] [ ','; '}'; '\n' ]) do
+            incr r
+          done;
+          float_of_string_opt (String.trim (String.sub json q (!r - q))))
 
 let micro () =
+  section "Micro-benchmarks: wall-clock ops/sec on the engine hot paths";
+  micro_core ();
+  let engines = Mvcc.Engine.all () in
+  micro_results :=
+    List.map (fun (key, m) -> (key, micro_engine key m)) engines;
+  let tbl =
+    T.create
+      [ "engine"; "point read/s"; "scan rows/s"; "update/s"; "vis-scan rows/s"; "NOTPM" ]
+  in
+  List.iter
+    (fun (key, fields) ->
+      let get f = List.assoc f fields in
+      T.add_row tbl
+        [
+          engine_name key;
+          T.fmt_float ~decimals:0 (get "point_read_ops_per_s");
+          T.fmt_float ~decimals:0 (get "scan_rows_per_s");
+          T.fmt_float ~decimals:0 (get "update_ops_per_s");
+          T.fmt_float ~decimals:0 (get "visibility_scan_rows_per_s");
+          T.fmt_float ~decimals:0 (get "notpm");
+        ])
+    !micro_results;
+  T.print tbl;
+  match !bench_baseline with
+  | None -> ()
+  | Some path ->
+      let ic = open_in path in
+      let json = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      note "\nspeedup vs baseline (%s):" path;
+      (match
+         ( baseline_field ~json ~engine:"core" ~field:"visibility_check_ops_per_s",
+           !micro_core_results )
+       with
+      | Some base, [ (_, now) ] when base > 0.0 ->
+          note "  %-12s isVisible predicate   %.2fx (%.0f -> %.0f checks/s)" "core"
+            (now /. base) base now
+      | _ -> ());
+      List.iter
+        (fun (key, fields) ->
+          match baseline_field ~json ~engine:key ~field:"visibility_scan_rows_per_s" with
+          | Some base when base > 0.0 ->
+              let now = List.assoc "visibility_scan_rows_per_s" fields in
+              note "  %-12s visibility-heavy scan %.2fx (%.0f -> %.0f rows/s)"
+                (engine_name key) (now /. base) base now
+          | _ -> note "  %-12s (no baseline figure)" (engine_name key))
+        !micro_results
+
+(* BENCH_5.json: micro results (when the micro bench ran), the run's
+   total wall time, and the embedded baseline if one was given. *)
+let write_bench_json ~wall_s =
+  match !bench_out with
+  | None -> ()
+  | Some path ->
+      let buf = Buffer.create 4096 in
+      Buffer.add_string buf "{\n";
+      Buffer.add_string buf
+        (Printf.sprintf "  \"bench\": \"sias micro\",\n  \"mode\": %S,\n"
+           (if !full then "full" else "quick"));
+      Buffer.add_string buf (Printf.sprintf "  \"wall_time_s\": %.2f,\n" wall_s);
+      Buffer.add_string buf "  \"engines\": {";
+      List.iteri
+        (fun i (key, fields) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "\n    %S: {" key);
+          List.iteri
+            (fun j (f, v) ->
+              if j > 0 then Buffer.add_char buf ',';
+              Buffer.add_string buf (Printf.sprintf "\n      %S: %.1f" f v))
+            fields;
+          Buffer.add_string buf "\n    }")
+        !micro_results;
+      Buffer.add_string buf "\n  }";
+      if !micro_core_results <> [] then begin
+        Buffer.add_string buf ",\n  \"core\": {";
+        List.iteri
+          (fun j (f, v) ->
+            if j > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "\n    %S: %.1f" f v))
+          !micro_core_results;
+        Buffer.add_string buf "\n  }"
+      end;
+      (match !bench_baseline with
+      | Some bpath when Sys.file_exists bpath ->
+          let ic = open_in bpath in
+          let json = String.trim (really_input_string ic (in_channel_length ic)) in
+          close_in ic;
+          if String.length json > 0 && json.[0] = '{' then begin
+            Buffer.add_string buf ",\n  \"baseline\": ";
+            Buffer.add_string buf json
+          end
+      | _ -> ());
+      Buffer.add_string buf "\n}\n";
+      let oc = open_out path in
+      output_string oc (Buffer.contents buf);
+      close_out oc;
+      Printf.printf "bench results -> %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the core data structures               *)
+
+let micro_structs () =
   section "Micro-benchmarks (Bechamel): core data-structure operations";
   let open Bechamel in
   let vidmap = Vidmap.create () in
@@ -603,6 +885,7 @@ let experiments =
     ("contention", ablation_contention);
     ("groupcommit", ablation_groupcommit);
     ("micro", micro);
+    ("structs", micro_structs);
   ]
 
 let () =
@@ -645,6 +928,12 @@ let () =
     | "--metrics-out" :: path :: rest ->
         metrics_out := Some path;
         filter rest
+    | "--bench-out" :: path :: rest ->
+        bench_out := Some path;
+        filter rest
+    | "--bench-baseline" :: path :: rest ->
+        bench_baseline := Some path;
+        filter rest
     | "--trace-out" :: path :: rest ->
         trace_out := Some path;
         filter rest
@@ -681,6 +970,7 @@ let () =
           Printf.printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments)))
     chosen;
-  Printf.printf "\n(total wall time %.1f s%s)\n"
-    (Unix.gettimeofday () -. t0)
-    (if !full then ", full mode" else ", quick mode; pass --full for paper-scale parameters")
+  let wall_s = Unix.gettimeofday () -. t0 in
+  Printf.printf "\n(total wall time %.1f s%s)\n" wall_s
+    (if !full then ", full mode" else ", quick mode; pass --full for paper-scale parameters");
+  write_bench_json ~wall_s

@@ -57,13 +57,17 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
       ~bus ()
   in
   let lockmgr = Lockmgr.create () in
+  let txnmgr = Txn.create_mgr () in
+  (* Hint-bit durability gate: a committed hint may persist only once the
+     commit record is flushed (matters under group/async commit). *)
+  Txn.set_flushed_probe txnmgr (fun () -> Wal.flushed_lsn wal);
   {
     clock;
     device;
     pool;
     wal;
     commitpipe;
-    txnmgr = Txn.create_mgr ();
+    txnmgr;
     lockmgr;
     bgwriter;
     cpu_op_s;
@@ -110,7 +114,13 @@ let commit t txn =
     raise (Contention.Wounded txn.Txn.xid)
   end;
   let lsn = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
-  ignore (Commitpipe.commit t.commitpipe ~xid:txn.Txn.xid ~lsn);
+  let ack = Commitpipe.commit t.commitpipe ~xid:txn.Txn.xid ~lsn in
+  (* Not yet durable (group commit queues; async acks before flushing):
+     note the lsn so hint bits wait for the WAL to catch up. *)
+  (match (Commitpipe.mode t.commitpipe, ack) with
+  | Commitpipe.Async _, _ | _, Commitpipe.Queued _ ->
+      Txn.note_commit_lsn t.txnmgr ~xid:txn.Txn.xid ~lsn
+  | _, Commitpipe.Durable _ -> ());
   Txn.commit t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;

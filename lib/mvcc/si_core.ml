@@ -26,7 +26,7 @@ module Make (P : PROFILE) = struct
     mutable heap : Heapfile.t;
     pk_col : int;
     mutable pk_index : Btree.t;
-    mutable secondary : (int * Btree.t) list;
+    mutable secondary : (int * Btree.t) array;
   }
 
   type t = {
@@ -46,7 +46,8 @@ module Make (P : PROFILE) = struct
     let heap = Heapfile.create t.db.Db.pool ~rel ~placement:P.placement in
     let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
     let secondary =
-      List.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db))) secondary
+      Array.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+        (Array.of_list secondary)
     in
     let table = { tname; rel; heap; pk_col; pk_index; secondary } in
     t.tables <- t.tables @ [ table ];
@@ -63,17 +64,29 @@ module Make (P : PROFILE) = struct
   let index_version table ~tid row =
     let tidi = Tid.to_int tid in
     Btree.insert table.pk_index ~key:(pk_of table row) ~payload:tidi;
-    List.iter
+    Array.iter
       (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:tidi)
       table.secondary
 
   let unindex_version table ~tid row =
     let tidi = Tid.to_int tid in
     ignore (Btree.delete table.pk_index ~key:(pk_of table row) ~payload:tidi);
-    List.iter
+    Array.iter
       (fun (col, index) ->
         ignore (Btree.delete index ~key:(Value.to_key row.(col)) ~payload:tidi))
       table.secondary
+
+  (* Secondary indexes live in a small array probed linearly (tables have
+     at most a couple); replaces the old List.assoc. *)
+  let find_index_on table col =
+    let n = Array.length table.secondary in
+    let rec go i =
+      if i >= n then None
+      else
+        let c, index = table.secondary.(i) in
+        if c = col then Some index else go (i + 1)
+    in
+    go 0
 
   let place_version t txn table row =
     let item = Tuple.Si.encode ~xmin:txn.Txn.xid ~row in
@@ -81,7 +94,7 @@ module Make (P : PROFILE) = struct
     Walcodec.log_heap t.db ~xid:txn.Txn.xid ~rel:table.rel ~kind:Wal.Insert ~tid ~item;
     index_version table ~tid row;
     (* every version pays index maintenance in every index *)
-    Db.charge_cpu t.db (1 + List.length table.secondary);
+    Db.charge_cpu t.db (1 + Array.length table.secondary);
     tid
 
   (* The visible version of a data item among the candidate TIDs of its
@@ -96,7 +109,8 @@ module Make (P : PROFILE) = struct
       | None -> None
       | Some item ->
           let h = Tuple.Si.header item in
-          if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then
+          if Visibility.si_visible_fast t.db ~heap:table.heap ~tid txn.Txn.snapshot h
+          then
             let row = Tuple.Si.row item in
             if pk_of table row = pk then Some (tid, item, h, row) else None
           else None
@@ -119,7 +133,8 @@ module Make (P : PROFILE) = struct
       | Some item ->
           let h = Tuple.Si.header item in
           if pk_of table (Tuple.Si.row item) <> pk then None
-          else if Visibility.si_visible mgr txn.Txn.snapshot h then Some Engine.Duplicate_key
+          else if Visibility.si_visible_fast t.db ~heap:table.heap ~tid txn.Txn.snapshot h
+          then Some Engine.Duplicate_key
           else begin
             match Txn.status mgr h.xmin with
             | Txn.Aborted -> None
@@ -223,7 +238,7 @@ module Make (P : PROFILE) = struct
     write_version t txn table ~pk ~make_row:(fun _ -> None) ~tombstone:false
 
   let lookup t txn table ~col ~key =
-    match List.assoc_opt col table.secondary with
+    match find_index_on table col with
     | None -> invalid_arg "Si_engine.lookup: no index on column"
     | Some index ->
         let tids = Btree.lookup index ~key in
@@ -235,7 +250,10 @@ module Make (P : PROFILE) = struct
             | None -> None
             | Some item ->
                 let h = Tuple.Si.header item in
-                if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then
+                if
+                  Visibility.si_visible_fast t.db ~heap:table.heap ~tid
+                    txn.Txn.snapshot h
+                then
                   let row = Tuple.Si.row item in
                   if Value.to_key row.(col) = key then Some row else None
                 else None)
@@ -251,7 +269,8 @@ module Make (P : PROFILE) = struct
         | None -> None
         | Some item ->
             let h = Tuple.Si.header item in
-            if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then
+            if Visibility.si_visible_fast t.db ~heap:table.heap ~tid txn.Txn.snapshot h
+            then
               let row = Tuple.Si.row item in
               if Value.to_key row.(table.pk_col) = key then Some row else None
             else None)
@@ -261,10 +280,11 @@ module Make (P : PROFILE) = struct
      and check each for visibility. *)
   let scan t txn table f =
     let count = ref 0 in
-    Heapfile.iter table.heap (fun _tid item ->
+    Heapfile.iter table.heap (fun tid item ->
         Db.charge_cpu t.db 1;
         let h = Tuple.Si.header item in
-        if Visibility.si_visible t.db.Db.txnmgr txn.Txn.snapshot h then begin
+        if Visibility.si_visible_fast t.db ~heap:table.heap ~tid txn.Txn.snapshot h
+        then begin
           incr count;
           f (Tuple.Si.row item)
         end);
@@ -307,7 +327,7 @@ module Make (P : PROFILE) = struct
           Heapfile.restore t.db.Db.pool ~rel:table.rel ~placement:P.placement ~nblocks;
         table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
         table.secondary <-
-          List.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+          Array.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
             table.secondary;
         Heapfile.iter table.heap (fun tid item ->
             let h = Tuple.Si.header item in

@@ -15,7 +15,7 @@ type table = {
   pk_col : int;
   mutable vidmap : Vidmap.t;
   mutable pk_index : Btree.t; (* key = pk, payload = vid *)
-  mutable secondary : (int * Btree.t) list; (* key = column value, payload = vid *)
+  mutable secondary : (int * Btree.t) array; (* key = column value, payload = vid *)
 }
 
 (* Per-transaction undo: restores the VID_map on abort. [old_entry = None]
@@ -64,7 +64,8 @@ let create_table t ~name:tname ~pk_col ?(secondary = []) () =
   in
   let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
   let secondary =
-    List.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db))) secondary
+    Array.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+      (Array.of_list secondary)
   in
   let vidmap =
     if t.db.Db.vidmap_paged then Vidmap.create ~backing:(t.db.Db.pool, Db.alloc_rel t.db) ()
@@ -147,7 +148,9 @@ let find_visible t txn table vid =
               Db.charge_cpu t.db 1;
               let h = Tuple.Sias.header item in
               if h.vid <> vid then None (* slot reused after pruning *)
-              else if Visibility.creator_visible t.db.Db.txnmgr txn.Txn.snapshot h.create
+              else if
+                Visibility.sias_creator_visible_fast t.db ~heap:table.heap ~tid
+                  txn.Txn.snapshot ~hint:h.create_hint ~xid:h.create
               then if h.tombstone then None else Some (tid, item, h)
               else walk h.pred
       in
@@ -241,11 +244,11 @@ let insert t txn table row =
       Vidmap.set table.vidmap ~vid tid;
       push_undo t xid { u_table = table; u_vid = vid; u_old = None; u_pk = Some pk };
       Btree.insert table.pk_index ~key:pk ~payload:vid;
-      List.iter
+      Array.iter
         (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
-      Db.charge_cpu t.db (2 + List.length table.secondary);
+      Db.charge_cpu t.db (2 + Array.length table.secondary);
       if Db.observed t.db then
         Db.emit t.db (Db.Event.Row_write { xid; rel = table.rel; pk; row = Some row });
       Ok ()
@@ -293,7 +296,7 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                 Vidmap.set table.vidmap ~vid tid;
                 (* index maintenance only when an indexed key changed *)
                 if not tombstone then
-                  List.iter
+                  Array.iter
                     (fun (col, index) ->
                       let old_key = Value.to_key old_row.(col) in
                       let new_key = Value.to_key row.(col) in
@@ -325,8 +328,20 @@ let read t txn table ~pk =
     Db.emit t.db (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
   row
 
+(* Linear probe over the (small, fixed) secondary-index array; replaces
+   the old [List.assoc_opt] without allocating. *)
+let find_index_on table col =
+  let n = Array.length table.secondary in
+  let rec go i =
+    if i >= n then None
+    else
+      let c, idx = table.secondary.(i) in
+      if c = col then Some idx else go (i + 1)
+  in
+  go 0
+
 let lookup t txn table ~col ~key =
-  match List.assoc_opt col table.secondary with
+  match find_index_on table col with
   | None -> invalid_arg "Sias_engine.lookup: no index on column"
   | Some index ->
       let vids = Btree.lookup index ~key in
@@ -375,7 +390,10 @@ let scan_traditional t txn table f =
   Heapfile.iter table.heap (fun tid item ->
       Db.charge_cpu t.db 1;
       let h = Tuple.Sias.header item in
-      if Visibility.creator_visible t.db.Db.txnmgr txn.Txn.snapshot h.create then
+      if
+        Visibility.sias_creator_visible_fast t.db ~heap:table.heap ~tid
+          txn.Txn.snapshot ~hint:h.create_hint ~xid:h.create
+      then
         match find_visible t txn table h.vid with
         | Some (vtid, _, _) when Tid.equal vtid tid ->
             incr count;
@@ -583,7 +601,7 @@ let recover t =
          else Vidmap.create ());
       table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
       table.secondary <-
-        List.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+        Array.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
           table.secondary;
       (* newest committed version per VID becomes the entrypoint *)
       let best = Hashtbl.create 1024 in
@@ -605,7 +623,7 @@ let recover t =
           if not h.Tuple.Sias.tombstone then begin
             let row = Tuple.Sias.row item in
             Btree.insert table.pk_index ~key:(pk_of table row) ~payload:vid;
-            List.iter
+            Array.iter
               (fun (col, index) ->
                 Btree.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
               table.secondary

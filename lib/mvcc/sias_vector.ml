@@ -17,23 +17,53 @@ let vector_capacity = 4
    [8..9]   count (u16)
    [10..17] overflow tid + 1 (int64, 0 = none)
    then [count] version records, newest first:
-     create int64, seq u32, flags u8, row_len u32, row bytes *)
+     create int64, seq u32, flags u8, row_len u32, row bytes
 
-type version = { v_create : int; v_seq : int; v_tombstone : bool; v_row : Value.t array }
+   Flags byte: bit 0 = tombstone; bits 1-2 = creator hint
+   ({!Tuple.Hint}), patched lazily on first visibility resolution and
+   preserved across re-appends so later readers skip the CLOG. *)
 
-type vector = { vec_vid : int; overflow : Tid.t; versions : version list (* newest first *) }
+let hint_shift = 1
+
+type version = {
+  v_create : int;
+  v_seq : int;
+  v_tombstone : bool;
+  v_hint : int; (* {!Tuple.Hint} value for [v_create]; none = unknown *)
+  v_flags_off : int; (* flags-byte offset within the decoded item; -1 if fresh *)
+  v_row : Value.t array;
+}
+
+type vector = {
+  vec_vid : int;
+  overflow : Tid.t;
+  versions : version array; (* newest first; length = occupancy *)
+}
+
+(* First version satisfying [p], scanning newest-first. Replaces the old
+   [List.find_opt] without the list allocation. *)
+let find_version p versions =
+  let n = Array.length versions in
+  let rec go i =
+    if i >= n then None
+    else
+      let v = Array.unsafe_get versions i in
+      if p v then Some v else go (i + 1)
+  in
+  go 0
 
 let encode_vector vec =
   let buf = Buffer.create 256 in
   Buffer.add_int64_le buf (Int64.of_int vec.vec_vid);
-  Buffer.add_uint16_le buf (List.length vec.versions);
+  Buffer.add_uint16_le buf (Array.length vec.versions);
   Buffer.add_int64_le buf
     (Int64.of_int (if Tid.is_invalid vec.overflow then 0 else Tid.to_int vec.overflow + 1));
-  List.iter
+  Array.iter
     (fun v ->
       Buffer.add_int64_le buf (Int64.of_int v.v_create);
       Buffer.add_int32_le buf (Int32.of_int v.v_seq);
-      Buffer.add_uint8 buf (if v.v_tombstone then 1 else 0);
+      Buffer.add_uint8 buf
+        ((if v.v_tombstone then 1 else 0) lor (v.v_hint lsl hint_shift));
       let row = Value.encode_row v.v_row in
       Buffer.add_int32_le buf (Int32.of_int (Bytes.length row));
       Buffer.add_bytes buf row)
@@ -46,15 +76,33 @@ let decode_vector b =
   let ov = Int64.to_int (Bytes.get_int64_le b 10) in
   let overflow = if ov = 0 then Tid.invalid else Tid.of_int (ov - 1) in
   let pos = ref 18 in
+  (* explicit loop: decoding must advance [pos] strictly in record order *)
+  let decode_one () =
+    let v_create = Int64.to_int (Bytes.get_int64_le b !pos) in
+    let v_seq = Int32.to_int (Bytes.get_int32_le b (!pos + 8)) in
+    let v_flags_off = !pos + 12 in
+    let flags = Bytes.get_uint8 b v_flags_off in
+    let len = Int32.to_int (Bytes.get_int32_le b (!pos + 13)) in
+    let v_row = Value.decode_row b ~pos:(!pos + 17) in
+    pos := !pos + 17 + len;
+    {
+      v_create;
+      v_seq;
+      v_tombstone = flags land 1 = 1;
+      v_hint = (flags lsr hint_shift) land 3;
+      v_flags_off;
+      v_row;
+    }
+  in
   let versions =
-    List.init count (fun _ ->
-        let v_create = Int64.to_int (Bytes.get_int64_le b !pos) in
-        let v_seq = Int32.to_int (Bytes.get_int32_le b (!pos + 8)) in
-        let v_tombstone = Bytes.get_uint8 b (!pos + 12) = 1 in
-        let len = Int32.to_int (Bytes.get_int32_le b (!pos + 13)) in
-        let v_row = Value.decode_row b ~pos:(!pos + 17) in
-        pos := !pos + 17 + len;
-        { v_create; v_seq; v_tombstone; v_row })
+    if count = 0 then [||]
+    else begin
+      let arr = Array.make count (decode_one ()) in
+      for i = 1 to count - 1 do
+        arr.(i) <- decode_one ()
+      done;
+      arr
+    end
   in
   { vec_vid; overflow; versions }
 
@@ -73,7 +121,7 @@ type table = {
   pk_col : int;
   mutable vidmap : Vidmap.t;
   mutable pk_index : Btree.t;
-  mutable secondary : (int * Btree.t) list;
+  mutable secondary : (int * Btree.t) array;
 }
 
 type undo = { u_table : table; u_vid : int; u_old : Tid.t option; u_pk : int option }
@@ -120,7 +168,8 @@ let create_table t ~name:tname ~pk_col ?(secondary = []) () =
   in
   let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
   let secondary =
-    List.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db))) secondary
+    Array.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+      (Array.of_list secondary)
   in
   let vidmap =
     if t.db.Db.vidmap_paged then Vidmap.create ~backing:(t.db.Db.pool, Db.alloc_rel t.db) ()
@@ -201,20 +250,25 @@ let find_visible t txn table vid =
   | None -> None
   | Some entry ->
       t.reads <- t.reads + 1;
-      let mgr = t.db.Db.txnmgr in
       let rec scan tid =
         if Tid.is_invalid tid then None
         else
           match fetch_vector t table tid with
           | None -> None
-          | Some vec -> (
-              match
-                List.find_opt
-                  (fun v -> Txn.visible mgr txn.Txn.snapshot v.v_create)
-                  vec.versions
-              with
-              | Some v -> if v.v_tombstone then None else Some v
-              | None -> scan vec.overflow)
+          | Some vec ->
+              let n = Array.length vec.versions in
+              let rec find i =
+                if i >= n then scan vec.overflow
+                else
+                  let v = Array.unsafe_get vec.versions i in
+                  if
+                    Visibility.creator_visible_fast t.db ~heap:table.heap ~tid
+                      ~off:v.v_flags_off ~shift:hint_shift txn.Txn.snapshot
+                      ~hint:v.v_hint ~xid:v.v_create
+                  then if v.v_tombstone then None else Some v
+                  else find (i + 1)
+              in
+              find 0
       in
       scan entry
 
@@ -231,7 +285,7 @@ let effective_head t table vid =
           | None -> None
           | Some vec -> (
               match
-                List.find_opt
+                find_version
                   (fun v -> Txn.status mgr v.v_create <> Txn.Aborted)
                   vec.versions
               with
@@ -277,19 +331,27 @@ let insert t txn table row =
       let xid = txn.Txn.xid in
       let vid = Vidmap.alloc_vid table.vidmap in
       let v =
-        { v_create = xid; v_seq = next_seq t xid; v_tombstone = false; v_row = row }
+        {
+          v_create = xid;
+          v_seq = next_seq t xid;
+          v_tombstone = false;
+          v_hint = Tuple.Hint.none;
+          v_flags_off = -1;
+          v_row = row;
+        }
       in
       let tid =
-        append_vector t table ~xid { vec_vid = vid; overflow = Tid.invalid; versions = [ v ] }
+        append_vector t table ~xid
+          { vec_vid = vid; overflow = Tid.invalid; versions = [| v |] }
       in
       Vidmap.set table.vidmap ~vid tid;
       push_undo t xid { u_table = table; u_vid = vid; u_old = None; u_pk = Some pk };
       Btree.insert table.pk_index ~key:pk ~payload:vid;
-      List.iter
+      Array.iter
         (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
-      Db.charge_cpu t.db (2 + List.length table.secondary);
+      Db.charge_cpu t.db (2 + Array.length table.secondary);
       if Db.observed t.db then
         Db.emit t.db (Db.Event.Row_write { xid; rel = table.rel; pk; row = Some row });
       Ok ()
@@ -337,23 +399,27 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                             v_create = xid;
                             v_seq = next_seq t xid;
                             v_tombstone = tombstone;
+                            v_hint = Tuple.Hint.none;
+                            v_flags_off = -1;
                             v_row = row;
                           }
                         in
                         let fresh =
-                          if List.length cur.versions >= vector_capacity then begin
+                          (* O(1) occupancy probe (was List.length) *)
+                          if Array.length cur.versions >= vector_capacity then begin
                             (* spill the full vector, start a new one *)
                             let spilled = append_vector t table ~xid cur in
-                            { vec_vid = vid; overflow = spilled; versions = [ v ] }
+                            { vec_vid = vid; overflow = spilled; versions = [| v |] }
                           end
-                          else { cur with versions = v :: cur.versions }
+                          else
+                            { cur with versions = Array.append [| v |] cur.versions }
                         in
                         let tid = append_vector t table ~xid fresh in
                         push_undo t xid
                           { u_table = table; u_vid = vid; u_old = Some cur_tid; u_pk = None };
                         Vidmap.set table.vidmap ~vid tid;
                         if not tombstone then
-                          List.iter
+                          Array.iter
                             (fun (col, index) ->
                               let old_key = Value.to_key old_row.(col) in
                               let new_key = Value.to_key row.(col) in
@@ -386,8 +452,20 @@ let read t txn table ~pk =
     Db.emit t.db (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
   row
 
+(* Linear probe over the (small, fixed) secondary-index array; replaces
+   the old [List.assoc_opt] without allocating. *)
+let find_index_on table col =
+  let n = Array.length table.secondary in
+  let rec go i =
+    if i >= n then None
+    else
+      let c, idx = table.secondary.(i) in
+      if c = col then Some idx else go (i + 1)
+  in
+  go 0
+
 let lookup t txn table ~col ~key =
-  match List.assoc_opt col table.secondary with
+  match find_index_on table col with
   | None -> invalid_arg "Sias_vector.lookup: no index on column"
   | Some index ->
       let vids = Btree.lookup index ~key in
@@ -484,7 +562,8 @@ let compact_chains t table =
           else
             match fetch_vector_ro table tid with
             | None -> List.rev acc
-            | Some vec -> gather vec.overflow (List.rev_append vec.versions acc)
+            | Some vec ->
+                gather vec.overflow (List.rev_append (Array.to_list vec.versions) acc)
         in
         let versions = gather entry [] in
         let rec live acc succ_committed = function
@@ -517,7 +596,11 @@ let compact_chains t table =
           end
           else begin
             let fresh =
-              { vec_vid = vid; overflow = Tid.invalid; versions = live_versions }
+              {
+                vec_vid = vid;
+                overflow = Tid.invalid;
+                versions = Array.of_list live_versions;
+              }
             in
             let tid = append_vector t table ~xid:0 fresh in
             Vidmap.set table.vidmap ~vid tid
@@ -626,7 +709,7 @@ let discover_nblocks pool ~rel =
    authoritative copy of each item at recovery. *)
 let copy_rank mgr vec =
   let best = ref None in
-  List.iter
+  Array.iter
     (fun v ->
       if Txn.status mgr v.v_create = Txn.Committed then
         match !best with
@@ -649,7 +732,7 @@ let recover t =
          else Vidmap.create ());
       table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
       table.secondary <-
-        List.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
+        Array.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
           table.secondary;
       let mgr = t.db.Db.txnmgr in
       let best = Hashtbl.create 1024 in
@@ -660,7 +743,7 @@ let recover t =
           match copy_rank mgr vec with
           | None -> ()
           | Some rank -> (
-              let count = List.length vec.versions in
+              let count = Array.length vec.versions in
               match Hashtbl.find_opt best vec.vec_vid with
               | Some (r, c, old_tid, _)
                 when (r, c, Tid.to_int old_tid) >= (rank, count, Tid.to_int tid) ->
@@ -674,11 +757,11 @@ let recover t =
           Vidmap.set table.vidmap ~vid tid;
           (* index from the newest committed, non-tombstone version *)
           match
-            List.find_opt (fun v -> Txn.status mgr v.v_create = Txn.Committed) vec.versions
+            find_version (fun v -> Txn.status mgr v.v_create = Txn.Committed) vec.versions
           with
           | Some v when not v.v_tombstone ->
               Btree.insert table.pk_index ~key:(pk_of table v.v_row) ~payload:vid;
-              List.iter
+              Array.iter
                 (fun (col, index) ->
                   Btree.insert index ~key:(Value.to_key v.v_row.(col)) ~payload:vid)
                 table.secondary
@@ -697,7 +780,7 @@ let table_stats (t : t) table =
             match fetch_vector t table tid with
             | None -> ()
             | Some vec ->
-                total := !total + List.length vec.versions;
+                total := !total + Array.length vec.versions;
                 count vec.overflow
         in
         count entry
@@ -708,7 +791,7 @@ let table_stats (t : t) table =
       match fetch_vector t table tid with
       | Some vec -> (
           match
-            List.find_opt (fun v -> Txn.status mgr v.v_create <> Txn.Aborted) vec.versions
+            find_version (fun v -> Txn.status mgr v.v_create <> Txn.Aborted) vec.versions
           with
           | Some v when not v.v_tombstone -> incr live
           | _ -> ())

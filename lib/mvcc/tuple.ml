@@ -1,9 +1,50 @@
 module Tid = Sias_storage.Tid
 
+(* Hint bits (PostgreSQL-style): once a creating/invalidating
+   transaction's fate is known, the answer is cached in spare bits of the
+   on-tuple header so steady-state visibility checks never consult the
+   transaction manager. Transaction ids are small positive ints, so the
+   top two bits of each 8-byte little-endian timestamp field are free:
+   bit 62 (0x40 of the most significant byte) = known committed, bit 63
+   (0x80) = known aborted. Using spare bits keeps header sizes — and
+   therefore page fill and device traffic — exactly as before. *)
+module Hint = struct
+  let none = 0
+  let committed = 1
+  let aborted = 2
+
+  (* Byte-level masks for the MSB of an int64 timestamp field. *)
+  let committed_bit = 0x40
+  let aborted_bit = 0x80
+  let bits_of h = h lsl 6
+end
+
+(* Timestamp value with hint bits masked off. Composed from uint16 reads
+   so the decode stays allocation-free — [Bytes.get_int64_le] boxes its
+   result, which costs two minor-heap allocations per field in the scan
+   loop. *)
+let field b off =
+  Bytes.get_uint16_le b off
+  lor (Bytes.get_uint16_le b (off + 2) lsl 16)
+  lor (Bytes.get_uint16_le b (off + 4) lsl 32)
+  lor ((Bytes.get_uint16_le b (off + 6) land 0x3FFF) lsl 48)
+
+(* Full 62-bit value of a field with no hint bits in it. *)
+let raw_field b off =
+  Bytes.get_uint16_le b off
+  lor (Bytes.get_uint16_le b (off + 2) lsl 16)
+  lor (Bytes.get_uint16_le b (off + 4) lsl 32)
+  lor ((Bytes.get_uint16_le b (off + 6) land 0x7FFF) lsl 48)
+
+(* 2-bit hint value stored in the top bits of the field at [off]. *)
+let hint_at b off = Bytes.get_uint8 b (off + 7) lsr 6
+
 module Si = struct
-  type header = { xmin : int; xmax : int }
+  type header = { xmin : int; xmax : int; xmin_hint : int; xmax_hint : int }
 
   let header_size = 16 (* xmin int64, xmax int64 *)
+  let xmin_hint_byte = 7
+  let xmax_hint_byte = 15
 
   let encode ~xmin ~row =
     let payload = Value.encode_row row in
@@ -14,21 +55,27 @@ module Si = struct
     b
 
   let header b =
-    {
-      xmin = Int64.to_int (Bytes.get_int64_le b 0);
-      xmax = Int64.to_int (Bytes.get_int64_le b 8);
-    }
+    { xmin = field b 0; xmax = field b 8; xmin_hint = hint_at b 0; xmax_hint = hint_at b 8 }
 
   let row b = Value.decode_row b ~pos:header_size
 
+  (* Overwriting the whole field also clears any stale xmax hint. *)
   let patch_xmax b xmax = Bytes.set_int64_le b 8 (Int64.of_int xmax)
   let clear_xmax b = Bytes.set_int64_le b 8 0L
 end
 
 module Sias = struct
-  type header = { create : int; seq : int; vid : int; pred : Tid.t; tombstone : bool }
+  type header = {
+    create : int;
+    seq : int;
+    vid : int;
+    pred : Tid.t;
+    tombstone : bool;
+    create_hint : int;
+  }
 
   let header_size = 29 (* create int64, vid int64, pred int64, seq u32, flags u8 *)
+  let create_hint_byte = 7
 
   let encode ~create ~seq ~vid ~pred ~tombstone ~row =
     let payload = Value.encode_row row in
@@ -43,11 +90,12 @@ module Sias = struct
 
   let header b =
     {
-      create = Int64.to_int (Bytes.get_int64_le b 0);
+      create = field b 0;
       seq = Int32.to_int (Bytes.get_int32_le b 24);
-      vid = Int64.to_int (Bytes.get_int64_le b 8);
-      pred = Tid.of_int (Int64.to_int (Bytes.get_int64_le b 16));
-      tombstone = Bytes.get_uint8 b 28 = 1;
+      vid = raw_field b 8;
+      pred = Tid.of_int (raw_field b 16);
+      tombstone = Bytes.get_uint8 b 28 land 1 = 1;
+      create_hint = hint_at b 0;
     }
 
   let row b = Value.decode_row b ~pos:header_size

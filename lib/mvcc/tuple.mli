@@ -13,22 +13,49 @@
     SIAS header — creation timestamp, the data item's VID, the physical
     TID of the predecessor version, and a tombstone flag for deletes.
     There is explicitly {e no} invalidation field: creating a successor
-    implicitly invalidates, and the successor's existence encodes it. *)
+    implicitly invalidates, and the successor's existence encodes it.
+
+    Hint bits: the top two bits of each timestamp field cache the
+    creating/invalidating transaction's final fate (PostgreSQL-style), so
+    steady-state visibility checks skip the CLOG. They live in otherwise
+    unused bits, keeping header sizes — and page fill — unchanged.
+    Decoders mask them off; [header] exposes them as 2-bit hint values. *)
+
+module Hint : sig
+  val none : int
+  val committed : int
+  val aborted : int
+
+  val committed_bit : int
+  (** Byte mask (0x40) for "known committed" in a timestamp MSB. *)
+
+  val aborted_bit : int
+  (** Byte mask (0x80) for "known aborted" in a timestamp MSB. *)
+
+  val bits_of : int -> int
+  (** Byte mask for a 2-bit hint value ([bits_of committed = 0x40]). *)
+end
 
 module Si : sig
-  type header = { xmin : int; xmax : int }
+  type header = { xmin : int; xmax : int; xmin_hint : int; xmax_hint : int }
 
   val header_size : int
 
+  val xmin_hint_byte : int
+  (** Item offset of the byte holding xmin's hint bits. *)
+
+  val xmax_hint_byte : int
+  (** Item offset of the byte holding xmax's hint bits. *)
+
   val encode : xmin:int -> row:Value.t array -> bytes
-  (** A fresh version: [xmax = 0] (not invalidated). *)
+  (** A fresh version: [xmax = 0] (not invalidated), no hints. *)
 
   val header : bytes -> header
   val row : bytes -> Value.t array
 
   val patch_xmax : bytes -> int -> unit
   (** In-place invalidation: the small write SI performs on the old
-      version. Mutates the given item image. *)
+      version. Mutates the given item image; clears any xmax hint. *)
 
   val clear_xmax : bytes -> unit
   (** Undo an invalidation (aborting updater cleanup). *)
@@ -41,9 +68,13 @@ module Sias : sig
     vid : int;
     pred : Sias_storage.Tid.t;  (** [Tid.invalid] when no predecessor *)
     tombstone : bool;
+    create_hint : int;  (** 2-bit hint for [create]'s fate *)
   }
 
   val header_size : int
+
+  val create_hint_byte : int
+  (** Item offset of the byte holding [create]'s hint bits. *)
 
   val encode :
     create:int ->

@@ -1,4 +1,7 @@
 module Txn = Sias_txn.Txn
+module Snapshot = Sias_txn.Snapshot
+module Heapfile = Sias_storage.Heapfile
+module Bus = Sias_obs.Bus
 
 let creator_visible mgr snap c = Txn.visible mgr snap c
 
@@ -18,3 +21,61 @@ let sias_dead_for_all mgr ~horizon ~create ~successor_create =
   match successor_create with
   | Some c' -> committed_below mgr ~horizon c'
   | None -> false
+
+(* ---- hint-bit fast path ----
+
+   Same predicates as above, but the creating/invalidating transaction's
+   fate is first looked for in the tuple's own hint bits; on a miss the
+   CLOG is consulted and the outcome cached back onto the tuple (when
+   safe — see {!Sias_txn.Txn.durably_committed}). The slow predicates
+   above are retained verbatim as the oracle the QCheck equivalence
+   suite checks against. *)
+
+let hint_hit db heap =
+  if Db.observed db then Db.emit db (Bus.Hint_hit { rel = Heapfile.rel heap })
+
+let hint_set db heap ~committed =
+  if Db.observed db then
+    Db.emit db (Bus.Hint_set { rel = Heapfile.rel heap; committed })
+
+(* CLOG consultation with write-back of the answer: [off] is the item
+   byte holding the hint bits, [shift] the bit position of the 2-bit
+   hint value within it. *)
+let resolve_and_hint db ~heap ~tid ~off ~shift ~xid =
+  let mgr = db.Db.txnmgr in
+  match Txn.status mgr xid with
+  | Txn.In_progress -> false
+  | Txn.Committed ->
+      if Txn.durably_committed mgr xid then begin
+        Heapfile.patch_hint heap tid ~off ~bits:(Tuple.Hint.committed lsl shift);
+        hint_set db heap ~committed:true
+      end;
+      true
+  | Txn.Aborted ->
+      Heapfile.patch_hint heap tid ~off ~bits:(Tuple.Hint.aborted lsl shift);
+      hint_set db heap ~committed:false;
+      false
+
+let creator_visible_fast db ~heap ~tid ~off ~shift snap ~hint ~xid =
+  if xid = snap.Snapshot.xid then true
+  else if hint = Tuple.Hint.aborted then begin
+    hint_hit db heap;
+    false
+  end
+  else if hint = Tuple.Hint.committed then begin
+    hint_hit db heap;
+    Snapshot.sees_xid snap xid
+  end
+  else Snapshot.sees_xid snap xid && resolve_and_hint db ~heap ~tid ~off ~shift ~xid
+
+let si_visible_fast db ~heap ~tid snap (h : Tuple.Si.header) =
+  creator_visible_fast db ~heap ~tid ~off:Tuple.Si.xmin_hint_byte ~shift:6 snap
+    ~hint:h.xmin_hint ~xid:h.xmin
+  && not
+       (h.xmax <> 0
+       && creator_visible_fast db ~heap ~tid ~off:Tuple.Si.xmax_hint_byte ~shift:6
+            snap ~hint:h.xmax_hint ~xid:h.xmax)
+
+let sias_creator_visible_fast db ~heap ~tid snap ~hint ~xid =
+  creator_visible_fast db ~heap ~tid ~off:Tuple.Sias.create_hint_byte ~shift:6 snap
+    ~hint ~xid

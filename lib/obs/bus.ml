@@ -26,6 +26,8 @@ type event +=
     }
   | Device_trim of { device : string; sector : int; bytes : int }
   | Fault_hit of { kind : string; sector : int }
+  | Hint_set of { rel : int; committed : bool }
+  | Hint_hit of { rel : int }
   | Checkpoint of { pages : int }
   | Bgwriter_pass of { pages : int }
   | Ftl_gc of { device : string; moved_pages : int; erases : int }

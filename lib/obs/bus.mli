@@ -47,6 +47,12 @@ type event +=
   | Fault_hit of { kind : string; sector : int }
       (** an injected fault bit: transient read error, checksum failure,
           torn data-page or WAL write *)
+  | Hint_set of { rel : int; committed : bool }
+      (** a tuple hint bit was persisted: the creating/invalidating
+          transaction's fate is now cached on the tuple itself *)
+  | Hint_hit of { rel : int }
+      (** a visibility check was answered by a hint bit — one CLOG
+          lookup avoided *)
   | Checkpoint of { pages : int }
   | Bgwriter_pass of { pages : int }
   | Ftl_gc of { device : string; moved_pages : int; erases : int }

@@ -15,6 +15,10 @@ type state = {
   dev_bytes : (string * Bus.io_op, Metrics.counter) Hashtbl.t;
   dev_lat : (string * Bus.io_op, Metrics.histogram) Hashtbl.t;
   faults : (string, Metrics.counter) Hashtbl.t;
+  (* created on the first hint event so runs predating hint bits export
+     exactly the historical metric set *)
+  hints : (string, Metrics.counter) Hashtbl.t;
+  mutable clog_avoided : Metrics.counter option;
   checkpoints : Metrics.counter;
   checkpoint_pages : Metrics.counter;
   bgwriter_passes : Metrics.counter;
@@ -121,6 +125,34 @@ let on_event st e =
              Metrics.counter st.m ~help:"Injected-fault hits"
                ~labels:[ ("kind", kind) ]
                "sias_fault_hits_total"))
+  | Bus.Hint_set { committed; _ } ->
+      Metrics.incr
+        (memo st.hints
+           (if committed then "set_committed" else "set_aborted")
+           (fun () ->
+             Metrics.counter st.m ~help:"Tuple hint-bit events"
+               ~labels:
+                 [ ("event", if committed then "set_committed" else "set_aborted") ]
+               "sias_hint_bits_total"))
+  | Bus.Hint_hit _ ->
+      Metrics.incr
+        (memo st.hints "hit" (fun () ->
+             Metrics.counter st.m ~help:"Tuple hint-bit events"
+               ~labels:[ ("event", "hit") ]
+               "sias_hint_bits_total"));
+      let avoided =
+        match st.clog_avoided with
+        | Some c -> c
+        | None ->
+            let c =
+              Metrics.counter st.m
+                ~help:"Visibility checks answered by a hint bit (no CLOG lookup)"
+                "sias_clog_lookups_avoided_total"
+            in
+            st.clog_avoided <- Some c;
+            c
+      in
+      Metrics.incr avoided
   | Bus.Checkpoint { pages } ->
       Metrics.incr st.checkpoints;
       Metrics.add st.checkpoint_pages pages
@@ -165,6 +197,8 @@ let attach m bus =
       dev_bytes = Hashtbl.create 8;
       dev_lat = Hashtbl.create 8;
       faults = Hashtbl.create 8;
+      hints = Hashtbl.create 4;
+      clog_avoided = None;
       checkpoints =
         Metrics.counter m ~help:"Checkpoints completed" "sias_checkpoints_total";
       checkpoint_pages =

@@ -55,6 +55,14 @@ val with_page_ro : t -> rel:int -> block:int -> (Page.t -> 'a) -> 'a
     wholesale scan cannot evict the working set (PostgreSQL's vacuum
     ring). Strictly read-only — mutations made through it are lost. *)
 
+val patch_resident :
+  t -> rel:int -> block:int -> slot:int -> off:int -> bits:int -> bool
+(** Hint-bit patch: OR [bits] into the byte at [off] of the live item at
+    [slot], but only when the page is resident in a frame — returns
+    [false] (doing nothing) otherwise. Bypasses hit/miss statistics, the
+    reference bit and recency, and does {e not} dirty the frame: hint
+    bits are advisory and ride along on the page's next real write. *)
+
 val mark_dirty : t -> rel:int -> block:int -> unit
 (** The page must currently be resident (normally called inside
     [with_page]). *)

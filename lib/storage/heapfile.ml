@@ -217,6 +217,15 @@ let read t tid =
   if block < 0 || block >= t.nblocks || t.discarded.(block) then None
   else Bufpool.with_page t.pool ~rel:t.rel ~block (fun page -> Page.read page (Tid.slot tid))
 
+(* Hint-bit patch: unlogged, non-dirtying, resident-only (see
+   {!Bufpool.patch_resident}). Silently skipped for evicted or discarded
+   pages — a hint is advice, not state. *)
+let patch_hint t tid ~off ~bits =
+  let block = Tid.block tid in
+  if block >= 0 && block < t.nblocks && not t.discarded.(block) then
+    ignore
+      (Bufpool.patch_resident t.pool ~rel:t.rel ~block ~slot:(Tid.slot tid) ~off ~bits)
+
 let update_in_place t tid item =
   let block = Tid.block tid in
   if block < 0 || block >= t.nblocks then invalid_arg "Heapfile.update_in_place: bad block";

@@ -43,6 +43,13 @@ val insert_owned : t -> owner:int -> bytes -> Tid.t
 val read : t -> Tid.t -> bytes option
 (** [None] when the slot is dead or out of range. *)
 
+val patch_hint : t -> Tid.t -> off:int -> bits:int -> unit
+(** OR hint bits into one byte of the item at [tid], but only when its
+    page is already resident in the buffer pool — never an I/O, never a
+    statistic, never dirties the page (the hint rides along on the next
+    real write). Silently skipped otherwise: hints are advice, not
+    state. *)
+
 val update_in_place : t -> Tid.t -> bytes -> bool
 (** Overwrite without moving (see {!Page.update}); dirties the page on
     success. This is the operation SI invalidation needs and SIAS never

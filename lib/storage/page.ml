@@ -170,7 +170,20 @@ let delete t i =
     set_live t (live t - 1)
   end
 
+(* Hint-bit patch: OR bits into one byte of a live item. Deliberately a
+   pure cache-side mutation — no length change, no slot movement — so it
+   is safe on a page that other readers hold item copies of. *)
+let or_byte t i ~off ~bits =
+  if is_live t i && off >= 0 && off < slot_len t i then begin
+    let p = slot_off t i + off in
+    Bytes.set_uint8 t.buf p (Bytes.get_uint8 t.buf p lor bits)
+  end
+
 let copy t = { buf = Bytes.copy t.buf; size = t.size }
+
+let blit ~src ~dst =
+  if src.size <> dst.size then invalid_arg "Page.blit: size mismatch";
+  Bytes.blit src.buf 0 dst.buf 0 src.size
 
 (* ---- raw image access (WAL full-page writes, fault injection) ---- *)
 

@@ -50,7 +50,17 @@ val fill_ratio : t -> float
 val iter : t -> (int -> bytes -> unit) -> unit
 (** Apply to every live slot in slot order. *)
 
+val or_byte : t -> int -> off:int -> bits:int -> unit
+(** [or_byte p slot ~off ~bits] ORs [bits] into the byte at [off] within
+    the live item at [slot]; silently a no-op when the slot is dead or
+    [off] out of range. Used for tuple hint bits: never changes item
+    length or layout. *)
+
 val copy : t -> t
+
+val blit : src:t -> dst:t -> unit
+(** Overwrite [dst]'s content with [src]'s (same size required) without
+    allocating. *)
 
 val no_slot_reuse : t -> bool
 

@@ -1,14 +1,40 @@
-module Int_set = Set.Make (Int)
+(* The concurrent set is a sorted immutable int array: snapshots are
+   built once at transaction begin and probed on every visibility check,
+   so a cache-friendly binary search beats a balanced tree. *)
 
-type t = { xid : int; xmax : int; concurrent : Int_set.t }
+type t = { xid : int; xmax : int; concurrent : int array }
 
 let make ~xid ~xmax ~concurrent =
-  { xid; xmax; concurrent = Int_set.of_list concurrent }
+  { xid; xmax; concurrent = Array.of_list (List.sort_uniq Int.compare concurrent) }
 
-let is_concurrent t c = Int_set.mem c t.concurrent
+(* Allocation-free: bounds pre-check short-circuits the common case of a
+   transaction older than every concurrent one, and the tail-recursive
+   search needs no ref cells. *)
+let rec search a c lo hi =
+  if lo >= hi then false
+  else
+    let mid = (lo + hi) / 2 in
+    let v = Array.unsafe_get a mid in
+    if v = c then true
+    else if v < c then search a c (mid + 1) hi
+    else search a c lo mid
 
-let sees_xid t c = c = t.xid || (c <= t.xmax && not (Int_set.mem c t.concurrent))
+let mem a c =
+  let n = Array.length a in
+  n > 0
+  && c >= Array.unsafe_get a 0
+  && c <= Array.unsafe_get a (n - 1)
+  && search a c 0 n
+
+let is_concurrent t c = mem t.concurrent c
+
+let sees_xid t c = c = t.xid || (c <= t.xmax && not (mem t.concurrent c))
+
+(* Sorted, so the oldest concurrent transaction is element 0. *)
+let xmin t =
+  if Array.length t.concurrent = 0 then t.xid
+  else Stdlib.min t.concurrent.(0) t.xid
 
 let pp fmt t =
   Format.fprintf fmt "{xid=%d; xmax=%d; concurrent=[%s]}" t.xid t.xmax
-    (String.concat ";" (List.map string_of_int (Int_set.elements t.concurrent)))
+    (String.concat ";" (List.map string_of_int (Array.to_list t.concurrent)))

@@ -5,11 +5,15 @@
     concurrently ([tx_concurrent] in the paper's Algorithm 1). Visibility
     of a tuple version created by transaction [c] requires that [c]
     committed before the snapshot: [c <= xmax] and [c] not concurrent —
-    exactly the check in the paper's [isVisible]. *)
+    exactly the check in the paper's [isVisible].
 
-module Int_set : Set.S with type elt = int
+    The concurrent set is a sorted immutable int array probed by binary
+    search: snapshots are write-once, read-many, and a contiguous array
+    keeps the hot visibility probe in cache. *)
 
-type t = { xid : int; xmax : int; concurrent : Int_set.t }
+type t = { xid : int; xmax : int; concurrent : int array }
+(** [concurrent] is sorted ascending and duplicate-free; treat it as
+    immutable. *)
 
 val make : xid:int -> xmax:int -> concurrent:int list -> t
 
@@ -20,4 +24,9 @@ val sees_xid : t -> int -> bool
     transaction manager. *)
 
 val is_concurrent : t -> int -> bool
+
+val xmin : t -> int
+(** Lowest xid the snapshot regards as possibly in progress: the oldest
+    concurrent transaction, or the owner itself when none. O(1). *)
+
 val pp : Format.formatter -> t -> unit

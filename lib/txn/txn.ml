@@ -2,15 +2,65 @@ type status = In_progress | Committed | Aborted
 
 type t = { xid : int; snapshot : Snapshot.t; start_time : float }
 
+(* The commit log is a dense 2-bits-per-xid array (PostgreSQL's CLOG):
+   code 0 = never assigned, 1 = in progress, 2 = committed, 3 = aborted.
+   Status lookup is a shift and a mask instead of a Hashtbl probe.
+
+   The GC horizon is maintained incrementally: a multiset of the active
+   snapshots' xmins (keyed min -> count) replaces the per-call fold over
+   every active snapshot.
+
+   [commit_lsn] tracks, per xid, the WAL lsn of a commit record that is
+   not yet known durable; hint bits for a committed xid may only be set
+   once that record has been flushed (0 = nothing pending). *)
+
+module Imap = Map.Make (Int)
+
 type mgr = {
   mutable next_xid : int;
   active : (int, Snapshot.t) Hashtbl.t;
-  clog : (int, status) Hashtbl.t;
+  mutable clog : Bytes.t;
+  mutable xmins : int Imap.t;
+  mutable commit_lsn : int array;
+  mutable flushed_probe : (unit -> int) option;
 }
 
-let create_mgr () = { next_xid = 1; active = Hashtbl.create 64; clog = Hashtbl.create 1024 }
+let create_mgr () =
+  {
+    next_xid = 1;
+    active = Hashtbl.create 64;
+    clog = Bytes.make 256 '\000';
+    xmins = Imap.empty;
+    commit_lsn = [||];
+    flushed_probe = None;
+  }
+
+let clog_get mgr xid =
+  let byte = xid lsr 2 in
+  if xid < 1 || byte >= Bytes.length mgr.clog then 0
+  else (Char.code (Bytes.unsafe_get mgr.clog byte) lsr ((xid land 3) * 2)) land 3
+
+let clog_set mgr xid code =
+  if xid < 1 then invalid_arg "Txn: xid must be positive";
+  let byte = xid lsr 2 in
+  if byte >= Bytes.length mgr.clog then begin
+    let len = Stdlib.max (2 * Bytes.length mgr.clog) (byte + 1) in
+    let b = Bytes.make len '\000' in
+    Bytes.blit mgr.clog 0 b 0 (Bytes.length mgr.clog);
+    mgr.clog <- b
+  end;
+  let shift = (xid land 3) * 2 in
+  let cur = Char.code (Bytes.get mgr.clog byte) in
+  Bytes.set mgr.clog byte (Char.chr ((cur land lnot (3 lsl shift)) lor (code lsl shift)))
 
 let active_xids mgr = Hashtbl.fold (fun xid _ acc -> xid :: acc) mgr.active []
+
+let xmins_add mgr m =
+  mgr.xmins <- Imap.update m (function None -> Some 1 | Some n -> Some (n + 1)) mgr.xmins
+
+let xmins_remove mgr m =
+  mgr.xmins <-
+    Imap.update m (function Some 1 -> None | Some n -> Some (n - 1) | None -> None) mgr.xmins
 
 let begin_txn ?(now = 0.0) mgr =
   let xid = mgr.next_xid in
@@ -18,38 +68,36 @@ let begin_txn ?(now = 0.0) mgr =
   let concurrent = active_xids mgr in
   let snapshot = Snapshot.make ~xid ~xmax:(xid - 1) ~concurrent in
   Hashtbl.replace mgr.active xid snapshot;
-  Hashtbl.replace mgr.clog xid In_progress;
+  xmins_add mgr (Snapshot.xmin snapshot);
+  clog_set mgr xid 1;
   { xid; snapshot; start_time = now }
 
 let finish mgr t final =
-  (match Hashtbl.find_opt mgr.clog t.xid with
-  | Some In_progress -> ()
-  | Some _ | None -> invalid_arg "Txn: transaction is not in progress");
+  if clog_get mgr t.xid <> 1 then invalid_arg "Txn: transaction is not in progress";
+  (match Hashtbl.find_opt mgr.active t.xid with
+  | Some snap -> xmins_remove mgr (Snapshot.xmin snap)
+  | None -> ());
   Hashtbl.remove mgr.active t.xid;
-  Hashtbl.replace mgr.clog t.xid final
+  clog_set mgr t.xid (match final with Committed -> 2 | _ -> 3)
 
 let commit mgr t = finish mgr t Committed
 let abort mgr t = finish mgr t Aborted
 
 let status mgr xid =
-  match Hashtbl.find_opt mgr.clog xid with
-  | Some s -> s
-  | None -> invalid_arg "Txn.status: unknown xid"
+  match clog_get mgr xid with
+  | 1 -> In_progress
+  | 2 -> Committed
+  | 3 -> Aborted
+  | _ -> invalid_arg "Txn.status: unknown xid"
 
-let is_committed mgr xid = status mgr xid = Committed
+let is_committed mgr xid = clog_get mgr xid = 2
 
 let last_xid mgr = mgr.next_xid - 1
 
-(* Lowest xid a snapshot regards as still in progress. *)
-let snapshot_xmin snap =
-  match Snapshot.Int_set.min_elt_opt snap.Snapshot.concurrent with
-  | Some m -> Stdlib.min m snap.Snapshot.xid
-  | None -> snap.Snapshot.xid
-
 let horizon mgr =
-  Hashtbl.fold
-    (fun _ snap acc -> Stdlib.min acc (snapshot_xmin snap))
-    mgr.active mgr.next_xid
+  match Imap.min_binding_opt mgr.xmins with
+  | Some (m, _) -> m
+  | None -> mgr.next_xid
 
 let visible mgr snap c =
   c = snap.Snapshot.xid || (Snapshot.sees_xid snap c && is_committed mgr c)
@@ -57,5 +105,36 @@ let visible mgr snap c =
 let set_next_xid mgr xid = mgr.next_xid <- Stdlib.max mgr.next_xid xid
 
 let mark_recovered mgr ~xid ~committed =
-  Hashtbl.replace mgr.clog xid (if committed then Committed else Aborted);
+  clog_set mgr xid (if committed then 2 else 3);
   if xid >= mgr.next_xid then mgr.next_xid <- xid + 1
+
+let set_flushed_probe mgr f = mgr.flushed_probe <- Some f
+
+let note_commit_lsn mgr ~xid ~lsn =
+  if xid >= 0 then begin
+    if xid >= Array.length mgr.commit_lsn then begin
+      let len = Stdlib.max 1024 (Stdlib.max (2 * Array.length mgr.commit_lsn) (xid + 1)) in
+      let a = Array.make len 0 in
+      Array.blit mgr.commit_lsn 0 a 0 (Array.length mgr.commit_lsn);
+      mgr.commit_lsn <- a
+    end;
+    mgr.commit_lsn.(xid) <- lsn
+  end
+
+let durably_committed mgr xid =
+  xid < 0
+  || xid >= Array.length mgr.commit_lsn
+  ||
+  let lsn = mgr.commit_lsn.(xid) in
+  lsn = 0
+  ||
+  match mgr.flushed_probe with
+  | None ->
+      mgr.commit_lsn.(xid) <- 0;
+      true
+  | Some probe ->
+      probe () >= lsn
+      && begin
+           mgr.commit_lsn.(xid) <- 0;
+           true
+         end

@@ -4,7 +4,11 @@
     increasing integers. The manager tracks which transactions are in
     progress (feeding [tx_concurrent] of new snapshots) and keeps a commit
     log (clog) recording the final status of every finished transaction,
-    which the visibility check consults. *)
+    which the visibility check consults.
+
+    The clog is a dense 2-bits-per-xid byte array and the GC horizon is
+    an incrementally maintained minimum over active snapshot xmins, so
+    both [status] and [horizon] are O(1) on the hot path. *)
 
 type status = In_progress | Committed | Aborted
 
@@ -51,3 +55,24 @@ val set_next_xid : mgr -> int -> unit
 val mark_recovered : mgr -> xid:int -> committed:bool -> unit
 (** Recovery: record the final status of a transaction found in the log.
     Transactions with no commit record are implicitly aborted. *)
+
+(** {2 Hint-bit durability gate}
+
+    Tuple hint bits persist to storage, so a "committed" hint must never
+    reach disk before the commit record itself is durable: a crash in
+    between would recover the xid as aborted while the hint says
+    committed. Commits whose WAL record is not yet flushed are noted via
+    [note_commit_lsn]; [durably_committed] consults the registered
+    flushed-lsn probe and clears the note once the record is on disk. *)
+
+val set_flushed_probe : mgr -> (unit -> int) -> unit
+(** Register a probe returning the highest flushed WAL lsn. *)
+
+val note_commit_lsn : mgr -> xid:int -> lsn:int -> unit
+(** Record that [xid]'s commit record sits at [lsn] and is not yet known
+    durable (used by group/async commit). *)
+
+val durably_committed : mgr -> int -> bool
+(** Whether a committed [xid]'s commit record is known durable, i.e. a
+    committed hint bit may be persisted for it. Always true when no lsn
+    was noted (synchronous commit, recovery, no WAL). *)

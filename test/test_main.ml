@@ -23,6 +23,7 @@ let () =
       ("tpcc", Test_tpcc.suite);
       ("integration", Test_extra.suite);
       ("tpcc-consistency", Test_tpcc_consistency.suite);
+      ("hint-bits", Test_hintbits.suite);
       ("crash-fuzz", Test_crash.suite);
       ("fault-torture", Test_faults.suite);
       ("ssi", Test_ssi.suite);

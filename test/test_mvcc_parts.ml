@@ -86,7 +86,7 @@ let test_si_visibility () =
   let t1 = Txn.begin_txn mgr in
   Txn.commit mgr t1;
   let t2 = Txn.begin_txn mgr in
-  let h xmin xmax = { Tuple.Si.xmin; xmax } in
+  let h xmin xmax = { Tuple.Si.xmin; xmax; xmin_hint = 0; xmax_hint = 0 } in
   check "committed, not invalidated" true (Visibility.si_visible mgr t2.Txn.snapshot (h 1 0));
   check "invalidated by self" false
     (Visibility.si_visible mgr t2.Txn.snapshot (h 1 t2.Txn.xid));
@@ -112,9 +112,9 @@ let test_dead_for_all () =
   let horizon = Txn.horizon mgr in
   (* invalidated by t2, which everyone sees now *)
   check "si dead" true
-    (Visibility.si_dead_for_all mgr ~horizon { Tuple.Si.xmin = 1; xmax = 2 });
+    (Visibility.si_dead_for_all mgr ~horizon { Tuple.Si.xmin = 1; xmax = 2; xmin_hint = 0; xmax_hint = 0 });
   check "si alive when not invalidated" false
-    (Visibility.si_dead_for_all mgr ~horizon { Tuple.Si.xmin = 1; xmax = 0 });
+    (Visibility.si_dead_for_all mgr ~horizon { Tuple.Si.xmin = 1; xmax = 0; xmin_hint = 0; xmax_hint = 0 });
   check "sias dead with committed successor" true
     (Visibility.sias_dead_for_all mgr ~horizon ~create:1 ~successor_create:(Some 2));
   check "sias newest stays" false

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench micro determinism demo contention obs groupcommit clean
+.PHONY: all build test check bench micro determinism demo contention obs groupcommit repl clean
 
 all: build
 
@@ -67,6 +67,21 @@ obs:
 groupcommit:
 	mkdir -p _obs
 	dune exec bench/main.exe -- groupcommit | tee _obs/groupcommit.txt
+
+# Replication smoke: forced failover (load, partition, crash the
+# primary, promote the standby, verify) on every engine, one remote-flush
+# run over a lossy link, then the WAL-shipping lag-vs-commit-delay
+# ablation with a machine-readable artifact.
+repl:
+	mkdir -p _obs
+	for e in si si-cv sias sias-v; do \
+	  echo "== failover $$e =="; \
+	  dune exec examples/failover_demo.exe -- $$e || exit 1; \
+	done
+	dune exec bin/sias_cli.exe -- run -e sias-v -w 2 -d 10 --scale-div 300 \
+	  --repl remote-flush --repl-link lossy
+	dune exec bench/main.exe -- repl --bench-out _obs/BENCH_repl.json \
+	  | tee _obs/repl.txt
 
 clean:
 	dune clean

@@ -25,6 +25,9 @@ let bench_baseline : string option ref = ref None
 (* per-engine (metric, value) rows collected by the micro bench *)
 let micro_results : (string * (string * float) list) list ref = ref []
 
+(* per-configuration (metric, value) rows collected by the repl bench *)
+let repl_results : (string * (string * float) list) list ref = ref []
+
 let section title =
   Printf.printf "\n============================================================\n";
   Printf.printf "%s\n" title;
@@ -515,6 +518,82 @@ let ablation_groupcommit () =
   note "WAL-writer trickle bounds the loss window (never corruption).";
   note "postgres: commit_delay / synchronous_commit=off, on a simulated SSD."
 
+let ablation_repl () =
+  section
+    "Replication: standby lag vs commit_delay -- TPC-C 1 WH, lossy WAL-shipping link";
+  let module R = Sias_repl.Repl in
+  let delays = if !full then [ 0.0; 0.0005; 0.002 ] else [ 0.0; 0.002 ] in
+  let tbl =
+    T.create
+      [
+        "engine"; "mode"; "delay(ms)"; "NOTPM"; "shipped"; "installed"; "lag";
+        "retrans"; "degraded"; "drops";
+      ]
+  in
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun (mode : R.mode) ->
+          List.iter
+            (fun delay ->
+              let o =
+                run_tpcc
+                  {
+                    (default_setup ~engine ~warehouses:1) with
+                    duration_s = (if !full then 30.0 else 10.0);
+                    buffer_pages = 4096;
+                    scale_div = 300;
+                    terminals_per_warehouse = 8;
+                    think_time_s = 0.005;
+                    gc_interval_s = Some 30.0;
+                    commit_delay_s = delay;
+                    wal_device = Some Ssd_single;
+                    repl_mode = Some mode;
+                    repl_link = Sias_repl.Link.lossy;
+                  }
+              in
+              let rs = Option.get o.repl_stats in
+              T.add_row tbl
+                [
+                  engine_name engine;
+                  rs.R.mode_label;
+                  T.fmt_float ~decimals:2 (1000.0 *. delay);
+                  T.fmt_float ~decimals:0 o.result.W.notpm;
+                  string_of_int rs.R.shipped_records;
+                  string_of_int rs.R.installed_records;
+                  string_of_int rs.R.lag_records;
+                  string_of_int rs.R.retransmits;
+                  string_of_int rs.R.degraded_acks;
+                  string_of_int rs.R.link_dropped;
+                ];
+              repl_results :=
+                !repl_results
+                @ [
+                    ( Printf.sprintf "%s/%s/delay%gms" engine rs.R.mode_label
+                        (1000.0 *. delay),
+                      [
+                        ("notpm", o.result.W.notpm);
+                        ("shipped_records", float_of_int rs.R.shipped_records);
+                        ( "installed_records",
+                          float_of_int rs.R.installed_records );
+                        ("lag_records", float_of_int rs.R.lag_records);
+                        ("retransmits", float_of_int rs.R.retransmits);
+                        ("degraded_acks", float_of_int rs.R.degraded_acks);
+                        ("link_dropped", float_of_int rs.R.link_dropped);
+                      ] );
+                  ])
+            delays)
+        [ R.Ship_async; R.Remote_flush ])
+    [ "si"; "si-cv"; "sias"; "sias-v" ];
+  T.print tbl;
+  note "async ships after local fsync: commits never wait, lag is whatever the";
+  note "lossy link and go-back-N leave outstanding. remote-flush makes the";
+  note "commit (or the whole commit group, under commit_delay) wait for the";
+  note "standby flush ack, so one round-trip amortizes across the group:";
+  note "larger delay -> fewer round-trips -> higher NOTPM on a lossy link,";
+  note "at zero standby lag. degraded counts commits acked locally after";
+  note "retry exhaustion."
+
 (* ------------------------------------------------------------------ *)
 (* bench micro: wall-clock ops/sec on the engine hot paths             *)
 
@@ -774,6 +853,21 @@ let write_bench_json ~wall_s =
           !micro_core_results;
         Buffer.add_string buf "\n  }"
       end;
+      if !repl_results <> [] then begin
+        Buffer.add_string buf ",\n  \"repl\": {";
+        List.iteri
+          (fun i (key, fields) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "\n    %S: {" key);
+            List.iteri
+              (fun j (f, v) ->
+                if j > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf (Printf.sprintf "\n      %S: %.1f" f v))
+              fields;
+            Buffer.add_string buf "\n    }")
+          !repl_results;
+        Buffer.add_string buf "\n  }"
+      end;
       (match !bench_baseline with
       | Some bpath when Sys.file_exists bpath ->
           let ic = open_in bpath in
@@ -884,6 +978,7 @@ let experiments =
     ("endurance", ablation_endurance);
     ("contention", ablation_contention);
     ("groupcommit", ablation_groupcommit);
+    ("repl", ablation_repl);
     ("micro", micro);
     ("structs", micro_structs);
   ]

@@ -18,8 +18,8 @@ let engine_conv =
     | None ->
         Error
           (`Msg
-            (Printf.sprintf "unknown engine %S (%s)" s
-               (String.concat "|" (Mvcc.Engine.keys ()))))
+            (Printf.sprintf "unknown engine %S; known engines: %s" s
+               (Mvcc.Engine.known_keys_hint ())))
   in
   let print fmt e = Format.pp_print_string fmt (engine_name e) in
   Arg.conv (parse, print)
@@ -195,6 +195,53 @@ let commit_delay_arg =
            one shared fsync (0 = per-commit fsync)."
         ~docv:"SECONDS")
 
+let repl_mode_conv =
+  let parse = function
+    | "off" -> Ok None
+    | s -> (
+        match Sias_repl.Repl.mode_of_string s with
+        | Ok m -> Ok (Some m)
+        | Error e -> Error (`Msg (e ^ " (or off)")))
+  in
+  let print fmt = function
+    | None -> Format.pp_print_string fmt "off"
+    | Some m -> Format.pp_print_string fmt (Sias_repl.Repl.mode_name m)
+  in
+  Arg.conv (parse, print)
+
+let repl_arg =
+  Arg.(
+    value
+    & opt repl_mode_conv None
+    & info [ "repl" ]
+        ~doc:
+          "Ship the WAL to a hot standby: off (default), async (ship \
+           after local fsync) or remote-flush (commits wait for the \
+           standby flush acknowledgement).")
+
+let repl_link_conv =
+  let parse s =
+    match Sias_repl.Link.profile_of_string s with
+    | Ok p -> Ok p
+    | Error e -> Error (`Msg e)
+  in
+  let print fmt p = Format.pp_print_string fmt (Sias_repl.Link.profile_name p) in
+  Arg.conv (parse, print)
+
+let repl_link_arg =
+  Arg.(
+    value
+    & opt repl_link_conv Sias_repl.Link.clean
+    & info [ "repl-link" ]
+        ~doc:"Replication-link fault profile: clean, wan, lossy or chaos.")
+
+let repl_seed_arg =
+  Arg.(
+    value
+    & opt int 7
+    & info [ "repl-seed" ]
+        ~doc:"Seed for the replication link's deterministic fault stream.")
+
 let wal_device_arg =
   Arg.(
     value
@@ -207,7 +254,8 @@ let wal_device_arg =
 
 let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed
     fault_seed fault_profile policy retries max_inflight check_si terminals
-    metrics_out trace_out stats_interval_s sync_commit commit_delay wal_device keep =
+    metrics_out trace_out stats_interval_s sync_commit commit_delay wal_device
+    repl_mode repl_link repl_seed keep =
   {
     (default_setup ~engine ~warehouses) with
     device;
@@ -229,6 +277,9 @@ let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div
     synchronous_commit = sync_commit;
     commit_delay_s = commit_delay;
     wal_device;
+    repl_mode;
+    repl_link;
+    repl_seed;
     keep_trace_records = keep;
   }
 
@@ -246,6 +297,12 @@ let report_commit o =
       Format.printf "wal device: %.2f MB written@." o.wal_write_mb
   end
 
+let report_repl o =
+  (* replication off prints nothing, keeping default output unchanged *)
+  match o.repl_stats with
+  | None -> ()
+  | Some s -> Format.printf "%a" Sias_repl.Repl.pp_stats s
+
 let report_contention o =
   Format.printf "%a" C.pp_stats o.contention_stats;
   match o.checker with
@@ -257,12 +314,14 @@ let report_contention o =
 let run_cmd =
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
       fault_profile policy retries max_inflight check_si terminals metrics_out
-      trace_out stats_interval sync_commit commit_delay wal_device =
+      trace_out stats_interval sync_commit commit_delay wal_device repl repl_link
+      repl_seed =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
            fault_profile policy retries max_inflight check_si terminals metrics_out
-           trace_out stats_interval sync_commit commit_delay wal_device false)
+           trace_out stats_interval sync_commit commit_delay wal_device repl
+           repl_link repl_seed false)
     in
     Format.printf "%a@.@." pp_output_summary o;
     Format.printf "%a@." W.pp_result o.result;
@@ -286,6 +345,7 @@ let run_cmd =
     List.iter (fun (k, v) -> Format.printf "device: %-28s %.2f@." k v) o.device_info;
     report_obs o;
     report_commit o;
+    report_repl o;
     report_contention o
   in
   Cmd.v
@@ -295,7 +355,7 @@ let run_cmd =
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
-      $ commit_delay_arg $ wal_device_arg)
+      $ commit_delay_arg $ wal_device_arg $ repl_arg $ repl_link_arg $ repl_seed_arg)
 
 let trace_cmd =
   let csv_arg =
@@ -303,12 +363,14 @@ let trace_cmd =
   in
   let run engine device warehouses duration buffer flush gc scale seed fault_seed
       fault_profile policy retries max_inflight check_si terminals metrics_out
-      trace_out stats_interval sync_commit commit_delay wal_device csv =
+      trace_out stats_interval sync_commit commit_delay wal_device repl repl_link
+      repl_seed csv =
     let o =
       run_tpcc
         (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
            fault_profile policy retries max_inflight check_si terminals metrics_out
-           trace_out stats_interval sync_commit commit_delay wal_device true)
+           trace_out stats_interval sync_commit commit_delay wal_device repl
+           repl_link repl_seed true)
     in
     print_endline (B.render_scatter o.trace);
     Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
@@ -322,6 +384,7 @@ let trace_cmd =
         Format.printf "trace written to %s@." path);
     report_obs o;
     report_commit o;
+    report_repl o;
     report_contention o
   in
   Cmd.v
@@ -331,7 +394,8 @@ let trace_cmd =
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
-      $ commit_delay_arg $ wal_device_arg $ csv_arg)
+      $ commit_delay_arg $ wal_device_arg $ repl_arg $ repl_link_arg $ repl_seed_arg
+      $ csv_arg)
 
 let () =
   let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in

@@ -17,14 +17,24 @@ let light =
 let heavy =
   { transient_read_p = 0.10; transient_max = 4; read_corrupt_p = 0.02; torn_write_p = 0.5 }
 
-let profile_of_string = function
-  | "none" -> Ok none
-  | "light" -> Ok light
-  | "heavy" -> Ok heavy
-  | s -> Error (Printf.sprintf "unknown fault profile %S (none|light|heavy)" s)
+(* canonical name table: the parser, its error message and profile_name
+   all derive from this one list *)
+let profiles = [ ("none", none); ("light", light); ("heavy", heavy) ]
+
+let profile_names = List.map fst profiles
+
+let profile_of_string s =
+  match List.assoc_opt s profiles with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown fault profile %S; valid profiles: %s" s
+           (String.concat ", " profile_names))
 
 let profile_name p =
-  if p = none then "none" else if p = light then "light" else if p = heavy then "heavy" else "custom"
+  match List.find_opt (fun (_, q) -> p = q) profiles with
+  | Some (name, _) -> name
+  | None -> "custom"
 
 type t = {
   rng : Rng.t;

@@ -30,6 +30,10 @@ type profile = {
 val none : profile
 val light : profile
 val heavy : profile
+val profile_names : string list
+(** Canonical profile names; {!profile_of_string}'s error message lists
+    exactly these. *)
+
 val profile_of_string : string -> (profile, string) result
 val profile_name : profile -> string
 

@@ -9,6 +9,8 @@ module S = Tpcc.Tpcc_schema
 module Bus = Sias_obs.Bus
 module Metrics = Sias_obs.Metrics
 module Tracer = Sias_obs.Tracer
+module Repl = Sias_repl.Repl
+module Link = Sias_repl.Link
 
 let engine_name = Mvcc.Engine.display_name
 
@@ -43,6 +45,9 @@ type setup = {
   trace_out : string option;
   stats_interval_s : float option;
   collect_metrics : bool;
+  repl_mode : Repl.mode option;
+  repl_link : Link.profile;
+  repl_seed : int;
 }
 
 let fault_override : (int * Flashsim.Faultdev.profile) option ref = ref None
@@ -77,6 +82,9 @@ let default_setup ~engine ~warehouses =
     trace_out = None;
     stats_interval_s = None;
     collect_metrics = false;
+    repl_mode = None;
+    repl_link = Link.clean;
+    repl_seed = 7;
   }
 
 type output = {
@@ -97,6 +105,7 @@ type output = {
   wal_write_mb : float;
   checker : Mvcc.Sichecker.t option;
   metrics : Metrics.t option;
+  repl_stats : Repl.stats option;
 }
 
 let make_device = function
@@ -123,8 +132,8 @@ let engine_module key : (module Mvcc.Engine.S) =
   | Some m -> m
   | None ->
       invalid_arg
-        (Printf.sprintf "unknown engine %S (known: %s)" key
-           (String.concat ", " (Mvcc.Engine.keys ())))
+        (Printf.sprintf "unknown engine %S; known engines: %s" key
+           (Mvcc.Engine.known_keys_hint ()))
 
 (* Periodic progress line on stderr, driven by simulated time: every
    event is a chance to notice the sim clock crossed the next tick. *)
@@ -228,6 +237,32 @@ let run_tpcc setup =
   | _ -> ());
   let eng = E.create db in
   let tables = WE.create_tables eng in
+  (* Replication attaches before the load so the retention hold pins the
+     log from LSN 1 and the standby can replay the run from scratch. The
+     standby mirrors the primary's engine-relevant configuration (same
+     table-creation order, so relation ids agree) but keeps its WAL in
+     memory: installs are verbatim copies and flush instantly. *)
+  let repl =
+    match setup.repl_mode with
+    | None -> None
+    | Some mode ->
+        let sdb =
+          Db.create ~buffer_pages:setup.buffer_pages
+            ?append_seal_interval:
+              (match setup.flush with T1 -> Some 0.2 | T2 -> None)
+            ~vidmap_paged:setup.vidmap_paged ()
+        in
+        let seng = E.create sdb in
+        let (_ : WE.tables) = WE.create_tables seng in
+        let link =
+          Link.create ~profile:setup.repl_link ~seed:setup.repl_seed ()
+        in
+        let r = Repl.attach ~primary:db ~standby:sdb ~link ~mode () in
+        Repl.set_refresh r (fun () ->
+            Bufpool.drop_cache sdb.Db.pool;
+            E.recover seng);
+        Some r
+  in
   let cfg =
     {
       (W.default_config ~warehouses:setup.warehouses) with
@@ -291,8 +326,48 @@ let run_tpcc setup =
     if fills = [] then 0.0
     else List.fold_left ( +. ) 0.0 fills /. float_of_int (List.length fills)
   in
+  (* one last drain so the sender ships the final flushed tail and the
+     reported lag reflects link latency, not an unticked send cursor *)
+  Option.iter (fun _ -> Db.tick db) repl;
   (* artifacts are written after the table_stats scans so their device
-     counters cover exactly the window the block-trace counters report *)
+     counters cover exactly the window the block-trace counters report;
+     reliability counters (device-model info including dropped trace
+     records and fault/retry/repair tallies, buffer-pool repair stats)
+     are exported into the same registry first so Prometheus/JSON
+     artifacts carry them *)
+  (match metrics with
+  | Some m ->
+      Sias_obs.Recorder.export_reliability m ~scope:"data-device"
+        (Device.info device);
+      Option.iter
+        (fun d ->
+          Sias_obs.Recorder.export_reliability m ~scope:"wal-device"
+            (Device.info d))
+        wal_device;
+      let bs = Bufpool.stats db.Db.pool in
+      Sias_obs.Recorder.export_reliability m ~scope:"bufpool"
+        [
+          ("read_retries", float_of_int bs.Bufpool.read_retries);
+          ("checksum_failures", float_of_int bs.Bufpool.checksum_failures);
+          ("pages_repaired", float_of_int bs.Bufpool.pages_repaired);
+          ("torn_pages", float_of_int bs.Bufpool.torn_pages);
+        ]
+  | None -> ());
+  (* the standby's install counter lives on the standby's (unobserved)
+     bus; fold the end-of-run replication stats into the same registry so
+     the artifact lets lag reconcile against records shipped *)
+  (match (repl, metrics) with
+  | Some r, Some m ->
+      let rs = Repl.stats r in
+      Sias_obs.Recorder.export_reliability m ~scope:"repl"
+        [
+          ("installed_records", float_of_int rs.Repl.installed_records);
+          ("installed_lsn", float_of_int rs.Repl.installed_lsn);
+          ("lag_records", float_of_int rs.Repl.lag_records);
+          ("retransmits", float_of_int rs.Repl.retransmits);
+          ("degraded_acks", float_of_int rs.Repl.degraded_acks);
+        ]
+  | _ -> ());
   (match (setup.metrics_out, metrics) with
   | Some path, Some m -> write_text_file path (Metrics.to_prometheus m)
   | _ -> ());
@@ -320,6 +395,7 @@ let run_tpcc setup =
       | None -> 0.0);
     checker;
     metrics;
+    repl_stats = Option.map Repl.stats repl;
   }
 
 let pp_output_summary fmt o =

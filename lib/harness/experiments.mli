@@ -69,6 +69,15 @@ type setup = {
   collect_metrics : bool;
       (** attach the metrics recorder even without [metrics_out] — the
           {!output.metrics} field is then [Some] *)
+  repl_mode : Sias_repl.Repl.mode option;
+      (** stream the WAL to a hot standby: [Ship_async] ships after local
+          fsync, [Remote_flush] makes commit acknowledgement wait for the
+          standby flush ack; [None] = replication off (the default —
+          nothing attaches, output is byte-identical to historical runs) *)
+  repl_link : Sias_repl.Link.profile;
+      (** simulated replication-link fault profile (clean, wan, lossy,
+          chaos) used when [repl_mode] is set *)
+  repl_seed : int;  (** seed for the link's deterministic fault stream *)
 }
 
 val fault_override : (int * Flashsim.Faultdev.profile) option ref
@@ -115,6 +124,11 @@ type output = {
       (** present when metrics were collected; reset at the same instant
           as the block trace, so its device counters reconcile with
           {!Flashsim.Blocktrace.write_mb} *)
+  repl_stats : Sias_repl.Repl.stats option;
+      (** replication counters over the whole session (load + run) when
+          [repl_mode] was set: batches/records/bytes shipped, records
+          installed on the standby, standby lag, go-back-N retransmits,
+          degraded remote-flush acknowledgements and raw link loss *)
 }
 
 val run_tpcc : setup -> output

@@ -26,6 +26,8 @@ type t = {
   contention : Contention.t;
   bus : Bus.t;
   mutable next_rel : int;
+  mutable tickers : (unit -> unit) list;
+  mutable wal_logging : bool;
 }
 
 module Event = struct
@@ -78,6 +80,8 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     contention = Contention.create ~settings:contention ~bus ~clock ~lockmgr ();
     bus;
     next_rel = 0;
+    tickers = [];
+    wal_logging = true;
   }
 
 let alloc_rel t =
@@ -100,7 +104,10 @@ let begin_txn t =
   txn
 
 let abort t txn =
-  let _ = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Abort ~payload:Bytes.empty in
+  if t.wal_logging then
+    ignore
+      (Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Abort
+         ~payload:Bytes.empty);
   Txn.abort t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
@@ -113,14 +120,19 @@ let commit t txn =
     abort t txn;
     raise (Contention.Wounded txn.Txn.xid)
   end;
-  let lsn = Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit ~payload:Bytes.empty in
-  let ack = Commitpipe.commit t.commitpipe ~xid:txn.Txn.xid ~lsn in
-  (* Not yet durable (group commit queues; async acks before flushing):
-     note the lsn so hint bits wait for the WAL to catch up. *)
-  (match (Commitpipe.mode t.commitpipe, ack) with
-  | Commitpipe.Async _, _ | _, Commitpipe.Queued _ ->
-      Txn.note_commit_lsn t.txnmgr ~xid:txn.Txn.xid ~lsn
-  | _, Commitpipe.Durable _ -> ());
+  (if t.wal_logging then begin
+     let lsn =
+       Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit
+         ~payload:Bytes.empty
+     in
+     let ack = Commitpipe.commit t.commitpipe ~xid:txn.Txn.xid ~lsn in
+     (* Not yet durable (group commit queues; async acks before flushing):
+        note the lsn so hint bits wait for the WAL to catch up. *)
+     match (Commitpipe.mode t.commitpipe, ack) with
+     | Commitpipe.Async _, _ | _, Commitpipe.Queued _ ->
+         Txn.note_commit_lsn t.txnmgr ~xid:txn.Txn.xid ~lsn
+     | _, Commitpipe.Durable _ -> ()
+   end);
   Txn.commit t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
@@ -128,8 +140,12 @@ let commit t txn =
 
 let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
 
+let add_ticker t f = t.tickers <- t.tickers @ [ f ]
+let set_wal_logging t b = t.wal_logging <- b
+
 let tick t =
   Commitpipe.tick t.commitpipe;
-  Bgwriter.tick t.bgwriter
+  Bgwriter.tick t.bgwriter;
+  match t.tickers with [] -> () | fs -> List.iter (fun f -> f ()) fs
 
 let log_op t ~xid ~rel ~kind ~payload = Wal.append t.wal ~xid ~rel ~kind ~payload

@@ -40,6 +40,17 @@ type t = {
           subscribe through {!Sias_obs.Bus.subscribe}. With no
           subscribers every publishing site is a single branch. *)
   mutable next_rel : int;
+  mutable tickers : (unit -> unit) list;
+      (** auxiliary periodic work run by {!tick} after the built-in
+          daemons (e.g. a replication sender's ship loop); empty by
+          default, so unaugmented contexts pay nothing *)
+  mutable wal_logging : bool;
+      (** hot-standby switch: when [false], {!commit} and {!abort} skip
+          the WAL record and the commit pipeline (the transaction is
+          still marked in the CLOG and its locks released). A standby's
+          read-only transactions must not interleave local records into
+          a log that is a verbatim copy of the primary's; promotion turns
+          logging back on. [true] by default. *)
 }
 
 (** Events contributed by the MVCC layer. [Txn_snapshot] accompanies
@@ -114,7 +125,16 @@ val charge_cpu : t -> int -> unit
 (** [charge_cpu db n] advances the clock by [n] row-operation costs. *)
 
 val tick : t -> unit
-(** Run flush-policy work that has become due. *)
+(** Run flush-policy work that has become due, then any registered
+    auxiliary tickers. *)
+
+val add_ticker : t -> (unit -> unit) -> unit
+(** Register auxiliary periodic work to run on every {!tick}, after the
+    commit pipeline and background writer (replication senders use this
+    to ship newly flushed WAL). Tickers run in registration order. *)
+
+val set_wal_logging : t -> bool -> unit
+(** Flip the hot-standby switch (see the [wal_logging] field). *)
 
 val log_op :
   t ->

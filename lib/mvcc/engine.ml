@@ -87,6 +87,24 @@ let all () = List.map (fun e -> (e.key, e.impl)) !registry
 
 let keys () = List.map (fun e -> e.key) !registry |> List.sort compare
 
+(* One canonical "what could you have meant" string, so the CLI, the
+   harness and the bench all report the same vocabulary. *)
+let known_keys_hint () =
+  !registry
+  |> List.map (fun e ->
+         match e.aliases with
+         | [] -> e.key
+         | a -> Printf.sprintf "%s (aka %s)" e.key (String.concat ", " a))
+  |> List.sort compare |> String.concat ", "
+
+let resolve_exn s =
+  match resolve s with
+  | Some r -> r
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown engine %S; known engines: %s" s
+           (known_keys_hint ()))
+
 let display_name s =
   match List.find_opt (fun e -> e.key = s || List.mem s e.aliases) !registry with
   | Some e -> e.display

@@ -104,5 +104,16 @@ val all : unit -> (string * (module S)) list
 val keys : unit -> string list
 (** Canonical keys, sorted. *)
 
+val known_keys_hint : unit -> string
+(** Human-readable enumeration of canonical keys with their aliases
+    (["si, sias-v (aka sias, vector), ..."]) — every unknown-engine
+    error message quotes this one string. *)
+
+val resolve_exn : string -> string * (module S)
+(** Like {!resolve} but raises [Invalid_argument] with a message listing
+    the registered keys (and aliases) on an unknown string — callers
+    without a [result] channel get a self-explanatory failure instead of
+    a bare [Option.get]. *)
+
 val display_name : string -> string
 (** Display name for a key or alias; echoes unknown strings back. *)

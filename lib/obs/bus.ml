@@ -32,6 +32,10 @@ type event +=
   | Bgwriter_pass of { pages : int }
   | Ftl_gc of { device : string; moved_pages : int; erases : int }
   | Span of { cat : string; name : string; tid : int; t0 : float; t1 : float }
+  | Repl_ship of { records : int; bytes : int }
+  | Repl_install of { records : int }
+  | Repl_ack of { lsn : int }
+  | Repl_degraded
 
 let io_op_to_string = function Io_read -> "read" | Io_write -> "write"
 

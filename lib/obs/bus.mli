@@ -59,6 +59,15 @@ type event +=
       (** flash garbage collection performed inside a host request *)
   | Span of { cat : string; name : string; tid : int; t0 : float; t1 : float }
       (** a timed operation, in absolute simulated seconds *)
+  | Repl_ship of { records : int; bytes : int }
+      (** the replication sender handed a batch of WAL records to the link *)
+  | Repl_install of { records : int }
+      (** the standby installed contiguous records into its own log *)
+  | Repl_ack of { lsn : int }
+      (** a cumulative standby acknowledgement reached the sender *)
+  | Repl_degraded
+      (** a remote-flush commit gave up waiting on the standby (partition
+          or persistent loss) and acknowledged on local durability alone *)
 
 val io_op_to_string : io_op -> string
 (** ["read"] or ["write"]. *)

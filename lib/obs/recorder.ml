@@ -27,6 +27,12 @@ type state = {
   gc_erases : (string, Metrics.counter) Hashtbl.t;
   gc_moved : (string, Metrics.counter) Hashtbl.t;
   spans : (string * string, Metrics.histogram) Hashtbl.t;
+  (* created on the first Repl_* event so runs without replication export
+     exactly the historical metric set *)
+  mutable repl :
+    (Metrics.counter * Metrics.counter * Metrics.counter * Metrics.counter
+    * Metrics.counter * Metrics.gauge)
+    option;
 }
 
 let memo tbl key fresh =
@@ -51,6 +57,28 @@ let page_counter st event =
 
 let dev_labels device op =
   [ ("device", device); ("op", Bus.io_op_to_string op) ]
+
+let repl_metrics st =
+  match st.repl with
+  | Some v -> v
+  | None ->
+      let v =
+        ( Metrics.counter st.m ~help:"Replication ship batches sent"
+            "sias_repl_ships_total",
+          Metrics.counter st.m ~help:"WAL records handed to the replication link"
+            "sias_repl_shipped_records_total",
+          Metrics.counter st.m ~help:"WAL bytes handed to the replication link"
+            "sias_repl_shipped_bytes_total",
+          Metrics.counter st.m ~help:"WAL records installed by the standby"
+            "sias_repl_installed_records_total",
+          Metrics.counter st.m
+            ~help:"Remote-flush commits degraded to local-only ack"
+            "sias_repl_degraded_acks_total",
+          Metrics.gauge st.m ~help:"Highest standby LSN acknowledged to the sender"
+            "sias_repl_acked_lsn" )
+      in
+      st.repl <- Some v;
+      v
 
 let on_event st e =
   match e with
@@ -179,6 +207,20 @@ let on_event st e =
                ~labels:[ ("cat", cat); ("name", name) ]
                "sias_span_seconds"))
         (Float.max 0.0 (t1 -. t0))
+  | Bus.Repl_ship { records; bytes } ->
+      let ships, ship_recs, ship_bytes, _, _, _ = repl_metrics st in
+      Metrics.incr ships;
+      Metrics.add ship_recs records;
+      Metrics.add ship_bytes bytes
+  | Bus.Repl_install { records } ->
+      let _, _, _, installed, _, _ = repl_metrics st in
+      Metrics.add installed records
+  | Bus.Repl_ack { lsn } ->
+      let _, _, _, _, _, acked = repl_metrics st in
+      Metrics.set_gauge acked (float_of_int lsn)
+  | Bus.Repl_degraded ->
+      let _, _, _, _, degraded, _ = repl_metrics st in
+      Metrics.incr degraded
   | _ -> ()
 
 let attach m bus =
@@ -213,6 +255,22 @@ let attach m bus =
       gc_erases = Hashtbl.create 4;
       gc_moved = Hashtbl.create 4;
       spans = Hashtbl.create 16;
+      repl = None;
     }
   in
   Bus.subscribe bus (on_event st)
+
+(* Reliability counters live in layer-local stats records (device info,
+   buffer-pool stats) rather than on the bus: they are cheap running
+   totals, not events. Export them as labeled gauges at collection time
+   so the Prometheus/JSON artifacts carry them alongside the event-fed
+   families. *)
+let export_reliability m ~scope kvs =
+  List.iter
+    (fun (key, v) ->
+      Metrics.set_gauge
+        (Metrics.gauge m ~help:"Reliability counters (device info, buffer-pool repair stats)"
+           ~labels:[ ("scope", scope); ("key", key) ]
+           "sias_reliability_info")
+        v)
+    kvs

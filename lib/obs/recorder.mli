@@ -11,3 +11,12 @@
     dump reconciles with [Blocktrace.write_mb] over the same window. *)
 
 val attach : Metrics.t -> Bus.t -> unit
+
+val export_reliability : Metrics.t -> scope:string -> (string * float) list -> unit
+(** Export layer-local reliability counters (the key/value pairs from
+    [Device.info], buffer-pool retry/repair stats, …) as
+    [sias_reliability_info{scope=...,key=...}] gauges. These totals are
+    kept by the owning layer rather than fed through the bus; the harness
+    calls this once per collection point so Prometheus/JSON artifacts
+    carry them alongside the event-fed families. Idempotent per
+    (scope, key): repeated export overwrites the gauge. *)

@@ -1,0 +1,89 @@
+module Rng = Sias_util.Rng
+
+type profile = {
+  drop_p : float;
+  delay_s : float;
+  jitter_s : float;
+  reorder_p : float;
+}
+
+let clean = { drop_p = 0.0; delay_s = 5e-5; jitter_s = 0.0; reorder_p = 0.0 }
+let wan = { drop_p = 0.001; delay_s = 5e-3; jitter_s = 1e-3; reorder_p = 0.01 }
+let lossy = { drop_p = 0.05; delay_s = 1e-3; jitter_s = 5e-4; reorder_p = 0.05 }
+let chaos = { drop_p = 0.25; delay_s = 2e-3; jitter_s = 2e-3; reorder_p = 0.2 }
+
+(* canonical name table: the parser, its error message and profile_name
+   all derive from this one list *)
+let profiles =
+  [ ("clean", clean); ("wan", wan); ("lossy", lossy); ("chaos", chaos) ]
+
+let profile_names = List.map fst profiles
+
+let profile_of_string s =
+  match List.assoc_opt s profiles with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown link profile %S; valid profiles: %s" s
+           (String.concat ", " profile_names))
+
+let profile_name p =
+  match List.find_opt (fun (_, q) -> p = q) profiles with
+  | Some (name, _) -> name
+  | None -> "custom"
+
+type t = {
+  rng : Rng.t;
+  seed : int;
+  profile : profile;
+  mutable partitioned : bool;
+  mutable sent : int;
+  mutable dropped : int;
+  mutable delivered : int;
+}
+
+let create ?(profile = clean) ~seed () =
+  {
+    rng = Rng.create seed;
+    seed;
+    profile;
+    partitioned = false;
+    sent = 0;
+    dropped = 0;
+    delivered = 0;
+  }
+
+let seed t = t.seed
+let profile t = t.profile
+let set_partitioned t b = t.partitioned <- b
+let partitioned t = t.partitioned
+
+let transmit t ~now =
+  t.sent <- t.sent + 1;
+  (* Draw every fault decision before consulting the partition flag: the
+     random stream advances once per send regardless, so healing a
+     partition earlier or later never shifts which later messages drop. *)
+  let drop = Rng.float t.rng 1.0 < t.profile.drop_p in
+  let jitter =
+    if t.profile.jitter_s > 0.0 then Rng.float t.rng t.profile.jitter_s else 0.0
+  in
+  let reorder =
+    t.profile.reorder_p > 0.0 && Rng.float t.rng 1.0 < t.profile.reorder_p
+  in
+  if t.partitioned || drop then begin
+    t.dropped <- t.dropped + 1;
+    `Dropped
+  end
+  else begin
+    let delay =
+      t.profile.delay_s +. jitter
+      +. (if reorder then 3.0 *. (t.profile.delay_s +. t.profile.jitter_s)
+          else 0.0)
+    in
+    t.delivered <- t.delivered + 1;
+    `Delivered (now +. delay)
+  end
+
+let sent t = t.sent
+let dropped t = t.dropped
+let delivered t = t.delivered

@@ -1,0 +1,64 @@
+(** Simulated replication link with seeded, deterministic fault injection.
+
+    A link carries messages between a primary and a standby. Each
+    {!transmit} draws from one seeded RNG and either drops the message or
+    assigns it a delivery time (base one-way delay plus jitter; with
+    probability [reorder_p] the message is additionally penalized so it
+    arrives {e after} messages sent later — realized reordering, not just
+    variance). A partitioned link drops everything until healed, but the
+    RNG is still advanced per send so the fault stream — and therefore
+    every later drop and delay — is a pure function of the seed and the
+    send count, never of partition timing.
+
+    The link itself holds no queues: callers keep the in-flight set and
+    deliver messages in [(delivery_time, send_order)] order, which keeps
+    the whole pipeline deterministic for a fixed seed. *)
+
+type profile = {
+  drop_p : float;  (** per message: probability it is lost *)
+  delay_s : float;  (** base one-way delay, simulated seconds *)
+  jitter_s : float;  (** uniform extra delay in [0, jitter_s) *)
+  reorder_p : float;
+      (** per message: probability of an extra out-of-order penalty *)
+}
+
+val clean : profile
+(** Loss-free LAN: 50 µs, no jitter. The default. *)
+
+val wan : profile
+(** 5 ms base delay, mild jitter, rare loss and reordering. *)
+
+val lossy : profile
+(** 5% loss, visible jitter and reordering — retransmission territory. *)
+
+val chaos : profile
+(** 25% loss, heavy jitter and reordering — the torture profile. *)
+
+val profile_names : string list
+(** Canonical profile names; {!profile_of_string}'s error message lists
+    exactly these. *)
+
+val profile_of_string : string -> (profile, string) result
+val profile_name : profile -> string
+
+type t
+
+val create : ?profile:profile -> seed:int -> unit -> t
+(** Default profile: {!clean}. Equal seeds give equal fault streams. *)
+
+val seed : t -> int
+val profile : t -> profile
+
+val set_partitioned : t -> bool -> unit
+(** Partition or heal the link. While partitioned every {!transmit}
+    drops; in-flight messages already assigned a delivery time still
+    arrive (the packets were already on the wire). *)
+
+val partitioned : t -> bool
+
+val transmit : t -> now:float -> [ `Delivered of float | `Dropped ]
+(** Decide one message's fate: delivery time, or loss. *)
+
+val sent : t -> int
+val dropped : t -> int
+val delivered : t -> int

@@ -10,16 +10,19 @@ let policy_to_string = function
   | Wound_wait -> "wound-wait"
   | Detect -> "detect"
 
-let policy_of_string = function
-  | "no-wait" | "nowait" -> Ok No_wait
-  | "wait-die" -> Ok Wait_die
-  | "wound-wait" -> Ok Wound_wait
-  | "detect" -> Ok Detect
-  | s ->
-      Error
-        (Printf.sprintf "unknown conflict policy %S (no-wait|wait-die|wound-wait|detect)" s)
-
 let all_policies = [ No_wait; Wait_die; Wound_wait; Detect ]
+
+let policy_of_string = function
+  | "nowait" -> Ok No_wait (* historical alias *)
+  | s -> (
+      match
+        List.find_opt (fun p -> policy_to_string p = s) all_policies
+      with
+      | Some p -> Ok p
+      | None ->
+          Error
+            (Printf.sprintf "unknown conflict policy %S; valid policies: %s" s
+               (String.concat ", " (List.map policy_to_string all_policies))))
 
 type settings = {
   policy : policy;

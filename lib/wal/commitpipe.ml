@@ -26,6 +26,9 @@ type t = {
   mutable commit_fsyncs : int;
   mutable walwriter_flushes : int;
   mutable async_acked : int;
+  (* remote-flush replication: after local durability at [at], ship up to
+     [lsn] and return the standby's flush-ack time. None = local-only. *)
+  mutable remote_wait : (lsn:int -> at:float -> float) option;
 }
 
 let create ~wal ~clock ?bus mode =
@@ -51,15 +54,25 @@ let create ~wal ~clock ?bus mode =
     commit_fsyncs = 0;
     walwriter_flushes = 0;
     async_acked = 0;
+    remote_wait = None;
   }
 
 let mode t = t.mode
+let set_remote_wait t f = t.remote_wait <- Some f
+let clear_remote_wait t = t.remote_wait <- None
+
+let remote_ack t ~lsn ~at =
+  match t.remote_wait with
+  | None -> at
+  | Some f -> Stdlib.max at (f ~lsn ~at)
 
 let obs t =
   match t.bus with Some b when Bus.active b -> Some b | _ -> None
 
 let close_group t cg g ~at =
   let completion = Wal.flush_upto t.wal ~sync:true ~at ~lsn:g.Commitgroup.high_lsn in
+  (* one remote round-trip covers every member of the group *)
+  let completion = remote_ack t ~lsn:g.Commitgroup.high_lsn ~at:completion in
   t.commit_fsyncs <- t.commit_fsyncs + 1;
   (match obs t with
   | Some b ->
@@ -97,7 +110,9 @@ let commit t ~xid ~lsn =
            fsync — the determinism tests pin this *)
         Wal.flush t.wal ~sync:true;
         t.commit_fsyncs <- t.commit_fsyncs + 1;
-        Durable (Simclock.now t.clock)
+        let at = remote_ack t ~lsn ~at:(Simclock.now t.clock) in
+        Simclock.advance_to t.clock at;
+        Durable at
   in
   t.last <- ack;
   ack

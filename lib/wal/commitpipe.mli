@@ -50,6 +50,19 @@ val create :
 
 val mode : t -> mode
 
+val set_remote_wait : t -> (lsn:int -> at:float -> float) -> unit
+(** Replication axis of commit acknowledgement (remote-flush mode): the
+    registered function ships the log up to [lsn] to the standby and
+    returns the simulated time its flush acknowledgement arrives, given
+    that local durability completed at [at]. When set, sync commits and
+    group-commit fsyncs charge that remote completion on top of the
+    local one — the commit is not acknowledged until the standby has the
+    record, sharing the group-commit deadline machinery (one remote
+    round-trip covers the whole group). Async commit ignores it: acks
+    happen at append and shipping rides the background trickle. *)
+
+val clear_remote_wait : t -> unit
+
 val commit : t -> xid:int -> lsn:int -> ack
 (** Called by [Db.commit] right after the commit record is appended at
     [lsn]. Sync/degenerate-group: flushes synchronously and returns

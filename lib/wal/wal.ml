@@ -87,6 +87,16 @@ type t = {
      whole. Cleared by any sync flush: fsync makes all previously written
      bytes durable. *)
   mutable tear : int option;
+  (* Retention holds: followers pin the tail of the log so checkpoint
+     recycling cannot discard records they have not acknowledged yet.
+     Registration order, small (one per standby). *)
+  mutable holds : hold list;
+}
+
+and hold = {
+  h_name : string;
+  mutable h_lsn : int;  (** lowest LSN this holder still needs *)
+  mutable h_released : bool;
 }
 
 let create ?device ?faults ?bus ~clock () =
@@ -105,6 +115,7 @@ let create ?device ?faults ?bus ~clock () =
     bytes_written = 0;
     flush_count = 0;
     tear = None;
+    holds = [];
   }
 
 let obs t =
@@ -243,7 +254,52 @@ let verified_from t ~lsn =
   in
   scan [] None (records_from t ~lsn)
 
+let live_holds t =
+  t.holds <- List.filter (fun h -> not h.h_released) t.holds;
+  t.holds
+
+let register_hold t ~name =
+  if t.truncated_below > 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Wal.register_hold %S: log already truncated below lsn %d; attach \
+          followers before the first checkpoint recycling"
+         name t.truncated_below);
+  let h = { h_name = name; h_lsn = t.truncated_below; h_released = false } in
+  t.holds <- t.holds @ [ h ];
+  h
+
+let advance_hold _t h ~lsn = if lsn > h.h_lsn then h.h_lsn <- lsn
+let release_hold _t h = h.h_released <- true
+let hold_lsn h = h.h_lsn
+let holds t = List.map (fun h -> (h.h_name, h.h_lsn)) (live_holds t)
+
+let min_hold t =
+  match live_holds t with
+  | [] -> None
+  | hs -> Some (List.fold_left (fun acc h -> Stdlib.min acc h.h_lsn) max_int hs)
+
+let install t r =
+  if not (verify r) then raise (Corrupt_wal r.lsn);
+  if r.lsn <> t.next_lsn then
+    invalid_arg
+      (Printf.sprintf "Wal.install: record lsn %d, expected next lsn %d" r.lsn
+         t.next_lsn);
+  t.next_lsn <- r.lsn + 1;
+  t.records <- r :: t.records;
+  t.batch <- r :: t.batch;
+  t.pending_bytes <- t.pending_bytes + record_bytes r;
+  match obs t with
+  | Some b ->
+      Bus.publish b
+        (Bus.Wal_append { kind = kind_to_string r.kind; bytes = record_bytes r })
+  | None -> ()
+
 let truncate_before t ~lsn =
+  (* never recycle past a registered retention hold *)
+  let lsn =
+    match min_hold t with None -> lsn | Some held -> Stdlib.min lsn held
+  in
   t.records <- List.filter (fun r -> r.lsn >= lsn) t.records;
   (match List.filter (fun r -> r.lsn < lsn) t.batch with
   | [] -> ()

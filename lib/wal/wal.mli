@@ -115,7 +115,49 @@ val verified_from : t -> lsn:int -> record list * [ `Clean | `Torn of int ]
     raises {!Corrupt_wal} when a valid record follows an invalid one. *)
 
 val truncate_before : t -> lsn:int -> unit
-(** Discard retained records below [lsn] (checkpoint recycling). *)
+(** Discard retained records below [lsn] (checkpoint recycling). The
+    request is clamped to the lowest registered retention {!hold}: a
+    checkpoint can never recycle log a follower still needs. *)
+
+(** {2 Retention holds}
+
+    A hold pins the log tail from a given LSN onward: {!truncate_before}
+    silently clamps to the minimum held LSN. Replication senders register
+    one per standby and advance it as the standby acknowledges, so
+    checkpoint recycling can never outrun a lagging follower. *)
+
+type hold
+
+val register_hold : t -> name:string -> hold
+(** Pin everything the log currently retains (from {!oldest_retained}).
+    Raises [Invalid_argument] if the log was already truncated past its
+    first LSN and the caller asked to hold from the beginning — a
+    follower attached that late would never be able to replay from
+    scratch; attach holds before the first checkpoint truncation. *)
+
+val advance_hold : t -> hold -> lsn:int -> unit
+(** Records below [lsn] are no longer needed by this holder. Holds only
+    move forward; a lower [lsn] is ignored. *)
+
+val release_hold : t -> hold -> unit
+(** Drop the pin entirely (standby removed). Idempotent. *)
+
+val hold_lsn : hold -> int
+val holds : t -> (string * int) list
+(** Registered holds as [(name, held_lsn)], registration order. *)
+
+val min_hold : t -> int option
+(** Lowest held LSN across registered holds, if any. *)
+
+val install : t -> record -> unit
+(** Standby side of log shipping: append a record received from a
+    primary {e verbatim} — LSN, xid, payload and CRC are preserved, so
+    the standby's log is byte-equal to the shipped prefix and the same
+    recovery scan ({!verified_from}) applies. The record must verify and
+    must be exactly the next LSN ([next_lsn]); raises [Corrupt_wal] on a
+    failed checksum and [Invalid_argument] on an LSN gap. The installed
+    record joins the pending batch; flush it like any locally appended
+    one. *)
 
 val oldest_retained : t -> int
 (** Lowest LSN the log still retains (1 if never truncated): replay from

@@ -26,6 +26,8 @@ let () =
       ("hint-bits", Test_hintbits.suite);
       ("crash-fuzz", Test_crash.suite);
       ("fault-torture", Test_faults.suite);
+      ("wal-retention", Test_walretention.suite);
+      ("repl-failover", Test_repl.suite);
       ("ssi", Test_ssi.suite);
       ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,136 @@
+(* WAL retention-hold property: checkpoint recycling (truncate_before)
+   never discards a record a registered follower still needs, whatever
+   interleaving of appends, flushes, hold advances and truncations occurs
+   — including under group-commit and async-commit windows, where commit
+   records sit buffered past their acknowledgement. *)
+
+module Wal = Sias_wal.Wal
+module Db = Mvcc.Db
+module Commitpipe = Sias_wal.Commitpipe
+module Simclock = Sias_util.Simclock
+
+type op =
+  | W_append
+  | W_flush_sync
+  | W_flush_async
+  | W_advance of int  (** advance the hold by this many LSNs *)
+  | W_truncate of int  (** truncate_before (current_lsn - slack) *)
+
+let gen_op =
+  QCheck.Gen.(
+    frequency
+      [
+        (6, return W_append);
+        (2, return W_flush_sync);
+        (1, return W_flush_async);
+        (3, map (fun n -> W_advance n) (int_bound 8));
+        (3, map (fun n -> W_truncate n) (int_bound 5));
+      ])
+
+let pp_op = function
+  | W_append -> "append"
+  | W_flush_sync -> "fsync"
+  | W_flush_async -> "flush"
+  | W_advance n -> Printf.sprintf "advance(+%d)" n
+  | W_truncate n -> Printf.sprintf "truncate(-%d)" n
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map pp_op ops))
+    QCheck.Gen.(list_size (int_range 5 60) gen_op)
+
+(* Every truncation must leave the log replayable from the hold: all LSNs
+   from the held one to the head are still retained, contiguously. *)
+let replayable wal ~from =
+  let upto = Wal.current_lsn wal in
+  if from > upto then true
+  else
+    let records = Wal.records_from wal ~lsn:from in
+    List.length records = upto - from + 1
+    && Wal.oldest_retained wal <= from
+
+let prop_pure ops =
+  let clock = Simclock.create () in
+  let wal = Wal.create ~clock () in
+  let hold = Wal.register_hold wal ~name:"follower" in
+  let ok = ref true in
+  let check () =
+    if not (replayable wal ~from:(Wal.hold_lsn hold)) then ok := false
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | W_append ->
+          ignore
+            (Wal.append wal ~xid:1 ~rel:0 ~kind:Wal.Insert
+               ~payload:(Bytes.create 16))
+      | W_flush_sync -> Wal.flush wal ~sync:true
+      | W_flush_async -> Wal.flush wal ~sync:false
+      | W_advance n ->
+          Wal.advance_hold wal hold
+            ~lsn:(min (Wal.hold_lsn hold + n) (Wal.next_lsn wal))
+      | W_truncate slack ->
+          Wal.truncate_before wal ~lsn:(Wal.current_lsn wal - slack));
+      check ())
+    ops;
+  !ok
+
+(* The same invariant through a live commit pipeline: committed work under
+   sync, group and async commit, with aggressive truncation requests after
+   every commit. The hold must keep the acknowledged-but-unshipped tail
+   replayable even while group windows and the WAL-writer trickle leave
+   records buffered. *)
+let prop_pipeline mode ops =
+  let db =
+    Db.create
+      ~commit_mode:
+        (match mode with
+        | `Sync -> Commitpipe.Sync
+        | `Group -> Commitpipe.Group { delay = 0.005 }
+        | `Async -> Commitpipe.Async { interval = 0.05; max_bytes = 4096 })
+      ()
+  in
+  let wal = db.Db.wal in
+  let hold = Wal.register_hold wal ~name:"follower" in
+  let ok = ref true in
+  let check () =
+    if not (replayable wal ~from:(Wal.hold_lsn hold)) then ok := false
+  in
+  List.iter
+    (fun op ->
+      (match op with
+      | W_append | W_flush_sync | W_flush_async ->
+          (* a tiny committed transaction through the real commit path *)
+          let txn = Db.begin_txn db in
+          ignore
+            (Db.log_op db ~xid:txn.Sias_txn.Txn.xid ~rel:0 ~kind:Wal.Insert
+               ~payload:(Bytes.create 16));
+          Db.commit db txn;
+          Simclock.advance db.Db.clock 0.002;
+          Db.tick db
+      | W_advance n ->
+          Wal.advance_hold wal hold
+            ~lsn:(min (Wal.hold_lsn hold + n) (Wal.next_lsn wal))
+      | W_truncate slack ->
+          Wal.truncate_before wal ~lsn:(Wal.current_lsn wal - slack));
+      check ())
+    ops;
+  Commitpipe.finalize db.Db.commitpipe;
+  check ();
+  !ok
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"truncate_before never outruns a hold (pure WAL)"
+         ~count:300 arb_ops prop_pure);
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hold survives sync-commit truncation" ~count:100
+         arb_ops (prop_pipeline `Sync));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hold survives group-commit windows" ~count:100
+         arb_ops (prop_pipeline `Group));
+    QCheck_alcotest.to_alcotest
+      (QCheck.Test.make ~name:"hold survives async-commit windows" ~count:100
+         arb_ops (prop_pipeline `Async));
+  ]

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench micro determinism demo contention obs groupcommit repl clean
+.PHONY: all build test check bench micro determinism demo contention obs groupcommit repl chaos clean
 
 all: build
 
@@ -82,6 +82,17 @@ repl:
 	  --repl remote-flush --repl-link lossy
 	dune exec bench/main.exe -- repl --bench-out _obs/BENCH_repl.json \
 	  | tee _obs/repl.txt
+
+# Crash-schedule smoke: every engine x commit mode, a budgeted sample of
+# deterministic crash schedules (including crashes during recovery and
+# primary-crash failover) plus the out-of-space scenarios. Every schedule
+# must recover byte-identically to the model prefix. CHAOS_FULL=1 drops
+# the budget and enumerates every schedule (CI nightly). The report is
+# kept as an artifact either way; non-zero exit on any failing schedule.
+chaos:
+	mkdir -p _obs
+	dune exec bin/sias_cli.exe -- chaos --standby \
+	  $(if $(CHAOS_FULL),--full,) | tee _obs/chaos_report.txt
 
 clean:
 	dune clean

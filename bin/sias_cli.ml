@@ -397,6 +397,134 @@ let trace_cmd =
       $ commit_delay_arg $ wal_device_arg $ repl_arg $ repl_link_arg $ repl_seed_arg
       $ csv_arg)
 
+(* ---- chaos: crash-schedule exploration + out-of-space smoke ---- *)
+
+let chaos_cmd =
+  let module Explorer = Sias_chaos.Explorer in
+  let module Chaosrun = Harness.Chaosrun in
+  let module Commitpipe = Sias_wal.Commitpipe in
+  let engines_arg =
+    Arg.(
+      value
+      & opt (list string) [ "si"; "si-cv"; "sias"; "sias-v" ]
+      & info [ "e"; "engines" ] ~docv:"ENGINES"
+          ~doc:"Comma-separated engines to explore.")
+  in
+  let modes_arg =
+    Arg.(
+      value
+      & opt (list string) [ "sync"; "group"; "async" ]
+      & info [ "modes" ] ~docv:"MODES"
+          ~doc:"Commit modes to cross with the engines (sync, group, async).")
+  in
+  let standby_arg =
+    Arg.(
+      value & flag
+      & info [ "standby" ] ~doc:"Also explore primary-crash failover schedules.")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 60
+      & info [ "budget" ] ~docv:"N"
+          ~doc:"Schedule budget per engine/mode (sampled; see $(b,--full)).")
+  in
+  let full_arg =
+    Arg.(
+      value & flag
+      & info [ "full" ]
+          ~doc:"Full enumeration: drop the schedule budget (CI nightly mode).")
+  in
+  let oos_arg =
+    Arg.(
+      value & opt bool true
+      & info [ "oos" ] ~docv:"BOOL"
+          ~doc:"Also run the out-of-space reclamation/degradation scenarios.")
+  in
+  let run engines modes standby budget full oos =
+    let failures = ref 0 in
+    let mode_of = function
+      | "sync" -> Commitpipe.Sync
+      | "group" -> Commitpipe.Group { delay = 0.005 }
+      | "async" -> Commitpipe.Async { interval = 0.01; max_bytes = 1 lsl 14 }
+      | m -> raise (Invalid_argument ("unknown commit mode " ^ m))
+    in
+    let cfg ?(depth2 = true) () =
+      {
+        Explorer.hits_per_point = 2;
+        depth2;
+        max_schedules = (if full then None else Some budget);
+      }
+    in
+    let report name (r : Explorer.report) =
+      Format.printf "== %-18s %3d workload pts, %2d recovery pts, %4d schedules, %d failures@."
+        name
+        (List.length r.Explorer.points)
+        (List.length r.Explorer.recovery_points)
+        r.Explorer.schedules_run
+        (List.length r.Explorer.failures);
+      List.iter
+        (fun f ->
+          incr failures;
+          Format.printf "   FAIL %s: %s@."
+            (Explorer.schedule_to_string f.Explorer.schedule)
+            f.Explorer.error)
+        r.Explorer.failures
+    in
+    List.iter
+      (fun e ->
+        List.iter
+          (fun m ->
+            report
+              (Printf.sprintf "%s/%s" e m)
+              (Chaosrun.explore ~cfg:(cfg ())
+                 (Chaosrun.config ~commit_mode:(mode_of m) e)))
+          modes;
+        if standby then
+          report (e ^ "/standby")
+            (Chaosrun.explore
+               ~cfg:(cfg ~depth2:false ())
+               (Chaosrun.config ~standby:true e)))
+      engines;
+    if oos then
+      List.iter
+        (fun e ->
+          let o = Chaosrun.oos_run ~engine:e ~wal_capacity_bytes:20_000 ~ops:400 () in
+          let live =
+            o.Chaosrun.reclaims > 0 && o.Chaosrun.degraded = None
+            && o.Chaosrun.read_only_errors = 0 && o.Chaosrun.consistent
+          in
+          let h = Chaosrun.oos_run ~hold:true ~engine:e ~wal_capacity_bytes:12_000 ~ops:400 () in
+          let loud =
+            (h.Chaosrun.read_only_errors > 0 || h.Chaosrun.shed > 0)
+            && (h.Chaosrun.degraded <> None || h.Chaosrun.backpressure_on > 0)
+            && h.Chaosrun.consistent
+          in
+          if not live then incr failures;
+          if not loud then incr failures;
+          Format.printf
+            "== oos %-10s reclaim: %d reclaims, %d/%d committed, %s | hold: %d shed, %d refused, %s@."
+            e o.Chaosrun.reclaims o.Chaosrun.committed o.Chaosrun.attempted
+            (if live then "ok" else "FAIL")
+            h.Chaosrun.shed h.Chaosrun.read_only_errors
+            (if loud then "ok" else "FAIL"))
+        engines;
+    if !failures > 0 then begin
+      Format.printf "chaos: %d failures@." !failures;
+      exit 1
+    end;
+    Format.printf "chaos: all schedules verified@."
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Explore deterministic crash schedules (every instrumented crash \
+          point, including crashes during recovery) and the out-of-space \
+          degradation scenarios; non-zero exit if any schedule fails to \
+          recover to the model prefix.")
+    Term.(
+      const run $ engines_arg $ modes_arg $ standby_arg $ budget_arg $ full_arg
+      $ oos_arg)
+
 let () =
   let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; trace_cmd; chaos_cmd ]))

@@ -82,7 +82,7 @@ let () =
 
   (* act three: the primary dies before the partition heals *)
   Format.printf "CRASH: primary lost@.";
-  Bufpool.crash pdb.Db.pool;
+  Db.crash pdb;
 
   Repl.promote repl;
   Format.printf "standby promoted at commit horizon xid=%d@."

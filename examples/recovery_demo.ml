@@ -103,7 +103,7 @@ let torn_page_crash () =
   Bufpool.flush_all db.Db.pool ~sync:false;
 
   Format.printf "CRASH mid-flush@.";
-  Bufpool.crash db.Db.pool;
+  Db.crash db;
 
   E.recover eng;
   let txn = E.begin_txn eng in

@@ -1,0 +1,44 @@
+exception Crash of string
+
+type mode =
+  | Off
+  | Census of (string, int) Hashtbl.t
+  | Armed of { point : string; hit : int; mutable seen : int }
+
+let mode = ref Off
+
+let reach name =
+  match !mode with
+  | Off -> ()
+  | Census counts ->
+      let n = try Hashtbl.find counts name with Not_found -> 0 in
+      Hashtbl.replace counts name (n + 1)
+  | Armed a ->
+      if String.equal a.point name then begin
+        a.seen <- a.seen + 1;
+        if a.seen = a.hit then begin
+          (* One-shot: recovery re-runs the same sites and must not
+             crash again unless the explorer re-arms. *)
+          mode := Off;
+          raise (Crash name)
+        end
+      end
+
+let disarm () = mode := Off
+let census () = mode := Census (Hashtbl.create 64)
+
+let censused () =
+  match !mode with
+  | Census counts ->
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  | Off | Armed _ -> []
+
+let arm ~point ?(hit = 1) () =
+  if hit < 1 then invalid_arg "Crashpoint.arm: hit < 1";
+  mode := Armed { point; hit; seen = 0 }
+
+let armed () =
+  match !mode with
+  | Armed a -> Some (a.point, a.hit)
+  | Off | Census _ -> None

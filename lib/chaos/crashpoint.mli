@@ -1,0 +1,37 @@
+(** Named crash points for deterministic crash-schedule exploration.
+
+    Production and recovery code calls [reach "subsystem.site"] at the
+    instants where a crash would be interesting.  In the default
+    (disarmed) state a reach is a single mutable-load-and-branch — cheap
+    enough to leave in hot paths.  The explorer first runs a workload in
+    census mode to learn which points fire and how often, then re-runs
+    it with one (point, hit) pair armed; the matching reach raises
+    {!Crash}, which test harnesses treat as the machine losing power at
+    that instant. *)
+
+exception Crash of string
+(** Raised by [reach p] when the armed (point, hit) matches.  The
+    payload is the point name.  Arming is one-shot: the exception fires
+    once and the registry disarms itself, so recovery code that re-runs
+    the same sites does not crash again unless re-armed. *)
+
+val reach : string -> unit
+(** Mark that execution reached the named crash point.  No-op when
+    disarmed; counts the hit in census mode; raises {!Crash} on the
+    armed hit. *)
+
+val disarm : unit -> unit
+(** Return to the default no-op state (also clears census mode). *)
+
+val census : unit -> unit
+(** Start counting reaches per point (clears previous counts). *)
+
+val censused : unit -> (string * int) list
+(** Points reached since {!census}, with hit counts, sorted by name. *)
+
+val arm : point:string -> ?hit:int -> unit -> unit
+(** Arm the registry: the [hit]-th (1-based, default 1) reach of [point]
+    raises {!Crash} and disarms. *)
+
+val armed : unit -> (string * int) option
+(** Currently armed (point, hit), if any. *)

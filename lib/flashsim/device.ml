@@ -9,7 +9,24 @@ type t = {
   gc_probe : (unit -> int * int) option;
       (* cumulative (relocated flash pages, erases), for GC attribution *)
   mutable bus : Bus.t option;
+  (* Finite addressable space: a write past it raises No_space instead
+     of silently pretending infinite media. None = unbounded. *)
+  mutable capacity_sectors : int option;
 }
+
+exception
+  No_space of { device : string; sector : int; sectors : int; capacity_sectors : int }
+
+let () =
+  Printexc.register_printer (function
+    | No_space { device; sector; sectors; capacity_sectors } ->
+        Some
+          (Printf.sprintf
+             "Device.No_space: write of %d sectors at sector %d exceeds the \
+              %d-sector capacity of device %S — reclaim space or degrade to \
+              read-only"
+             sectors sector capacity_sectors device)
+    | _ -> None)
 
 let no_trim ~sector:_ ~bytes:_ = ()
 
@@ -22,16 +39,26 @@ let make ?(trim_impl = no_trim) ~name ~submit_impl ~info_impl () =
     trim_impl;
     gc_probe = None;
     bus = None;
+    capacity_sectors = None;
   }
 
 let name t = t.name
 let trace t = t.trace
 let attach_bus t bus = t.bus <- Some bus
+let set_capacity t ~sectors = t.capacity_sectors <- Some sectors
+let capacity_sectors t = t.capacity_sectors
 
 let observed t =
   match t.bus with Some bus -> Bus.active bus | None -> false
 
 let submit t ~now op ~sector ~bytes =
+  (match (op, t.capacity_sectors) with
+  | Blocktrace.Write, Some cap ->
+      let sectors = (bytes + 511) / 512 in
+      if sector + sectors > cap then
+        raise
+          (No_space { device = t.name; sector; sectors; capacity_sectors = cap })
+  | _ -> ());
   Blocktrace.add t.trace ~time:now ~op ~sector ~bytes;
   match t.bus with
   | Some bus when Bus.active bus ->
@@ -95,6 +122,7 @@ let of_ssd ?(name = "ssd") ssd =
     name;
     trace = Blocktrace.create ();
     bus = None;
+    capacity_sectors = None;
     gc_probe =
       Some
         (fun () ->
@@ -119,6 +147,7 @@ let of_hdd ?(name = "hdd") hdd =
     name;
     trace = Blocktrace.create ();
     bus = None;
+    capacity_sectors = None;
     gc_probe = None;
     submit_impl = queued ~parallelism:1 (Hdd.service_time hdd);
     trim_impl = no_trim;
@@ -172,6 +201,7 @@ let raid0 ?(name = "raid0") ?(chunk_sectors = 128) members =
     name;
     trace = Blocktrace.create ();
     bus = None;
+    capacity_sectors = None;
     gc_probe = None;
     submit_impl;
     info_impl;

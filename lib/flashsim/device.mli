@@ -10,8 +10,21 @@
 
 type t
 
+exception
+  No_space of { device : string; sector : int; sectors : int; capacity_sectors : int }
+(** A write would land past the device's configured capacity. Raised
+    before the request is traced or serviced — the device state is
+    unchanged, so the storage layer can reclaim space (checkpoint + WAL
+    truncation, trim) or degrade to read-only. *)
+
 val name : t -> string
 val trace : t -> Blocktrace.t
+
+val set_capacity : t -> sectors:int -> unit
+(** Bound the addressable space: subsequent writes at or past [sectors]
+    raise {!No_space}. Devices are unbounded by default. *)
+
+val capacity_sectors : t -> int option
 
 val attach_bus : t -> Sias_obs.Bus.t -> unit
 (** Publish every subsequent request on [bus] as

@@ -1,0 +1,78 @@
+(** Crash-schedule sessions and out-of-space scenarios for the chaos
+    explorer.
+
+    A [config] describes one deterministic seeded workload over a
+    registered engine — optionally through the WAL-shipping standby, in
+    which case the crash kills the primary and "recovery" is failover to
+    the promoted standby. {!session} packages it as an
+    {!Sias_chaos.Explorer.session} whose [verify] adjudicates:
+
+    - {b committed prefix}: the recovered committed set is a prefix of
+      commit order, at least as long as the durably-acknowledged prefix
+      at crash time (no durability promise on the async-shipped standby);
+    - {b state}: visible rows are byte-equal to the model state at that
+      prefix's horizon, and no in-flight row survived;
+    - {b history}: a fresh {!Mvcc.Sichecker} accepts the committed prefix
+      plus the post-recovery reads as a valid SI history;
+    - {b idempotency}: running recovery a second time changes nothing.
+
+    Any divergence raises {!Divergence}, which the explorer records as a
+    schedule failure. *)
+
+exception Divergence of string
+
+type config = {
+  engine : string;  (** registry key: "si", "si-cv", "sias", "sias-v" *)
+  commit_mode : Sias_wal.Commitpipe.mode;
+  standby : bool;  (** crash the primary, fail over to a hot standby *)
+  ops : int;  (** workload length (committed txns, ticks, reads) *)
+  seed : int;  (** LCG seed: same seed, same schedule, same census *)
+}
+
+val config :
+  ?commit_mode:Sias_wal.Commitpipe.mode ->
+  ?standby:bool ->
+  ?ops:int ->
+  ?seed:int ->
+  string ->
+  config
+(** Defaults: sync commit, no standby, 60 ops, seed 11. *)
+
+val session : config -> Sias_chaos.Explorer.session
+(** A fresh database/engine/workload instance. The database is built
+    here — at factory time, before the explorer arms a crash point — so
+    setup-time WAL traffic never eats an armed workload site. *)
+
+val explore :
+  ?cfg:Sias_chaos.Explorer.config -> config -> Sias_chaos.Explorer.report
+(** [Explorer.explore] over {!session} factories for this config. *)
+
+(** {1 Out-of-space degradation} *)
+
+type oos_outcome = {
+  attempted : int;
+  committed : int;
+  read_only_errors : int;  (** writers refused with {!Mvcc.Db.Read_only} *)
+  shed : int;  (** admissions refused by watermark backpressure *)
+  reclaims : int;  (** emergency WAL reclamations observed on the bus *)
+  backpressure_on : int;
+  backpressure_off : int;
+  degraded : string option;  (** final degraded-mode reason, if entered *)
+  consistent : bool;
+      (** after restart, the recovered state served exactly the committed
+          model — exercising the checkpoint CLOG snapshot and
+          truncated-log redo *)
+}
+
+val oos_run :
+  ?hold:bool ->
+  ?ops:int ->
+  engine:string ->
+  wal_capacity_bytes:int ->
+  unit ->
+  oos_outcome
+(** Drive an upsert workload against a finite-capacity WAL. Without
+    [hold], reclamation keeps the workload running indefinitely; with
+    [hold] (a retention hold pinning the whole log) reclamation is futile
+    and the database must degrade to loud read-only instead of thrashing.
+    Default 400 ops. *)

@@ -8,6 +8,7 @@ module Txn = Sias_txn.Txn
 module Lockmgr = Sias_txn.Lockmgr
 module Contention = Sias_txn.Contention
 module Bus = Sias_obs.Bus
+module Crashpoint = Sias_chaos.Crashpoint
 
 type t = {
   clock : Simclock.t;
@@ -28,7 +29,22 @@ type t = {
   mutable next_rel : int;
   mutable tickers : (unit -> unit) list;
   mutable wal_logging : bool;
+  wrote : (int, unit) Hashtbl.t;
+  mutable degraded : string option;
+  mutable last_reclaim_lsn : int;
 }
+
+exception Read_only of { reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Read_only { reason } ->
+        Some
+          (Printf.sprintf
+             "Db.Read_only: the database is in read-only degraded mode (%s); \
+              only read-only transactions are accepted until restart"
+             reason)
+    | _ -> None)
 
 module Event = struct
   type Bus.event +=
@@ -40,7 +56,8 @@ end
 let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
     ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults
-    ?(contention = Contention.default_settings) ?(commit_mode = Commitpipe.Sync) () =
+    ?(contention = Contention.default_settings) ?(commit_mode = Commitpipe.Sync)
+    ?wal_capacity_bytes () =
   let clock = Simclock.create () in
   let bus = match bus with Some b -> b | None -> Bus.create () in
   let device =
@@ -49,7 +66,10 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
   Device.attach_bus device bus;
   Option.iter (fun d -> Device.attach_bus d bus) wal_device;
   let pool = Bufpool.create ~device ~clock ~capacity_pages:buffer_pages ?os_cache_interval ?os_cache_pages ~bus ?faults () in
-  let wal = Wal.create ?device:wal_device ?faults ~bus ~clock () in
+  let wal =
+    Wal.create ?device:wal_device ?faults ~bus ?capacity_bytes:wal_capacity_bytes
+      ~clock ()
+  in
   let commitpipe = Commitpipe.create ~wal ~clock ~bus commit_mode in
   let fpw_done = Hashtbl.create 512 in
   let bgwriter =
@@ -82,6 +102,9 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     next_rel = 0;
     tickers = [];
     wal_logging = true;
+    wrote = Hashtbl.create 64;
+    degraded = None;
+    last_reclaim_lsn = -1;
   }
 
 let alloc_rel t =
@@ -103,11 +126,86 @@ let begin_txn t =
   end;
   txn
 
+(* ---------------- out-of-space degradation ---------------- *)
+
+let enter_degraded t ~subsystem ~reason =
+  t.degraded <- Some reason;
+  (* writers must not even be admitted while read-only *)
+  Contention.set_backpressure t.contention true;
+  if observed t then emit t (Bus.Degraded { subsystem; reason })
+
+(* CLOG snapshot carried by checkpoint records: 8-byte LE next_xid, then
+   the raw dense-CLOG image. Recovery restores it so commit/abort verdicts
+   of transactions whose records were reclaimed survive log truncation. *)
+let checkpoint_payload t =
+  let next_xid, image = Txn.clog_image t.txnmgr in
+  let b = Bytes.create (8 + String.length image) in
+  Bytes.set_int64_le b 0 (Int64.of_int next_xid);
+  Bytes.blit_string image 0 b 8 (String.length image);
+  b
+
+(* Emergency WAL reclamation: checkpoint the pool (every retained heap
+   record is now redundant with the on-device pages), append a checkpoint
+   record carrying the CLOG snapshot (exempt from the capacity check —
+   the reserved emergency region), force it durable, then drop everything
+   below it. Any crash window leaves either the full old log or the
+   checkpoint record onward — never a gap. Retention holds (a standby
+   still catching up) clamp the truncation as usual, so reclamation can
+   legitimately free nothing. The [last_reclaim_lsn] guard stops a full
+   log from provoking a checkpoint-record storm: if no record was
+   appended since the last attempt, trying again cannot help. *)
+let reclaim_wal t =
+  if Wal.current_lsn t.wal = t.last_reclaim_lsn then false
+  else begin
+    let before = Wal.retained_bytes t.wal in
+    Bgwriter.checkpoint_now t.bgwriter;
+    let ckpt_lsn =
+      Wal.append t.wal ~xid:0 ~rel:(-1) ~kind:Wal.Checkpoint
+        ~payload:(checkpoint_payload t)
+    in
+    Wal.flush t.wal ~sync:true;
+    Wal.truncate_before t.wal ~lsn:ckpt_lsn;
+    t.last_reclaim_lsn <- Wal.current_lsn t.wal;
+    let freed = Stdlib.max 0 (before - Wal.retained_bytes t.wal) in
+    if observed t then
+      emit t (Bus.Wal_reclaim { upto_lsn = ckpt_lsn; freed_bytes = freed });
+    freed > 0
+  end
+
+(* Every WAL append from this layer funnels through here. Out of space:
+   reclaim once and retry; if the log is still full (holds, or one giant
+   record) the database degrades to loud read-only rather than crashing
+   or silently dropping updates. *)
+let append_wal t ~xid ~rel ~kind ~payload =
+  (match t.degraded with
+  | Some reason -> raise (Read_only { reason })
+  | None -> ());
+  try Wal.append t.wal ~xid ~rel ~kind ~payload
+  with Wal.Out_of_space _ -> (
+    ignore (reclaim_wal t);
+    try Wal.append t.wal ~xid ~rel ~kind ~payload
+    with Wal.Out_of_space { needed; capacity; retained } ->
+      let reason =
+        Printf.sprintf
+          "WAL full: %d bytes needed against a capacity of %d (%d bytes still \
+           retained after emergency reclamation)"
+          needed capacity retained
+      in
+      enter_degraded t ~subsystem:"wal" ~reason;
+      raise (Read_only { reason }))
+
 let abort t txn =
-  if t.wal_logging then
-    ignore
-      (Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Abort
-         ~payload:Bytes.empty);
+  Crashpoint.reach "db.abort.pre";
+  (if t.wal_logging && t.degraded = None then
+     (* Failure to log an abort is harmless — the absence of a commit
+        record already means aborted at recovery — so a full log must not
+        turn abort (the error path!) into another error. *)
+     try
+       ignore
+         (Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Abort
+            ~payload:Bytes.empty)
+     with Wal.Out_of_space _ -> ());
+  Hashtbl.remove t.wrote txn.Txn.xid;
   Txn.abort t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
@@ -120,10 +218,21 @@ let commit t txn =
     abort t txn;
     raise (Contention.Wounded txn.Txn.xid)
   end;
-  (if t.wal_logging then begin
+  (match t.degraded with
+  | Some reason when Hashtbl.mem t.wrote txn.Txn.xid ->
+      (* a writer slipped past the gate before degradation hit *)
+      abort t txn;
+      raise (Read_only { reason })
+  | _ -> ());
+  (if t.wal_logging && t.degraded = None then begin
+     Crashpoint.reach "db.commit.wal.pre";
      let lsn =
-       Wal.append t.wal ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit
-         ~payload:Bytes.empty
+       try
+         append_wal t ~xid:txn.Txn.xid ~rel:(-1) ~kind:Wal.Commit
+           ~payload:Bytes.empty
+       with Read_only _ as e ->
+         abort t txn;
+         raise e
      in
      let ack = Commitpipe.commit t.commitpipe ~xid:txn.Txn.xid ~lsn in
      (* Not yet durable (group commit queues; async acks before flushing):
@@ -133,7 +242,10 @@ let commit t txn =
          Txn.note_commit_lsn t.txnmgr ~xid:txn.Txn.xid ~lsn
      | _, Commitpipe.Durable _ -> ()
    end);
+  Crashpoint.reach "db.clog.mark.pre";
   Txn.commit t.txnmgr txn;
+  Crashpoint.reach "db.clog.mark.post";
+  Hashtbl.remove t.wrote txn.Txn.xid;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
   if observed t then emit t (Bus.Txn_commit { xid = txn.Txn.xid })
@@ -143,9 +255,67 @@ let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
 let add_ticker t f = t.tickers <- t.tickers @ [ f ]
 let set_wal_logging t b = t.wal_logging <- b
 
+(* Watermark backpressure: above 85% of WAL capacity, reclaim and — if
+   still high (holds pinning the tail) — shed new admissions until usage
+   falls back under 60%. Unbounded logs (the default) never enter. *)
+let high_watermark = 0.85
+let low_watermark = 0.60
+
+let wal_pressure t =
+  match Wal.capacity_bytes t.wal with
+  | Some cap when t.degraded = None ->
+      let usage_of b = float_of_int b /. float_of_int cap in
+      let usage = usage_of (Wal.retained_bytes t.wal) in
+      if usage >= high_watermark then begin
+        ignore (reclaim_wal t);
+        let usage' = usage_of (Wal.retained_bytes t.wal) in
+        if usage' >= high_watermark then begin
+          if not (Contention.backpressure t.contention) then begin
+            Contention.set_backpressure t.contention true;
+            if observed t then
+              emit t (Bus.Backpressure { on = true; usage = usage' })
+          end
+        end
+        else if Contention.backpressure t.contention && usage' <= low_watermark
+        then begin
+          Contention.set_backpressure t.contention false;
+          if observed t then
+            emit t (Bus.Backpressure { on = false; usage = usage' })
+        end
+      end
+      else if usage <= low_watermark && Contention.backpressure t.contention
+      then begin
+        Contention.set_backpressure t.contention false;
+        if observed t then emit t (Bus.Backpressure { on = false; usage })
+      end
+  | Some _ | None -> ()
+
 let tick t =
   Commitpipe.tick t.commitpipe;
   Bgwriter.tick t.bgwriter;
+  wal_pressure t;
   match t.tickers with [] -> () | fs -> List.iter (fun f -> f ()) fs
 
-let log_op t ~xid ~rel ~kind ~payload = Wal.append t.wal ~xid ~rel ~kind ~payload
+let log_op t ~xid ~rel ~kind ~payload =
+  if Wal.capacity_bytes t.wal <> None then Hashtbl.replace t.wrote xid ();
+  append_wal t ~xid ~rel ~kind ~payload
+
+(* ---------------- crash ---------------- *)
+
+(* Single crash entry point: every layer's volatile state dies together,
+   exactly as a power cut would take it. Durable state (device sectors,
+   flushed WAL prefix) survives untouched; [recover] on the engine then
+   rebuilds from that alone. *)
+let crash t =
+  Bufpool.crash t.pool;
+  Wal.crash t.wal;
+  Commitpipe.crash t.commitpipe;
+  Lockmgr.reset t.lockmgr;
+  Txn.reset_active t.txnmgr;
+  Contention.reset_admission t.contention;
+  Hashtbl.reset t.fpw_done;
+  Hashtbl.reset t.wrote;
+  t.degraded <- None;
+  t.last_reclaim_lsn <- -1
+
+let degraded t = t.degraded

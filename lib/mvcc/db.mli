@@ -51,7 +51,22 @@ type t = {
           read-only transactions must not interleave local records into
           a log that is a verbatim copy of the primary's; promotion turns
           logging back on. [true] by default. *)
+  wrote : (int, unit) Hashtbl.t;
+      (** xids that logged at least one record — maintained only when the
+          WAL has finite capacity, to tell writers from read-only
+          transactions at commit once degraded *)
+  mutable degraded : string option;
+      (** loud read-only degraded mode: [Some reason] once emergency
+          reclamation failed to make room for a record; writers raise
+          {!Read_only}, readers proceed. Cleared by {!crash} (restart). *)
+  mutable last_reclaim_lsn : int;
+      (** WAL head when emergency reclamation last ran; a retry with no
+          new records in between is skipped (checkpoint-record storms) *)
 }
+
+exception Read_only of { reason : string }
+(** The database is in read-only degraded mode (out of WAL space even
+    after emergency reclamation); the writing transaction was aborted. *)
 
 (** Events contributed by the MVCC layer. [Txn_snapshot] accompanies
     every [Sias_obs.Bus.Txn_begin]; [Row_read]/[Row_write] report
@@ -80,6 +95,7 @@ val create :
   ?faults:Flashsim.Faultdev.t ->
   ?contention:Sias_txn.Contention.settings ->
   ?commit_mode:Sias_wal.Commitpipe.mode ->
+  ?wal_capacity_bytes:int ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
@@ -135,6 +151,30 @@ val add_ticker : t -> (unit -> unit) -> unit
 
 val set_wal_logging : t -> bool -> unit
 (** Flip the hot-standby switch (see the [wal_logging] field). *)
+
+val crash : t -> unit
+(** Single crash entry point: drop every layer's volatile state at once
+    (buffer pool, unflushed WAL tail, commit pipeline, locks, active
+    transactions, admission gate, FPW memory, degraded flag) exactly as a
+    power cut would. Durable state — device sectors and the flushed WAL
+    prefix — survives; call the engine's [recover] afterwards. *)
+
+val reclaim_wal : t -> bool
+(** Emergency WAL reclamation: checkpoint the pool, append a checkpoint
+    record carrying the CLOG snapshot (exempt from the capacity check),
+    flush synchronously, then truncate below it — clamped by retention
+    holds. Returns whether any bytes were freed. No-op (returns [false])
+    when no record was appended since the last reclamation. *)
+
+val degraded : t -> string option
+(** [Some reason] while in read-only degraded mode. *)
+
+val append_wal :
+  t -> xid:int -> rel:int -> kind:Sias_wal.Wal.kind -> payload:bytes -> int
+(** WAL append with out-of-space handling: on [Wal.Out_of_space], run
+    {!reclaim_wal} and retry once; if still full, enter degraded mode and
+    raise {!Read_only}. Raises {!Read_only} immediately when already
+    degraded. *)
 
 val log_op :
   t ->

@@ -322,6 +322,7 @@ module Make (P : PROFILE) = struct
     Walcodec.redo t.db ~since_lsn:0;
     List.iter
       (fun table ->
+        Sias_chaos.Crashpoint.reach "recover.heap.restore";
         let nblocks = discover_nblocks t.db.Db.pool ~rel:table.rel in
         table.heap <-
           Heapfile.restore t.db.Db.pool ~rel:table.rel ~placement:P.placement ~nblocks;

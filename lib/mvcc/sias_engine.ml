@@ -592,6 +592,7 @@ let recover t =
   Walcodec.redo t.db ~since_lsn:0;
   List.iter
     (fun table ->
+      Sias_chaos.Crashpoint.reach "recover.heap.restore";
       let nblocks = discover_nblocks t.db.Db.pool ~rel:table.rel in
       table.heap <-
         Heapfile.restore t.db.Db.pool ~rel:table.rel ~placement:Heapfile.Append_only ~nblocks;

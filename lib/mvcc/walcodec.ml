@@ -3,6 +3,23 @@ module Page = Sias_storage.Page
 module Bufpool = Sias_storage.Bufpool
 module Wal = Sias_wal.Wal
 module Txn = Sias_txn.Txn
+module Crashpoint = Sias_chaos.Crashpoint
+
+exception Redo_divergence of { rel : int; block : int; detail : string }
+(* Redo replayed a verified record against a page whose content
+   contradicts it — a bug in the append discipline or the redo rules, not
+   recoverable data damage. Loud and typed so chaos schedules catch it. *)
+
+let () =
+  Printexc.register_printer (function
+    | Redo_divergence { rel; block; detail } ->
+        Some
+          (Printf.sprintf
+             "Walcodec.Redo_divergence: WAL replay diverged from the page \
+              state on rel %d block %d (%s); the log and the page disagree — \
+              this is a redo-rule bug, not disk damage"
+             rel block detail)
+    | _ -> None)
 
 (* Payload: tid (int64), flags (u8, bit 0 = append-only page discipline),
    item bytes. The flag matters at redo: a page recreated from nothing
@@ -33,6 +50,7 @@ let log_heap ?append_only db ~xid ~rel ~kind ~tid ~item =
   let block = Tid.block tid in
   let fpw = kind <> Wal.Trim && not (Hashtbl.mem db.Db.fpw_done (rel, block)) in
   if fpw then begin
+    Crashpoint.reach "walcodec.fpw.pre";
     Hashtbl.replace db.Db.fpw_done (rel, block) ();
     let lsn = Wal.next_lsn db.Db.wal in
     let image =
@@ -44,7 +62,16 @@ let log_heap ?append_only db ~xid ~rel ~kind ~tid ~item =
       Db.log_op db ~xid ~rel ~kind:Wal.Full_page
         ~payload:(encode ?append_only tid image)
     in
-    assert (lsn' = lsn)
+    (* An emergency WAL reclamation inside [log_op] appends its own
+       checkpoint record first, so the image's record can land past the
+       pre-stamped lsn. The stamp inside the captured image stays at the
+       older value — still monotonic, since nothing else touched this
+       page in between — but the pooled page must carry the record's
+       real lsn for write-back ordering. *)
+    assert (lsn' >= lsn);
+    if lsn' <> lsn then
+      Bufpool.with_page db.Db.pool ~rel ~block (fun page ->
+          Page.set_lsn page lsn')
   end
   else begin
     let lsn = Db.log_op db ~xid ~rel ~kind ~payload:(encode ?append_only tid item) in
@@ -71,10 +98,29 @@ let apply_to_page page (r : Wal.record) =
         | Wal.Insert -> (
             match Page.insert page item with
             | Some slot when slot = Tid.slot tid -> ()
-            | Some _ | None -> failwith "Walcodec: redo insert slot mismatch")
+            | Some _ | None ->
+                raise
+                  (Redo_divergence
+                     {
+                       rel = r.rel;
+                       block = Tid.block tid;
+                       detail =
+                         Printf.sprintf "insert at lsn %d replayed to a \
+                                         different slot than %d"
+                           r.lsn (Tid.slot tid);
+                     }))
         | Wal.Update ->
             if not (Page.update page (Tid.slot tid) item) then
-              failwith "Walcodec: redo update did not fit"
+              raise
+                (Redo_divergence
+                   {
+                     rel = r.rel;
+                     block = Tid.block tid;
+                     detail =
+                       Printf.sprintf
+                         "update at lsn %d did not fit in slot %d" r.lsn
+                         (Tid.slot tid);
+                   })
         | Wal.Delete -> Page.delete page (Tid.slot tid)
         | _ -> assert false);
         Page.set_lsn page r.lsn;
@@ -84,9 +130,11 @@ let apply_to_page page (r : Wal.record) =
   | _ -> false
 
 let redo db ~since_lsn =
+  Crashpoint.reach "recover.redo.pre";
   let records, _tail = Wal.verified_from db.Db.wal ~lsn:since_lsn in
   List.iter
     (fun (r : Wal.record) ->
+      Crashpoint.reach "recover.redo.record";
       match r.kind with
       | Wal.Trim when r.rel >= 0 ->
           let tid, _, _ = decode r.payload in
@@ -102,7 +150,25 @@ let redo db ~since_lsn =
     records
 
 let replay_clog db =
+  Crashpoint.reach "recover.clog.pre";
   let records, _tail = Wal.verified_from db.Db.wal ~lsn:0 in
+  (* Checkpoint records carry a CLOG snapshot (8-byte LE next_xid + dense
+     image) taken when the log below them was reclaimed: restore the
+     newest one first, so verdicts of transactions whose commit/abort
+     records were truncated away survive. Transactions in progress at the
+     snapshot crashed with it — restore flips them to aborted; if one in
+     fact committed, its commit record is necessarily retained (a commit
+     is a transaction's last record, so it sits at or after any
+     checkpoint that still retains the transaction) and the overlay below
+     re-marks it. *)
+  List.iter
+    (fun (r : Wal.record) ->
+      if r.kind = Wal.Checkpoint && Bytes.length r.payload >= 8 then
+        Txn.clog_restore db.Db.txnmgr
+          ~next_xid:(Int64.to_int (Bytes.get_int64_le r.payload 0))
+          ~image:
+            (Bytes.sub_string r.payload 8 (Bytes.length r.payload - 8)))
+    records;
   let seen = Hashtbl.create 256 in
   List.iter
     (fun (r : Wal.record) ->
@@ -116,7 +182,8 @@ let replay_clog db =
     records;
   Hashtbl.iter
     (fun xid committed -> Txn.mark_recovered db.Db.txnmgr ~xid ~committed)
-    seen
+    seen;
+  Crashpoint.reach "recover.clog.post"
 
 (* Rebuild one heap page purely from the WAL — never through the buffer
    pool, so a repair triggered mid-read cannot recurse. Base image: the
@@ -126,6 +193,7 @@ let replay_clog db =
    (index and VID_map pages are not WAL-logged and cannot be repaired —
    the read then fails loudly with [Corrupt_page]). *)
 let repair_page db ~rel ~block =
+  Crashpoint.reach "walcodec.repair.pre";
   let records, _tail = Wal.verified_from db.Db.wal ~lsn:0 in
   let mine =
     List.filter

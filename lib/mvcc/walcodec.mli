@@ -14,6 +14,12 @@
     record and mid-log corruption fails loudly instead of replaying past
     damage. *)
 
+exception Redo_divergence of { rel : int; block : int; detail : string }
+(** Redo replayed a verified record against a page whose content
+    contradicts it (insert landed in the wrong slot, update no longer
+    fits). The log and the page disagree: a redo-rule or append-discipline
+    bug, raised loudly rather than replaying past it. *)
+
 val encode : ?append_only:bool -> Sias_storage.Tid.t -> bytes -> bytes
 val decode : bytes -> Sias_storage.Tid.t * bool * bytes
 
@@ -37,9 +43,11 @@ val redo : Db.t -> since_lsn:int -> unit
 
 val replay_clog : Db.t -> unit
 (** Rebuild transaction statuses from commit/abort records over the whole
-    retained log. Transactions lacking a final record are left unknown
-    (treated as aborted by recovery-time [mark_recovered] calls made
-    here for every xid that appears in the log). *)
+    retained log. Checkpoint records carry a CLOG snapshot taken when the
+    log below them was reclaimed; the snapshot is restored first so
+    verdicts of transactions whose final records were truncated away
+    survive. Transactions lacking both a snapshot verdict and a final
+    record are treated as aborted. *)
 
 val repair_page : Db.t -> rel:int -> block:int -> Sias_storage.Page.t option
 (** Rebuild a heap page from the WAL alone (latest full-page image plus

@@ -36,6 +36,9 @@ type event +=
   | Repl_install of { records : int }
   | Repl_ack of { lsn : int }
   | Repl_degraded
+  | Wal_reclaim of { upto_lsn : int; freed_bytes : int }
+  | Backpressure of { on : bool; usage : float }
+  | Degraded of { subsystem : string; reason : string }
 
 let io_op_to_string = function Io_read -> "read" | Io_write -> "write"
 

@@ -68,6 +68,15 @@ type event +=
   | Repl_degraded
       (** a remote-flush commit gave up waiting on the standby (partition
           or persistent loss) and acknowledged on local durability alone *)
+  | Wal_reclaim of { upto_lsn : int; freed_bytes : int }
+      (** an emergency checkpoint recycled the log below [upto_lsn]
+          (capacity pressure), freeing [freed_bytes] *)
+  | Backpressure of { on : bool; usage : float }
+      (** the admission gate toggled resource-exhaustion shedding at the
+          given WAL usage fraction *)
+  | Degraded of { subsystem : string; reason : string }
+      (** a subsystem fell back to loud read-only degraded mode instead
+          of corrupting state or aborting the process *)
 
 val io_op_to_string : io_op -> string
 (** ["read"] or ["write"]. *)

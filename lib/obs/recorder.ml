@@ -33,6 +33,9 @@ type state = {
     (Metrics.counter * Metrics.counter * Metrics.counter * Metrics.counter
     * Metrics.counter * Metrics.gauge)
     option;
+  (* created on the first resource-pressure event (reclaim, backpressure,
+     degraded) so unbounded runs export the historical metric set *)
+  pressure : (string, Metrics.counter) Hashtbl.t;
 }
 
 let memo tbl key fresh =
@@ -221,6 +224,30 @@ let on_event st e =
   | Bus.Repl_degraded ->
       let _, _, _, _, degraded, _ = repl_metrics st in
       Metrics.incr degraded
+  | Bus.Wal_reclaim { freed_bytes; _ } ->
+      Metrics.incr
+        (memo st.pressure "wal_reclaims" (fun () ->
+             Metrics.counter st.m ~help:"Emergency WAL reclamations"
+               "sias_wal_reclaims_total"));
+      Metrics.add
+        (memo st.pressure "wal_reclaimed_bytes" (fun () ->
+             Metrics.counter st.m
+               ~help:"WAL bytes recycled by emergency reclamation"
+               "sias_wal_reclaimed_bytes_total"))
+        freed_bytes
+  | Bus.Backpressure { on; _ } ->
+      let state = if on then "on" else "off" in
+      Metrics.incr
+        (memo st.pressure ("backpressure_" ^ state) (fun () ->
+             Metrics.counter st.m ~help:"Admission backpressure toggles"
+               ~labels:[ ("state", state) ]
+               "sias_backpressure_toggles_total"))
+  | Bus.Degraded { subsystem; _ } ->
+      Metrics.incr
+        (memo st.pressure ("degraded_" ^ subsystem) (fun () ->
+             Metrics.counter st.m ~help:"Read-only degraded-mode entries"
+               ~labels:[ ("subsystem", subsystem) ]
+               "sias_degraded_total"))
   | _ -> ()
 
 let attach m bus =
@@ -256,6 +283,7 @@ let attach m bus =
       gc_moved = Hashtbl.create 4;
       spans = Hashtbl.create 16;
       repl = None;
+      pressure = Hashtbl.create 4;
     }
   in
   Bus.subscribe bus (on_event st)

@@ -6,6 +6,7 @@ module Db = Mvcc.Db
 module Sichecker = Mvcc.Sichecker
 module Snapshot = Sias_txn.Snapshot
 module Value = Mvcc.Value
+module Crashpoint = Sias_chaos.Crashpoint
 
 type mode = Ship_async | Remote_flush
 
@@ -103,6 +104,7 @@ let feed_checker t (r : Wal.record) =
       | _ -> ())
 
 let send_ack t ~now =
+  Crashpoint.reach "repl.ack.pre";
   let lsn = installed_lsn t in
   match Link.transmit t.link ~now with
   | `Delivered at ->
@@ -116,6 +118,7 @@ let send_ack t ~now =
    LSNs are skipped and the fresh cumulative ack re-synchronizes the
    sender. *)
 let receive_records t ~at records =
+  Crashpoint.reach "repl.install.pre";
   let swal = standby_wal t in
   List.iter
     (fun (r : Wal.record) ->
@@ -190,6 +193,7 @@ let rec batches n = function
 let ship_batches t ~now records =
   List.iter
     (fun batch ->
+      Crashpoint.reach "repl.send.pre";
       let bytes = List.fold_left (fun a r -> a + Wal.record_bytes r) 0 batch in
       t.ship_batches <- t.ship_batches + 1;
       t.shipped_records <- t.shipped_records + List.length batch;
@@ -365,6 +369,7 @@ let refresh t =
   end
 
 let promote ?expect_flushed_lsn t =
+  Crashpoint.reach "repl.promote.pre";
   t.promoted <- true;
   Commitpipe.clear_remote_wait t.primary.Db.commitpipe;
   Wal.release_hold (primary_wal t) t.hold;

@@ -1,5 +1,6 @@
 module Simclock = Sias_util.Simclock
 module Bus = Sias_obs.Bus
+module Crashpoint = Sias_chaos.Crashpoint
 
 type policy =
   | T1_bgwriter of { interval : float; max_pages : int }
@@ -57,9 +58,11 @@ let flushes_delta t f =
       (Some b, (Bufpool.stats t.pool).Bufpool.flushes - before)
 
 let run_checkpoint t =
+  Crashpoint.reach "bgwriter.checkpoint.pre";
   (* WAL first: buffered log records must reach the device before the
      heap pages they describe (the commit pipeline's flush hook) *)
   t.before_checkpoint ();
+  Crashpoint.reach "bgwriter.checkpoint.mid";
   let t0 = Simclock.now t.clock in
   let b, pages = flushes_delta t (fun () -> Bufpool.flush_all t.pool ~sync:false) in
   (match b with
@@ -76,7 +79,8 @@ let run_checkpoint t =
            })
   | None -> ());
   t.on_checkpoint ();
-  t.checkpoints <- t.checkpoints + 1
+  t.checkpoints <- t.checkpoints + 1;
+  Crashpoint.reach "bgwriter.checkpoint.post"
 
 let checkpoint_now t =
   run_checkpoint t;

@@ -3,10 +3,28 @@ module Blocktrace = Flashsim.Blocktrace
 module Faultdev = Flashsim.Faultdev
 module Simclock = Sias_util.Simclock
 module Bus = Sias_obs.Bus
+module Crashpoint = Sias_chaos.Crashpoint
 
 type key = { rel : int; block : int }
 
 exception Corrupt_page of { rel : int; block : int }
+exception No_free_frames of { capacity : int }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_page { rel; block } ->
+        Some
+          (Printf.sprintf
+             "Bufpool.Corrupt_page: page (rel %d, block %d) failed checksum \
+              verification and could not be repaired from full-page writes"
+             rel block)
+    | No_free_frames { capacity } ->
+        Some
+          (Printf.sprintf
+             "Bufpool.No_free_frames: all %d frames are pinned — the working \
+              set of concurrently pinned pages exceeds the buffer pool"
+             capacity)
+    | _ -> None)
 
 type frame = {
   idx : int;
@@ -298,6 +316,7 @@ let os_cache_tick t =
       end
 
 let write_back t frame ~sync =
+  Crashpoint.reach "bufpool.writeback.pre";
   let durable =
     (* Fault-free fast path: reuse the existing durable buffer instead of
        allocating a fresh page copy per flush. With fault injection on,
@@ -358,6 +377,7 @@ let write_back t frame ~sync =
       else os_cache_tick t);
   frame.dirty <- false;
   t.flushes <- t.flushes + 1;
+  Crashpoint.reach "bufpool.writeback.post";
   match obs t with
   | Some b ->
       Bus.publish b
@@ -371,7 +391,7 @@ let find_victim t =
   let attempts = ref 0 in
   let victim = ref None in
   while !victim = None do
-    if !attempts > 2 * n then failwith "Bufpool: all frames pinned";
+    if !attempts > 2 * n then raise (No_free_frames { capacity = n });
     let f = t.frames.(t.hand) in
     t.hand <- (t.hand + 1) mod n;
     incr attempts;
@@ -384,6 +404,7 @@ let find_victim t =
 let load_frame t key =
   let f = find_victim t in
   if f.used then begin
+    Crashpoint.reach "bufpool.evict.pre";
     (match obs t with
     | Some b ->
         Bus.publish b
@@ -494,6 +515,7 @@ let find_resident t ~rel ~block =
 let patch_resident t ~rel ~block ~slot ~off ~bits =
   match Hashtbl.find_opt t.index { rel; block } with
   | Some i ->
+      Crashpoint.reach "bufpool.hint.patch";
       Page.or_byte t.frames.(i).page slot ~off ~bits;
       true
   | None -> false

@@ -19,6 +19,11 @@ exception Corrupt_page of { rel : int; block : int }
     bounded retries) and no repair handler could rebuild it. Raised
     instead of ever returning garbage bytes to the caller. *)
 
+exception No_free_frames of { capacity : int }
+(** The clock sweep found every frame pinned: the set of concurrently
+    pinned pages exceeds the pool. Raised instead of spinning forever;
+    the pool is unchanged. *)
+
 val create :
   device:Flashsim.Device.t ->
   clock:Sias_util.Simclock.t ->

@@ -1,5 +1,19 @@
 type placement = Free_space_first | Append_only | Txn_colocated
 
+(* An oversized row is a caller-input condition, not a programmer error:
+   it deserves a typed exception with the sizes echoed. *)
+exception Item_too_large of { bytes : int; rel : int }
+
+let () =
+  Printexc.register_printer (function
+    | Item_too_large { bytes; rel } ->
+        Some
+          (Printf.sprintf
+             "Heapfile.Item_too_large: a %d-byte item does not fit on any \
+              page of relation %d; shrink the row or raise the page size"
+             bytes rel)
+    | _ -> None)
+
 (* Blocks whose free space is at least this many bytes are kept in the
    free-space queue and are candidates for [Free_space_first] placement. *)
 let min_free = 600
@@ -117,7 +131,7 @@ let insert_append t item =
       let fresh = grow t in
       match try_insert_into t fresh item with
       | Some tid -> tid
-      | None -> invalid_arg "Heapfile.insert: item larger than a page")
+      | None -> raise (Item_too_large { bytes = Bytes.length item; rel = t.rel }))
 
 (* Pop candidates off the free-space queue until one accepts the item.
    Successful or not, a candidate that still has room goes back to the
@@ -150,7 +164,7 @@ let insert_free_space t item =
       let fresh = grow t in
       match try_insert_into t fresh item with
       | Some tid -> tid
-      | None -> invalid_arg "Heapfile.insert: item larger than a page")
+      | None -> raise (Item_too_large { bytes = Bytes.length item; rel = t.rel }))
 
 (* SI-CV placement (Gottstein et al., TPC-TC'12, the paper's [18]):
    versions written by the same transaction are co-located — each writer
@@ -198,7 +212,7 @@ let insert_colocated t ~owner item =
           Hashtbl.replace t.owner_blocks owner fresh;
           match try_insert_into t fresh item with
           | Some tid -> tid
-          | None -> invalid_arg "Heapfile.insert: item larger than a page"))
+          | None -> raise (Item_too_large { bytes = Bytes.length item; rel = t.rel })))
 
 let insert_owned t ~owner item =
   match t.placement with

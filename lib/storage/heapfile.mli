@@ -19,6 +19,11 @@ type placement =
 
 type t
 
+exception Item_too_large of { bytes : int; rel : int }
+(** Raised by the insert family when an item cannot fit on any page, even
+    a fresh one. A caller-input condition (an oversized row), not a
+    programmer error. *)
+
 val create : ?seal_interval:float -> Bufpool.t -> rel:int -> placement:placement -> t
 (** [seal_interval] implements the paper's t1 flush threshold for
     [Append_only] files: the current tail page is physically appended to

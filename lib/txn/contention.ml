@@ -89,6 +89,10 @@ type t = {
   bus : Bus.t option;
   mutable inflight : int;
   mutable queue_depth : int;
+  (* Resource-exhaustion backpressure (e.g. the WAL near capacity): while
+     set, new transactions are shed at admission regardless of the
+     in-flight cap, throttling writers so reclamation can catch up. *)
+  mutable backpressure : bool;
   stats : stats;
 }
 
@@ -104,6 +108,7 @@ let create ?(settings = default_settings) ?bus ~clock ~lockmgr () =
     bus;
     inflight = 0;
     queue_depth = 0;
+    backpressure = false;
     stats = zero_stats ();
   }
 
@@ -272,7 +277,23 @@ let run_with_retries t ~cfg ~retryable ~f =
 
 type admission = Admitted | Shed
 
+let set_backpressure t on = t.backpressure <- on
+let backpressure t = t.backpressure
+
+(* Crash semantics: in-flight and queued transactions died with the
+   process; doom marks are meaningless for xids that no longer exist. *)
+let reset_admission t =
+  t.inflight <- 0;
+  t.queue_depth <- 0;
+  t.backpressure <- false;
+  Hashtbl.reset t.doomed
+
 let admit t =
+  if t.backpressure then begin
+    note_shed t;
+    Shed
+  end
+  else
   match t.settings.max_inflight with
   | None -> Admitted
   | Some cap ->

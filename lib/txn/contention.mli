@@ -135,6 +135,19 @@ val admit : t -> admission
 val release : t -> unit
 val inflight : t -> int
 
+val set_backpressure : t -> bool -> unit
+(** Resource-exhaustion gate (e.g. the WAL near its capacity): while on,
+    {!admit} sheds every request immediately — even with no in-flight
+    cap configured — so writers back off until reclamation catches up.
+    Shed counts and [Txn_shed] bus events account for it as usual. *)
+
+val backpressure : t -> bool
+
+val reset_admission : t -> unit
+(** Crash semantics: zero the in-flight/queue occupancy, clear doom
+    marks and release backpressure — no admitted transaction survived
+    the process. *)
+
 val pp_stats : Format.formatter -> stats -> unit
 (** One line per non-zero counter group; prints nothing when every
     counter is zero. *)

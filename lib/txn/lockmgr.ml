@@ -61,6 +61,13 @@ let release_all t ~xid =
   List.iter (Hashtbl.remove t.waiting) inbound;
   assert (waiters_of t ~owner:xid = [])
 
+(* Crash semantics: every in-flight transaction evaporated with the
+   process, so no lock or wait edge survives. *)
+let reset t =
+  Hashtbl.reset t.locks;
+  Hashtbl.reset t.owned;
+  Hashtbl.reset t.waiting
+
 let holder t ~rel ~key = Hashtbl.find_opt t.locks (rel, key)
 
 let held_count t ~xid =

@@ -33,6 +33,10 @@ val release_all : t -> xid:int -> unit
     and every inbound edge of transactions that were waiting on it — a
     finished transaction blocks nobody. *)
 
+val reset : t -> unit
+(** Drop every lock and wait edge (crash semantics: no in-flight
+    transaction survived the process). *)
+
 val holder : t -> rel:int -> key:int -> int option
 val held_count : t -> xid:int -> int
 val waiters_of : t -> owner:int -> int list

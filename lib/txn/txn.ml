@@ -88,7 +88,13 @@ let status mgr xid =
   | 1 -> In_progress
   | 2 -> Committed
   | 3 -> Aborted
-  | _ -> invalid_arg "Txn.status: unknown xid"
+  | _ ->
+      (* Unassigned. Reachable after a crash: a checkpoint may flush a
+         heap page carrying a tuple whose xid left no record in the
+         durable log (e.g. the writer was refused at the WAL and
+         aborted in degraded mode). No durable trace means no commit
+         record, so the verdict is aborted. *)
+      Aborted
 
 let is_committed mgr xid = clog_get mgr xid = 2
 
@@ -107,6 +113,36 @@ let set_next_xid mgr xid = mgr.next_xid <- Stdlib.max mgr.next_xid xid
 let mark_recovered mgr ~xid ~committed =
   clog_set mgr xid (if committed then 2 else 3);
   if xid >= mgr.next_xid then mgr.next_xid <- xid + 1
+
+(* CLOG snapshot, carried inside checkpoint WAL records so that log
+   truncation cannot lose the outcome of transactions whose commit
+   records were recycled: restore the image, then overlay the retained
+   tail. In-progress codes in the image are flipped to aborted — a
+   transaction still running at the checkpoint either has its commit
+   record in the retained tail (the overlay wins) or never committed. *)
+let clog_image mgr = (mgr.next_xid, Bytes.to_string mgr.clog)
+
+let clog_restore mgr ~next_xid ~image =
+  mgr.clog <- Bytes.of_string image;
+  for xid = 1 to next_xid - 1 do
+    if clog_get mgr xid = 1 then clog_set mgr xid 3
+  done;
+  mgr.next_xid <- Stdlib.max mgr.next_xid next_xid
+
+(* Power loss: in-flight transactions are simply gone. Their clog codes
+   stay in-progress until recovery's log scan adjudicates them. *)
+let reset_active mgr =
+  Hashtbl.reset mgr.active;
+  mgr.xmins <- Imap.empty;
+  mgr.commit_lsn <- [||];
+  (* The clog is volatile: verdicts recorded only in memory (e.g. a
+     group-committed transaction whose WAL record never reached the
+     device) must not survive the crash. Recovery re-derives every
+     durable verdict via [mark_recovered] / [clog_restore], both of
+     which also advance [next_xid] past every xid seen in the log, so
+     no xid with a durable trace can be re-issued. *)
+  Bytes.fill mgr.clog 0 (Bytes.length mgr.clog) '\000';
+  mgr.next_xid <- 1
 
 let set_flushed_probe mgr f = mgr.flushed_probe <- Some f
 

@@ -31,7 +31,9 @@ val commit : mgr -> t -> unit
 val abort : mgr -> t -> unit
 
 val status : mgr -> int -> status
-(** Status of any xid ever assigned; unknown xids raise. *)
+(** Status of an xid. Unknown xids are [Aborted]: after a crash a heap
+    page may carry a tuple whose xid left no durable WAL trace, and no
+    durable trace means no commit record. *)
 
 val is_committed : mgr -> int -> bool
 
@@ -55,6 +57,26 @@ val set_next_xid : mgr -> int -> unit
 val mark_recovered : mgr -> xid:int -> committed:bool -> unit
 (** Recovery: record the final status of a transaction found in the log.
     Transactions with no commit record are implicitly aborted. *)
+
+val clog_image : mgr -> int * string
+(** Snapshot the commit log as [(next_xid, dense image)] for embedding
+    in a checkpoint WAL record, so truncating the log below that record
+    cannot lose the outcome of already-adjudicated transactions. *)
+
+val clog_restore : mgr -> next_xid:int -> image:string -> unit
+(** Recovery from a checkpoint record: install the snapshotted commit
+    log, flipping in-progress entries to aborted (their commit records,
+    if any, are in the retained tail and overlay this afterwards). The
+    xid counter only moves forward. *)
+
+val reset_active : mgr -> unit
+(** Crash semantics: no volatile transaction state survives. The
+    in-flight set, pending commit-lsn notes, the whole commit log and
+    the xid counter are wiped — a verdict recorded only in memory (a
+    commit whose WAL record was never flushed) must not outlive the
+    process. Recovery re-derives every durable verdict with
+    [mark_recovered] / [clog_restore], which also restore [next_xid]
+    past every xid with a durable trace. *)
 
 (** {2 Hint-bit durability gate}
 

@@ -1,6 +1,7 @@
 module Simclock = Sias_util.Simclock
 module Bus = Sias_obs.Bus
 module Commitgroup = Sias_txn.Commitgroup
+module Crashpoint = Sias_chaos.Crashpoint
 
 type mode =
   | Sync
@@ -70,6 +71,7 @@ let obs t =
   match t.bus with Some b when Bus.active b -> Some b | _ -> None
 
 let close_group t cg g ~at =
+  Crashpoint.reach "commitpipe.group.close.pre";
   let completion = Wal.flush_upto t.wal ~sync:true ~at ~lsn:g.Commitgroup.high_lsn in
   (* one remote round-trip covers every member of the group *)
   let completion = remote_ack t ~lsn:g.Commitgroup.high_lsn ~at:completion in
@@ -78,12 +80,14 @@ let close_group t cg g ~at =
   | Some b ->
       Bus.publish b (Bus.Commit_group { size = List.length g.Commitgroup.members })
   | None -> ());
-  Commitgroup.resolve cg g ~completion
+  Commitgroup.resolve cg g ~completion;
+  Crashpoint.reach "commitpipe.group.close.post"
 
 (* Async WAL-writer trickle: an un-synced sequential append, so a crash
    before the next fsync may tear it — that is the bounded-loss window. *)
 let wflush t =
   if Wal.pending_bytes t.wal > 0 then begin
+    Crashpoint.reach "commitpipe.trickle.pre";
     Wal.flush t.wal ~sync:false;
     t.walwriter_flushes <- t.walwriter_flushes + 1;
     let flushed = Wal.flushed_lsn t.wal in
@@ -91,6 +95,7 @@ let wflush t =
   end
 
 let commit t ~xid ~lsn =
+  Crashpoint.reach "commitpipe.commit.pre";
   let ack =
     match (t.mode, t.group) with
     | Group _, Some cg ->
@@ -171,6 +176,22 @@ let finalize t =
   match t.mode with Async _ -> wflush t | _ -> ()
 
 let async_backlog t = List.length t.acked_lsns
+
+let crash t =
+  (* Power loss: whatever was parked in an open commit group or queued
+     behind the WAL-writer never became durable — forget it, so a
+     post-recovery pipeline starts from a clean slate. *)
+  (match t.group with
+  | Some cg ->
+      ignore (Commitgroup.take_due cg ~upto:infinity);
+      ignore (Commitgroup.drain_resolved cg)
+  | None -> ());
+  t.acked_lsns <- [];
+  t.last <- Durable 0.0;
+  t.next_wflush <-
+    (match t.mode with
+    | Async { interval; _ } -> Simclock.now t.clock +. interval
+    | _ -> infinity)
 
 let reset_stats t =
   t.commit_fsyncs <- 0;

@@ -105,6 +105,13 @@ val async_backlog : t -> int
 (** Async mode: commits acknowledged but not yet flushed — the loss
     window if the machine died now. *)
 
+val crash : t -> unit
+(** Power-loss semantics for the pipeline's own state: discard the open
+    commit group and unclaimed resolutions, forget the async acked
+    backlog, and rewind the trickle deadline. Called by [Db.crash] after
+    {!Wal.crash}; members of a discarded group were never durable, so
+    recovery treats them like any other lost commit. *)
+
 type stats = {
   mode_label : string;
   commit_fsyncs : int;

@@ -4,6 +4,7 @@ module Blocktrace = Flashsim.Blocktrace
 module Simclock = Sias_util.Simclock
 module Crc32 = Sias_util.Crc32
 module Bus = Sias_obs.Bus
+module Crashpoint = Sias_chaos.Crashpoint
 
 type kind =
   | Insert
@@ -45,6 +46,40 @@ type record = {
 }
 
 exception Corrupt_wal of int
+
+exception Out_of_space of { needed : int; capacity : int; retained : int }
+exception Hold_too_late of { name : string; truncated_below : int }
+exception Lsn_gap of { expected : int; got : int }
+
+let () =
+  Printexc.register_printer (function
+    | Corrupt_wal lsn ->
+        Some
+          (Printf.sprintf
+             "Wal.Corrupt_wal: invalid record at lsn %d followed by valid \
+              ones — corruption inside the log body, replay must not skip it"
+             lsn)
+    | Out_of_space { needed; capacity; retained } ->
+        Some
+          (Printf.sprintf
+             "Wal.Out_of_space: appending %d bytes would exceed the WAL \
+              capacity of %d bytes (%d retained); checkpoint and truncate, \
+              or enter read-only degraded mode"
+             needed capacity retained)
+    | Hold_too_late { name; truncated_below } ->
+        Some
+          (Printf.sprintf
+             "Wal.Hold_too_late: cannot register hold %S — the log is \
+              already truncated below lsn %d; attach followers before the \
+              first checkpoint recycling"
+             name truncated_below)
+    | Lsn_gap { expected; got } ->
+        Some
+          (Printf.sprintf
+             "Wal.Lsn_gap: install received lsn %d but the next expected \
+              lsn is %d — shipped records must arrive densely in order"
+             got expected)
+    | _ -> None)
 
 let record_header_bytes = 24 (* lsn + xid + rel + kind + length + crc, on disk *)
 
@@ -91,6 +126,11 @@ type t = {
      recycling cannot discard records they have not acknowledged yet.
      Registration order, small (one per standby). *)
   mutable holds : hold list;
+  (* Finite log-file capacity: bytes of retained records may not exceed
+     it. [None] = unbounded (the default; capacity machinery stays cold
+     so default-seed runs are untouched). *)
+  capacity_bytes : int option;
+  mutable retained_bytes : int;
 }
 
 and hold = {
@@ -99,7 +139,7 @@ and hold = {
   mutable h_released : bool;
 }
 
-let create ?device ?faults ?bus ~clock () =
+let create ?device ?faults ?bus ?capacity_bytes ~clock () =
   {
     device;
     faults;
@@ -116,19 +156,32 @@ let create ?device ?faults ?bus ~clock () =
     flush_count = 0;
     tear = None;
     holds = [];
+    capacity_bytes;
+    retained_bytes = 0;
   }
 
 let obs t =
   match t.bus with Some b when Bus.active b -> Some b | _ -> None
 
 let append t ~xid ~rel ~kind ~payload =
+  Crashpoint.reach "wal.append.pre";
+  let bytes = record_header_bytes + Bytes.length payload in
+  (* Checkpoint records are exempt: they model the reserved emergency
+     region every real log keeps so that the record which frees space can
+     always be written, even when the log is nominally full. *)
+  (match t.capacity_bytes with
+  | Some cap when kind <> Checkpoint && t.retained_bytes + bytes > cap ->
+      raise
+        (Out_of_space { needed = bytes; capacity = cap; retained = t.retained_bytes })
+  | _ -> ());
   let lsn = t.next_lsn in
   t.next_lsn <- lsn + 1;
   let crc = record_crc ~lsn ~xid ~rel ~kind ~payload in
   let r = { lsn; xid; rel; kind; payload; crc } in
   t.records <- r :: t.records;
   t.batch <- r :: t.batch;
-  t.pending_bytes <- t.pending_bytes + record_header_bytes + Bytes.length payload;
+  t.retained_bytes <- t.retained_bytes + bytes;
+  t.pending_bytes <- t.pending_bytes + bytes;
   (match obs t with
   | Some b ->
       Bus.publish b
@@ -170,6 +223,7 @@ let flush_slice t ~sync ~advance ~at ~lsn =
   match slice_newest with
   | [] -> at
   | top :: _ ->
+      Crashpoint.reach "wal.flush.pre";
       let slice = List.rev slice_newest in
       let bytes = List.fold_left (fun a r -> a + record_bytes r) 0 slice in
       let sector0 = t.write_sector in
@@ -185,6 +239,7 @@ let flush_slice t ~sync ~advance ~at ~lsn =
             if advance && sync then Simclock.advance_to t.clock c;
             c
       in
+      if sync then Crashpoint.reach "wal.fsync.pre";
       (match obs t with
       | Some b ->
           Bus.publish b (Bus.Wal_flush { sync; bytes });
@@ -215,6 +270,7 @@ let flush_slice t ~sync ~advance ~at ~lsn =
       t.pending_bytes <- t.pending_bytes - bytes;
       if top.lsn > t.flushed_lsn then t.flushed_lsn <- top.lsn;
       t.flush_count <- t.flush_count + 1;
+      Crashpoint.reach (if sync then "wal.fsync.post" else "wal.flush.post");
       completion
 
 let flush t ~sync =
@@ -260,11 +316,7 @@ let live_holds t =
 
 let register_hold t ~name =
   if t.truncated_below > 1 then
-    invalid_arg
-      (Printf.sprintf
-         "Wal.register_hold %S: log already truncated below lsn %d; attach \
-          followers before the first checkpoint recycling"
-         name t.truncated_below);
+    raise (Hold_too_late { name; truncated_below = t.truncated_below });
   let h = { h_name = name; h_lsn = t.truncated_below; h_released = false } in
   t.holds <- t.holds @ [ h ];
   h
@@ -280,14 +332,20 @@ let min_hold t =
   | hs -> Some (List.fold_left (fun acc h -> Stdlib.min acc h.h_lsn) max_int hs)
 
 let install t r =
+  Crashpoint.reach "wal.install.pre";
   if not (verify r) then raise (Corrupt_wal r.lsn);
   if r.lsn <> t.next_lsn then
-    invalid_arg
-      (Printf.sprintf "Wal.install: record lsn %d, expected next lsn %d" r.lsn
-         t.next_lsn);
+    raise (Lsn_gap { expected = t.next_lsn; got = r.lsn });
+  (match t.capacity_bytes with
+  | Some cap when t.retained_bytes + record_bytes r > cap ->
+      raise
+        (Out_of_space
+           { needed = record_bytes r; capacity = cap; retained = t.retained_bytes })
+  | _ -> ());
   t.next_lsn <- r.lsn + 1;
   t.records <- r :: t.records;
   t.batch <- r :: t.batch;
+  t.retained_bytes <- t.retained_bytes + record_bytes r;
   t.pending_bytes <- t.pending_bytes + record_bytes r;
   match obs t with
   | Some b ->
@@ -296,10 +354,17 @@ let install t r =
   | None -> ()
 
 let truncate_before t ~lsn =
+  Crashpoint.reach "wal.truncate.pre";
   (* never recycle past a registered retention hold *)
   let lsn =
     match min_hold t with None -> lsn | Some held -> Stdlib.min lsn held
   in
+  let dropped =
+    List.fold_left
+      (fun a r -> if r.lsn < lsn then a + record_bytes r else a)
+      0 t.records
+  in
+  t.retained_bytes <- t.retained_bytes - dropped;
   t.records <- List.filter (fun r -> r.lsn >= lsn) t.records;
   (match List.filter (fun r -> r.lsn < lsn) t.batch with
   | [] -> ()
@@ -328,7 +393,8 @@ let crash t =
           t.records);
   t.batch <- [];
   t.pending_bytes <- 0;
-  t.tear <- None
+  t.tear <- None;
+  t.retained_bytes <- List.fold_left (fun a r -> a + record_bytes r) 0 t.records
 
 let corrupt t ~lsn =
   t.records <-
@@ -338,3 +404,5 @@ let corrupt t ~lsn =
 
 let bytes_written t = t.bytes_written
 let flush_count t = t.flush_count
+let capacity_bytes t = t.capacity_bytes
+let retained_bytes t = t.retained_bytes

@@ -44,18 +44,35 @@ exception Corrupt_wal of int
 (** LSN of an invalid record found {e before} valid ones — mid-log
     corruption that replay must never skip silently. *)
 
+exception Out_of_space of { needed : int; capacity : int; retained : int }
+(** Appending [needed] more bytes would push the retained log past its
+    configured [capacity]. Raised before the record is buffered: the log
+    is unchanged, so the caller can checkpoint + {!truncate_before} and
+    retry, or degrade to read-only. *)
+
+exception Hold_too_late of { name : string; truncated_below : int }
+(** {!register_hold} after the log was already truncated: a follower
+    attached that late could never replay from scratch. *)
+
+exception Lsn_gap of { expected : int; got : int }
+(** {!install} received a record out of order; shipped records must
+    arrive densely at exactly [next_lsn]. *)
+
 type t
 
 val create :
   ?device:Flashsim.Device.t ->
   ?faults:Flashsim.Faultdev.t ->
   ?bus:Sias_obs.Bus.t ->
+  ?capacity_bytes:int ->
   clock:Sias_util.Simclock.t ->
   unit ->
   t
 (** Without a device the log is purely in-memory (no latency charged).
     With [faults], async flushes may be torn if a crash follows before
-    the next sync flush; sync flushes (commit) are always durable. *)
+    the next sync flush; sync flushes (commit) are always durable.
+    [capacity_bytes] bounds the retained log: appends that would exceed
+    it raise {!Out_of_space} (default: unbounded). *)
 
 val append : t -> xid:int -> rel:int -> kind:kind -> payload:bytes -> int
 (** Buffer a record (checksummed at append); returns its LSN. No I/O
@@ -130,10 +147,10 @@ type hold
 
 val register_hold : t -> name:string -> hold
 (** Pin everything the log currently retains (from {!oldest_retained}).
-    Raises [Invalid_argument] if the log was already truncated past its
-    first LSN and the caller asked to hold from the beginning — a
-    follower attached that late would never be able to replay from
-    scratch; attach holds before the first checkpoint truncation. *)
+    Raises {!Hold_too_late} if the log was already truncated past its
+    first LSN — a follower attached that late would never be able to
+    replay from scratch; attach holds before the first checkpoint
+    truncation. *)
 
 val advance_hold : t -> hold -> lsn:int -> unit
 (** Records below [lsn] are no longer needed by this holder. Holds only
@@ -155,9 +172,8 @@ val install : t -> record -> unit
     the standby's log is byte-equal to the shipped prefix and the same
     recovery scan ({!verified_from}) applies. The record must verify and
     must be exactly the next LSN ([next_lsn]); raises [Corrupt_wal] on a
-    failed checksum and [Invalid_argument] on an LSN gap. The installed
-    record joins the pending batch; flush it like any locally appended
-    one. *)
+    failed checksum and {!Lsn_gap} on an LSN gap. The installed record
+    joins the pending batch; flush it like any locally appended one. *)
 
 val oldest_retained : t -> int
 (** Lowest LSN the log still retains (1 if never truncated): replay from
@@ -176,3 +192,10 @@ val corrupt : t -> lsn:int -> unit
 
 val bytes_written : t -> int
 val flush_count : t -> int
+
+val capacity_bytes : t -> int option
+(** The configured bound, if any. *)
+
+val retained_bytes : t -> int
+(** On-disk bytes of all currently retained records — what the capacity
+    bound is charged against. Falls on {!truncate_before}. *)

@@ -122,8 +122,7 @@ module Make (E : Engine.S) = struct
       let in_flight = E.begin_txn eng in
       ignore (E.insert eng in_flight table (row 999 999));
       (* CRASH: torn page writes manifest, unflushed WAL records vanish *)
-      Bufpool.crash db.Db.pool;
-      Wal.crash db.Db.wal;
+      Db.crash db;
       E.recover eng;
       (* committed state must match the model exactly *)
       let txn = E.begin_txn eng in

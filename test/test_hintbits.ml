@@ -287,8 +287,7 @@ let test_no_committed_hint_survives_crash () =
      record) is then lost in the crash *)
   let nblocks = Heapfile.nblocks heap in
   Bufpool.flush_all db.Db.pool ~sync:true;
-  Bufpool.crash db.Db.pool;
-  Wal.crash db.Db.wal;
+  Db.crash db;
   (* after the crash nothing remembers xid as committed; a durable
      committed hint would resurrect the lost transaction *)
   let heap' = Heapfile.restore db.Db.pool ~rel ~placement:Heapfile.Free_space_first ~nblocks in

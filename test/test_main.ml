@@ -30,4 +30,5 @@ let () =
       ("repl-failover", Test_repl.suite);
       ("ssi", Test_ssi.suite);
       ("obs", Test_obs.suite);
+      ("chaos", Test_chaos.suite);
     ]

@@ -166,8 +166,7 @@ module Make (E : Engine.S) = struct
            = max 0 (Wal.flushed_lsn db.Db.wal - st.Repl.installed_lsn)
       in
       (* CRASH the primary; recover it as the comparison baseline *)
-      Bufpool.crash db.Db.pool;
-      Wal.crash db.Db.wal;
+      Db.crash db;
       E.recover eng;
       let primary_dump = dump eng table in
       (* FAILOVER *)

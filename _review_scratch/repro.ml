@@ -1,0 +1,57 @@
+(* Reviewer repro: capacity-bounded WAL, crash after k ops, recover.
+   Looking for Redo_divergence caused by a mid-op emergency reclamation
+   flushing a modified-but-not-yet-logged page (stale page LSN). *)
+
+module Db = Mvcc.Db
+module Engine = Mvcc.Engine
+module Value = Mvcc.Value
+
+module Make (E : Engine.S) = struct
+  let run_k k =
+    let db = Db.create ~buffer_pages:128 ~wal_capacity_bytes:20_000 () in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    (try
+       for n = 1 to k do
+         let key = 1 + (n mod 40) in
+         let txn = E.begin_txn eng in
+         match E.insert eng txn table [| Value.Int key; Value.Int n |] with
+         | Ok () -> E.commit eng txn
+         | Error _ -> (
+             E.abort eng txn;
+             let txn = E.begin_txn eng in
+             match
+               E.update eng txn table ~pk:key (fun r ->
+                   let r = Array.copy r in
+                   r.(1) <- Value.Int n;
+                   r)
+             with
+             | Ok () -> E.commit eng txn
+             | Error _ -> E.abort eng txn)
+       done
+     with Db.Read_only _ -> ());
+    Db.crash db;
+    try
+      E.recover eng;
+      None
+    with e -> Some (Printexc.to_string e)
+
+  let sweep name =
+    let bad = ref 0 in
+    for k = 1 to 300 do
+      match run_k k with
+      | None -> ()
+      | Some msg ->
+          incr bad;
+          if !bad <= 5 then Printf.printf "%s k=%d: RECOVERY FAILED: %s\n" name k msg
+    done;
+    Printf.printf "%s: %d/300 crash points failed recovery\n%!" name !bad
+end
+
+let () =
+  List.iter
+    (fun name ->
+      let _, (module E : Engine.S) = Engine.resolve_exn name in
+      let module M = Make (E) in
+      M.sweep name)
+    [ "si"; "sias-v" ]

@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench micro determinism demo contention obs groupcommit repl chaos clean
+.PHONY: all build test check bench micro determinism demo contention obs groupcommit repl isolation chaos clean
 
 all: build
 
@@ -82,6 +82,18 @@ repl:
 	  --repl remote-flush --repl-link lossy
 	dune exec bench/main.exe -- repl --bench-out _obs/BENCH_repl.json \
 	  | tee _obs/repl.txt
+
+# Isolation smoke: the si/ssi/wsi ablation across all four engines (the
+# bench exits non-zero unless si shows write-skew anomalies and the
+# serializable levels show none), the write-skew example, and a chaos
+# run at --isolation ssi (volatile SIREAD/abort state must not survive a
+# crash). BENCH_isolation.json records the per-engine overhead delta.
+isolation:
+	mkdir -p _obs
+	dune exec bench/main.exe -- isolation --bench-out _obs/BENCH_isolation.json \
+	  | tee _obs/isolation.txt
+	dune exec examples/serializable.exe
+	dune exec bin/sias_cli.exe -- chaos --isolation ssi
 
 # Crash-schedule smoke: every engine x commit mode, a budgeted sample of
 # deterministic crash schedules (including crashes during recovery and

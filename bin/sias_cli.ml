@@ -24,6 +24,18 @@ let engine_conv =
   let print fmt e = Format.pp_print_string fmt (engine_name e) in
   Arg.conv (parse, print)
 
+let isolation_conv =
+  let parse s =
+    match Mvcc.Isolation.of_string s with
+    | Some l -> Ok (Mvcc.Isolation.to_string l)
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown isolation level %S; known levels: %s" s
+               (Mvcc.Isolation.known_keys_hint ())))
+  in
+  Arg.conv (parse, Format.pp_print_string)
+
 let device_conv =
   let parse = function
     | "ssd" -> Ok Ssd_single
@@ -49,6 +61,15 @@ let engine_arg =
 
 let device_arg =
   Arg.(value & opt device_conv Ssd_single & info [ "device" ] ~doc:"ssd, ssd:<blocks>, hdd, raid2, raid6.")
+
+let isolation_arg =
+  Arg.(
+    value
+    & opt isolation_conv "si"
+    & info [ "isolation" ]
+        ~doc:
+          "Isolation level: si (default), ssi (serializable) or wsi \
+           (write-snapshot).")
 
 let warehouses_arg =
   Arg.(value & opt int 20 & info [ "w"; "warehouses" ] ~doc:"TPC-C warehouses.")
@@ -252,12 +273,13 @@ let wal_device_arg =
            raid2, raid6) so commit fsyncs cost simulated time; default \
            in-memory sink.")
 
-let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div seed
+let mk_setup engine isolation device warehouses duration_s buffer_pages flush gc scale_div seed
     fault_seed fault_profile policy retries max_inflight check_si terminals
     metrics_out trace_out stats_interval_s sync_commit commit_delay wal_device
     repl_mode repl_link repl_seed keep =
   {
     (default_setup ~engine ~warehouses) with
+    isolation;
     device;
     duration_s;
     buffer_pages;
@@ -269,7 +291,9 @@ let mk_setup engine device warehouses duration_s buffer_pages flush gc scale_div
     fault_profile;
     contention = { C.default_settings with C.policy; max_inflight };
     retries;
-    check_si;
+    (* serializable levels always run under the online checker: the whole
+       point of ssi/wsi is a certifiable absence of cycles *)
+    check_si = (check_si || isolation <> "si");
     terminals_per_warehouse = terminals;
     metrics_out;
     trace_out;
@@ -309,19 +333,25 @@ let report_contention o =
   | None -> ()
   | Some c ->
       Format.printf "%s@." (Mvcc.Sichecker.report c);
+      (* under a serializable level the checker's cycle detector is an
+         additional oracle: any surviving cycle is a bug *)
+      if o.setup.isolation <> "si" then begin
+        Format.printf "%s@." (Mvcc.Sichecker.serializability_report c);
+        if Mvcc.Sichecker.cycle_count c > 0 then exit 1
+      end;
       if Mvcc.Sichecker.violation_count c > 0 then exit 1
 
 let run_cmd =
-  let run engine device warehouses duration buffer flush gc scale seed fault_seed
-      fault_profile policy retries max_inflight check_si terminals metrics_out
-      trace_out stats_interval sync_commit commit_delay wal_device repl repl_link
-      repl_seed =
+  let run engine isolation device warehouses duration buffer flush gc scale seed
+      fault_seed fault_profile policy retries max_inflight check_si terminals
+      metrics_out trace_out stats_interval sync_commit commit_delay wal_device
+      repl repl_link repl_seed =
     let o =
       run_tpcc
-        (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
-           fault_profile policy retries max_inflight check_si terminals metrics_out
-           trace_out stats_interval sync_commit commit_delay wal_device repl
-           repl_link repl_seed false)
+        (mk_setup engine isolation device warehouses duration buffer flush gc scale
+           seed fault_seed fault_profile policy retries max_inflight check_si
+           terminals metrics_out trace_out stats_interval sync_commit commit_delay
+           wal_device repl repl_link repl_seed false)
     in
     Format.printf "%a@.@." pp_output_summary o;
     Format.printf "%a@." W.pp_result o.result;
@@ -351,7 +381,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a TPC-C benchmark and report throughput, latency and I/O.")
     Term.(
-      const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
+      const run $ engine_arg $ isolation_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
@@ -361,16 +391,16 @@ let trace_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the trace to $(docv).")
   in
-  let run engine device warehouses duration buffer flush gc scale seed fault_seed
-      fault_profile policy retries max_inflight check_si terminals metrics_out
-      trace_out stats_interval sync_commit commit_delay wal_device repl repl_link
-      repl_seed csv =
+  let run engine isolation device warehouses duration buffer flush gc scale seed
+      fault_seed fault_profile policy retries max_inflight check_si terminals
+      metrics_out trace_out stats_interval sync_commit commit_delay wal_device
+      repl repl_link repl_seed csv =
     let o =
       run_tpcc
-        (mk_setup engine device warehouses duration buffer flush gc scale seed fault_seed
-           fault_profile policy retries max_inflight check_si terminals metrics_out
-           trace_out stats_interval sync_commit commit_delay wal_device repl
-           repl_link repl_seed true)
+        (mk_setup engine isolation device warehouses duration buffer flush gc scale
+           seed fault_seed fault_profile policy retries max_inflight check_si
+           terminals metrics_out trace_out stats_interval sync_commit commit_delay
+           wal_device repl repl_link repl_seed true)
     in
     print_endline (B.render_scatter o.trace);
     Format.printf "reads %d (%.1f MB) | writes %d (%.1f MB)@." (B.read_count o.trace)
@@ -390,7 +420,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a workload and render its block trace (paper Figures 3/4).")
     Term.(
-      const run $ engine_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
+      const run $ engine_arg $ isolation_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
@@ -440,7 +470,7 @@ let chaos_cmd =
       & info [ "oos" ] ~docv:"BOOL"
           ~doc:"Also run the out-of-space reclamation/degradation scenarios.")
   in
-  let run engines modes standby budget full oos =
+  let run engines isolation modes standby budget full oos =
     let failures = ref 0 in
     let mode_of = function
       | "sync" -> Commitpipe.Sync
@@ -477,13 +507,13 @@ let chaos_cmd =
             report
               (Printf.sprintf "%s/%s" e m)
               (Chaosrun.explore ~cfg:(cfg ())
-                 (Chaosrun.config ~commit_mode:(mode_of m) e)))
+                 (Chaosrun.config ~isolation ~commit_mode:(mode_of m) e)))
           modes;
         if standby then
           report (e ^ "/standby")
             (Chaosrun.explore
                ~cfg:(cfg ~depth2:false ())
-               (Chaosrun.config ~standby:true e)))
+               (Chaosrun.config ~isolation ~standby:true e)))
       engines;
     if oos then
       List.iter
@@ -522,8 +552,8 @@ let chaos_cmd =
           degradation scenarios; non-zero exit if any schedule fails to \
           recover to the model prefix.")
     Term.(
-      const run $ engines_arg $ modes_arg $ standby_arg $ budget_arg $ full_arg
-      $ oos_arg)
+      const run $ engines_arg $ isolation_arg $ modes_arg $ standby_arg
+      $ budget_arg $ full_arg $ oos_arg)
 
 let () =
   let info = Cmd.info "sias_cli" ~doc:"SIAS: snapshot-isolation append storage workbench." in

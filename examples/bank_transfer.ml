@@ -29,7 +29,7 @@ let () =
     E.insert eng txn accounts [| Value.Int id; Value.Int initial_balance |]
     |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   let rng = Rng.create 2024 in
   let committed = ref 0 and conflicts = ref 0 in
@@ -66,7 +66,7 @@ let () =
     in
     match outcome with
     | `Commit ->
-        E.commit eng txn;
+        E.commit eng txn |> Result.get_ok;
         incr committed
     | `Conflict ->
         E.abort eng txn;
@@ -79,13 +79,13 @@ let () =
   let _ = E.scan eng auditor accounts (fun r -> audit_total := !audit_total + balance_of r) in
   Format.printf "auditor (old snapshot) total: %d (expected %d)@." !audit_total
     (n_accounts * initial_balance);
-  E.commit eng auditor;
+  E.commit eng auditor |> Result.get_ok;
 
   (* a fresh snapshot must conserve money too *)
   let txn = E.begin_txn eng in
   let total = ref 0 in
   let n = E.scan eng txn accounts (fun r -> total := !total + balance_of r) in
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   Format.printf "after %d transfers (%d conflicts): %d accounts, total %d (conserved: %b)@."
     !committed !conflicts n !total
     (!total = n_accounts * initial_balance);

@@ -48,7 +48,7 @@ let () =
   for id = 1 to 100 do
     E.insert peng txn accounts [| Value.Int id; Value.Int 1000 |] |> Result.get_ok
   done;
-  E.commit peng txn;
+  E.commit peng txn |> Result.get_ok;
   settle ();
   Format.printf "loaded 100 accounts; standby installed-lsn=%d lag=%d records@."
     (Repl.installed_lsn repl)
@@ -60,7 +60,7 @@ let () =
   let txn = E.begin_txn seng in
   let n = ref 0 in
   let _ = E.scan seng txn s_accounts (fun _ -> incr n) in
-  E.commit seng txn;
+  E.commit seng txn |> Result.get_ok;
   Format.printf "hot-standby scan sees %d accounts@." !n;
 
   (* act two: the link partitions, and the primary keeps committing *)
@@ -74,7 +74,7 @@ let () =
         r)
     |> Result.get_ok
   done;
-  E.commit peng txn;
+  E.commit peng txn |> Result.get_ok;
   settle ();
   let s = Repl.stats repl in
   Format.printf "standby now lags %d records (link dropped %d messages)@."
@@ -97,7 +97,7 @@ let () =
         incr n;
         total := !total + Value.int r.(1))
   in
-  E.commit seng txn;
+  E.commit seng txn |> Result.get_ok;
   Format.printf "promoted state: %d accounts, total balance %d (expected %d)@."
     !n !total (100 * 1000);
   if !n <> 100 || !total <> 100 * 1000 then begin
@@ -108,12 +108,12 @@ let () =
   (* the new primary accepts writes *)
   let txn = E.begin_txn seng in
   E.insert seng txn s_accounts [| Value.Int 999; Value.Int 42 |] |> Result.get_ok;
-  E.commit seng txn;
+  E.commit seng txn |> Result.get_ok;
   let txn = E.begin_txn seng in
   (match E.read seng txn s_accounts ~pk:999 with
   | Some r -> Format.printf "new primary accepts writes (row 999 -> %d)@." (Value.int r.(1))
   | None ->
       Format.printf "ERROR: write on the promoted standby vanished!@.";
       exit 1);
-  E.commit seng txn;
+  E.commit seng txn |> Result.get_ok;
   Format.printf "failover complete@."

@@ -23,7 +23,7 @@ let () =
       E.insert eng txn products [| Value.Int id; Value.Int price; Value.Str name |]
       |> Result.get_ok)
     [ (1, 999, "laptop"); (2, 49, "keyboard"); (3, 49, "mouse"); (4, 299, "monitor") ];
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   (* update: creates a new tuple version, appended — the old one is never
      touched (no in-place invalidation) *)
@@ -33,7 +33,7 @@ let () =
       row.(1) <- Value.Int 899;
       row)
   |> Result.get_ok;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   (* point read, index lookup, range scan *)
   let txn = E.begin_txn eng in
@@ -44,7 +44,7 @@ let () =
   Format.printf "%d products cost 49@." (List.length cheap);
   let all = E.range_pk eng txn products ~lo:1 ~hi:10 in
   Format.printf "range scan sees %d products@." (List.length all);
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   (* what reached the device? *)
   Sias_storage.Bufpool.flush_all db.Db.pool ~sync:false;

@@ -26,7 +26,7 @@ let clean_crash () =
   for id = 1 to 100 do
     E.insert eng txn accounts [| Value.Int id; Value.Int 1000 |] |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   (* checkpoint part of the state... *)
   Bufpool.flush_all db.Db.pool ~sync:false;
@@ -41,7 +41,7 @@ let clean_crash () =
         r)
     |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   (* and one transaction that never commits *)
   let doomed = E.begin_txn eng in
@@ -62,7 +62,7 @@ let clean_crash () =
   (match E.read eng txn accounts ~pk:999 with
   | None -> Format.printf "uncommitted insert correctly rolled back@."
   | Some _ -> Format.printf "ERROR: phantom uncommitted row!@.");
-  E.commit eng txn
+  E.commit eng txn |> Result.get_ok
 
 let torn_page_crash () =
   Format.printf "@.-- torn-page crash: every in-flight write tears --@.";
@@ -86,7 +86,7 @@ let torn_page_crash () =
   for id = 1 to 100 do
     E.insert eng txn accounts [| Value.Int id; Value.Int 1000 |] |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   Bufpool.flush_all db.Db.pool ~sync:false;
 
   (* more committed work, then a flush that is in flight when the machine
@@ -99,7 +99,7 @@ let torn_page_crash () =
         r)
     |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   Bufpool.flush_all db.Db.pool ~sync:false;
 
   Format.printf "CRASH mid-flush@.";
@@ -113,7 +113,7 @@ let torn_page_crash () =
         incr n;
         total := !total + Value.int r.(1))
   in
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   Format.printf "recovered: %d accounts, total balance %d (expected %d)@." !n !total
     ((50 * 2000) + (50 * 1000));
   let s = Bufpool.stats db.Db.pool in

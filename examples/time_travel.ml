@@ -18,7 +18,7 @@ let () =
 
   let txn = E.begin_txn eng in
   E.insert eng txn counters [| Value.Int 1; Value.Int 0 |] |> Result.get_ok;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
 
   (* take a snapshot after every increment *)
   let snapshots = ref [] in
@@ -31,7 +31,7 @@ let () =
         r.(1) <- Value.Int i;
         r)
     |> Result.get_ok;
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
   done;
 
   (* every snapshot still sees exactly the value from its epoch *)
@@ -50,7 +50,7 @@ let () =
     stats.Mvcc.Engine.total_versions;
 
   (* close snapshots oldest-last, GC as the horizon advances *)
-  List.iter (fun (_, reader) -> E.commit eng reader) !snapshots;
+  List.iter (fun (_, reader) -> E.commit eng reader |> Result.get_ok) !snapshots;
   E.gc eng;
   let stats = E.table_stats eng counters in
   Format.printf "snapshots closed, after GC: %d version(s) remain@."

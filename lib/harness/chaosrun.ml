@@ -29,15 +29,16 @@ let () =
 
 type config = {
   engine : string;
+  isolation : string;
   commit_mode : Commitpipe.mode;
   standby : bool;
   ops : int;
   seed : int;
 }
 
-let config ?(commit_mode = Commitpipe.Sync) ?(standby = false) ?(ops = 60)
-    ?(seed = 11) engine =
-  { engine; commit_mode; standby; ops; seed }
+let config ?(isolation = "si") ?(commit_mode = Commitpipe.Sync)
+    ?(standby = false) ?(ops = 60) ?(seed = 11) engine =
+  { engine; isolation; commit_mode; standby; ops; seed }
 
 (* Deterministic op stream: a plain LCG, so every replay of the same
    config reaches every crash point the census saw, in the same order. *)
@@ -78,7 +79,11 @@ module Make (E : Engine.S) = struct
      so setup-time WAL traffic can never eat an armed crash point meant
      for the workload. *)
   let build cfg =
-    let db = Db.create ~buffer_pages:128 ~commit_mode:cfg.commit_mode () in
+    let db =
+      Db.create ~buffer_pages:128 ~commit_mode:cfg.commit_mode
+        ~isolation:(Mvcc.Isolation.of_string_exn cfg.isolation)
+        ()
+    in
     let eng = E.create db in
     let table = E.create_table eng ~name:"t" ~pk_col:0 () in
     let standby =
@@ -110,6 +115,17 @@ module Make (E : Engine.S) = struct
 
   let row k v = [| Value.Int k; Value.Int v |]
 
+  (* The workload is serial, so even under SSI/WSI no commit may ever be
+     refused — a serialization failure here is a divergence, not an
+     outcome to absorb. *)
+  let commit_ok eng txn =
+    match E.commit eng txn with
+    | Ok () -> ()
+    | Error e ->
+        raise
+          (Divergence
+             ("serial workload commit refused: " ^ Engine.error_to_string e))
+
   (* Commit [txn] with the model transition staged in [maybe] first: if
      the crash lands inside the commit, verification still knows this
      transaction MAY be durable (its commit record might have reached the
@@ -123,7 +139,7 @@ module Make (E : Engine.S) = struct
           c_after_lsn = max_int;
           c_writes = writes;
         };
-    E.commit i.eng txn;
+    commit_ok i.eng txn;
     (match i.maybe with
     | Some c ->
         i.cands <-
@@ -237,7 +253,7 @@ module Make (E : Engine.S) = struct
     in
     let stray = E.read eng txn table ~pk:stray_pk in
     let visible = E.scan eng txn table (fun _ -> ()) in
-    E.commit eng txn;
+    commit_ok eng txn;
     (rows, stray = None, visible)
 
   let fail fmt = Printf.ksprintf (fun msg -> raise (Divergence msg)) fmt
@@ -406,8 +422,9 @@ let oos_run ?(hold = false) ?(ops = 400) ~engine ~wal_capacity_bytes () =
     match body txn with
     | Ok () -> (
         try
-          E.commit eng txn;
-          `Committed
+          match E.commit eng txn with
+          | Ok () -> `Committed
+          | Error _ -> `Conflict
         with Db.Read_only _ -> `Read_only)
     | Error _ ->
         E.abort eng txn;
@@ -459,7 +476,7 @@ let oos_run ?(hold = false) ?(ops = 400) ~engine ~wal_capacity_bytes () =
       | _ -> consistent := false)
     model;
   let visible = E.scan eng txn table (fun _ -> ()) in
-  E.commit eng txn;
+  ignore (E.commit eng txn);
   if visible <> Hashtbl.length model then consistent := false;
   {
     attempted = !attempted;

@@ -23,6 +23,7 @@ exception Divergence of string
 
 type config = {
   engine : string;  (** registry key: "si", "si-cv", "sias", "sias-v" *)
+  isolation : string;  (** isolation key: "si", "ssi", "wsi" *)
   commit_mode : Sias_wal.Commitpipe.mode;
   standby : bool;  (** crash the primary, fail over to a hot standby *)
   ops : int;  (** workload length (committed txns, ticks, reads) *)
@@ -30,13 +31,18 @@ type config = {
 }
 
 val config :
+  ?isolation:string ->
   ?commit_mode:Sias_wal.Commitpipe.mode ->
   ?standby:bool ->
   ?ops:int ->
   ?seed:int ->
   string ->
   config
-(** Defaults: sync commit, no standby, 60 ops, seed 11. *)
+(** Defaults: isolation "si", sync commit, no standby, 60 ops, seed 11.
+    The workload is serial, so the schedule census is identical at every
+    isolation level; what an SSI/WSI run adds is the check that the
+    volatile SIREAD/conflict state never leaks across {!Mvcc.Db.crash} —
+    a commit refused after recovery raises {!Divergence}. *)
 
 val session : config -> Sias_chaos.Explorer.session
 (** A fresh database/engine/workload instance. The database is built

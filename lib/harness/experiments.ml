@@ -20,6 +20,7 @@ type flush = T1 | T2
 
 type setup = {
   engine : string;
+  isolation : string;
   device : device_kind;
   flush : flush;
   buffer_pages : int;
@@ -57,6 +58,7 @@ let commit_override : (bool * float) option ref = ref None
 let default_setup ~engine ~warehouses =
   {
     engine;
+    isolation = "si";
     device = Ssd_single;
     flush = T2;
     buffer_pages = 2048;
@@ -134,6 +136,14 @@ let engine_module key : (module Mvcc.Engine.S) =
       invalid_arg
         (Printf.sprintf "unknown engine %S; known engines: %s" key
            (Mvcc.Engine.known_keys_hint ()))
+
+let isolation_level key : Mvcc.Isolation.level =
+  match Mvcc.Isolation.of_string key with
+  | Some l -> l
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown isolation level %S; known levels: %s" key
+           (Mvcc.Isolation.known_keys_hint ()))
 
 (* Periodic progress line on stderr, driven by simulated time: every
    event is a chance to notice the sim clock crossed the next tick. *)
@@ -216,7 +226,9 @@ let run_tpcc setup =
       ?append_seal_interval:(match setup.flush with T1 -> Some 0.2 | T2 -> None)
       ~os_cache_interval:30.0 ~os_cache_pages:(setup.buffer_pages / 4)
       ~vidmap_paged:setup.vidmap_paged ~contention:setup.contention
-      ~commit_mode ()
+      ~commit_mode
+      ~isolation:(isolation_level setup.isolation)
+      ()
   in
   let checker = if setup.check_si then Some (Mvcc.Sichecker.attach bus) else None in
   let want_metrics =

@@ -22,6 +22,10 @@ type flush =
 
 type setup = {
   engine : string;  (** registry key or alias, e.g. "sias-v" *)
+  isolation : string;
+      (** isolation key or alias, e.g. "ssi"; default "si". The standby
+          (replication) database always runs plain SI — it only installs
+          shipped WAL and never executes transactions of its own. *)
   device : device_kind;
   flush : flush;
   buffer_pages : int;

@@ -32,9 +32,12 @@ type t = {
   wrote : (int, unit) Hashtbl.t;
   mutable degraded : string option;
   mutable last_reclaim_lsn : int;
+  isolation : Isolation.level;
+  ssi : Ssimgr.t option;
 }
 
 exception Read_only of { reason : string }
+exception Serialization_failure of { xid : int; reason : string }
 
 let () =
   Printexc.register_printer (function
@@ -44,6 +47,12 @@ let () =
              "Db.Read_only: the database is in read-only degraded mode (%s); \
               only read-only transactions are accepted until restart"
              reason)
+    | Serialization_failure { xid; reason } ->
+        Some
+          (Printf.sprintf
+             "Db.Serialization_failure: transaction %d was aborted to \
+              preserve serializability (%s); retry it"
+             xid reason)
     | _ -> None)
 
 module Event = struct
@@ -57,7 +66,7 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
     ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults
     ?(contention = Contention.default_settings) ?(commit_mode = Commitpipe.Sync)
-    ?wal_capacity_bytes () =
+    ?wal_capacity_bytes ?(isolation = `Si) () =
   let clock = Simclock.create () in
   let bus = match bus with Some b -> b | None -> Bus.create () in
   let device =
@@ -83,6 +92,15 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
   (* Hint-bit durability gate: a committed hint may persist only once the
      commit record is flushed (matters under group/async commit). *)
   Txn.set_flushed_probe txnmgr (fun () -> Wal.flushed_lsn wal);
+  let ssi =
+    match isolation with
+    | `Si -> None
+    | `Ssi | `Wsi ->
+        let mode = if isolation = `Ssi then Ssimgr.Ssi else Ssimgr.Wsi in
+        Some
+          (Ssimgr.create ~mode ~txnmgr ~bus
+             ~charge:(fun n -> Simclock.advance clock (float_of_int n *. cpu_op_s)))
+  in
   {
     clock;
     device;
@@ -105,6 +123,8 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     wrote = Hashtbl.create 64;
     degraded = None;
     last_reclaim_lsn = -1;
+    isolation;
+    ssi;
   }
 
 let alloc_rel t =
@@ -118,13 +138,46 @@ let bus t = t.bus
 let observed t = Bus.active t.bus
 let emit t e = Bus.publish t.bus e
 
-let begin_txn t =
+let begin_txn ?(read_only = false) ?(deferrable = false) t =
   let txn = Txn.begin_txn ~now:(now t) t.txnmgr in
+  (match t.ssi with
+  | Some s -> Ssimgr.on_begin s txn ~read_only ~deferrable
+  | None -> ());
   if observed t then begin
     emit t (Bus.Txn_begin { xid = txn.Txn.xid });
     emit t (Event.Txn_snapshot { xid = txn.Txn.xid; snapshot = txn.Txn.snapshot })
   end;
   txn
+
+(* ---------------- isolation hooks ----------------
+
+   All four engines call these from their read/write/scan paths; under
+   the default [`Si] level each is a single branch on [t.ssi]. The
+   engines additionally cache [ssi_tracking] at creation so their hot
+   loops pay one local-bool branch, keeping SI runs byte-identical. *)
+
+let isolation t = t.isolation
+let ssi_tracking t = t.ssi <> None
+
+let note_read t ~xid ~rel ~pk ~probe_writes =
+  match t.ssi with
+  | Some s -> Ssimgr.note_read s ~xid ~rel ~pk ~probe_writes
+  | None -> ()
+
+let note_write t ~xid ~rel ~pk =
+  match t.ssi with Some s -> Ssimgr.note_write s ~xid ~rel ~pk | None -> ()
+
+let note_scan t ~xid ~rel ~probe_writes =
+  match t.ssi with
+  | Some s -> Ssimgr.note_scan s ~xid ~rel ~probe_writes
+  | None -> ()
+
+let note_lineage_writer t ~reader ~writer =
+  match t.ssi with
+  | Some s -> Ssimgr.note_lineage_writer s ~reader ~writer
+  | None -> ()
+
+let ssimgr t = t.ssi
 
 (* ---------------- out-of-space degradation ---------------- *)
 
@@ -209,6 +262,7 @@ let abort t txn =
   Txn.abort t.txnmgr txn;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
+  (match t.ssi with Some s -> Ssimgr.on_abort s txn | None -> ());
   if observed t then emit t (Bus.Txn_abort { xid = txn.Txn.xid })
 
 let commit t txn =
@@ -224,6 +278,18 @@ let commit t txn =
       abort t txn;
       raise (Read_only { reason })
   | _ -> ());
+  (* Isolation-level commit rule (SSI dangerous-structure check / WSI
+     read-write certification) runs before anything durable happens: a
+     failing transaction is aborted here — callers must NOT abort it
+     again (same contract as {!Sias_txn.Contention.Wounded}). *)
+  (match t.ssi with
+  | Some s -> (
+      match Ssimgr.pre_commit s txn with
+      | Ok () -> ()
+      | Error reason ->
+          abort t txn;
+          raise (Serialization_failure { xid = txn.Txn.xid; reason }))
+  | None -> ());
   (if t.wal_logging && t.degraded = None then begin
      Crashpoint.reach "db.commit.wal.pre";
      let lsn =
@@ -248,6 +314,7 @@ let commit t txn =
   Hashtbl.remove t.wrote txn.Txn.xid;
   Lockmgr.release_all t.lockmgr ~xid:txn.Txn.xid;
   Contention.finished t.contention ~xid:txn.Txn.xid;
+  (match t.ssi with Some s -> Ssimgr.on_commit s txn | None -> ());
   if observed t then emit t (Bus.Txn_commit { xid = txn.Txn.xid })
 
 let charge_cpu t n = Simclock.advance t.clock (float_of_int n *. t.cpu_op_s)
@@ -315,6 +382,10 @@ let crash t =
   Contention.reset_admission t.contention;
   Hashtbl.reset t.fpw_done;
   Hashtbl.reset t.wrote;
+  (* SIREAD locks, rw edges and doomed flags are volatile: recovery must
+     start serializability tracking from scratch (mirrors the CLOG
+     reset above — nothing unflushed may influence post-crash commits). *)
+  (match t.ssi with Some s -> Ssimgr.reset s | None -> ());
   t.degraded <- None;
   t.last_reclaim_lsn <- -1
 

@@ -62,11 +62,25 @@ type t = {
   mutable last_reclaim_lsn : int;
       (** WAL head when emergency reclamation last ran; a retry with no
           new records in between is skipped (checkpoint-record storms) *)
+  isolation : Isolation.level;
+      (** the context's isolation level; every registered engine composes
+          with every level (the level lives here, not in the engine) *)
+  ssi : Ssimgr.t option;
+      (** serializability tracking state, present under [`Ssi]/[`Wsi]
+          only; [None] under the default [`Si], so every hook is a
+          single branch and SI runs stay byte-identical *)
 }
 
 exception Read_only of { reason : string }
 (** The database is in read-only degraded mode (out of WAL space even
     after emergency reclamation); the writing transaction was aborted. *)
+
+exception Serialization_failure of { xid : int; reason : string }
+(** The isolation level's commit rule (SSI dangerous-structure check or
+    WSI read-write certification) rejected the transaction. It has
+    already been aborted when this is raised — do {e not} abort it
+    again (the {!Sias_txn.Contention.Wounded} contract). Engines
+    translate this into [Error Serialization_failure]. *)
 
 (** Events contributed by the MVCC layer. [Txn_snapshot] accompanies
     every [Sias_obs.Bus.Txn_begin]; [Row_read]/[Row_write] report
@@ -96,6 +110,7 @@ val create :
   ?contention:Sias_txn.Contention.settings ->
   ?commit_mode:Sias_wal.Commitpipe.mode ->
   ?wal_capacity_bytes:int ->
+  ?isolation:Isolation.level ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
@@ -105,14 +120,22 @@ val create :
     WAL (torn async flushes). [contention] selects the conflict policy
     and admission limits (default: no-wait, unlimited). [commit_mode]
     selects the commit pipeline (default: synchronous per-commit fsync,
-    the historical behavior). *)
+    the historical behavior). [isolation] selects the isolation level
+    (default [`Si], the historical snapshot-isolation behavior —
+    byte-identical output; [`Ssi]/[`Wsi] add serializability tracking,
+    see {!Ssimgr}). *)
 
 val alloc_rel : t -> int
 (** Relation ids place each relation in its own device region. *)
 
 val now : t -> float
 
-val begin_txn : t -> Sias_txn.Txn.t
+val begin_txn : ?read_only:bool -> ?deferrable:bool -> t -> Sias_txn.Txn.t
+(** Under [`Ssi]/[`Wsi], [read_only] (and [deferrable], which implies
+    the intent) lets a transaction that begins with no concurrent
+    transactions run on a {e safe snapshot}: exempt from all
+    serializability tracking, guaranteed never to abort. Both default
+    to [false] and are ignored under [`Si]. *)
 
 val commit : t -> Sias_txn.Txn.t -> unit
 (** Append the commit record and route it through the commit pipeline —
@@ -121,7 +144,10 @@ val commit : t -> Sias_txn.Txn.t -> unit
     {!Sias_wal.Commitpipe.last_ack} to learn which) — then mark
     committed and release locks. If the transaction was doomed by a
     wound-wait or deadlock-victim decision, it is aborted instead and
-    {!Sias_txn.Contention.Wounded} is raised. *)
+    {!Sias_txn.Contention.Wounded} is raised. Under [`Ssi]/[`Wsi] the
+    level's commit rule runs first; on failure the transaction is
+    aborted and {!Serialization_failure} is raised — callers must not
+    abort it again. *)
 
 val abort : t -> Sias_txn.Txn.t -> unit
 
@@ -183,3 +209,18 @@ val log_op :
   kind:Sias_wal.Wal.kind ->
   payload:bytes ->
   int
+
+(** {1 Isolation hooks}
+
+    Engines call these from their read / write / scan paths; under the
+    default [`Si] level each is a single branch. Engines cache
+    {!ssi_tracking} at creation so hot loops pay one local-bool branch
+    and SI output stays byte-identical. See {!Ssimgr} for semantics. *)
+
+val isolation : t -> Isolation.level
+val ssi_tracking : t -> bool
+val ssimgr : t -> Ssimgr.t option
+val note_read : t -> xid:int -> rel:int -> pk:int -> probe_writes:bool -> unit
+val note_write : t -> xid:int -> rel:int -> pk:int -> unit
+val note_scan : t -> xid:int -> rel:int -> probe_writes:bool -> unit
+val note_lineage_writer : t -> reader:int -> writer:int -> unit

@@ -1,9 +1,14 @@
-type error = Duplicate_key | Not_found | Write_conflict
+type error =
+  | Duplicate_key
+  | Not_found
+  | Write_conflict
+  | Serialization_failure
 
 let error_to_string = function
   | Duplicate_key -> "duplicate key"
   | Not_found -> "not found"
   | Write_conflict -> "write conflict"
+  | Serialization_failure -> "serialization failure"
 
 type table_stats = {
   heap_blocks : int;
@@ -24,7 +29,7 @@ module type S = sig
     t -> name:string -> pk_col:int -> ?secondary:int list -> unit -> table
 
   val begin_txn : t -> Sias_txn.Txn.t
-  val commit : t -> Sias_txn.Txn.t -> unit
+  val commit : t -> Sias_txn.Txn.t -> (unit, error) result
   val abort : t -> Sias_txn.Txn.t -> unit
 
   val insert :

@@ -13,6 +13,10 @@ type error =
   | Write_conflict
       (** first-updater-wins: the row version was created or invalidated
           by a transaction this one cannot update over *)
+  | Serialization_failure
+      (** the isolation level's commit rule (SSI pivot abort or WSI
+          read-write certification) rejected the transaction; it has
+          already been aborted — retry it from the top, do not abort *)
 
 val error_to_string : error -> string
 
@@ -36,7 +40,15 @@ module type S = sig
     t -> name:string -> pk_col:int -> ?secondary:int list -> unit -> table
 
   val begin_txn : t -> Sias_txn.Txn.t
-  val commit : t -> Sias_txn.Txn.t -> unit
+
+  val commit : t -> Sias_txn.Txn.t -> (unit, error) result
+  (** [Ok ()] once the commit record is routed through the pipeline and
+      the transaction is marked committed. [Error Serialization_failure]
+      when the context's isolation level rejected it — the transaction
+      was aborted internally; do {e not} call {!abort} on it. Other
+      failure modes keep their exceptions ({!Sias_txn.Contention.Wounded},
+      {!Db.Read_only}). *)
+
   val abort : t -> Sias_txn.Txn.t -> unit
 
   val insert :

@@ -1,0 +1,39 @@
+type level = [ `Si | `Ssi | `Wsi ]
+
+let all : (string * string list * level) list =
+  [
+    ("si", [ "snapshot" ], `Si);
+    ("ssi", [ "serializable" ], `Ssi);
+    ("wsi", [ "write-snapshot" ], `Wsi);
+  ]
+
+let to_string = function `Si -> "si" | `Ssi -> "ssi" | `Wsi -> "wsi"
+
+let display = function
+  | `Si -> "SI"
+  | `Ssi -> "SSI (serializable)"
+  | `Wsi -> "WSI (write-snapshot)"
+
+let of_string s =
+  List.find_opt (fun (k, aliases, _) -> k = s || List.mem s aliases) all
+  |> Option.map (fun (_, _, l) -> l)
+
+(* One canonical "what could you have meant" string, mirroring
+   Engine.known_keys_hint so every unknown-level error reads the same. *)
+let known_keys_hint () =
+  all
+  |> List.map (fun (k, aliases, _) ->
+         match aliases with
+         | [] -> k
+         | a -> Printf.sprintf "%s (aka %s)" k (String.concat ", " a))
+  |> List.sort compare |> String.concat ", "
+
+let of_string_exn s =
+  match of_string s with
+  | Some l -> l
+  | None ->
+      invalid_arg
+        (Printf.sprintf "unknown isolation level %S; known levels: %s" s
+           (known_keys_hint ()))
+
+let keys () = List.map (fun (k, _, _) -> k) all

@@ -1,0 +1,36 @@
+(** Isolation levels as a first-class, string-keyed axis.
+
+    Every registered engine ({!Engine.register}) composes with every
+    level: the level lives in the shared {!Db} context, not in the
+    engine, so [si|si-cv|sias|sias-v] x [si|ssi|wsi] is a full matrix.
+
+    - [`Si]  — plain snapshot isolation (the historical default).
+    - [`Ssi] — PostgreSQL-style serializable snapshot isolation (Ports &
+      Grittner): SIREAD locks, rw-antidependency tracking, pivot aborts.
+    - [`Wsi] — write-snapshot isolation ("A Critique of Snapshot
+      Isolation"): commit-time read-write certification instead of
+      write-write conflicts. *)
+
+type level = [ `Si | `Ssi | `Wsi ]
+
+val of_string : string -> level option
+(** Look up by key or alias ([snapshot], [serializable],
+    [write-snapshot]). *)
+
+val of_string_exn : string -> level
+(** Like {!of_string} but raises [Invalid_argument] with a message
+    listing the known keys and aliases — the same friendly-unknown-key
+    contract as {!Engine.resolve_exn}. *)
+
+val to_string : level -> string
+(** Canonical key ([si], [ssi], [wsi]). *)
+
+val display : level -> string
+(** Human-readable name used in reports. *)
+
+val keys : unit -> string list
+(** Canonical keys, in registration order. *)
+
+val known_keys_hint : unit -> string
+(** Human-readable enumeration of keys with their aliases — every
+    unknown-level error message quotes this one string. *)

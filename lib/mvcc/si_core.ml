@@ -34,11 +34,20 @@ module Make (P : PROFILE) = struct
     mutable tables : table list;
     mutable vacuumed_versions : int;
     mutable vacuumed_pages : int;
+    track : bool;
+        (* serializability tracking on (isolation <> `Si); cached so the
+           hot paths pay one local branch and SI stays byte-identical *)
   }
 
   let create db =
     Walcodec.install_repair db;
-    { db; tables = []; vacuumed_versions = 0; vacuumed_pages = 0 }
+    {
+      db;
+      tables = [];
+      vacuumed_versions = 0;
+      vacuumed_pages = 0;
+      track = Db.ssi_tracking db;
+    }
   let db t = t.db
 
   let create_table t ~name:tname ~pk_col ?(secondary = []) () =
@@ -54,8 +63,25 @@ module Make (P : PROFILE) = struct
     table
 
   let begin_txn t = Db.begin_txn t.db
-  let commit t txn = Db.commit t.db txn
+
+  let commit t txn =
+    try
+      Db.commit t.db txn;
+      Ok ()
+    with Db.Serialization_failure _ -> Error Engine.Serialization_failure
+
   let abort t txn = Db.abort t.db txn
+
+  (* The update-in-place engines have no co-located lineage to walk, so
+     their serializable-mode reads probe the shared write table
+     (PostgreSQL-style); the SIAS engines harvest the same information
+     from version metadata instead. *)
+  let note_read t txn table pk =
+    if t.track then
+      Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel ~pk ~probe_writes:true
+
+  let note_write t txn table pk =
+    if t.track then Db.note_write t.db ~xid:txn.Txn.xid ~rel:table.rel ~pk
 
   let pk_of table row = Value.to_key row.(table.pk_col)
 
@@ -162,6 +188,7 @@ module Make (P : PROFILE) = struct
     | None ->
         let _ = place_version t txn table row in
         Db.charge_cpu t.db 1;
+        note_write t txn table pk;
         if Db.observed t.db then
           Db.emit t.db
             (Db.Event.Row_write
@@ -174,6 +201,7 @@ module Make (P : PROFILE) = struct
       | Some (_, _, _, row) -> Some row
       | None -> None
     in
+    note_read t txn table pk;
     if Db.observed t.db then
       Db.emit t.db
         (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
@@ -225,6 +253,7 @@ module Make (P : PROFILE) = struct
                     ()
                 | None -> ());
                 Db.charge_cpu t.db 2;
+                note_write t txn table pk;
                 if Db.observed t.db then
                   Db.emit t.db
                     (Db.Event.Row_write
@@ -255,7 +284,11 @@ module Make (P : PROFILE) = struct
                     txn.Txn.snapshot h
                 then
                   let row = Tuple.Si.row item in
-                  if Value.to_key row.(col) = key then Some row else None
+                  if Value.to_key row.(col) = key then begin
+                    note_read t txn table (pk_of table row);
+                    Some row
+                  end
+                  else None
                 else None)
           tids
 
@@ -272,13 +305,19 @@ module Make (P : PROFILE) = struct
             if Visibility.si_visible_fast t.db ~heap:table.heap ~tid txn.Txn.snapshot h
             then
               let row = Tuple.Si.row item in
-              if Value.to_key row.(table.pk_col) = key then Some row else None
+              if Value.to_key row.(table.pk_col) = key then begin
+                note_read t txn table key;
+                Some row
+              end
+              else None
             else None)
       entries
 
   (* Traditional relation scan: fetch every tuple version of the relation
      and check each for visibility. *)
   let scan t txn table f =
+    if t.track then
+      Db.note_scan t.db ~xid:txn.Txn.xid ~rel:table.rel ~probe_writes:true;
     let count = ref 0 in
     Heapfile.iter table.heap (fun tid item ->
         Db.charge_cpu t.db 1;

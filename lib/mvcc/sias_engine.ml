@@ -38,6 +38,9 @@ type t = {
   mutable reclaimed : int;
   mutable walks : int;
   mutable visited : int;
+  track : bool;
+      (* serializability tracking on (isolation <> `Si); cached so the
+         chain walk pays one local branch and SI stays byte-identical *)
 }
 
 let create db =
@@ -52,6 +55,7 @@ let create db =
     reclaimed = 0;
     walks = 0;
     visited = 0;
+    track = Db.ssi_tracking db;
   }
 
 let db t = t.db
@@ -106,7 +110,10 @@ let forget_txn t xid =
 
 let commit t txn =
   forget_txn t txn.Txn.xid;
-  Db.commit t.db txn
+  try
+    Db.commit t.db txn;
+    Ok ()
+  with Db.Serialization_failure _ -> Error Engine.Serialization_failure
 
 let abort t txn =
   (match Hashtbl.find_opt t.undo txn.Txn.xid with
@@ -152,7 +159,16 @@ let find_visible t txn table vid =
                 Visibility.sias_creator_visible_fast t.db ~heap:table.heap ~tid
                   txn.Txn.snapshot ~hint:h.create_hint ~xid:h.create
               then if h.tombstone then None else Some (tid, item, h)
-              else walk h.pred
+              else begin
+                (* The research twist: a skipped chain version names an
+                   overlapping writer of this data item right in the
+                   co-located lineage — under serializable mode that is
+                   an rw antidependency, no lock-table probe needed. *)
+                if t.track then
+                  Db.note_lineage_writer t.db ~reader:txn.Txn.xid
+                    ~writer:h.create;
+                walk h.pred
+              end
       in
       walk entry
 
@@ -249,6 +265,7 @@ let insert t txn table row =
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + Array.length table.secondary);
+      if t.track then Db.note_write t.db ~xid ~rel:table.rel ~pk;
       if Db.observed t.db then
         Db.emit t.db (Db.Event.Row_write { xid; rel = table.rel; pk; row = Some row });
       Ok ()
@@ -303,6 +320,7 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                       if old_key <> new_key then Btree.insert index ~key:new_key ~payload:vid)
                     table.secondary;
                 Db.charge_cpu t.db 1;
+                if t.track then Db.note_write t.db ~xid ~rel:table.rel ~pk;
                 if Db.observed t.db then
                   Db.emit t.db
                     (Db.Event.Row_write
@@ -324,6 +342,9 @@ let read t txn table ~pk =
   let row =
     match find_item t txn table pk with Some (_, _, _, row) -> Some row | None -> None
   in
+  (* overlapping writers were already reported by the lineage walk *)
+  if t.track then
+    Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel ~pk ~probe_writes:false;
   if Db.observed t.db then
     Db.emit t.db (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
   row
@@ -352,7 +373,13 @@ let lookup t txn table ~col ~key =
           | Some (_, item, _) ->
               let row = Tuple.Sias.row item in
               (* stale entries from key updates are filtered here *)
-              if Value.to_key row.(col) = key then Some row else None
+              if Value.to_key row.(col) = key then begin
+                if t.track then
+                  Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel
+                    ~pk:(pk_of table row) ~probe_writes:false;
+                Some row
+              end
+              else None
           | None -> None)
         vids
 
@@ -364,13 +391,24 @@ let range_pk t txn table ~lo ~hi =
       match find_visible t txn table vid with
       | Some (_, item, _) ->
           let row = Tuple.Sias.row item in
-          if pk_of table row = key then Some row else None
+          if pk_of table row = key then begin
+            if t.track then
+              Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel ~pk:key
+                ~probe_writes:false;
+            Some row
+          end
+          else None
       | None -> None)
     entries
 
 (* Algorithm 1: scan over the VID_map, fetching only entrypoints (and
    predecessors when the snapshot needs older versions). *)
 let scan t txn table f =
+  (* Predicate SIREAD only — the per-vid chain walks below surface every
+     overlapping writer (even a phantom insert allocates its vid before
+     commit, so its invisible version is walked and harvested). *)
+  if t.track then
+    Db.note_scan t.db ~xid:txn.Txn.xid ~rel:table.rel ~probe_writes:false;
   let count = ref 0 in
   for vid = 0 to Vidmap.vid_count table.vidmap - 1 do
     match find_visible t txn table vid with
@@ -386,6 +424,8 @@ let scan_vidmap = scan
 (* The traditional scan: read the whole relation, then determine for each
    candidate whether it is the version Algorithm 1 would return. *)
 let scan_traditional t txn table f =
+  if t.track then
+    Db.note_scan t.db ~xid:txn.Txn.xid ~rel:table.rel ~probe_writes:false;
   let count = ref 0 in
   Heapfile.iter table.heap (fun tid item ->
       Db.charge_cpu t.db 1;

@@ -142,6 +142,9 @@ type t = {
   mutable reclaimed : int;
   mutable reads : int;
   mutable fetches : int;
+  track : bool;
+      (* serializability tracking on (isolation <> `Si); cached so the
+         vector walk pays one local branch and SI stays byte-identical *)
 }
 
 let create db =
@@ -156,6 +159,7 @@ let create db =
     reclaimed = 0;
     reads = 0;
     fetches = 0;
+    track = Db.ssi_tracking db;
   }
 
 let db t = t.db
@@ -210,7 +214,10 @@ let forget_txn t xid =
 
 let commit t txn =
   forget_txn t txn.Txn.xid;
-  Db.commit t.db txn
+  try
+    Db.commit t.db txn;
+    Ok ()
+  with Db.Serialization_failure _ -> Error Engine.Serialization_failure
 
 let abort t txn =
   (match Hashtbl.find_opt t.undo txn.Txn.xid with
@@ -266,7 +273,16 @@ let find_visible t txn table vid =
                       ~off:v.v_flags_off ~shift:hint_shift txn.Txn.snapshot
                       ~hint:v.v_hint ~xid:v.v_create
                   then if v.v_tombstone then None else Some v
-                  else find (i + 1)
+                  else begin
+                    (* a skipped vector entry names an overlapping writer
+                       of this data item in the co-located lineage — under
+                       serializable mode that is an rw antidependency,
+                       no lock-table probe needed *)
+                    if t.track then
+                      Db.note_lineage_writer t.db ~reader:txn.Txn.xid
+                        ~writer:v.v_create;
+                    find (i + 1)
+                  end
               in
               find 0
       in
@@ -352,6 +368,7 @@ let insert t txn table row =
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + Array.length table.secondary);
+      if t.track then Db.note_write t.db ~xid ~rel:table.rel ~pk;
       if Db.observed t.db then
         Db.emit t.db (Db.Event.Row_write { xid; rel = table.rel; pk; row = Some row });
       Ok ()
@@ -427,6 +444,7 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                                 Btree.insert index ~key:new_key ~payload:vid)
                             table.secondary;
                         Db.charge_cpu t.db 1;
+                        if t.track then Db.note_write t.db ~xid ~rel:table.rel ~pk;
                         if Db.observed t.db then
                           Db.emit t.db
                             (Db.Event.Row_write
@@ -448,6 +466,9 @@ let read t txn table ~pk =
   let row =
     match find_item t txn table pk with Some (_, v) -> Some v.v_row | None -> None
   in
+  (* overlapping writers were already reported by the lineage walk *)
+  if t.track then
+    Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel ~pk ~probe_writes:false;
   if Db.observed t.db then
     Db.emit t.db (Db.Event.Row_read { xid = txn.Txn.xid; rel = table.rel; pk; row });
   row
@@ -473,7 +494,11 @@ let lookup t txn table ~col ~key =
       List.filter_map
         (fun vid ->
           match find_visible t txn table vid with
-          | Some v when Value.to_key v.v_row.(col) = key -> Some v.v_row
+          | Some v when Value.to_key v.v_row.(col) = key ->
+              if t.track then
+                Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel
+                  ~pk:(pk_of table v.v_row) ~probe_writes:false;
+              Some v.v_row
           | _ -> None)
         vids
 
@@ -483,11 +508,20 @@ let range_pk t txn table ~lo ~hi =
   List.filter_map
     (fun (key, vid) ->
       match find_visible t txn table vid with
-      | Some v when pk_of table v.v_row = key -> Some v.v_row
+      | Some v when pk_of table v.v_row = key ->
+          if t.track then
+            Db.note_read t.db ~xid:txn.Txn.xid ~rel:table.rel ~pk:key
+              ~probe_writes:false;
+          Some v.v_row
       | _ -> None)
     entries
 
 let scan t txn table f =
+  (* Predicate SIREAD only — the per-vid vector walks below surface every
+     overlapping writer (even a phantom insert allocates its vid before
+     commit, so its invisible version is walked and harvested). *)
+  if t.track then
+    Db.note_scan t.db ~xid:txn.Txn.xid ~rel:table.rel ~probe_writes:false;
   let count = ref 0 in
   for vid = 0 to Vidmap.vid_count table.vidmap - 1 do
     match find_visible t txn table vid with

@@ -12,6 +12,9 @@ let digest_of_row : Value.t array option -> digest = function
 type pending = {
   snap : Snapshot.t;
   writes : (int * int, digest) Hashtbl.t;  (* (rel, pk) -> latest pending digest *)
+  mutable rfrom : ((int * int) * int) list;
+      (* (key, creator xid of the version read); 0 = initial state. Feeds
+         the wr/rw edges of the serializability graph at commit. *)
 }
 
 (* Committed versions per item, newest first. Entries are pushed in
@@ -22,10 +25,23 @@ type entry = { e_xid : int; e_digest : digest }
 type t = {
   active : (int, pending) Hashtbl.t;
   history : ((int * int), entry list) Hashtbl.t;
+  (* Serializability graph over committed transactions: wr (read the
+     version), ww (overwrote the version) and rw (read a version some
+     later commit overwrote — the antidependency) edges, built at each
+     commit from [rfrom], [readers] and the history. A transaction on a
+     cycle at its own commit makes the committed schedule
+     non-serializable. Reset whenever the active set drains: a
+     transaction that committed while nothing overlapped it can never
+     join a future cycle. *)
+  readers : (int * int, (int * int) list) Hashtbl.t;
+      (* key -> (committed reader, creator of the version it read) *)
+  succ : (int, int list ref) Hashtbl.t;
   mutable reads_checked : int;
   mutable commits_checked : int;
   mutable violation_count : int;
   mutable violations : string list;  (* newest first, capped *)
+  mutable cycle_count : int;
+  mutable cycles : string list;  (* newest first, capped *)
 }
 
 let max_kept_violations = 32
@@ -34,10 +50,14 @@ let create () =
   {
     active = Hashtbl.create 64;
     history = Hashtbl.create 4096;
+    readers = Hashtbl.create 4096;
+    succ = Hashtbl.create 256;
     reads_checked = 0;
     commits_checked = 0;
     violation_count = 0;
     violations = [];
+    cycle_count = 0;
+    cycles = [];
   }
 
 let violation t msg =
@@ -46,7 +66,8 @@ let violation t msg =
     t.violations <- msg :: t.violations
 
 let on_begin t ~xid ~snapshot =
-  Hashtbl.replace t.active xid { snap = snapshot; writes = Hashtbl.create 8 }
+  Hashtbl.replace t.active xid
+    { snap = snapshot; writes = Hashtbl.create 8; rfrom = [] }
 
 let hist t key = Option.value ~default:[] (Hashtbl.find_opt t.history key)
 
@@ -63,14 +84,16 @@ let on_read t ~xid ~rel ~pk ~row =
   | Some p ->
       t.reads_checked <- t.reads_checked + 1;
       let key = (rel, pk) in
-      let expected =
+      let expected, creator =
         match Hashtbl.find_opt p.writes key with
-        | Some d -> d
+        | Some d -> (d, xid)
         | None -> (
             match visible_entry p.snap (hist t key) with
-            | Some e -> e.e_digest
-            | None -> None)
+            | Some e -> (e.e_digest, e.e_xid)
+            | None -> (None, 0))
       in
+      if not (List.mem_assoc key p.rfrom) then
+        p.rfrom <- (key, creator) :: p.rfrom;
       let got = digest_of_row row in
       if got <> expected then
         violation t
@@ -95,11 +118,79 @@ let rec overlapping_writer snap ~self = function
       else if e.e_xid <> self then Some e.e_xid
       else overlapping_writer snap ~self rest
 
+(* ---------------- serializability graph ---------------- *)
+
+let add_edge t a b =
+  if a <> b && a <> 0 && b <> 0 then
+    match Hashtbl.find_opt t.succ a with
+    | Some l -> if not (List.mem b !l) then l := b :: !l
+    | None -> Hashtbl.replace t.succ a (ref [ b ])
+
+(* Versions committed after [snap] was taken — each one overwrote
+   something the snapshot could read, so a reader under [snap] has an rw
+   antidependency into its creator. Always the history prefix. *)
+let rec invisible_prefix snap = function
+  | [] -> []
+  | e :: rest ->
+      if Snapshot.sees_xid snap e.e_xid then []
+      else e.e_xid :: invisible_prefix snap rest
+
+(* Is there a nonempty path [src] -> ... -> [dst]? Depth-first over the
+   committed-transaction graph (small by construction: it is reset every
+   time the active set drains). *)
+let reaches t ~src ~dst =
+  let seen = Hashtbl.create 16 in
+  let rec go x =
+    x = dst
+    || (not (Hashtbl.mem seen x))
+       &&
+       (Hashtbl.add seen x ();
+        match Hashtbl.find_opt t.succ x with
+        | Some l -> List.exists go !l
+        | None -> false)
+  in
+  match Hashtbl.find_opt t.succ src with
+  | Some l -> List.exists go !l
+  | None -> false
+
+let record_cycle t ~xid =
+  t.cycle_count <- t.cycle_count + 1;
+  if List.length t.cycles < max_kept_violations then
+    t.cycles <-
+      Printf.sprintf
+        "serializability cycle: committed txn %d reaches itself through \
+         wr/ww/rw dependencies"
+        xid
+      :: t.cycles
+
+(* Dropping the graph once nothing is active is sound: an edge into a
+   transaction requires a transaction whose snapshot predates its commit,
+   so after a drain no pre-drain transaction can gain new in-edges — any
+   future cycle lives entirely among post-drain transactions. *)
+let maybe_reset_graph t =
+  if Hashtbl.length t.active = 0 then begin
+    Hashtbl.reset t.succ;
+    Hashtbl.reset t.readers
+  end
+
 let on_commit t ~xid =
   match Hashtbl.find_opt t.active xid with
   | None -> ()
   | Some p ->
       t.commits_checked <- t.commits_checked + 1;
+      (* read-side edges: wr from the version's creator, rw into every
+         overlapping writer that overwrote what we read *)
+      List.iter
+        (fun (key, c) ->
+          let prev = Option.value ~default:[] (Hashtbl.find_opt t.readers key) in
+          Hashtbl.replace t.readers key ((xid, c) :: prev);
+          if c <> xid then begin
+            add_edge t c xid;
+            List.iter
+              (fun w -> if w <> c then add_edge t xid w)
+              (invisible_prefix p.snap (hist t key))
+          end)
+        p.rfrom;
       Hashtbl.iter
         (fun ((rel, pk) as key) d ->
           let h = hist t key in
@@ -111,16 +202,37 @@ let on_commit t ~xid =
                     writes to (%d,%d)"
                    xid other rel pk)
           | None -> ());
+          (* write-side edges: ww from the version we supersede, rw from
+             every committed reader of the superseded versions *)
+          (match h with e :: _ -> add_edge t e.e_xid xid | [] -> ());
+          List.iter
+            (fun (r, _) -> add_edge t r xid)
+            (Option.value ~default:[] (Hashtbl.find_opt t.readers key));
           Hashtbl.replace t.history key ({ e_xid = xid; e_digest = d } :: h))
         p.writes;
-      Hashtbl.remove t.active xid
+      if reaches t ~src:xid ~dst:xid then record_cycle t ~xid;
+      Hashtbl.remove t.active xid;
+      maybe_reset_graph t
 
-let on_abort t ~xid = Hashtbl.remove t.active xid
+let on_abort t ~xid =
+  Hashtbl.remove t.active xid;
+  maybe_reset_graph t
 
 let violation_count t = t.violation_count
 let violations t = t.violations
+let cycle_count t = t.cycle_count
+let cycles t = t.cycles
 let reads_checked t = t.reads_checked
 let commits_checked t = t.commits_checked
+
+let serializability_report t =
+  if t.cycle_count = 0 then
+    Printf.sprintf "serializability: OK (%d commits checked, no cycles)"
+      t.commits_checked
+  else
+    Printf.sprintf "serializability: %d CYCLE(S) among %d commits; first: %s"
+      t.cycle_count t.commits_checked
+      (match List.rev t.cycles with c :: _ -> c | [] -> "?")
 
 let report t =
   if t.violation_count = 0 then

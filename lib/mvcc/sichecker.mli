@@ -11,6 +11,19 @@
     - {b First-committer-wins}: no two transactions with overlapping
       lifetimes both commit a write to the same data item.
 
+    It is also an online {e serializability} checker: from the same
+    event stream it maintains a dependency graph over committed
+    transactions — wr (read a version), ww (overwrote a version) and rw
+    (read a version a later commit overwrote: the antidependency) edges
+    — and reports a transaction that closes a cycle at its own commit.
+    Cycles are counted separately from SI violations
+    ({!cycle_count}/{!cycles}): a write-skew cycle is {e legal} under
+    plain SI, so the bench's isolation ablation reads the cycle count as
+    the anomaly rate while {!violation_count} stays the SI oracle. The
+    graph is reset whenever the active set drains (a transaction that
+    committed while nothing overlapped it can never join a later cycle),
+    so it stays small on well-behaved workloads.
+
     The checker is engine-agnostic: it keys items by (relation id,
     primary key) and compares row digests, so it runs identically under
     SI, SI-CV, SIAS-Chains and SIAS-V. Predicate operations (scans,
@@ -42,8 +55,21 @@ val violation_count : t -> int
 val violations : t -> string list
 (** Most recent first; the list is capped, the count is not. *)
 
+val cycle_count : t -> int
+(** Serializability cycles observed among committed transactions. Kept
+    separate from {!violation_count}: a cycle (e.g. write skew) is legal
+    under plain SI and only counts as an anomaly for the isolation
+    ablation; under [`Ssi]/[`Wsi] it must be zero. *)
+
+val cycles : t -> string list
+(** Most recent first; capped like {!violations}. *)
+
 val reads_checked : t -> int
 val commits_checked : t -> int
 
 val report : t -> string
 (** One-line summary, e.g. ["si-checker: OK (1234 reads, 56 commits)"].. *)
+
+val serializability_report : t -> string
+(** One-line cycle summary, e.g.
+    ["serializability: OK (56 commits checked, no cycles)"]. *)

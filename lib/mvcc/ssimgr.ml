@@ -1,0 +1,324 @@
+module Txn = Sias_txn.Txn
+module Snapshot = Sias_txn.Snapshot
+module Bus = Sias_obs.Bus
+
+type mode = Ssi | Wsi
+
+(* Whole-relation predicate reads (scans) lock this pseudo-key, exactly
+   like the seed functor did: a writer to any key of the relation also
+   probes it, so phantoms create edges too. *)
+let predicate_key = min_int
+
+type txs = {
+  xid : int;
+  snap : Snapshot.t;
+  safe : bool;
+  mutable in_neighbors : int list; (* readers r with rw edge r -> self *)
+  mutable out_neighbors : int list; (* writers w with rw edge self -> w *)
+  mutable doomed : bool; (* edged onto a committed pivot's structure *)
+  mutable reads : (int * int) list; (* (rel, key); key may be predicate *)
+  mutable wrote : bool;
+}
+
+type t = {
+  mode : mode;
+  mgr : Txn.mgr;
+  bus : Bus.t;
+  charge : int -> unit;
+  txs : (int, txs) Hashtbl.t;
+  sireads : (int * int, int list ref) Hashtbl.t; (* (rel, key) -> readers *)
+  writes : (int * int, int list ref) Hashtbl.t; (* (rel, key) -> writers *)
+  mutable siread_locks : int;
+  mutable pivot_aborts : int;
+  mutable confirmed_pivot_aborts : int;
+  mutable certify_aborts : int;
+  mutable lineage_edges : int;
+  mutable table_edges : int;
+  mutable safe_snapshots : int;
+}
+
+let create ~mode ~txnmgr ~bus ~charge =
+  {
+    mode;
+    mgr = txnmgr;
+    bus;
+    charge;
+    txs = Hashtbl.create 64;
+    sireads = Hashtbl.create 256;
+    writes = Hashtbl.create 256;
+    siread_locks = 0;
+    pivot_aborts = 0;
+    confirmed_pivot_aborts = 0;
+    certify_aborts = 0;
+    lineage_edges = 0;
+    table_edges = 0;
+    safe_snapshots = 0;
+  }
+
+let mode t = t.mode
+let observed t = Bus.active t.bus
+let find_txs t xid = Hashtbl.find_opt t.txs xid
+
+let on_begin t txn ~read_only ~deferrable =
+  let snap = txn.Txn.snapshot in
+  (* A read-only transaction that starts with no concurrent transactions
+     runs on a safe snapshot: nothing it reads can be overwritten by a
+     concurrent writer, so it is exempt from SIREAD tracking and can
+     never be part of a dangerous structure. [deferrable] asks for one;
+     in the cooperative single-threaded simulation we cannot block until
+     the system drains, so a deferrable request that cannot be satisfied
+     degenerates to an ordinary tracked read-only transaction. *)
+  let safe =
+    (read_only || deferrable) && Array.length snap.Snapshot.concurrent = 0
+  in
+  if safe then begin
+    t.safe_snapshots <- t.safe_snapshots + 1;
+    if observed t then Bus.publish t.bus (Bus.Ssi_safe_snapshot { xid = txn.Txn.xid })
+  end;
+  Hashtbl.replace t.txs txn.Txn.xid
+    {
+      xid = txn.Txn.xid;
+      snap;
+      safe;
+      in_neighbors = [];
+      out_neighbors = [];
+      doomed = false;
+      reads = [];
+      wrote = false;
+    }
+
+(* Two transactions overlap iff neither snapshot sees the other's
+   commit — the only window in which an rw antidependency is possible. *)
+let concurrent a b =
+  (not (Snapshot.sees_xid a.snap b.xid))
+  && not (Snapshot.sees_xid b.snap a.xid)
+
+(* A committed transaction can no longer be aborted: if it just became a
+   pivot, break the dangerous structure by dooming one still-active
+   neighbor instead (checked at that neighbor's own commit). *)
+let doom_for_committed_pivot t s =
+  if s.in_neighbors <> [] && s.out_neighbors <> []
+     && Txn.status t.mgr s.xid = Txn.Committed
+  then begin
+    let doom x =
+      match find_txs t x with
+      | Some n when Txn.status t.mgr x = Txn.In_progress ->
+          n.doomed <- true;
+          true
+      | _ -> false
+    in
+    if not (List.exists doom s.in_neighbors) then
+      ignore (List.exists doom s.out_neighbors)
+  end
+
+let add_edge t ~reader ~writer ~lineage =
+  if reader <> writer then
+    match (find_txs t reader, find_txs t writer) with
+    | Some r, Some w when (not r.safe) && concurrent r w ->
+        if not (List.mem writer r.out_neighbors) then begin
+          r.out_neighbors <- writer :: r.out_neighbors;
+          w.in_neighbors <- reader :: w.in_neighbors;
+          if lineage then t.lineage_edges <- t.lineage_edges + 1
+          else t.table_edges <- t.table_edges + 1;
+          if observed t then
+            Bus.publish t.bus (Bus.Ssi_rw_edge { reader; writer; lineage });
+          doom_for_committed_pivot t r;
+          doom_for_committed_pivot t w
+        end
+    | _ -> ()
+
+let readers_of t key =
+  match Hashtbl.find_opt t.sireads key with Some l -> !l | None -> []
+
+let writers_of t key =
+  match Hashtbl.find_opt t.writes key with Some l -> !l | None -> []
+
+let add_to tbl key xid =
+  match Hashtbl.find_opt tbl key with
+  | Some l -> if List.mem xid !l then false else (l := xid :: !l; true)
+  | None ->
+      Hashtbl.replace tbl key (ref [ xid ]);
+      true
+
+let take_siread t s ~rel ~key =
+  if add_to t.sireads (rel, key) s.xid then begin
+    t.siread_locks <- t.siread_locks + 1;
+    if observed t then
+      Bus.publish t.bus
+        (Bus.Ssi_siread { xid = s.xid; rel; predicate = key = predicate_key })
+  end
+
+let note_read t ~xid ~rel ~pk ~probe_writes =
+  match find_txs t xid with
+  | None -> ()
+  | Some s when s.safe -> ()
+  | Some s ->
+      t.charge 1;
+      if not (List.mem (rel, pk) s.reads) then s.reads <- (rel, pk) :: s.reads;
+      if t.mode = Ssi then begin
+        take_siread t s ~rel ~key:pk;
+        (* The SI engines have no co-located lineage to walk, so the
+           reader probes the write table for overlapping writers; the
+           SIAS engines pass [probe_writes:false] and report the same
+           writers from the version chain/vector walk instead. *)
+        if probe_writes then
+          List.iter
+            (fun w -> add_edge t ~reader:xid ~writer:w ~lineage:false)
+            (writers_of t (rel, pk))
+      end
+
+let note_lineage_writer t ~reader ~writer =
+  if t.mode = Ssi then add_edge t ~reader ~writer ~lineage:true
+
+let note_scan t ~xid ~rel ~probe_writes =
+  match find_txs t xid with
+  | None -> ()
+  | Some s when s.safe -> ()
+  | Some s ->
+      t.charge 1;
+      if not (List.mem (rel, predicate_key) s.reads) then
+        s.reads <- (rel, predicate_key) :: s.reads;
+      if t.mode = Ssi then begin
+        take_siread t s ~rel ~key:predicate_key;
+        if probe_writes then
+          Hashtbl.iter
+            (fun (r, _) l ->
+              if r = rel then
+                List.iter
+                  (fun w -> add_edge t ~reader:xid ~writer:w ~lineage:false)
+                  !l)
+            t.writes
+      end
+
+let note_write t ~xid ~rel ~pk =
+  match find_txs t xid with
+  | None -> ()
+  | Some s ->
+      t.charge 1;
+      s.wrote <- true;
+      ignore (add_to t.writes (rel, pk) xid);
+      if t.mode = Ssi then
+        (* Any overlapping reader of this key — or of the relation's
+           predicate pseudo-key (phantom) — has an rw edge into us. *)
+        List.iter
+          (fun r -> add_edge t ~reader:r ~writer:xid ~lineage:false)
+          (readers_of t (rel, pk) @ readers_of t (rel, predicate_key))
+
+(* All tracking state is keyed by xid and only consulted while some
+   overlapping transaction can still commit; once the system drains, no
+   future transaction can form an edge to anything recorded here. *)
+let maybe_cleanup t =
+  if Txn.active_xids t.mgr = [] then begin
+    Hashtbl.reset t.txs;
+    Hashtbl.reset t.sireads;
+    Hashtbl.reset t.writes
+  end
+
+let certify_wsi t s =
+  (* Write-snapshot isolation: certify the read set instead of the write
+     set — fail if any key this transaction read was (over)written by a
+     concurrent transaction that has committed. Pure readers skip
+     certification entirely and can never abort. *)
+  let conflicts w =
+    w <> s.xid
+    && Txn.status t.mgr w = Txn.Committed
+    && not (Snapshot.sees_xid s.snap w)
+  in
+  let check acc (rel, key) =
+    match acc with
+    | Some _ -> acc
+    | None ->
+        let ws =
+          if key = predicate_key then
+            Hashtbl.fold
+              (fun (r, _) l acc -> if r = rel then !l @ acc else acc)
+              t.writes []
+          else writers_of t (rel, key)
+        in
+        List.find_opt conflicts ws
+        |> Option.map (fun w -> (rel, key, w))
+  in
+  if not s.wrote then Ok ()
+  else
+    match List.fold_left check None s.reads with
+    | None -> Ok ()
+    | Some (rel, key, w) ->
+        t.certify_aborts <- t.certify_aborts + 1;
+        if observed t then
+          Bus.publish t.bus (Bus.Wsi_certify_abort { xid = s.xid });
+        Error
+          (Printf.sprintf
+             "read-write certification failed: %s rel %d was overwritten \
+              by concurrent committed transaction %d"
+             (if key = predicate_key then "scanned"
+              else Printf.sprintf "key %d of" key)
+             rel w)
+
+let pivot_abort t s ~confirmed ~reason =
+  t.pivot_aborts <- t.pivot_aborts + 1;
+  if confirmed then
+    t.confirmed_pivot_aborts <- t.confirmed_pivot_aborts + 1;
+  if observed t then
+    Bus.publish t.bus (Bus.Ssi_pivot_abort { xid = s.xid; confirmed });
+  Error reason
+
+let pre_commit_ssi t s =
+  if s.doomed then
+    (* Edged onto a dangerous structure whose pivot already committed:
+       the pivot can no longer be aborted, so this side must be. *)
+    pivot_abort t s ~confirmed:true
+      ~reason:"rw-antidependency structure with a committed pivot"
+  else begin
+    (* Aborted neighbors cannot be part of a cycle; prune before the
+       pivot test so exactly one member of a plain write skew aborts. *)
+    let live = List.filter (fun x -> Txn.status t.mgr x <> Txn.Aborted) in
+    s.in_neighbors <- live s.in_neighbors;
+    s.out_neighbors <- live s.out_neighbors;
+    if s.in_neighbors <> [] && s.out_neighbors <> [] then
+      (* Conservative dangerous-structure rule: T_in -> self -> T_out
+         with live neighbors. [confirmed] marks the cases where a real
+         cycle is certain or near-certain — an immediate 2-cycle (write
+         skew) or an out-neighbor that committed first; the remainder
+         bounds the false-positive rate from above. *)
+      let confirmed =
+        List.exists (fun x -> List.mem x s.out_neighbors) s.in_neighbors
+        || List.exists (fun x -> Txn.status t.mgr x = Txn.Committed)
+             s.out_neighbors
+      in
+      pivot_abort t s ~confirmed
+        ~reason:
+          "pivot of a dangerous rw-antidependency structure (both in- \
+           and out-edges present at commit)"
+    else Ok ()
+  end
+
+let pre_commit t txn =
+  match find_txs t txn.Txn.xid with
+  | None -> Ok ()
+  | Some s when s.safe -> Ok ()
+  | Some s -> ( match t.mode with Ssi -> pre_commit_ssi t s | Wsi -> certify_wsi t s)
+
+let on_commit t _txn = maybe_cleanup t
+let on_abort t _txn = maybe_cleanup t
+
+(* Crash: SIREAD locks, edges and doomed flags are volatile bookkeeping;
+   none of it may survive a restart (recovery rebuilds committed state
+   from the WAL and every in-flight transaction is dead anyway). *)
+let reset t =
+  Hashtbl.reset t.txs;
+  Hashtbl.reset t.sireads;
+  Hashtbl.reset t.writes
+
+let siread_locks t = t.siread_locks
+let pivot_aborts t = t.pivot_aborts
+let confirmed_pivot_aborts t = t.confirmed_pivot_aborts
+let certify_aborts t = t.certify_aborts
+let lineage_edges t = t.lineage_edges
+let table_edges t = t.table_edges
+let safe_snapshots t = t.safe_snapshots
+
+let false_positive_rate t =
+  if t.pivot_aborts = 0 then 0.0
+  else
+    float_of_int (t.pivot_aborts - t.confirmed_pivot_aborts)
+    /. float_of_int t.pivot_aborts

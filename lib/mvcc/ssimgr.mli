@@ -1,0 +1,103 @@
+(** Runtime state for the serializable isolation levels.
+
+    One manager lives in each {!Db} context created with
+    [~isolation:`Ssi] or [~isolation:`Wsi]; under the default [`Si] no
+    manager exists and every hook below is a single branch at the call
+    site, keeping the SI fast path byte-identical.
+
+    [`Ssi] implements PostgreSQL-style serializable snapshot isolation
+    (Ports & Grittner): reads take SIREAD locks (plus a whole-relation
+    predicate lock for scans), writes probe them to record
+    rw-antidependency edges, and a transaction that is the pivot of a
+    dangerous structure (both an incoming and an outgoing rw edge to
+    live transactions) is aborted at commit. If a structure completes
+    after its pivot committed, a still-active neighbor is doomed
+    instead. The research twist: the SIAS engines discover their
+    read-side edges by walking the co-located version lineage (chain
+    predecessors / vector entries skipped as invisible name exactly the
+    overlapping writers), so they pass [probe_writes:false] and call
+    {!note_lineage_writer} from the visibility walk; the SI engines
+    probe the write table like PostgreSQL. Edge provenance is counted
+    separately ({!lineage_edges} vs {!table_edges}) so the overhead
+    delta is measurable.
+
+    [`Wsi] implements write-snapshot isolation ("A Critique of Snapshot
+    Isolation"): no edges are tracked; commit instead certifies the
+    {e read} set — any key read that a concurrent committed transaction
+    overwrote fails certification. Read-only transactions never
+    certify, and therefore never abort. *)
+
+type mode = Ssi | Wsi
+
+type t
+
+val create :
+  mode:mode ->
+  txnmgr:Sias_txn.Txn.mgr ->
+  bus:Sias_obs.Bus.t ->
+  charge:(int -> unit) ->
+  t
+(** [charge] bills simulated CPU per tracking operation (the measured
+    overhead vs the SI baseline). *)
+
+val mode : t -> mode
+
+val on_begin : t -> Sias_txn.Txn.t -> read_only:bool -> deferrable:bool -> unit
+(** Register a transaction. A read-only (or deferrable) transaction
+    beginning with no concurrent transactions gets a {e safe snapshot}:
+    it is exempt from all tracking and can never abort. A deferrable
+    request that cannot be satisfied degenerates to an ordinary tracked
+    read-only transaction (the cooperative simulation cannot block). *)
+
+val note_read : t -> xid:int -> rel:int -> pk:int -> probe_writes:bool -> unit
+(** A visible row read. Under [Ssi] takes a SIREAD lock and — when
+    [probe_writes] — scans the write table for overlapping writers (SI
+    engines); the SIAS engines report those via {!note_lineage_writer}
+    instead. Under [Wsi] records the key for commit-time certification. *)
+
+val note_lineage_writer : t -> reader:int -> writer:int -> unit
+(** The visibility walk of a SIAS chain / SIAS-V vector skipped a
+    version whose creator is invisible to [reader]'s snapshot: that
+    creator is exactly an overlapping writer of the key being read, so
+    record the rw edge [reader -> writer] without any lock-table probe. *)
+
+val note_write : t -> xid:int -> rel:int -> pk:int -> unit
+(** A row write (insert / update / delete). Records the key and, under
+    [Ssi], probes SIREAD locks (per-key and relation-predicate) for
+    overlapping readers. *)
+
+val note_scan : t -> xid:int -> rel:int -> probe_writes:bool -> unit
+(** A whole-relation scan: takes the predicate SIREAD lock so later
+    writes (phantoms) create edges; when [probe_writes], also probes
+    already-recorded writes of the relation. *)
+
+val pre_commit : t -> Sias_txn.Txn.t -> (unit, string) result
+(** Run the level's commit rule. [Error reason] means the transaction
+    must abort ({!Db.commit} aborts it and raises
+    {!Db.Serialization_failure}). *)
+
+val on_commit : t -> Sias_txn.Txn.t -> unit
+val on_abort : t -> Sias_txn.Txn.t -> unit
+
+val reset : t -> unit
+(** Crash semantics: drop all volatile tracking state (SIREAD locks,
+    edges, doomed flags). Cumulative counters survive (they are
+    observability, not recovery state). *)
+
+(** {1 Counters} *)
+
+val siread_locks : t -> int
+val pivot_aborts : t -> int
+
+val confirmed_pivot_aborts : t -> int
+(** Pivot aborts where a cycle was certain or near-certain (immediate
+    write-skew 2-cycle, or an out-neighbor that committed first). *)
+
+val certify_aborts : t -> int
+val lineage_edges : t -> int
+val table_edges : t -> int
+val safe_snapshots : t -> int
+
+val false_positive_rate : t -> float
+(** Upper bound on the fraction of pivot aborts that may have been
+    unnecessary: [1 - confirmed/total] (0 when none occurred). *)

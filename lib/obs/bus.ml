@@ -39,6 +39,11 @@ type event +=
   | Wal_reclaim of { upto_lsn : int; freed_bytes : int }
   | Backpressure of { on : bool; usage : float }
   | Degraded of { subsystem : string; reason : string }
+  | Ssi_siread of { xid : int; rel : int; predicate : bool }
+  | Ssi_rw_edge of { reader : int; writer : int; lineage : bool }
+  | Ssi_pivot_abort of { xid : int; confirmed : bool }
+  | Wsi_certify_abort of { xid : int }
+  | Ssi_safe_snapshot of { xid : int }
 
 let io_op_to_string = function Io_read -> "read" | Io_write -> "write"
 

@@ -77,6 +77,25 @@ type event +=
   | Degraded of { subsystem : string; reason : string }
       (** a subsystem fell back to loud read-only degraded mode instead
           of corrupting state or aborting the process *)
+  | Ssi_siread of { xid : int; rel : int; predicate : bool }
+      (** serializable mode took a SIREAD lock — per-row, or a
+          whole-relation predicate lock ([predicate = true]) for scans *)
+  | Ssi_rw_edge of { reader : int; writer : int; lineage : bool }
+      (** an rw-antidependency edge [reader -> writer] was recorded;
+          [lineage] tells whether it was discovered by walking co-located
+          SIAS version lineage rather than probing the lock table *)
+  | Ssi_pivot_abort of { xid : int; confirmed : bool }
+      (** dangerous-structure detection aborted a pivot; [confirmed]
+          means a neighbor on the structure had already committed (the
+          necessary condition for a real cycle), [false] marks a
+          conservative (possibly false-positive) abort *)
+  | Wsi_certify_abort of { xid : int }
+      (** write-snapshot isolation's read-write certification failed: a
+          key in the read set was overwritten by a concurrent committed
+          transaction *)
+  | Ssi_safe_snapshot of { xid : int }
+      (** a read-only transaction began on a safe snapshot (no concurrent
+          transactions) and is exempt from SIREAD tracking *)
 
 val io_op_to_string : io_op -> string
 (** ["read"] or ["write"]. *)

@@ -36,6 +36,12 @@ type state = {
   (* created on the first resource-pressure event (reclaim, backpressure,
      degraded) so unbounded runs export the historical metric set *)
   pressure : (string, Metrics.counter) Hashtbl.t;
+  (* created on the first SSI/WSI event so plain-SI runs export exactly
+     the historical metric set *)
+  ssi : (string, Metrics.counter) Hashtbl.t;
+  mutable ssi_pivot_total : int;
+  mutable ssi_pivot_confirmed : int;
+  mutable ssi_fpr : Metrics.gauge option;
 }
 
 let memo tbl key fresh =
@@ -248,6 +254,59 @@ let on_event st e =
              Metrics.counter st.m ~help:"Read-only degraded-mode entries"
                ~labels:[ ("subsystem", subsystem) ]
                "sias_degraded_total"))
+  | Bus.Ssi_siread { predicate; _ } ->
+      let kind = if predicate then "predicate" else "key" in
+      Metrics.incr
+        (memo st.ssi ("siread_" ^ kind) (fun () ->
+             Metrics.counter st.m ~help:"SIREAD locks taken"
+               ~labels:[ ("kind", kind) ]
+               "sias_ssi_siread_locks_total"))
+  | Bus.Ssi_rw_edge { lineage; _ } ->
+      let source = if lineage then "lineage" else "table" in
+      Metrics.incr
+        (memo st.ssi ("rw_edge_" ^ source) (fun () ->
+             Metrics.counter st.m
+               ~help:
+                 "rw-antidependency edges observed (lineage = harvested from \
+                  co-located version metadata, table = SIREAD/write-table probe)"
+               ~labels:[ ("source", source) ]
+               "sias_ssi_rw_edges_total"))
+  | Bus.Ssi_pivot_abort { confirmed; _ } ->
+      let c = if confirmed then "true" else "false" in
+      Metrics.incr
+        (memo st.ssi ("pivot_" ^ c) (fun () ->
+             Metrics.counter st.m ~help:"Dangerous-structure pivot aborts"
+               ~labels:[ ("confirmed", c) ]
+               "sias_ssi_pivot_aborts_total"));
+      st.ssi_pivot_total <- st.ssi_pivot_total + 1;
+      if confirmed then st.ssi_pivot_confirmed <- st.ssi_pivot_confirmed + 1;
+      let fpr =
+        match st.ssi_fpr with
+        | Some g -> g
+        | None ->
+            let g =
+              Metrics.gauge st.m
+                ~help:
+                  "Fraction of pivot aborts not confirmed as a committed \
+                   2-cycle (upper bound on false positives)"
+                "sias_ssi_false_positive_rate"
+            in
+            st.ssi_fpr <- Some g;
+            g
+      in
+      Metrics.set_gauge fpr
+        (1.0 -. (float_of_int st.ssi_pivot_confirmed /. float_of_int st.ssi_pivot_total))
+  | Bus.Wsi_certify_abort _ ->
+      Metrics.incr
+        (memo st.ssi "wsi_certify" (fun () ->
+             Metrics.counter st.m ~help:"WSI read-certification aborts"
+               "sias_wsi_certify_aborts_total"))
+  | Bus.Ssi_safe_snapshot _ ->
+      Metrics.incr
+        (memo st.ssi "safe_snapshot" (fun () ->
+             Metrics.counter st.m
+               ~help:"Read-only transactions granted a safe snapshot (no tracking)"
+               "sias_ssi_safe_snapshots_total"))
   | _ -> ()
 
 let attach m bus =
@@ -284,6 +343,10 @@ let attach m bus =
       spans = Hashtbl.create 16;
       repl = None;
       pressure = Hashtbl.create 4;
+      ssi = Hashtbl.create 8;
+      ssi_pivot_total = 0;
+      ssi_pivot_confirmed = 0;
+      ssi_fpr = None;
     }
   in
   Bus.subscribe bus (on_event st)

@@ -141,9 +141,24 @@ module Make (E : Mvcc.Engine.S) = struct
 
   let must_ok = function
     | Ok () -> ()
-    | Error Mvcc.Engine.Write_conflict -> raise (Tx_abort Conflict_abort)
+    | Error Mvcc.Engine.Write_conflict | Error Mvcc.Engine.Serialization_failure ->
+        raise (Tx_abort Conflict_abort)
     | Error Mvcc.Engine.Not_found | Error Mvcc.Engine.Duplicate_key ->
         raise (Tx_abort Failed)
+
+  (* Loader commits run serially; a failure there is a bug, not a
+     retryable conflict. *)
+  let commit_exn eng txn =
+    match E.commit eng txn with
+    | Ok () -> ()
+    | Error e -> invalid_arg ("tpcc load: commit failed: " ^ Mvcc.Engine.error_to_string e)
+
+  (* Commit a workload transaction. On a serialization failure the engine
+     has already aborted the transaction internally, so the outcome is
+     returned directly rather than via [Tx_abort] (whose handler would
+     abort a second time). *)
+  let finish eng txn =
+    match E.commit eng txn with Ok () -> Committed | Error _ -> Conflict_abort
 
   let must_read eng txn table ~pk =
     match E.read eng txn table ~pk with
@@ -164,7 +179,7 @@ module Make (E : Mvcc.Engine.S) = struct
           f txn !i;
           incr i
         done;
-        E.commit eng txn
+        commit_exn eng txn
       done
     in
     (* items are global *)
@@ -176,7 +191,7 @@ module Make (E : Mvcc.Engine.S) = struct
       for d = 1 to s.districts_per_warehouse do
         must_ok (E.insert eng txn tables.district (S.district_row rng ~w ~d))
       done;
-      E.commit eng txn;
+      commit_exn eng txn;
       in_batches s.stock_per_warehouse 100 (fun txn i ->
           must_ok (E.insert eng txn tables.stock (S.stock_row rng s ~w ~i:(i + 1))));
       for d = 1 to s.districts_per_warehouse do
@@ -214,7 +229,7 @@ module Make (E : Mvcc.Engine.S) = struct
         must_ok
           (E.update eng txn tables.district ~pk:dkey (fun row ->
                seti row Col.d_next_o_id (s.initial_orders_per_district + 1)));
-        E.commit eng txn
+        commit_exn eng txn
       done
     done
 
@@ -312,8 +327,7 @@ module Make (E : Mvcc.Engine.S) = struct
           (E.insert eng txn tb.order_line
              (S.order_line_row rng ~okey ~ol ~i_id ~supply_w ~qty ~amount ~delivery_d:0.0))
       done;
-      E.commit eng txn;
-      Committed
+      finish eng txn
     with Tx_abort o ->
       E.abort eng txn;
       o
@@ -363,8 +377,7 @@ module Make (E : Mvcc.Engine.S) = struct
       st.next_h_id <- h_id + 1;
       must_ok
         (E.insert eng txn tb.history (S.history_row rng ~h_id ~c_key ~w ~d ~amount));
-      E.commit eng txn;
-      Committed
+      finish eng txn
     with Tx_abort o ->
       E.abort eng txn;
       o
@@ -395,8 +408,7 @@ module Make (E : Mvcc.Engine.S) = struct
               ~hi:(S.order_line_key ~okey ~ol:15)
           in
           List.iter (fun line -> ignore (geti line Col.ol_qty)) lines);
-      E.commit eng txn;
-      Committed
+      finish eng txn
     with Tx_abort o ->
       E.abort eng txn;
       o
@@ -451,8 +463,7 @@ module Make (E : Mvcc.Engine.S) = struct
                    let row = setf row Col.c_balance (getf row Col.c_balance +. !total) in
                    seti row Col.c_delivery_cnt (geti row Col.c_delivery_cnt + 1)))
       done;
-      E.commit eng txn;
-      Committed
+      finish eng txn
     with Tx_abort o ->
       E.abort eng txn;
       o
@@ -481,8 +492,7 @@ module Make (E : Mvcc.Engine.S) = struct
           | Some srow -> if geti srow Col.s_qty < threshold then incr low
           | None -> ())
         items;
-      E.commit eng txn;
-      Committed
+      finish eng txn
     with Tx_abort o ->
       E.abort eng txn;
       o

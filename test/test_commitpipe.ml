@@ -146,7 +146,7 @@ let test_db_group_delay_zero_determinism () =
       let txn = E.begin_txn eng in
       Result.get_ok
         (E.insert eng txn table [| Mvcc.Value.Int i; Mvcc.Value.Int (i * 7) |]);
-      E.commit eng txn;
+      E.commit eng txn |> Result.get_ok;
       Mvcc.Db.tick db
     done;
     ( Simclock.now db.Mvcc.Db.clock,

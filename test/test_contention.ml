@@ -282,7 +282,7 @@ let test_wound_wait_through_engine () =
   let table = E.create_table eng ~name:"t" ~pk_col:0 () in
   let setup = E.begin_txn eng in
   Result.get_ok (E.insert eng setup table [| Value.Int 1; Value.Int 0 |]);
-  E.commit eng setup;
+  E.commit eng setup |> Result.get_ok;
   let older = E.begin_txn eng in
   let younger = E.begin_txn eng in
   (* the younger transaction grabs the row's writer lock *)
@@ -297,7 +297,7 @@ let test_wound_wait_through_engine () =
   check "younger doomed" true (C.is_doomed db.Mvcc.Db.contention ~xid:younger.Txn.xid);
   (* the victim reaching commit is aborted and told so *)
   (try
-     E.commit eng younger;
+     E.commit eng younger |> Result.get_ok;
      Alcotest.fail "wounded transaction must not commit"
    with C.Wounded x -> checki "victim identified" younger.Txn.xid x);
   check "victim really aborted" true (Txn.status db.Mvcc.Db.txnmgr younger.Txn.xid = Txn.Aborted);
@@ -307,12 +307,12 @@ let test_wound_wait_through_engine () =
          let r = Array.copy r in
          r.(1) <- Value.Int 7;
          r));
-  E.commit eng older;
+  E.commit eng older |> Result.get_ok;
   let final = E.begin_txn eng in
   (match E.read eng final table ~pk:1 with
   | Some r -> checki "older transaction's write survives" 7 (Value.int r.(1))
   | None -> Alcotest.fail "row lost");
-  E.commit eng final;
+  E.commit eng final |> Result.get_ok;
   checki "checker silent throughout" 0 (Sichecker.violation_count ck)
 
 (* ---------------- randomized interleaved torture ---------------- *)
@@ -338,7 +338,7 @@ module Torture (E : Mvcc.Engine.S) = struct
     for k = 0 to nkeys - 1 do
       Result.get_ok (E.insert eng boot table [| Value.Int k; Value.Int 0 |])
     done;
-    E.commit eng boot;
+    E.commit eng boot |> Result.get_ok;
     let committed = Array.make nkeys 0 in
     let slots = Array.make 3 None in
     let fresh = ref 0 in
@@ -364,7 +364,7 @@ module Torture (E : Mvcc.Engine.S) = struct
         if op = 0 then begin
           (* commit: apply the model only if the engine committed *)
           (try
-             E.commit eng sl.txn;
+             E.commit eng sl.txn |> Result.get_ok;
              Hashtbl.iter (fun k v -> committed.(k) <- v) sl.pending
            with C.Wounded _ -> ());
           finish s
@@ -411,7 +411,7 @@ module Torture (E : Mvcc.Engine.S) = struct
       | Some r -> if Value.int r.(1) <> committed.(k) then ok := false
       | None -> ok := false
     done;
-    E.commit eng final;
+    E.commit eng final |> Result.get_ok;
     !ok && Sichecker.violation_count ck = 0
 
   let qcheck_test name =

@@ -23,7 +23,7 @@ module Make (E : Engine.S) = struct
   let with_txn eng f =
     let txn = E.begin_txn eng in
     let r = f txn in
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     r
 
   let put eng table txn k v = E.insert eng txn table (row k v "pad") |> Result.get_ok
@@ -51,7 +51,7 @@ module Make (E : Engine.S) = struct
     (match E.read eng txn table ~pk:1 with
     | Some r -> checki "own update visible" 200 (geti r 1)
     | None -> Alcotest.fail "own update invisible");
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
 
   let test_uncommitted_invisible () =
     let eng, table = fresh () in
@@ -59,10 +59,10 @@ module Make (E : Engine.S) = struct
     put eng table writer 1 100;
     let reader = E.begin_txn eng in
     check "uncommitted invisible" true (E.read eng reader table ~pk:1 = None);
-    E.commit eng writer;
+    E.commit eng writer |> Result.get_ok;
     (* reader's snapshot predates the commit *)
     check "still invisible to old snapshot" true (E.read eng reader table ~pk:1 = None);
-    E.commit eng reader;
+    E.commit eng reader |> Result.get_ok;
     with_txn eng (fun txn -> check "visible to new txn" true (E.read eng txn table ~pk:1 <> None))
 
   let test_snapshot_stability () =
@@ -83,7 +83,7 @@ module Make (E : Engine.S) = struct
     (match E.read eng reader table ~pk:1 with
     | Some r -> checki "still sees 100" 100 (geti r 1)
     | None -> Alcotest.fail "old version vanished");
-    E.commit eng reader;
+    E.commit eng reader |> Result.get_ok;
     with_txn eng (fun txn ->
         match E.read eng txn table ~pk:1 with
         | Some r -> checki "new txn sees 200" 200 (geti r 1)
@@ -112,7 +112,7 @@ module Make (E : Engine.S) = struct
     (* deleted for new snapshots, still there for the old one *)
     with_txn eng (fun txn -> check "gone" true (E.read eng txn table ~pk:1 = None));
     check "old snapshot still sees it" true (E.read eng old_reader table ~pk:1 <> None);
-    E.commit eng old_reader;
+    E.commit eng old_reader |> Result.get_ok;
     (* reinsert after delete works *)
     with_txn eng (fun txn -> put eng table txn 1 500);
     with_txn eng (fun txn ->
@@ -169,7 +169,7 @@ module Make (E : Engine.S) = struct
     (* t1 still running: t2 must not update the same item *)
     check "concurrent update conflicts" true
       (E.update eng t2 table ~pk:1 (fun r -> r) = Error Engine.Write_conflict);
-    E.commit eng t1;
+    E.commit eng t1 |> Result.get_ok;
     (* t1 committed after t2's snapshot: still a conflict (lost update) *)
     check "lost update prevented" true
       (E.update eng t2 table ~pk:1 (fun r -> r) = Error Engine.Write_conflict);
@@ -267,7 +267,7 @@ module Make (E : Engine.S) = struct
     (match E.read eng old_reader table ~pk:1 with
     | Some r -> checki "old version survives gc" 100 (geti r 1)
     | None -> Alcotest.fail "gc destroyed a visible version");
-    E.commit eng old_reader
+    E.commit eng old_reader |> Result.get_ok
 
   let test_crash_recovery_committed_survive () =
     let eng, table = fresh () in
@@ -355,7 +355,7 @@ module Make (E : Engine.S) = struct
                 match E.delete eng txn table ~pk:k with
                 | Ok () -> Hashtbl.remove model k
                 | Error _ -> ()));
-            E.commit eng txn)
+            E.commit eng txn |> Result.get_ok)
           ops;
         let txn = E.begin_txn eng in
         let ok = ref true in
@@ -365,7 +365,7 @@ module Make (E : Engine.S) = struct
           if got <> expect then ok := false
         done;
         let visible = E.scan eng txn table (fun _ -> ()) in
-        E.commit eng txn;
+        E.commit eng txn |> Result.get_ok;
         !ok && visible = Hashtbl.length model)
 
   let suite =

@@ -76,7 +76,7 @@ module Runner (E : Engine.S) = struct
         | Commit s -> (
             match slots.(s) with
             | Some txn ->
-                E.commit eng txn;
+                E.commit eng txn |> Result.get_ok;
                 slots.(s) <- None;
                 emit (Printf.sprintf "commit %d" s)
             | None -> ())
@@ -135,7 +135,7 @@ module Runner (E : Engine.S) = struct
       | None -> ()
     done;
     let count = E.scan eng txn table (fun _ -> ()) in
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     emit (Printf.sprintf "count=%d" count);
     Buffer.contents trace
 end
@@ -185,7 +185,7 @@ let test_write_skew_allowed () =
     let txn = E.begin_txn eng in
     E.insert eng txn table (row 1 10) |> Result.get_ok;
     E.insert eng txn table (row 2 10) |> Result.get_ok;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     let t1 = E.begin_txn eng in
     let t2 = E.begin_txn eng in
     ignore (E.read eng t1 table ~pk:1);
@@ -204,8 +204,8 @@ let test_write_skew_allowed () =
           r.(1) <- Value.Int 0;
           r)
     in
-    E.commit eng t1;
-    E.commit eng t2;
+    E.commit eng t1 |> Result.get_ok;
+    E.commit eng t2 |> Result.get_ok;
     r1 = Ok () && r2 = Ok ()
   in
   check "SI allows write skew" true (verify (module Si));
@@ -218,7 +218,7 @@ let test_conflict_symmetry () =
     let table = E.create_table eng ~name:"t" ~pk_col:0 () in
     let txn = E.begin_txn eng in
     E.insert eng txn table (row 1 10) |> Result.get_ok;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     let t1 = E.begin_txn eng in
     let t2 = E.begin_txn eng in
     let a =
@@ -230,7 +230,7 @@ let test_conflict_symmetry () =
     E.abort eng t1;
     (* after the first updater aborts, the second may retry and win *)
     let c = E.update eng t2 table ~pk:1 (fun r -> r) = Ok () in
-    E.commit eng t2;
+    E.commit eng t2 |> Result.get_ok;
     (a, b, c)
   in
   let si = observe (module Si) and sias = observe (module Sias) in

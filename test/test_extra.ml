@@ -30,7 +30,7 @@ module Gc_recovery (E : Engine.S) = struct
     let commit f =
       let txn = E.begin_txn eng in
       f txn;
-      E.commit eng txn
+      E.commit eng txn |> Result.get_ok
     in
     commit (fun txn ->
         for k = 1 to 200 do
@@ -60,7 +60,7 @@ module Gc_recovery (E : Engine.S) = struct
           let expect = if k <= 50 then 99 else 4 in
           checki (Printf.sprintf "row %d value" k) expect v)
     in
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     checki "all rows survive gc + crash" 200 n
 end
 
@@ -78,7 +78,7 @@ let test_recovery_after_checkpoint_truncation () =
   for k = 1 to 40 do
     E.insert eng txn table (row k k) |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   (* checkpoint: everything on disk; WAL before this point is recyclable
      except commit records (our clog replay needs them, like pg_xact) *)
   Bufpool.flush_all db.Db.pool ~sync:false;
@@ -87,7 +87,7 @@ let test_recovery_after_checkpoint_truncation () =
   for k = 41 to 60 do
     E.insert eng txn table (row k k) |> Result.get_ok
   done;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   (* drop heap records below the checkpoint, keep commit/abort records *)
   let keep =
     List.filter
@@ -104,7 +104,7 @@ let test_recovery_after_checkpoint_truncation () =
   E.recover eng;
   let txn = E.begin_txn eng in
   let n = E.scan eng txn table (fun _ -> ()) in
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   checki "pre-checkpoint rows from disk + post-checkpoint from WAL" 60 n
 
 (* ---------- SIAS-V vector spilling ---------- *)
@@ -117,7 +117,7 @@ let test_vector_spill_overflow () =
   let commit f =
     let txn = E.begin_txn eng in
     f txn;
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
   in
   commit (fun txn -> E.insert eng txn table (row 1 0) |> Result.get_ok);
   (* hold a snapshot so nothing is collectible, then overflow the vector *)
@@ -130,7 +130,7 @@ let test_vector_spill_overflow () =
   (match E.read eng old_reader table ~pk:1 with
   | Some r -> checki "old snapshot reads initial version" 0 (Value.int r.(1))
   | None -> Alcotest.fail "old version lost in spill");
-  E.commit eng old_reader;
+  E.commit eng old_reader |> Result.get_ok;
   let stats = E.table_stats eng table in
   checki "all versions reachable across overflow chain" (n_updates + 1)
     stats.Engine.total_versions;
@@ -151,17 +151,17 @@ let test_vector_read_cost_beats_chain () =
     let table = E.create_table eng ~name:"t" ~pk_col:0 () in
     let txn = E.begin_txn eng in
     E.insert eng txn table (row 1 0) |> Result.get_ok;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     let old_reader = E.begin_txn eng in
     for i = 1 to updates do
       let txn = E.begin_txn eng in
       E.update eng txn table ~pk:1 (set_v i) |> Result.get_ok;
-      E.commit eng txn
+      E.commit eng txn |> Result.get_ok
     done;
     let _, v0 = E.chain_walk_stats eng in
     ignore (E.read eng old_reader table ~pk:1);
     let _, v1 = E.chain_walk_stats eng in
-    E.commit eng old_reader;
+    E.commit eng old_reader |> Result.get_ok;
     v1 - v0
   in
   check
@@ -174,15 +174,15 @@ let test_vector_read_cost_beats_chain () =
   let table = E.create_table eng ~name:"t" ~pk_col:0 () in
   let txn = E.begin_txn eng in
   E.insert eng txn table (row 1 0) |> Result.get_ok;
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   let old_reader = E.begin_txn eng in
   for i = 1 to updates do
     let txn = E.begin_txn eng in
     E.update eng txn table ~pk:1 (set_v i) |> Result.get_ok;
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
   done;
   ignore (E.read eng old_reader table ~pk:1);
-  E.commit eng old_reader;
+  E.commit eng old_reader |> Result.get_ok;
   check "vector fetches per read bounded by spill chain" true
     (E.fetches_per_read eng < float_of_int updates)
 
@@ -283,7 +283,7 @@ let test_trim_reaches_ftl () =
   let commit f =
     let txn = E.begin_txn eng in
     f txn;
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
   in
   commit (fun txn ->
       for k = 1 to 300 do

@@ -90,7 +90,7 @@ module Make (E : Engine.S) = struct
             let txn = E.begin_txn eng in
             (match E.insert eng txn table (row k v) with
             | Ok () ->
-                E.commit eng txn;
+                E.commit eng txn |> Result.get_ok;
                 Hashtbl.replace model k v
             | Error _ -> E.abort eng txn)
         | C_update (k, v) ->
@@ -102,14 +102,14 @@ module Make (E : Engine.S) = struct
                    r)
              with
             | Ok () ->
-                E.commit eng txn;
+                E.commit eng txn |> Result.get_ok;
                 Hashtbl.replace model k v
             | Error _ -> E.abort eng txn)
         | C_delete k ->
             let txn = E.begin_txn eng in
             (match E.delete eng txn table ~pk:k with
             | Ok () ->
-                E.commit eng txn;
+                E.commit eng txn |> Result.get_ok;
                 Hashtbl.remove model k
             | Error _ -> E.abort eng txn)
         | C_flush_all -> Bufpool.flush_all db.Db.pool ~sync:false
@@ -136,7 +136,7 @@ module Make (E : Engine.S) = struct
       done;
       if E.read eng txn table ~pk:999 <> None then ok := false;
       let visible = E.scan eng txn table (fun _ -> ()) in
-      E.commit eng txn;
+      E.commit eng txn |> Result.get_ok;
       !ok && visible = Hashtbl.length model
     with
     | Bufpool.Corrupt_page _ | Wal.Corrupt_wal _ ->

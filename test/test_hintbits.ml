@@ -164,7 +164,7 @@ module Equiv (E : Engine.S) = struct
         | Commit s -> (
             match slots.(s) with
             | Some txn ->
-                E.commit eng txn;
+                E.commit eng txn |> Result.get_ok;
                 slots.(s) <- None
             | None -> ())
         | Abort s -> (
@@ -227,7 +227,7 @@ module Equiv (E : Engine.S) = struct
     for k = 1 to 10 do
       check_read txn k
     done;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     true
 
   let test name =

@@ -256,7 +256,7 @@ let test_engine_registry () =
   let table = E.create_table eng ~name:"t" ~pk_col:0 () in
   let txn = E.begin_txn eng in
   Result.get_ok (E.insert eng txn table [| Mvcc.Value.Int 1; Mvcc.Value.Int 9 |]);
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   let txn = E.begin_txn eng in
   (match E.read eng txn table ~pk:1 with
   | Some row -> (
@@ -264,7 +264,7 @@ let test_engine_registry () =
       | Mvcc.Value.Int v -> checki "registry module round-trips" 9 v
       | _ -> fail "wrong column type")
   | None -> fail "row not visible");
-  E.commit eng txn
+  E.commit eng txn |> Result.get_ok
 
 (* ---------------- blocktrace record retention ---------------- *)
 
@@ -391,6 +391,85 @@ let test_recorder_reconciles_blocktrace () =
   checki "commit counter matches driver" committed
     (metric "sias_txn_total" [ ("event", "commit") ])
 
+(* The recorder's sias_ssi_* / sias_wsi_* metric families must reconcile
+   with the Ssimgr's own counters: every counter increment publishes one
+   bus event, so with the recorder attached the two views of a run agree
+   exactly. Uses sias-v so both edge provenances (lineage and table)
+   appear. *)
+let test_ssi_metrics_reconcile () =
+  let module E = Mvcc.Sias_vector in
+  let module Db = Mvcc.Db in
+  let module S = Mvcc.Ssimgr in
+  let module V = Mvcc.Value in
+  let bus = Bus.create () in
+  let m = Metrics.create () in
+  Sias_obs.Recorder.attach m bus;
+  let db = Db.create ~bus ~isolation:`Ssi () in
+  let eng = E.create db in
+  let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+  let s = E.begin_txn eng in
+  E.insert eng s table [| V.Int 1; V.Int 1 |] |> Result.get_ok;
+  E.insert eng s table [| V.Int 2; V.Int 1 |] |> Result.get_ok;
+  E.commit eng s |> Result.get_ok;
+  (* a write-skew round: exactly one pivot abort *)
+  let t1 = E.begin_txn eng in
+  let t2 = E.begin_txn eng in
+  ignore (E.read eng t1 table ~pk:2);
+  ignore (E.read eng t2 table ~pk:1);
+  let zero r = (let r = Array.copy r in r.(1) <- V.Int 0; r) in
+  E.update eng t1 table ~pk:1 zero |> Result.get_ok;
+  E.update eng t2 table ~pk:2 zero |> Result.get_ok;
+  let r1 = E.commit eng t1 in
+  let r2 = E.commit eng t2 in
+  check bool "exactly one commit refused" true
+    (Result.is_ok r1 <> Result.is_ok r2);
+  (* a safe snapshot: read-only, no concurrents *)
+  let ro = Db.begin_txn ~read_only:true db in
+  ignore (E.read eng ro table ~pk:1);
+  check bool "safe snapshot commits" true (E.commit eng ro = Ok ());
+  let mgr = Option.get (Db.ssimgr db) in
+  let metric name labels =
+    match Metrics.value m ~labels name with Some v -> int_of_float v | None -> 0
+  in
+  checki "SIREAD lock metric reconciles" (S.siread_locks mgr)
+    (metric "sias_ssi_siread_locks_total" [ ("kind", "key") ]
+    + metric "sias_ssi_siread_locks_total" [ ("kind", "predicate") ]);
+  checki "lineage rw-edge metric reconciles" (S.lineage_edges mgr)
+    (metric "sias_ssi_rw_edges_total" [ ("source", "lineage") ]);
+  checki "table rw-edge metric reconciles" (S.table_edges mgr)
+    (metric "sias_ssi_rw_edges_total" [ ("source", "table") ]);
+  checki "pivot abort metric reconciles" (S.pivot_aborts mgr)
+    (metric "sias_ssi_pivot_aborts_total" [ ("confirmed", "true") ]
+    + metric "sias_ssi_pivot_aborts_total" [ ("confirmed", "false") ]);
+  checki "confirmed pivot metric reconciles" (S.confirmed_pivot_aborts mgr)
+    (metric "sias_ssi_pivot_aborts_total" [ ("confirmed", "true") ]);
+  checkf "false-positive-rate gauge reconciles" (S.false_positive_rate mgr)
+    (Option.value ~default:(-1.0)
+       (Metrics.value m "sias_ssi_false_positive_rate"));
+  checki "safe snapshot metric reconciles" (S.safe_snapshots mgr)
+    (metric "sias_ssi_safe_snapshots_total" []);
+  check bool "pivot abort was observed" true (S.pivot_aborts mgr > 0);
+  (* same bus and registry, a wsi context: certification aborts *)
+  let db2 = Db.create ~bus ~isolation:`Wsi () in
+  let eng2 = E.create db2 in
+  let t = E.create_table eng2 ~name:"t" ~pk_col:0 () in
+  let s = E.begin_txn eng2 in
+  E.insert eng2 s t [| V.Int 1; V.Int 1 |] |> Result.get_ok;
+  E.insert eng2 s t [| V.Int 2; V.Int 1 |] |> Result.get_ok;
+  E.commit eng2 s |> Result.get_ok;
+  let a = E.begin_txn eng2 in
+  let b = E.begin_txn eng2 in
+  ignore (E.read eng2 a t ~pk:1);
+  E.update eng2 a t ~pk:2 zero |> Result.get_ok;
+  E.update eng2 b t ~pk:1 zero |> Result.get_ok;
+  E.commit eng2 b |> Result.get_ok;
+  check bool "wsi read certification refuses the commit" true
+    (Result.is_error (E.commit eng2 a));
+  let mgr2 = Option.get (Db.ssimgr db2) in
+  checki "wsi certify metric reconciles" (S.certify_aborts mgr2)
+    (metric "sias_wsi_certify_aborts_total" []);
+  check bool "certify abort was observed" true (S.certify_aborts mgr2 > 0)
+
 let suite =
   [
     test_case "bus: subscribe/publish/active" `Quick test_bus_basics;
@@ -410,4 +489,6 @@ let suite =
       test_device_info_reports_trace_drops;
     test_case "recorder reconciles with blocktrace" `Quick
       test_recorder_reconciles_blocktrace;
+    test_case "ssi/wsi metrics reconcile with ssimgr counters" `Quick
+      test_ssi_metrics_reconcile;
   ]

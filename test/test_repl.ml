@@ -84,7 +84,7 @@ module Make (E : Engine.S) = struct
         (List.init keys (fun i -> i + 1))
     in
     let visible = E.scan eng txn table (fun _ -> ()) in
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     (rows, visible)
 
   let run mode s =
@@ -116,7 +116,7 @@ module Make (E : Engine.S) = struct
           let txn = E.begin_txn eng in
           match E.insert eng txn table (row k v) with
           | Ok () ->
-              E.commit eng txn;
+              E.commit eng txn |> Result.get_ok;
               Hashtbl.replace model k v;
               committed txn.Txn.xid
           | Error _ -> E.abort eng txn)
@@ -129,7 +129,7 @@ module Make (E : Engine.S) = struct
                 r)
           with
           | Ok () ->
-              E.commit eng txn;
+              E.commit eng txn |> Result.get_ok;
               Hashtbl.replace model k v;
               committed txn.Txn.xid
           | Error _ -> E.abort eng txn)
@@ -137,7 +137,7 @@ module Make (E : Engine.S) = struct
           let txn = E.begin_txn eng in
           match E.delete eng txn table ~pk:k with
           | Ok () ->
-              E.commit eng txn;
+              E.commit eng txn |> Result.get_ok;
               Hashtbl.remove model k;
               committed txn.Txn.xid
           | Error _ -> E.abort eng txn)
@@ -149,7 +149,7 @@ module Make (E : Engine.S) = struct
           Repl.refresh repl;
           let txn = E.begin_txn seng in
           ignore (E.read seng txn stable ~pk:k);
-          E.commit seng txn
+          E.commit seng txn |> Result.get_ok
     in
     try
       List.iter apply s.ops;
@@ -206,10 +206,10 @@ module Make (E : Engine.S) = struct
       let write_ok =
         match E.insert seng txn stable (row 999 777) with
         | Ok () ->
-            E.commit seng txn;
+            E.commit seng txn |> Result.get_ok;
             let txn2 = E.begin_txn seng in
             let got = E.read seng txn2 stable ~pk:999 in
-            E.commit seng txn2;
+            E.commit seng txn2 |> Result.get_ok;
             got = Some (row 999 777)
         | Error _ ->
             E.abort seng txn;

@@ -26,7 +26,7 @@ let fresh () =
 let commit_one eng f =
   let txn = E.begin_txn eng in
   f txn;
-  E.commit eng txn
+  E.commit eng txn |> Result.get_ok
 
 let set_v v r =
   let r = Array.copy r in
@@ -59,7 +59,7 @@ let test_chain_walk_depth () =
   let w1, v1 = E.chain_walk_stats eng in
   check "walk happened" true (w1 > w0);
   check "walked several versions deep" true (v1 - v0 >= 6);
-  E.commit eng old_reader
+  E.commit eng old_reader |> Result.get_ok
 
 let test_append_only_writes () =
   let eng, table, db = fresh () in
@@ -103,14 +103,14 @@ let test_si_writes_scatter_sias_writes_do_not () =
     for k = 1 to 200 do
       Si.insert eng txn table (row k k) |> Result.get_ok
     done;
-    Si.commit eng txn;
+    Si.commit eng txn |> Result.get_ok;
     Bufpool.flush_all db.Db.pool ~sync:false;
     let before = Blocktrace.write_count (Device.trace db.Db.device) in
     let txn = Si.begin_txn eng in
     for k = 1 to 200 do
       Si.update eng txn table ~pk:k (set_v (k + 1)) |> Result.get_ok
     done;
-    Si.commit eng txn;
+    Si.commit eng txn |> Result.get_ok;
     Bufpool.flush_all db.Db.pool ~sync:false;
     Blocktrace.write_count (Device.trace db.Db.device) - before
   in
@@ -122,14 +122,14 @@ let test_si_writes_scatter_sias_writes_do_not () =
     for k = 1 to 200 do
       E.insert eng txn table (row k k) |> Result.get_ok
     done;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     Bufpool.flush_all db.Db.pool ~sync:false;
     let before = Blocktrace.write_count (Device.trace db.Db.device) in
     let txn = E.begin_txn eng in
     for k = 1 to 200 do
       E.update eng txn table ~pk:k (set_v (k + 1)) |> Result.get_ok
     done;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     Bufpool.flush_all db.Db.pool ~sync:false;
     Blocktrace.write_count (Device.trace db.Db.device) - before
   in
@@ -234,7 +234,7 @@ let test_scan_vidmap_equals_traditional () =
   in
   let n1, rows1 = collect E.scan_vidmap in
   let n2, rows2 = collect E.scan_traditional in
-  E.commit eng txn;
+  E.commit eng txn |> Result.get_ok;
   checki "same count" n1 n2;
   check "same rows" true (rows1 = rows2);
   checki "99 rows" 99 n1

@@ -1,29 +1,44 @@
-(* Serializable SI (the [10]/[28] extension): write skew and other SI
-   anomalies must be rejected, while serializable histories commit. Run
-   against all three engines through the SSI functor. *)
+(* First-class isolation levels: write skew and other SI anomalies must
+   be rejected under [`Ssi] (PostgreSQL-style dangerous-structure
+   aborts) and [`Wsi] (read-set certification) while serializable
+   histories commit — across all four registered engines and every
+   commit mode. The [Sichecker]'s cycle detector adjudicates: anomalies
+   it observes under plain SI must be absent (via abort) under the
+   serializable levels. *)
 
 module Value = Mvcc.Value
 module Db = Mvcc.Db
 module Engine = Mvcc.Engine
+module Ssimgr = Mvcc.Ssimgr
+module Sichecker = Mvcc.Sichecker
+module Bus = Sias_obs.Bus
+module Commitpipe = Sias_wal.Commitpipe
 
 let check = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 
 let row k v = [| Value.Int k; Value.Int v |]
 
+let engines = [ "si"; "si-cv"; "sias"; "sias-v" ]
+
+let level_aborts db =
+  match Db.ssimgr db with
+  | None -> 0
+  | Some m -> Ssimgr.pivot_aborts m + Ssimgr.certify_aborts m
+
+let is_ser = function Error Engine.Serialization_failure -> true | _ -> false
+
 module Make (E : Engine.S) = struct
-  module S = Mvcc.Ssi.Make (E)
+  let fresh isolation =
+    let db = Db.create ~isolation () in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    (db, eng, table)
 
-  let fresh () =
-    let db = Db.create () in
-    let ssi = S.create db in
-    let table = S.create_table ssi ~name:"t" ~pk_col:0 () in
-    (ssi, table)
-
-  let seed ssi table pairs =
-    let txn = S.begin_txn ssi in
-    List.iter (fun (k, v) -> S.insert ssi txn table (row k v) |> Result.get_ok) pairs;
-    S.commit ssi txn |> Result.get_ok
+  let seed eng table pairs =
+    let txn = E.begin_txn eng in
+    List.iter (fun (k, v) -> E.insert eng txn table (row k v) |> Result.get_ok) pairs;
+    E.commit eng txn |> Result.get_ok
 
   let set_v v r =
     let r = Array.copy r in
@@ -31,142 +46,304 @@ module Make (E : Engine.S) = struct
     r
 
   (* The canonical write-skew: both txns read x and y, T1 writes x, T2
-     writes y. Plain SI commits both; SSI must abort at least one. *)
-  let test_write_skew_prevented () =
-    let ssi, table = fresh () in
-    seed ssi table [ (1, 50); (2, 50) ];
-    let t1 = S.begin_txn ssi in
-    let t2 = S.begin_txn ssi in
-    ignore (S.read ssi t1 table ~pk:1);
-    ignore (S.read ssi t1 table ~pk:2);
-    ignore (S.read ssi t2 table ~pk:1);
-    ignore (S.read ssi t2 table ~pk:2);
-    S.update ssi t1 table ~pk:1 (set_v 0) |> Result.get_ok;
-    S.update ssi t2 table ~pk:2 (set_v 0) |> Result.get_ok;
-    let r1 = S.commit ssi t1 in
-    let r2 = S.commit ssi t2 in
-    check "at least one transaction aborted" true (r1 = Error Engine.Write_conflict || r2 = Error Engine.Write_conflict);
-    check "pivot counted" true (S.aborted_pivots ssi >= 1);
+     writes y. Plain SI commits both; SSI/WSI must abort at least one. *)
+  let test_write_skew_prevented isolation () =
+    let db, eng, table = fresh isolation in
+    seed eng table [ (1, 50); (2, 50) ];
+    let t1 = E.begin_txn eng in
+    let t2 = E.begin_txn eng in
+    ignore (E.read eng t1 table ~pk:1);
+    ignore (E.read eng t1 table ~pk:2);
+    ignore (E.read eng t2 table ~pk:1);
+    ignore (E.read eng t2 table ~pk:2);
+    E.update eng t1 table ~pk:1 (set_v 0) |> Result.get_ok;
+    E.update eng t2 table ~pk:2 (set_v 0) |> Result.get_ok;
+    let r1 = E.commit eng t1 in
+    let r2 = E.commit eng t2 in
+    check "at least one transaction aborted" true (is_ser r1 || is_ser r2);
+    check "abort counted" true (level_aborts db >= 1);
     (* the surviving state is one of the two serializable outcomes *)
-    let t = S.begin_txn ssi in
-    let v1 = Value.int (Option.get (S.read ssi t table ~pk:1)).(1) in
-    let v2 = Value.int (Option.get (S.read ssi t table ~pk:2)).(1) in
-    S.commit ssi t |> Result.get_ok;
+    let t = E.begin_txn eng in
+    let v1 = Value.int (Option.get (E.read eng t table ~pk:1)).(1) in
+    let v2 = Value.int (Option.get (E.read eng t table ~pk:2)).(1) in
+    E.commit eng t |> Result.get_ok;
     check "not both decremented" true (not (v1 = 0 && v2 = 0))
 
-  let test_serial_txns_unaffected () =
-    let ssi, table = fresh () in
-    seed ssi table [ (1, 10) ];
+  let test_serial_txns_unaffected isolation () =
+    let db, eng, table = fresh isolation in
+    seed eng table [ (1, 10) ];
     for i = 1 to 20 do
-      let txn = S.begin_txn ssi in
-      S.update ssi txn table ~pk:1 (set_v i) |> Result.get_ok;
-      check "serial commits succeed" true (S.commit ssi txn = Ok ())
+      let txn = E.begin_txn eng in
+      E.update eng txn table ~pk:1 (set_v i) |> Result.get_ok;
+      check "serial commits succeed" true (E.commit eng txn = Ok ())
     done;
-    checki "no pivots aborted" 0 (S.aborted_pivots ssi)
+    checki "no serialization aborts" 0 (level_aborts db)
 
-  let test_read_only_never_pivot () =
-    let ssi, table = fresh () in
-    seed ssi table [ (1, 10); (2, 20) ];
-    let reader = S.begin_txn ssi in
-    ignore (S.read ssi reader table ~pk:1);
-    let writer = S.begin_txn ssi in
-    S.update ssi writer table ~pk:1 (set_v 99) |> Result.get_ok;
-    S.commit ssi writer |> Result.get_ok;
-    ignore (S.read ssi reader table ~pk:2);
-    (* the reader has only outgoing edges: not a pivot *)
-    check "read-only txn commits" true (S.commit ssi reader = Ok ())
+  let test_read_only_never_pivot isolation () =
+    let _, eng, table = fresh isolation in
+    seed eng table [ (1, 10); (2, 20) ];
+    let reader = E.begin_txn eng in
+    ignore (E.read eng reader table ~pk:1);
+    let writer = E.begin_txn eng in
+    E.update eng writer table ~pk:1 (set_v 99) |> Result.get_ok;
+    E.commit eng writer |> Result.get_ok;
+    ignore (E.read eng reader table ~pk:2);
+    (* only outgoing edges (SSI) / an empty write set (WSI): commits *)
+    check "read-only txn commits" true (E.commit eng reader = Ok ())
 
-  let test_disjoint_writers_commit () =
-    let ssi, table = fresh () in
-    seed ssi table [ (1, 10); (2, 20) ];
-    let t1 = S.begin_txn ssi in
-    let t2 = S.begin_txn ssi in
+  let test_disjoint_writers_commit isolation () =
+    let _, eng, table = fresh isolation in
+    seed eng table [ (1, 10); (2, 20) ];
+    let t1 = E.begin_txn eng in
+    let t2 = E.begin_txn eng in
     (* no shared reads: T1 touches only key 1, T2 only key 2 *)
-    S.update ssi t1 table ~pk:1 (set_v 11) |> Result.get_ok;
-    S.update ssi t2 table ~pk:2 (set_v 22) |> Result.get_ok;
-    check "t1 commits" true (S.commit ssi t1 = Ok ());
-    check "t2 commits" true (S.commit ssi t2 = Ok ())
+    E.update eng t1 table ~pk:1 (set_v 11) |> Result.get_ok;
+    E.update eng t2 table ~pk:2 (set_v 22) |> Result.get_ok;
+    check "t1 commits" true (E.commit eng t1 = Ok ());
+    check "t2 commits" true (E.commit eng t2 = Ok ())
 
-  let test_scan_predicate_conflict () =
+  let test_scan_predicate_conflict isolation () =
     (* T1 scans the table (predicate read), T2 inserts a row T1 didn't
        see, T1 writes something based on its scan: dangerous structure *)
-    let ssi, table = fresh () in
-    seed ssi table [ (1, 10) ];
-    let t1 = S.begin_txn ssi in
-    let t2 = S.begin_txn ssi in
-    let _ = S.scan ssi t1 table (fun _ -> ()) in
-    S.insert ssi t2 table (row 5 50) |> Result.get_ok;
+    let _, eng, table = fresh isolation in
+    seed eng table [ (1, 10) ];
+    let t1 = E.begin_txn eng in
+    let t2 = E.begin_txn eng in
+    let _ = E.scan eng t1 table (fun _ -> ()) in
+    E.insert eng t2 table (row 5 50) |> Result.get_ok;
     (* T2 also reads something T1 writes *)
-    ignore (S.read ssi t2 table ~pk:1);
-    S.update ssi t1 table ~pk:1 (set_v 0) |> Result.get_ok;
-    let r2 = S.commit ssi t2 in
-    let r1 = S.commit ssi t1 in
-    check "cycle broken" true (r1 = Error Engine.Write_conflict || r2 = Error Engine.Write_conflict)
+    ignore (E.read eng t2 table ~pk:1);
+    E.update eng t1 table ~pk:1 (set_v 0) |> Result.get_ok;
+    let r2 = E.commit eng t2 in
+    let r1 = E.commit eng t1 in
+    check "cycle broken" true (is_ser r1 || is_ser r2)
 
-  let suite name =
+  let suite name isolation =
     [
-      Alcotest.test_case (name ^ ": write skew prevented") `Quick test_write_skew_prevented;
-      Alcotest.test_case (name ^ ": serial txns unaffected") `Quick test_serial_txns_unaffected;
-      Alcotest.test_case (name ^ ": read-only never pivot") `Quick test_read_only_never_pivot;
+      Alcotest.test_case (name ^ ": write skew prevented") `Quick
+        (test_write_skew_prevented isolation);
+      Alcotest.test_case (name ^ ": serial txns unaffected") `Quick
+        (test_serial_txns_unaffected isolation);
+      Alcotest.test_case (name ^ ": read-only never pivot") `Quick
+        (test_read_only_never_pivot isolation);
       Alcotest.test_case (name ^ ": disjoint writers commit") `Quick
-        test_disjoint_writers_commit;
+        (test_disjoint_writers_commit isolation);
       Alcotest.test_case (name ^ ": scan predicate conflict") `Quick
-        test_scan_predicate_conflict;
+        (test_scan_predicate_conflict isolation);
     ]
 end
 
-module Ssi_si = Make (Mvcc.Si_engine)
-module Ssi_sias = Make (Mvcc.Sias_engine)
-module Ssi_vec = Make (Mvcc.Sias_vector)
+let scenario_suite key label isolation =
+  let _, (module E : Engine.S) = Engine.resolve_exn key in
+  let module M = Make (E) in
+  M.suite (key ^ "/" ^ label) isolation
 
-(* Property: under SSI, a committed history over two counters never
-   violates the invariant x + y >= 0 that write skew breaks. *)
-let qcheck_no_write_skew =
-  QCheck.Test.make ~name:"SSI preserves sum invariant under racing decrements" ~count:60
-    QCheck.(list_of_size Gen.(int_range 2 30) (pair bool (int_range 1 40)))
+(* Fekete et al.'s read-only anomaly, run at every level. Under SI all
+   three commit and the checker records the T1 -> T2 -> T3 -> T1 cycle;
+   under SSI T1 is the pivot (in-edge from the committed reader T3,
+   out-edge to the committed writer T2); under WSI T1 fails read
+   certification against T2's concurrent committed write. *)
+let test_read_only_anomaly key () =
+  let _, (module E : Engine.S) = Engine.resolve_exn key in
+  let set v r =
+    let r = Array.copy r in
+    r.(1) <- Value.Int v;
+    r
+  in
+  let run isolation =
+    let bus = Bus.create () in
+    let db = Db.create ~bus ~isolation () in
+    let ck = Sichecker.attach bus in
+    let eng = E.create db in
+    let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+    let s = E.begin_txn eng in
+    E.insert eng s table (row 1 0) |> Result.get_ok;
+    E.insert eng s table (row 2 0) |> Result.get_ok;
+    E.commit eng s |> Result.get_ok;
+    let t1 = E.begin_txn eng in
+    let t2 = E.begin_txn eng in
+    ignore (E.read eng t1 table ~pk:1);
+    ignore (E.read eng t1 table ~pk:2);
+    E.update eng t2 table ~pk:1 (set 20) |> Result.get_ok;
+    let r2 = E.commit eng t2 in
+    let t3 = E.begin_txn eng in
+    let x3 = Value.int (Option.get (E.read eng t3 table ~pk:1)).(1) in
+    ignore (E.read eng t3 table ~pk:2);
+    let r3 = E.commit eng t3 in
+    E.update eng t1 table ~pk:2 (set (-11)) |> Result.get_ok;
+    let r1 = E.commit eng t1 in
+    checki "no SI violations" 0 (Sichecker.violation_count ck);
+    (r1, r2, r3, x3, Sichecker.cycle_count ck)
+  in
+  let r1, r2, r3, x3, cycles = run `Si in
+  check "si: all commit" true (r1 = Ok () && r2 = Ok () && r3 = Ok ());
+  checki "si: T3 saw the deposit" 20 x3;
+  check "si: checker observed the cycle" true (cycles >= 1);
+  List.iter
+    (fun isolation ->
+      let r1, r2, r3, _, cycles = run isolation in
+      check "serializable: T1 aborted" true (is_ser r1);
+      check "serializable: T2/T3 commit" true (r2 = Ok () && r3 = Ok ());
+      checki "serializable: no cycles" 0 cycles)
+    [ `Ssi; `Wsi ]
+
+(* Crash semantics: SIREAD locks, rw edges and doomed flags are volatile
+   — none of it may survive {!Db.crash}, so post-recovery serial commits
+   can never trip a stale dangerous structure. *)
+let test_crash_wipes_tracking key () =
+  let _, (module E : Engine.S) = Engine.resolve_exn key in
+  let db = Db.create ~isolation:`Ssi () in
+  let eng = E.create db in
+  let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+  let set_v v r =
+    let r = Array.copy r in
+    r.(1) <- Value.Int v;
+    r
+  in
+  let s = E.begin_txn eng in
+  E.insert eng s table (row 1 0) |> Result.get_ok;
+  E.insert eng s table (row 2 0) |> Result.get_ok;
+  E.commit eng s |> Result.get_ok;
+  (* a half-built dangerous structure, in flight when the crash hits *)
+  let t1 = E.begin_txn eng in
+  let t2 = E.begin_txn eng in
+  ignore (E.read eng t1 table ~pk:1);
+  ignore (E.read eng t1 table ~pk:2);
+  ignore (E.read eng t2 table ~pk:1);
+  ignore (E.read eng t2 table ~pk:2);
+  E.update eng t1 table ~pk:1 (set_v 7) |> Result.get_ok;
+  E.update eng t2 table ~pk:2 (set_v 7) |> Result.get_ok;
+  let mgr = Option.get (Db.ssimgr db) in
+  check "locks were taken before the crash" true (Ssimgr.siread_locks mgr > 0);
+  Db.crash db;
+  E.recover eng;
+  for i = 1 to 10 do
+    let txn = E.begin_txn eng in
+    ignore (E.read eng txn table ~pk:1);
+    ignore (E.read eng txn table ~pk:2);
+    E.update eng txn table ~pk:1 (set_v i) |> Result.get_ok;
+    check "post-recovery serial commit succeeds" true (E.commit eng txn = Ok ())
+  done;
+  checki "no spurious pivot aborts after recovery" 0 (Ssimgr.pivot_aborts mgr)
+
+(* A read-only transaction that begins with no concurrent transactions
+   runs on a safe snapshot: exempt from all tracking, never aborts. *)
+let test_safe_snapshot key () =
+  let _, (module E : Engine.S) = Engine.resolve_exn key in
+  let db = Db.create ~isolation:`Ssi () in
+  let eng = E.create db in
+  let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+  let s = E.begin_txn eng in
+  E.insert eng s table (row 1 1) |> Result.get_ok;
+  E.insert eng s table (row 2 2) |> Result.get_ok;
+  E.commit eng s |> Result.get_ok;
+  let mgr = Option.get (Db.ssimgr db) in
+  let ro = Db.begin_txn ~read_only:true db in
+  checki "safe snapshot granted" 1 (Ssimgr.safe_snapshots mgr);
+  ignore (E.read eng ro table ~pk:1);
+  ignore (E.read eng ro table ~pk:2);
+  checki "safe reads take no SIREAD locks" 0 (Ssimgr.siread_locks mgr);
+  check "safe snapshot commits" true (E.commit eng ro = Ok ());
+  (* with a writer in flight the snapshot is not safe: tracked instead *)
+  let w = E.begin_txn eng in
+  let ro2 = Db.begin_txn ~read_only:true db in
+  checki "concurrent begin is not safe" 1 (Ssimgr.safe_snapshots mgr);
+  ignore (E.read eng ro2 table ~pk:1);
+  check "tracked read-only txn still commits" true (E.commit eng ro2 = Ok ());
+  E.abort eng w
+
+(* Property: racing conditional decrements over two counters preserve
+   x + y >= 0 under the serializable levels, with zero checker cycles —
+   and when the SI run of the same schedule breaks the invariant, the
+   checker must have observed the cycle there. Crossed over engines and
+   commit modes (the tracking must not care how commits are fsynced). *)
+let qcheck_invariant key (mode_name, commit_mode) =
+  QCheck.Test.make
+    ~name:
+      (Printf.sprintf "%s/%s: write-skew invariant under ssi+wsi" key mode_name)
+    ~count:12
+    QCheck.(list_of_size Gen.(int_range 2 16) (pair bool (int_range 1 40)))
     (fun ops ->
-      let module S = Mvcc.Ssi.Make (Mvcc.Sias_engine) in
-      let db = Db.create () in
-      let ssi = S.create db in
-      let table = S.create_table ssi ~name:"t" ~pk_col:0 () in
-      let txn = S.begin_txn ssi in
-      S.insert ssi txn table (row 1 60) |> Result.get_ok;
-      S.insert ssi txn table (row 2 60) |> Result.get_ok;
-      S.commit ssi txn |> Result.get_ok;
-      (* fire decrement transactions pairwise-concurrently; each checks
-         x + y - amount >= 0 against ITS snapshot, then decrements one *)
-      let rec go = function
-        | [] | [ _ ] -> ()
-        | (w1, a1) :: (w2, a2) :: rest ->
-            let t1 = S.begin_txn ssi in
-            let t2 = S.begin_txn ssi in
-            let attempt t (which, amount) =
-              let v1 = Value.int (Option.get (S.read ssi t table ~pk:1)).(1) in
-              let v2 = Value.int (Option.get (S.read ssi t table ~pk:2)).(1) in
-              if v1 + v2 - amount >= 0 then
-                let pk = if which then 1 else 2 in
-                let cur = if which then v1 else v2 in
-                ignore
-                  (S.update ssi t table ~pk (fun r ->
-                       let r = Array.copy r in
-                       r.(1) <- Value.Int (cur - amount);
-                       r))
-            in
-            attempt t1 (w1, a1);
-            attempt t2 (w2, a2);
-            ignore (S.commit ssi t1);
-            ignore (S.commit ssi t2);
-            go rest
+      let _, (module E : Engine.S) = Engine.resolve_exn key in
+      let run isolation =
+        let bus = Bus.create () in
+        let db = Db.create ~bus ~commit_mode ~isolation () in
+        let ck = Sichecker.attach bus in
+        let eng = E.create db in
+        let table = E.create_table eng ~name:"t" ~pk_col:0 () in
+        let txn = E.begin_txn eng in
+        E.insert eng txn table (row 1 60) |> Result.get_ok;
+        E.insert eng txn table (row 2 60) |> Result.get_ok;
+        E.commit eng txn |> Result.get_ok;
+        (* fire decrement transactions pairwise-concurrently; each checks
+           x + y - amount >= 0 against ITS snapshot, then decrements one *)
+        let rec go = function
+          | [] | [ _ ] -> ()
+          | (w1, a1) :: (w2, a2) :: rest ->
+              let t1 = E.begin_txn eng in
+              let t2 = E.begin_txn eng in
+              let attempt t (which, amount) =
+                let v1 = Value.int (Option.get (E.read eng t table ~pk:1)).(1) in
+                let v2 = Value.int (Option.get (E.read eng t table ~pk:2)).(1) in
+                if v1 + v2 - amount >= 0 then
+                  let pk = if which then 1 else 2 in
+                  let cur = if which then v1 else v2 in
+                  ignore
+                    (E.update eng t table ~pk (fun r ->
+                         let r = Array.copy r in
+                         r.(1) <- Value.Int (cur - amount);
+                         r))
+              in
+              attempt t1 (w1, a1);
+              attempt t2 (w2, a2);
+              ignore (E.commit eng t1);
+              ignore (E.commit eng t2);
+              go rest
+        in
+        go ops;
+        let t = E.begin_txn eng in
+        let v1 = Value.int (Option.get (E.read eng t table ~pk:1)).(1) in
+        let v2 = Value.int (Option.get (E.read eng t table ~pk:2)).(1) in
+        ignore (E.commit eng t);
+        (v1 + v2, Sichecker.cycle_count ck, Sichecker.violation_count ck)
       in
-      go ops;
-      let t = S.begin_txn ssi in
-      let v1 = Value.int (Option.get (S.read ssi t table ~pk:1)).(1) in
-      let v2 = Value.int (Option.get (S.read ssi t table ~pk:2)).(1) in
-      ignore (S.commit ssi t);
-      v1 + v2 >= 0)
+      let si_sum, si_cycles, si_viol = run `Si in
+      let ssi_sum, ssi_cycles, ssi_viol = run `Ssi in
+      let wsi_sum, wsi_cycles, wsi_viol = run `Wsi in
+      si_viol = 0 && ssi_viol = 0 && wsi_viol = 0
+      && (si_sum >= 0 || si_cycles > 0)
+      && ssi_sum >= 0 && ssi_cycles = 0
+      && wsi_sum >= 0 && wsi_cycles = 0)
+
+let commit_modes =
+  [
+    ("sync", Commitpipe.Sync);
+    ("group", Commitpipe.Group { delay = 0.005 });
+    ("async", Commitpipe.Async { interval = 0.01; max_bytes = 1 lsl 14 });
+  ]
 
 let suite =
-  Ssi_si.suite "SI+SSI"
-  @ Ssi_sias.suite "SIAS+SSI"
-  @ Ssi_vec.suite "SIAS-V+SSI"
-  @ [ QCheck_alcotest.to_alcotest qcheck_no_write_skew ]
+  List.concat_map
+    (fun key -> scenario_suite key "ssi" `Ssi @ scenario_suite key "wsi" `Wsi)
+    engines
+  @ List.map
+      (fun key ->
+        Alcotest.test_case (key ^ ": read-only anomaly at si/ssi/wsi") `Quick
+          (test_read_only_anomaly key))
+      engines
+  @ List.map
+      (fun key ->
+        Alcotest.test_case (key ^ ": crash wipes SSI tracking") `Quick
+          (test_crash_wipes_tracking key))
+      engines
+  @ List.map
+      (fun key ->
+        Alcotest.test_case (key ^ ": safe snapshot") `Quick
+          (test_safe_snapshot key))
+      engines
+  @ List.concat_map
+      (fun key ->
+        List.map
+          (fun mode -> QCheck_alcotest.to_alcotest (qcheck_invariant key mode))
+          commit_modes)
+      engines

@@ -89,7 +89,7 @@ module Check (E : Mvcc.Engine.S) = struct
       (let ol = count tables.WE.order_line in
        let o = count tables.WE.orders in
        ol >= 5 * o && ol <= 15 * o);
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
 
   let test_new_order_effects () =
     let eng, tables, cfg = fresh 1 in
@@ -105,7 +105,7 @@ module Check (E : Mvcc.Engine.S) = struct
           (d, Value.int row.(Col.d_next_o_id)))
         [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ]
     in
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     (* run new-orders until one commits *)
     let committed = ref 0 in
     for _ = 1 to 20 do
@@ -121,7 +121,7 @@ module Check (E : Mvcc.Engine.S) = struct
         in
         bumped := !bumped + (Value.int row.(Col.d_next_o_id) - prev))
       before;
-    E.commit eng txn;
+    E.commit eng txn |> Result.get_ok;
     checki "next_o_id advanced once per committed new-order" !committed !bumped
 
   let test_payment_effects () =
@@ -131,7 +131,7 @@ module Check (E : Mvcc.Engine.S) = struct
     let read_wytd () =
       let txn = E.begin_txn eng in
       let row = Option.get (E.read eng txn tables.WE.warehouse ~pk:1) in
-      E.commit eng txn;
+      E.commit eng txn |> Result.get_ok;
       Value.float row.(Col.w_ytd)
     in
     let before = read_wytd () in
@@ -149,7 +149,7 @@ module Check (E : Mvcc.Engine.S) = struct
     let count_new_orders () =
       let txn = E.begin_txn eng in
       let n = E.scan eng txn tables.WE.new_order (fun _ -> ()) in
-      E.commit eng txn;
+      E.commit eng txn |> Result.get_ok;
       n
     in
     let before = count_new_orders () in

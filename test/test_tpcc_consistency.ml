@@ -119,7 +119,7 @@ module Make (E : Mvcc.Engine.S) = struct
         check (Printf.sprintf "C4: district (%d,%d) order lines %d=%d" w d expect got) true
           (expect = got))
       !district_rows;
-    E.commit eng txn
+    E.commit eng txn |> Result.get_ok
 
   let test name = Alcotest.test_case (name ^ ": TPC-C consistency C1-C4") `Slow run_and_check
 end

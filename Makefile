@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench micro determinism demo contention obs groupcommit repl isolation chaos clean
+.PHONY: all build test check bench micro determinism multicore demo contention obs groupcommit repl isolation chaos clean
 
 all: build
 
@@ -25,16 +25,37 @@ micro:
 	  $(if $(BASELINE),--bench-baseline $(BASELINE),)
 
 # Simulated results are part of the model: the default-seed run of every
-# engine must reproduce the committed golden output byte for byte.
-# Wall-clock optimisations that leak into simulated time fail here.
+# engine x isolation level must reproduce the committed golden output
+# byte for byte (--domains 1 pins the single-domain deterministic path;
+# it is the default, spelled out here because multicore must never leak
+# into it). Wall-clock optimisations that leak into simulated time fail
+# here.
 determinism:
 	mkdir -p _obs
 	for e in si si-cv sias sias-v; do \
 	  echo "== $$e =="; \
-	  dune exec bin/sias_cli.exe -- run -e $$e > _obs/run_$$e.txt 2>&1 || exit 1; \
+	  dune exec bin/sias_cli.exe -- run -e $$e --domains 1 > _obs/run_$$e.txt 2>&1 || exit 1; \
 	  diff -u test/golden/run_$$e.txt _obs/run_$$e.txt || exit 1; \
+	  for l in ssi wsi; do \
+	    echo "== $$e/$$l =="; \
+	    dune exec bin/sias_cli.exe -- run -e $$e --isolation $$l --domains 1 \
+	      > _obs/run_$${e}_$${l}.txt 2>&1 || exit 1; \
+	    diff -u test/golden/run_$${e}_$${l}.txt _obs/run_$${e}_$${l}.txt || exit 1; \
+	  done; \
 	done
 	@echo "determinism OK: default-seed outputs match test/golden"
+
+# Multicore smoke: the sharded TPC-C bench across 1/2/4 domains with the
+# SI checker attached (non-zero exit on any violation), writing the
+# scalability curve to _obs/BENCH_multicore.json, plus a 2-domain CLI
+# run. Aggregate NOTPM must scale with domains (weak scaling); wall
+# NOTPM additionally shows real-core speedup on multicore hosts.
+multicore:
+	mkdir -p _obs
+	dune exec bench/main.exe -- multicore --bench-out _obs/BENCH_multicore.json
+	dune exec bin/sias_cli.exe -- run -e sias-v --domains 2 -w 1 -d 10 \
+	  --scale-div 300 --check-si
+	@echo "multicore OK: _obs/BENCH_multicore.json"
 
 demo:
 	dune exec examples/recovery_demo.exe

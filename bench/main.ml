@@ -31,6 +31,11 @@ let repl_results : (string * (string * float) list) list ref = ref []
 (* per engine/level (metric, value) rows collected by the isolation bench *)
 let isolation_results : (string * (string * float) list) list ref = ref []
 
+(* per engine/domain-count (metric, value) rows from the multicore bench;
+   violations accumulate so the process can exit non-zero at the end *)
+let multicore_results : (string * (string * float) list) list ref = ref []
+let multicore_violations = ref 0
+
 let section title =
   Printf.printf "\n============================================================\n";
   Printf.printf "%s\n" title;
@@ -784,7 +789,10 @@ let ablation_isolation () =
    where the win shows. --bench-out writes BENCH_5.json; --bench-baseline
    embeds a pre-change run's JSON and prints the speedups. *)
 
-let wall = Unix.gettimeofday
+(* CLOCK_MONOTONIC, not [Unix.gettimeofday]: wall-of-day steps under NTP
+   slew/step, so a timed window could be negative or wildly long and a
+   "peak rate" could be fiction. The monotonic clock cannot go back. *)
+let wall = Sias_util.Monotime.now
 
 (* Best-of-trials peak rate: short timed windows, keep the fastest. The
    max filters out bursty interference from a shared host, which a single
@@ -1063,6 +1071,21 @@ let write_bench_json ~wall_s =
           !isolation_results;
         Buffer.add_string buf "\n  }"
       end;
+      if !multicore_results <> [] then begin
+        Buffer.add_string buf ",\n  \"multicore\": {";
+        List.iteri
+          (fun i (key, fields) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "\n    %S: {" key);
+            List.iteri
+              (fun j (f, v) ->
+                if j > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf (Printf.sprintf "\n      %S: %.1f" f v))
+              fields;
+            Buffer.add_string buf "\n    }")
+          !multicore_results;
+        Buffer.add_string buf "\n  }"
+      end;
       (match !bench_baseline with
       | Some bpath when Sys.file_exists bpath ->
           let ic = open_in bpath in
@@ -1157,6 +1180,78 @@ let micro_structs () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* multicore: shared-nothing TPC-C sharded across OCaml 5 domains.
+   Weak scaling, TPC-C's own mode: warehouses are per domain, so N
+   domains simulate an N-times larger system and aggregate NOTPM should
+   track N. Wall NOTPM shows the parallel speedup on real cores (on a
+   single-core host the wall figure stays flat — that is the machine,
+   not the sharding). Every shard runs with the SI checker attached;
+   any violation fails the whole bench run. *)
+
+let multicore_bench () =
+  section "Multicore: sharded TPC-C on OCaml 5 domains (weak scaling)";
+  let module MC = Tpcc.Tpcc_multicore in
+  let engines = if !full then [ "si"; "si-cv"; "sias"; "sias-v" ] else [ "sias-v" ] in
+  let domain_counts = if !full then [ 1; 2; 4; 8 ] else [ 1; 2; 4 ] in
+  note "host: %d recommended domains" (Domain.recommended_domain_count ());
+  List.iter
+    (fun engine ->
+      let base_notpm = ref 0.0 in
+      let base_wall = ref 0.0 in
+      List.iter
+        (fun domains ->
+          let cfg = MC.default_config ~engine ~domains ~warehouses_per_domain:1 in
+          let cfg =
+            {
+              cfg with
+              MC.base =
+                { cfg.MC.base with W.duration_s = (if !full then 300.0 else 60.0) };
+              bufpool_shards = (if domains > 1 then 4 else 1);
+            }
+          in
+          let r = MC.run cfg in
+          if domains = 1 then begin
+            base_notpm := r.MC.agg_notpm;
+            base_wall := r.MC.wall_s
+          end;
+          let speedup =
+            if !base_notpm > 0.0 then r.MC.agg_notpm /. !base_notpm else 0.0
+          in
+          multicore_violations := !multicore_violations + r.MC.violations;
+          note
+            "  %-7s domains=%d  agg %7.0f NOTPM (%.2fx vs 1 domain)  wall %6.2fs \
+             %7.0f NOTPM-wall  fsyncs %d/%d commits (saved %d)  violations %d"
+            engine domains r.MC.agg_notpm speedup r.MC.wall_s r.MC.wall_notpm
+            r.MC.slots.Sias_wal.Walslots.commit_fsyncs
+            r.MC.slots.Sias_wal.Walslots.commits
+            r.MC.slots.Sias_wal.Walslots.fsyncs_saved r.MC.violations;
+          multicore_results :=
+            !multicore_results
+            @ [
+                ( Printf.sprintf "%s/d%d" engine domains,
+                  [
+                    ("domains", float_of_int domains);
+                    ("warehouses_per_domain", float_of_int cfg.MC.base.W.warehouses);
+                    ("agg_notpm", r.MC.agg_notpm);
+                    ("notpm_scaling_vs_1domain", speedup);
+                    ("wall_s", r.MC.wall_s);
+                    ("wall_notpm", r.MC.wall_notpm);
+                    ("total_committed", float_of_int r.MC.total_committed);
+                    ("new_orders", float_of_int r.MC.total_new_orders);
+                    ( "commit_fsyncs",
+                      float_of_int r.MC.slots.Sias_wal.Walslots.commit_fsyncs );
+                    ( "fsyncs_saved",
+                      float_of_int r.MC.slots.Sias_wal.Walslots.fsyncs_saved );
+                    ("violations", float_of_int r.MC.violations);
+                  ] );
+              ])
+        domain_counts)
+    engines;
+  if !multicore_violations > 0 then
+    note "!! SI checker reported %d violations -- bench will exit non-zero"
+      !multicore_violations
+
 let experiments =
   [
     ("table1", table1);
@@ -1177,6 +1272,7 @@ let experiments =
     ("isolation", ablation_isolation);
     ("micro", micro);
     ("structs", micro_structs);
+    ("multicore", multicore_bench);
   ]
 
 let () =
@@ -1252,7 +1348,7 @@ let () =
     Option.iter (fun p -> Printf.printf "trace -> %s\n%!" p) !trace_out
   end;
   let chosen = match args with [] | [ "all" ] -> List.map fst experiments | l -> l in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Sias_util.Monotime.now () in
   List.iter
     (fun name ->
       match List.assoc_opt name experiments with
@@ -1261,7 +1357,12 @@ let () =
           Printf.printf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments)))
     chosen;
-  let wall_s = Unix.gettimeofday () -. t0 in
+  let wall_s = Sias_util.Monotime.elapsed_since t0 in
   Printf.printf "\n(total wall time %.1f s%s)\n" wall_s
     (if !full then ", full mode" else ", quick mode; pass --full for paper-scale parameters");
-  write_bench_json ~wall_s
+  write_bench_json ~wall_s;
+  if !multicore_violations > 0 then begin
+    Printf.printf "FAIL: SI checker reported %d violations during the multicore bench\n"
+      !multicore_violations;
+    exit 1
+  end

@@ -341,11 +341,81 @@ let report_contention o =
       end;
       if Mvcc.Sichecker.violation_count c > 0 then exit 1
 
+let domains_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "domains" ]
+        ~doc:
+          "Shard the run across $(docv) OCaml domains (shared-nothing; warehouses \
+           are per domain, TPC-C weak scaling). 1 runs the exact single-domain \
+           deterministic path.")
+
+(* --domains N (N > 1): shared-nothing multicore run. Each domain owns
+   its warehouse range outright; commits stream through per-domain WAL
+   insert slots into one group-commit flusher. Only the flags that are
+   meaningful per shard are honored; device/fault/replication topology
+   flags are single-domain concerns and rejected loudly rather than
+   silently ignored. *)
+let reject_single_domain_flags ~device ~fault_seed ~repl ~wal_device =
+  let bad = ref [] in
+  if device <> Ssd_single then bad := "--device" :: !bad;
+  if fault_seed <> None then bad := "--faults" :: !bad;
+  if repl <> None then bad := "--repl" :: !bad;
+  if wal_device <> None then bad := "--wal-device" :: !bad;
+  match !bad with
+  | [] -> ()
+  | flags ->
+      Format.printf "--domains > 1 does not support: %s@."
+        (String.concat ", " flags);
+      exit 2
+
+let run_multicore ~engine ~isolation ~domains ~warehouses ~duration ~buffer ~gc
+    ~scale ~seed ~check_si ~terminals =
+  let module MC = Tpcc.Tpcc_multicore in
+  let base =
+    {
+      (W.default_config ~warehouses) with
+      W.scale = Tpcc.Tpcc_schema.scaled ~div:scale ();
+      duration_s = duration;
+      terminals_per_warehouse = terminals;
+      seed;
+      gc_interval_s = (match gc with Some g when g > 0.0 -> Some g | _ -> None);
+    }
+  in
+  let cfg =
+    {
+      MC.engine;
+      domains;
+      base;
+      isolation = Mvcc.Isolation.of_string_exn isolation;
+      buffer_pages = buffer;
+      bufpool_shards = Stdlib.min 4 buffer;
+      check = check_si || isolation <> "si";
+    }
+  in
+  let r = MC.run cfg in
+  Format.printf "%a@." MC.pp_result r;
+  if r.MC.violations > 0 then begin
+    Format.printf "FAIL: %d snapshot-isolation violations@." r.MC.violations;
+    exit 1
+  end
+
 let run_cmd =
   let run engine isolation device warehouses duration buffer flush gc scale seed
       fault_seed fault_profile policy retries max_inflight check_si terminals
       metrics_out trace_out stats_interval sync_commit commit_delay wal_device
-      repl repl_link repl_seed =
+      repl repl_link repl_seed domains =
+    if domains < 1 then begin
+      Format.printf "--domains must be >= 1@.";
+      exit 2
+    end;
+    if domains > 1 then begin
+      reject_single_domain_flags ~device ~fault_seed ~repl ~wal_device;
+      run_multicore ~engine ~isolation ~domains ~warehouses ~duration ~buffer ~gc
+        ~scale ~seed ~check_si ~terminals
+    end
+    else
     let o =
       run_tpcc
         (mk_setup engine isolation device warehouses duration buffer flush gc scale
@@ -385,7 +455,8 @@ let run_cmd =
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
-      $ commit_delay_arg $ wal_device_arg $ repl_arg $ repl_link_arg $ repl_seed_arg)
+      $ commit_delay_arg $ wal_device_arg $ repl_arg $ repl_link_arg $ repl_seed_arg
+      $ domains_arg)
 
 let trace_cmd =
   let csv_arg =

@@ -111,6 +111,7 @@ val create :
   ?commit_mode:Sias_wal.Commitpipe.mode ->
   ?wal_capacity_bytes:int ->
   ?isolation:Isolation.level ->
+  ?bufpool_shards:int ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
@@ -123,7 +124,9 @@ val create :
     the historical behavior). [isolation] selects the isolation level
     (default [`Si], the historical snapshot-isolation behavior —
     byte-identical output; [`Ssi]/[`Wsi] add serializability tracking,
-    see {!Ssimgr}). *)
+    see {!Ssimgr}). [bufpool_shards] (default 1) partitions the buffer
+    pool's frame table for multi-domain access; the default single
+    shard takes no locks and is byte-identical to the unsharded pool. *)
 
 val alloc_rel : t -> int
 (** Relation ids place each relation in its own device region. *)

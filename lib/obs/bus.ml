@@ -47,17 +47,53 @@ type event +=
 
 let io_op_to_string = function Io_read -> "read" | Io_write -> "write"
 
-type t = { mutable subs : (event -> unit) array }
+(* A bus belongs to the domain that created it: subscribers are plain
+   closures over unsynchronized state (metrics registries, the SI
+   checker), so publishing from another domain would be a data race the
+   type system cannot see. [owner] pins the creating domain and
+   [publish]/[subscribe] assert it — a shard's bus must live and die on
+   the shard's domain. Subscribers that really are thread-safe (their
+   own locking, e.g. a cross-domain relay into a Walslots slot) can lift
+   the check with [set_shared]. *)
+type t = {
+  mutable subs : (event -> unit) array;
+  mutable owner : int;
+  mutable shared : bool;
+}
 
-let create () = { subs = [||] }
+let create () =
+  {
+    subs = [||];
+    owner = (Domain.self () :> int);
+    shared = false;
+  }
 
-let subscribe t f = t.subs <- Array.append t.subs [| f |]
+let set_shared t = t.shared <- true
+
+let check_owner t op =
+  if not t.shared then begin
+    let self = (Domain.self () :> int) in
+    if self <> t.owner then
+      failwith
+        (Printf.sprintf
+           "Bus.%s from domain %d but the bus is owned by domain %d: \
+            subscribers are not synchronized — keep each bus on its own \
+            domain, or mark thread-safe subscribers with Bus.set_shared"
+           op self t.owner)
+  end
+
+let subscribe t f =
+  check_owner t "subscribe";
+  t.subs <- Array.append t.subs [| f |]
 
 let active t = Array.length t.subs > 0
 
 let publish t e =
+  check_owner t "publish";
   for i = 0 to Array.length t.subs - 1 do
     (Array.unsafe_get t.subs i) e
   done
 
 let subscriber_count t = Array.length t.subs
+
+let adopt t = t.owner <- (Domain.self () :> int)

@@ -37,6 +37,28 @@ type frame = {
   mutable last_use : int;
 }
 
+(* A shard owns a contiguous slice of the frame array, its own mapping
+   table, its own clock hands and its own hit/miss counters, guarded by
+   its own lock. Pages hash to shards by key, so two domains touching
+   different pages contend only when they collide on a shard — the
+   per-CPU hash-partitioning of DragonflyBSD's niscache / PostgreSQL's
+   buffer mapping partitions. With [shards = 1] (the default) the lock
+   is never taken and the sweep order over the whole frame array is
+   exactly the pre-sharding behavior, which the determinism goldens pin
+   down. *)
+type shard = {
+  lo : int; (* first frame index owned by this shard *)
+  n : int; (* frames owned *)
+  lock : Mutex.t;
+  index : (key, int) Hashtbl.t;
+  mutable hand : int; (* clock-sweep offset in [0, n) *)
+  mutable bg_hand : int; (* background-writer scan offset *)
+  mutable tick : int; (* logical use counter for LRU-ish bgwriter order *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
 type stats = {
   hits : int;
   misses : int;
@@ -62,7 +84,12 @@ type t = {
   ring : (key, Page.t) Hashtbl.t; (* small cache for ring-buffer reads *)
   ring_fifo : key Queue.t;
   frames : frame array;
-  index : (key, int) Hashtbl.t;
+  shards : shard array;
+  locking : bool; (* shards > 1: take the locks *)
+  io_lock : Mutex.t;
+      (* guards everything below the mapping layer: the simulated disk,
+         device, sim clock, OS-cache model, fault bookkeeping and the
+         I/O statistics. Acquired strictly after a shard lock. *)
   disk : (key, Page.t) Hashtbl.t; (* flushed page images *)
   bus : Bus.t option;
   faults : Faultdev.t option;
@@ -76,12 +103,6 @@ type t = {
          have been damaged since (no fault injection): read-in skips
          CRC32 re-verification for them. *)
   mutable repair : (rel:int -> block:int -> Page.t option) option;
-  mutable hand : int; (* clock-sweep position *)
-  mutable bg_hand : int; (* background-writer scan position *)
-  mutable tick : int; (* logical use counter for LRU-ish bgwriter order *)
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
   mutable flushes : int;
   mutable read_stall : float;
   mutable write_stall : float;
@@ -93,8 +114,11 @@ type t = {
 }
 
 let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_blocks = 65536)
-    ?os_cache_interval ?os_cache_pages ?bus ?faults ?(max_read_retries = 4) () =
+    ?os_cache_interval ?os_cache_pages ?bus ?faults ?(max_read_retries = 4) ?(shards = 1) () =
   if capacity_pages <= 0 then invalid_arg "Bufpool.create: capacity must be positive";
+  if shards < 1 then invalid_arg "Bufpool.create: shards must be >= 1";
+  if shards > capacity_pages then
+    invalid_arg "Bufpool.create: more shards than frames";
   let dummy_key = { rel = -1; block = -1 } in
   let frames =
     Array.init capacity_pages (fun idx ->
@@ -109,6 +133,25 @@ let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_block
           last_use = 0;
         })
   in
+  let shard_arr =
+    Array.init shards (fun i ->
+        (* contiguous slices, remainder spread over the first shards *)
+        let base = capacity_pages / shards and extra = capacity_pages mod shards in
+        let n = base + if i < extra then 1 else 0 in
+        let lo = (i * base) + Stdlib.min i extra in
+        {
+          lo;
+          n;
+          lock = Mutex.create ();
+          index = Hashtbl.create (2 * Stdlib.max 1 n);
+          hand = 0;
+          bg_hand = 0;
+          tick = 0;
+          hits = 0;
+          misses = 0;
+          evictions = 0;
+        })
+  in
   {
     device;
     clock;
@@ -121,14 +164,10 @@ let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_block
     ring = Hashtbl.create 64;
     ring_fifo = Queue.create ();
     frames;
-    index = Hashtbl.create (2 * capacity_pages);
+    shards = shard_arr;
+    locking = shards > 1;
+    io_lock = Mutex.create ();
     disk = Hashtbl.create 1024;
-    hand = 0;
-    bg_hand = 0;
-    tick = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
     flushes = 0;
     read_stall = 0.0;
     write_stall = 0.0;
@@ -148,6 +187,43 @@ let create ~device ~clock ~capacity_pages ?(page_size = 8192) ?(rel_region_block
 let page_size t = t.page_size
 let device t = t.device
 let now t = Simclock.now t.clock
+let shard_count t = Array.length t.shards
+
+let shard_of t key =
+  if Array.length t.shards = 1 then t.shards.(0)
+  else t.shards.(Hashtbl.hash key mod Array.length t.shards)
+
+(* Lock helpers compile to straight calls of [f] in the single-shard
+   configuration: the deterministic path pays nothing. Lock order is
+   always shard(s) first, [io_lock] second. *)
+let lock_shard t s = if t.locking then Mutex.lock s.lock
+let unlock_shard t s = if t.locking then Mutex.unlock s.lock
+
+let with_io t f =
+  if not t.locking then f ()
+  else begin
+    Mutex.lock t.io_lock;
+    match f () with
+    | v ->
+        Mutex.unlock t.io_lock;
+        v
+    | exception e ->
+        Mutex.unlock t.io_lock;
+        raise e
+  end
+
+let with_all_shards t f =
+  if not t.locking then f ()
+  else begin
+    Array.iter (fun s -> Mutex.lock s.lock) t.shards;
+    match f () with
+    | v ->
+        Array.iter (fun s -> Mutex.unlock s.lock) t.shards;
+        v
+    | exception e ->
+        Array.iter (fun s -> Mutex.unlock s.lock) t.shards;
+        raise e
+  end
 
 (* The bus with subscribers, if observability is on; publishing sites
    build their events only behind this check. *)
@@ -178,7 +254,8 @@ let set_repair t fn = t.repair <- Some fn
    charged to the simulated clock; the image is then checksum-verified,
    and a failing page is handed to the installed repair handler (WAL
    full-page redo) — a page is served correct, repaired, or the read
-   fails loudly with [Corrupt_page]. Never silent garbage. *)
+   fails loudly with [Corrupt_page]. Never silent garbage.
+   Caller holds [io_lock] when sharded. *)
 let read_backoff_base_s = 0.0005
 
 let read_image t key =
@@ -315,6 +392,7 @@ let os_cache_tick t =
         t.os_next_flush <- Simclock.now t.clock +. interval
       end
 
+(* Caller holds the frame's shard lock and [io_lock] when sharded. *)
 let write_back t frame ~sync =
   Crashpoint.reach "bufpool.writeback.pre";
   let durable =
@@ -384,16 +462,16 @@ let write_back t frame ~sync =
         (Bus.Page_flush { rel = frame.key.rel; block = frame.key.block; sync })
   | None -> ()
 
-(* Clock sweep: find an unpinned victim, giving recently referenced frames
-   a second chance. Dirty victims are written back synchronously. *)
-let find_victim t =
-  let n = Array.length t.frames in
+(* Clock sweep within one shard's slice: find an unpinned victim, giving
+   recently referenced frames a second chance. Dirty victims are written
+   back synchronously. Caller holds the shard lock. *)
+let find_victim t s =
   let attempts = ref 0 in
   let victim = ref None in
   while !victim = None do
-    if !attempts > 2 * n then raise (No_free_frames { capacity = n });
-    let f = t.frames.(t.hand) in
-    t.hand <- (t.hand + 1) mod n;
+    if !attempts > 2 * s.n then raise (No_free_frames { capacity = s.n });
+    let f = t.frames.(s.lo + s.hand) in
+    s.hand <- (s.hand + 1) mod s.n;
     incr attempts;
     if f.pin = 0 then begin
       if f.refbit then f.refbit <- false else victim := Some f
@@ -401,8 +479,8 @@ let find_victim t =
   done;
   match !victim with Some f -> f | None -> assert false
 
-let load_frame t key =
-  let f = find_victim t in
+let load_frame t s key =
+  let f = find_victim t s in
   if f.used then begin
     Crashpoint.reach "bufpool.evict.pre";
     (match obs t with
@@ -411,11 +489,11 @@ let load_frame t key =
           (Bus.Page_evict
              { rel = f.key.rel; block = f.key.block; dirty = f.dirty })
     | None -> ());
-    if f.dirty then write_back t f ~sync:true;
-    Hashtbl.remove t.index f.key;
-    t.evictions <- t.evictions + 1
+    if f.dirty then with_io t (fun () -> write_back t f ~sync:true);
+    Hashtbl.remove s.index f.key;
+    s.evictions <- s.evictions + 1
   end;
-  (match read_image t key with
+  (match with_io t (fun () -> read_image t key) with
   | Some page -> f.page <- page
   | None -> f.page <- Page.create ~size:t.page_size);
   f.key <- key;
@@ -424,33 +502,51 @@ let load_frame t key =
   f.refbit <- true;
   f
 
-let get_frame t key =
-  match Hashtbl.find_opt t.index key with
+(* Caller holds the shard lock. *)
+let get_frame t s key =
+  match Hashtbl.find_opt s.index key with
   | Some i ->
       let f = t.frames.(i) in
-      t.hits <- t.hits + 1;
+      s.hits <- s.hits + 1;
       (match obs t with
       | Some b -> Bus.publish b (Bus.Page_hit { rel = key.rel; block = key.block })
       | None -> ());
       f.refbit <- true;
       f
   | None ->
-      t.misses <- t.misses + 1;
+      s.misses <- s.misses + 1;
       (match obs t with
       | Some b -> Bus.publish b (Bus.Page_miss { rel = key.rel; block = key.block })
       | None -> ());
-      let f = load_frame t key in
-      Hashtbl.replace t.index key f.idx;
+      let f = load_frame t s key in
+      Hashtbl.replace s.index key f.idx;
       f
 
 let with_page t ~rel ~block fn =
-  os_cache_tick t;
+  (match t.os_cache_interval with
+  | Some _ -> with_io t (fun () -> os_cache_tick t)
+  | None -> ());
   let key = { rel; block } in
-  let f = get_frame t key in
-  f.pin <- f.pin + 1;
-  t.tick <- t.tick + 1;
-  f.last_use <- t.tick;
-  Fun.protect ~finally:(fun () -> f.pin <- f.pin - 1) (fun () -> fn f.page)
+  let s = shard_of t key in
+  lock_shard t s;
+  (match get_frame t s key with
+  | f ->
+      (* the pin taken under the lock keeps the frame from eviction once
+         the lock is dropped; page-content synchronization between
+         domains is the caller's concern (shard your data) *)
+      f.pin <- f.pin + 1;
+      s.tick <- s.tick + 1;
+      f.last_use <- s.tick;
+      unlock_shard t s;
+      Fun.protect
+        ~finally:(fun () ->
+          lock_shard t s;
+          f.pin <- f.pin - 1;
+          unlock_shard t s)
+        (fun () -> fn f.page)
+  | exception e ->
+      unlock_shard t s;
+      raise e)
 
 (* Ring-buffer access for background scans (vacuum/GC): a resident page
    is used without promoting it (no reference bit, no recency bump); a
@@ -470,40 +566,64 @@ let ring_put t key page =
   end
 
 let with_page_ro t ~rel ~block fn =
-  os_cache_tick t;
+  (match t.os_cache_interval with
+  | Some _ -> with_io t (fun () -> os_cache_tick t)
+  | None -> ());
   let key = { rel; block } in
-  match Hashtbl.find_opt t.index key with
+  let s = shard_of t key in
+  lock_shard t s;
+  match Hashtbl.find_opt s.index key with
   | Some i ->
       let f = t.frames.(i) in
-      t.hits <- t.hits + 1;
+      s.hits <- s.hits + 1;
       (match obs t with
       | Some b -> Bus.publish b (Bus.Page_hit { rel; block })
       | None -> ());
       f.pin <- f.pin + 1;
-      Fun.protect ~finally:(fun () -> f.pin <- f.pin - 1) (fun () -> fn f.page)
+      unlock_shard t s;
+      Fun.protect
+        ~finally:(fun () ->
+          lock_shard t s;
+          f.pin <- f.pin - 1;
+          unlock_shard t s)
+        (fun () -> fn f.page)
   | None -> (
-      match Hashtbl.find_opt t.ring key with
-      | Some page ->
-          t.hits <- t.hits + 1;
-          (match obs t with
-          | Some b -> Bus.publish b (Bus.Page_hit { rel; block })
-          | None -> ());
-          fn page
-      | None ->
-          t.misses <- t.misses + 1;
-          (match obs t with
-          | Some b -> Bus.publish b (Bus.Page_miss { rel; block })
-          | None -> ());
-          let page =
-            match read_image t key with
-            | Some page -> page
-            | None -> Page.create ~size:t.page_size
-          in
-          ring_put t key page;
-          fn page)
+      let resolved =
+        match
+          with_io t (fun () ->
+              match Hashtbl.find_opt t.ring key with
+              | Some page -> Some page
+              | None -> None)
+        with
+        | Some page ->
+            s.hits <- s.hits + 1;
+            (match obs t with
+            | Some b -> Bus.publish b (Bus.Page_hit { rel; block })
+            | None -> ());
+            page
+        | None ->
+            s.misses <- s.misses + 1;
+            (match obs t with
+            | Some b -> Bus.publish b (Bus.Page_miss { rel; block })
+            | None -> ());
+            with_io t (fun () ->
+                let page =
+                  match read_image t key with
+                  | Some page -> page
+                  | None -> Page.create ~size:t.page_size
+                in
+                ring_put t key page;
+                page)
+      in
+      unlock_shard t s;
+      fn resolved)
+  | exception e ->
+      unlock_shard t s;
+      raise e
 
-let find_resident t ~rel ~block =
-  match Hashtbl.find_opt t.index { rel; block } with
+(* Caller holds the shard lock (or the pool is unsharded). *)
+let find_resident_in s t ~rel ~block =
+  match Hashtbl.find_opt s.index { rel; block } with
   | Some i -> Some t.frames.(i)
   | None -> None
 
@@ -513,64 +633,114 @@ let find_resident t ~rel ~block =
    the frame dirty — hints are advisory and piggyback on the page's next
    real write. Returns whether the patch landed. *)
 let patch_resident t ~rel ~block ~slot ~off ~bits =
-  match Hashtbl.find_opt t.index { rel; block } with
-  | Some i ->
-      Crashpoint.reach "bufpool.hint.patch";
-      Page.or_byte t.frames.(i).page slot ~off ~bits;
-      true
-  | None -> false
+  let s = shard_of t { rel; block } in
+  lock_shard t s;
+  let r =
+    match Hashtbl.find_opt s.index { rel; block } with
+    | Some i ->
+        Crashpoint.reach "bufpool.hint.patch";
+        Page.or_byte t.frames.(i).page slot ~off ~bits;
+        true
+    | None -> false
+  in
+  unlock_shard t s;
+  r
 
 let mark_dirty t ~rel ~block =
   (* any mutation invalidates the ring copy *)
-  Hashtbl.remove t.ring { rel; block };
-  match find_resident t ~rel ~block with
-  | Some f -> f.dirty <- true
-  | None -> invalid_arg "Bufpool.mark_dirty: page not resident"
+  with_io t (fun () -> Hashtbl.remove t.ring { rel; block });
+  let s = shard_of t { rel; block } in
+  lock_shard t s;
+  let found =
+    match find_resident_in s t ~rel ~block with
+    | Some f ->
+        f.dirty <- true;
+        true
+    | None -> false
+  in
+  unlock_shard t s;
+  if not found then invalid_arg "Bufpool.mark_dirty: page not resident"
 
 let flush_block t ~rel ~block ~sync =
-  match find_resident t ~rel ~block with
-  | Some f when f.dirty -> write_back t f ~sync
-  | Some _ | None -> ()
+  let s = shard_of t { rel; block } in
+  lock_shard t s;
+  (match find_resident_in s t ~rel ~block with
+  | Some f when f.dirty -> with_io t (fun () -> write_back t f ~sync)
+  | Some _ | None -> ());
+  unlock_shard t s
 
 (* Checkpoints issue their writes in (relation, block) order, like
    PostgreSQL's sorted checkpoints: append regions and index files flush
    as near-sequential streams, which matters greatly on the HDD model. *)
 let flush_all t ~sync =
-  let dirty =
-    Array.to_list t.frames |> List.filter (fun f -> f.used && f.dirty)
-  in
-  let sorted =
-    List.sort (fun a b -> compare (a.key.rel, a.key.block) (b.key.rel, b.key.block)) dirty
-  in
-  List.iter (fun f -> write_back t f ~sync) sorted
+  with_all_shards t (fun () ->
+      let dirty =
+        Array.to_list t.frames |> List.filter (fun f -> f.used && f.dirty)
+      in
+      let sorted =
+        List.sort
+          (fun a b -> compare (a.key.rel, a.key.block) (b.key.rel, b.key.block))
+          dirty
+      in
+      List.iter (fun f -> with_io t (fun () -> write_back t f ~sync)) sorted)
 
-(* The background writer sweeps the frame array round-robin (PostgreSQL's
-   bgwriter clock scan): every dirty page is eventually trickled out
-   regardless of recency, which is what persists partially filled append
-   pages under the paper's t1 threshold. *)
+(* The background writer sweeps each shard's slice round-robin
+   (PostgreSQL's bgwriter clock scan): every dirty page is eventually
+   trickled out regardless of recency, which is what persists partially
+   filled append pages under the paper's t1 threshold. The page budget is
+   split over shards; with one shard this is the historical scan. *)
 let flush_some t ~max_pages =
-  let n = Array.length t.frames in
-  let written = ref 0 in
-  let scanned = ref 0 in
-  while !written < max_pages && !scanned < n do
-    let f = t.frames.(t.bg_hand) in
-    t.bg_hand <- (t.bg_hand + 1) mod n;
-    incr scanned;
-    if f.used && f.dirty then begin
-      write_back t f ~sync:false;
-      incr written
-    end
-  done
+  let nshards = Array.length t.shards in
+  Array.iteri
+    (fun i s ->
+      let budget =
+        if nshards = 1 then max_pages
+        else
+          (max_pages / nshards)
+          + if i < max_pages mod nshards then 1 else 0
+      in
+      if budget > 0 && s.n > 0 then begin
+        lock_shard t s;
+        let written = ref 0 in
+        let scanned = ref 0 in
+        while !written < budget && !scanned < s.n do
+          let f = t.frames.(s.lo + s.bg_hand) in
+          s.bg_hand <- (s.bg_hand + 1) mod s.n;
+          incr scanned;
+          if f.used && f.dirty then begin
+            with_io t (fun () -> write_back t f ~sync:false);
+            incr written
+          end
+        done;
+        unlock_shard t s
+      end)
+    t.shards
 
 let dirty_count t =
-  Array.fold_left (fun acc f -> if f.used && f.dirty then acc + 1 else acc) 0 t.frames
+  with_all_shards t (fun () ->
+      Array.fold_left
+        (fun acc f -> if f.used && f.dirty then acc + 1 else acc)
+        0 t.frames)
 
-let resident t ~rel ~block = find_resident t ~rel ~block <> None
+let resident t ~rel ~block =
+  let s = shard_of t { rel; block } in
+  lock_shard t s;
+  let r = find_resident_in s t ~rel ~block <> None in
+  unlock_shard t s;
+  r
 
 let is_dirty t ~rel ~block =
-  match find_resident t ~rel ~block with Some f -> f.dirty | None -> false
+  let s = shard_of t { rel; block } in
+  lock_shard t s;
+  let r =
+    match find_resident_in s t ~rel ~block with
+    | Some f -> f.dirty
+    | None -> false
+  in
+  unlock_shard t s;
+  r
 
-let drop_cache t =
+let drop_cache_locked t =
   Array.iter
     (fun f ->
       f.used <- false;
@@ -578,27 +748,38 @@ let drop_cache t =
       f.pin <- 0;
       f.refbit <- false)
     t.frames;
-  Hashtbl.reset t.index;
+  Array.iter (fun s -> Hashtbl.reset s.index) t.shards;
   Hashtbl.reset t.ring;
   Queue.clear t.ring_fifo
+
+let drop_cache t = with_all_shards t (fun () -> drop_cache_locked t)
 
 (* Dirty crash: torn in-flight writes land (only their persisted prefix
    survives), then every frame is dropped. What remains is exactly what a
    failure-prone device would hold: flushed images, some of them torn. *)
 let crash t =
-  Hashtbl.iter (fun key img -> Hashtbl.replace t.disk key img) t.torn_pending;
-  t.torn_pages <- t.torn_pages + Hashtbl.length t.torn_pending;
-  Hashtbl.reset t.torn_pending;
-  Hashtbl.reset t.os_pending;
-  (* after a crash, trust nothing: recovery re-verifies checksums *)
-  Hashtbl.reset t.trusted;
-  drop_cache t
+  with_all_shards t (fun () ->
+      with_io t (fun () ->
+          Hashtbl.iter (fun key img -> Hashtbl.replace t.disk key img) t.torn_pending;
+          t.torn_pages <- t.torn_pages + Hashtbl.length t.torn_pending;
+          Hashtbl.reset t.torn_pending;
+          Hashtbl.reset t.os_pending;
+          (* after a crash, trust nothing: recovery re-verifies checksums *)
+          Hashtbl.reset t.trusted);
+      drop_cache_locked t)
 
 let stats t =
+  let hits = ref 0 and misses = ref 0 and evictions = ref 0 in
+  Array.iter
+    (fun (s : shard) ->
+      hits := !hits + s.hits;
+      misses := !misses + s.misses;
+      evictions := !evictions + s.evictions)
+    t.shards;
   {
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
+    hits = !hits;
+    misses = !misses;
+    evictions = !evictions;
     flushes = t.flushes;
     read_stall_s = t.read_stall;
     write_stall_s = t.write_stall;
@@ -608,29 +789,35 @@ let stats t =
     torn_pages = t.torn_pages;
   }
 
-let on_disk t ~rel ~block = Hashtbl.mem t.disk { rel; block }
+let on_disk t ~rel ~block =
+  with_io t (fun () -> Hashtbl.mem t.disk { rel; block })
 
 let dirty_keys t =
-  Array.to_list t.frames
-  |> List.filter_map (fun f ->
-         if f.used && f.dirty then Some (f.key.rel, f.key.block) else None)
+  with_all_shards t (fun () ->
+      Array.to_list t.frames
+      |> List.filter_map (fun f ->
+             if f.used && f.dirty then Some (f.key.rel, f.key.block) else None))
 
 let trim_block t ~rel ~block =
-  (match find_resident t ~rel ~block with
+  let s = shard_of t { rel; block } in
+  lock_shard t s;
+  (match find_resident_in s t ~rel ~block with
   | Some f ->
       f.page <- Page.create ~size:t.page_size;
       f.dirty <- false
   | None -> ());
-  Hashtbl.remove t.disk { rel; block };
-  Hashtbl.remove t.os_pending { rel; block };
-  Hashtbl.remove t.ring { rel; block };
-  Hashtbl.remove t.torn_pending { rel; block };
-  Hashtbl.remove t.trusted { rel; block };
-  (* tell the device: its GC must never relocate this dead data *)
-  Device.trim t.device ~sector:(sector_of t ~rel ~block) ~bytes:t.page_size;
-  t.trims <- t.trims + 1;
-  match obs t with
-  | Some b -> Bus.publish b (Bus.Page_trim { rel; block })
-  | None -> ()
+  unlock_shard t s;
+  with_io t (fun () ->
+      Hashtbl.remove t.disk { rel; block };
+      Hashtbl.remove t.os_pending { rel; block };
+      Hashtbl.remove t.ring { rel; block };
+      Hashtbl.remove t.torn_pending { rel; block };
+      Hashtbl.remove t.trusted { rel; block };
+      (* tell the device: its GC must never relocate this dead data *)
+      Device.trim t.device ~sector:(sector_of t ~rel ~block) ~bytes:t.page_size;
+      t.trims <- t.trims + 1;
+      match obs t with
+      | Some b -> Bus.publish b (Bus.Page_trim { rel; block })
+      | None -> ())
 
 let trims t = t.trims

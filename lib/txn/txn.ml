@@ -6,6 +6,20 @@ type t = { xid : int; snapshot : Snapshot.t; start_time : float }
    code 0 = never assigned, 1 = in progress, 2 = committed, 3 = aborted.
    Status lookup is a shift and a mask instead of a Hashtbl probe.
 
+   Representation: codes are packed 16-per-word into a plain [int array]
+   published through an [Atomic.t] holder. Readers are lock-free — two
+   loads, a shift and a mask, from any domain. Writers serialize on a
+   mutex (begin/commit/abort are control-plane; visibility checks are
+   the hot path) and re-publish the array through the atomic holder
+   after every store, so the release/acquire pair gives a racing reader
+   everything up to the writer's latest publish; a reader that loses
+   the race sees the previous state of a monotone log, never a torn
+   word. [clog_bytes] mirrors the byte length the retired [Bytes.t]
+   representation would have had (start 256, grow to
+   [max (2*len) (byte+1)]) because the checkpoint image format — and
+   therefore WAL record sizes and device byte counters in the committed
+   goldens — depends on that exact growth law.
+
    The GC horizon is maintained incrementally: a multiset of the active
    snapshots' xmins (keyed min -> count) replaces the per-call fold over
    every active snapshot.
@@ -19,39 +33,66 @@ module Imap = Map.Make (Int)
 type mgr = {
   mutable next_xid : int;
   active : (int, Snapshot.t) Hashtbl.t;
-  mutable clog : Bytes.t;
+  clog : int array Atomic.t;
+  mutable clog_bytes : int;
+  clog_lock : Mutex.t;
   mutable xmins : int Imap.t;
   mutable commit_lsn : int array;
   mutable flushed_probe : (unit -> int) option;
 }
 
+(* 16 codes per word: index and shift are mask/shift only (no division)
+   and 32 of the 63 bits of an OCaml int are used. *)
+let words_for_bytes bytes = (bytes + 3) lsr 2
+
 let create_mgr () =
   {
     next_xid = 1;
     active = Hashtbl.create 64;
-    clog = Bytes.make 256 '\000';
+    clog = Atomic.make (Array.make (words_for_bytes 256) 0);
+    clog_bytes = 256;
+    clog_lock = Mutex.create ();
     xmins = Imap.empty;
     commit_lsn = [||];
     flushed_probe = None;
   }
 
 let clog_get mgr xid =
+  if xid < 1 then 0
+  else begin
+    let a = Atomic.get mgr.clog in
+    let w = xid lsr 4 in
+    if w >= Array.length a then 0
+    else (Array.unsafe_get a w lsr ((xid land 15) * 2)) land 3
+  end
+
+(* Callers hold [clog_lock]. *)
+let clog_set_locked mgr xid code =
   let byte = xid lsr 2 in
-  if xid < 1 || byte >= Bytes.length mgr.clog then 0
-  else (Char.code (Bytes.unsafe_get mgr.clog byte) lsr ((xid land 3) * 2)) land 3
+  if byte >= mgr.clog_bytes then
+    mgr.clog_bytes <- Stdlib.max (2 * mgr.clog_bytes) (byte + 1);
+  let a = Atomic.get mgr.clog in
+  let w = xid lsr 4 in
+  let a =
+    if w < Array.length a then a
+    else begin
+      let len = Stdlib.max (words_for_bytes mgr.clog_bytes) (w + 1) in
+      let b = Array.make len 0 in
+      Array.blit a 0 b 0 (Array.length a);
+      b
+    end
+  in
+  let shift = (xid land 15) * 2 in
+  a.(w) <- (a.(w) land lnot (3 lsl shift)) lor (code lsl shift);
+  (* Publish: release store pairs with the reader's acquire load, making
+     the plain store above (and all before it) visible cross-domain. *)
+  Atomic.set mgr.clog a
 
 let clog_set mgr xid code =
   if xid < 1 then invalid_arg "Txn: xid must be positive";
-  let byte = xid lsr 2 in
-  if byte >= Bytes.length mgr.clog then begin
-    let len = Stdlib.max (2 * Bytes.length mgr.clog) (byte + 1) in
-    let b = Bytes.make len '\000' in
-    Bytes.blit mgr.clog 0 b 0 (Bytes.length mgr.clog);
-    mgr.clog <- b
-  end;
-  let shift = (xid land 3) * 2 in
-  let cur = Char.code (Bytes.get mgr.clog byte) in
-  Bytes.set mgr.clog byte (Char.chr ((cur land lnot (3 lsl shift)) lor (code lsl shift)))
+  Mutex.lock mgr.clog_lock;
+  clog_set_locked mgr xid code;
+  Mutex.unlock mgr.clog_lock
 
 let active_xids mgr = Hashtbl.fold (fun xid _ acc -> xid :: acc) mgr.active []
 
@@ -120,10 +161,46 @@ let mark_recovered mgr ~xid ~committed =
    tail. In-progress codes in the image are flipped to aborted — a
    transaction still running at the checkpoint either has its commit
    record in the retained tail (the overlay wins) or never committed. *)
-let clog_image mgr = (mgr.next_xid, Bytes.to_string mgr.clog)
+let clog_image mgr =
+  (* Serialize to the retired byte format — 4 codes per byte, image
+     length following the legacy growth law via [clog_bytes] — so
+     checkpoint payloads (and hence WAL/device byte counts in the
+     goldens) are unchanged by the word-packed representation. *)
+  let a = Atomic.get mgr.clog in
+  let words = Array.length a in
+  let code xid =
+    let w = xid lsr 4 in
+    if w >= words then 0 else (a.(w) lsr ((xid land 15) * 2)) land 3
+  in
+  let image =
+    String.init mgr.clog_bytes (fun b ->
+        let x = 4 * b in
+        Char.chr
+          (code x
+          lor (code (x + 1) lsl 2)
+          lor (code (x + 2) lsl 4)
+          lor (code (x + 3) lsl 6)))
+  in
+  (mgr.next_xid, image)
 
 let clog_restore mgr ~next_xid ~image =
-  mgr.clog <- Bytes.of_string image;
+  Mutex.lock mgr.clog_lock;
+  let bytes = String.length image in
+  mgr.clog_bytes <- bytes;
+  let a = Array.make (Stdlib.max 1 (words_for_bytes bytes)) 0 in
+  for b = 0 to bytes - 1 do
+    let packed = Char.code (String.unsafe_get image b) in
+    for j = 0 to 3 do
+      let code = (packed lsr (j * 2)) land 3 in
+      if code <> 0 then begin
+        let xid = (4 * b) + j in
+        let shift = (xid land 15) * 2 in
+        a.(xid lsr 4) <- a.(xid lsr 4) lor (code lsl shift)
+      end
+    done
+  done;
+  Atomic.set mgr.clog a;
+  Mutex.unlock mgr.clog_lock;
   for xid = 1 to next_xid - 1 do
     if clog_get mgr xid = 1 then clog_set mgr xid 3
   done;
@@ -141,7 +218,11 @@ let reset_active mgr =
      durable verdict via [mark_recovered] / [clog_restore], both of
      which also advance [next_xid] past every xid seen in the log, so
      no xid with a durable trace can be re-issued. *)
-  Bytes.fill mgr.clog 0 (Bytes.length mgr.clog) '\000';
+  Mutex.lock mgr.clog_lock;
+  let a = Atomic.get mgr.clog in
+  Array.fill a 0 (Array.length a) 0;
+  Atomic.set mgr.clog a;
+  Mutex.unlock mgr.clog_lock;
   mgr.next_xid <- 1
 
 let set_flushed_probe mgr f = mgr.flushed_probe <- Some f

@@ -1,0 +1,116 @@
+(* Small parallel-execution primitives for OCaml 5 domains.
+
+   The design follows the shared-nothing / message-passing model (cf.
+   DragonflyBSD's lwkt + netisr): work is partitioned per domain up
+   front, domains own their data outright, and the only cross-domain
+   traffic flows through explicit channels. Nothing here is clever —
+   mutex+condvar channels and a phase barrier — because the sharding
+   layer above is what removes contention, not the primitives. *)
+
+module Chan = struct
+  type 'a t = {
+    q : 'a Queue.t;
+    m : Mutex.t;
+    nonempty : Condition.t;
+    mutable closed : bool;
+  }
+
+  let create () =
+    { q = Queue.create (); m = Mutex.create ();
+      nonempty = Condition.create (); closed = false }
+
+  let send t v =
+    Mutex.lock t.m;
+    if t.closed then begin
+      Mutex.unlock t.m;
+      invalid_arg "Domainpool.Chan.send: channel is closed"
+    end;
+    Queue.push v t.q;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+
+  let close t =
+    Mutex.lock t.m;
+    t.closed <- true;
+    Condition.broadcast t.nonempty;
+    Mutex.unlock t.m
+
+  (* Blocking receive; [None] once the channel is closed and drained. *)
+  let recv t =
+    Mutex.lock t.m;
+    let rec wait () =
+      match Queue.take_opt t.q with
+      | Some v -> Mutex.unlock t.m; Some v
+      | None ->
+        if t.closed then (Mutex.unlock t.m; None)
+        else (Condition.wait t.nonempty t.m; wait ())
+    in
+    wait ()
+
+  let try_recv t =
+    Mutex.lock t.m;
+    let v = Queue.take_opt t.q in
+    Mutex.unlock t.m;
+    v
+
+  let length t =
+    Mutex.lock t.m;
+    let n = Queue.length t.q in
+    Mutex.unlock t.m;
+    n
+end
+
+module Barrier = struct
+  type t = {
+    m : Mutex.t;
+    c : Condition.t;
+    parties : int;
+    mutable waiting : int;
+    mutable phase : int;
+  }
+
+  let create parties =
+    if parties < 1 then invalid_arg "Domainpool.Barrier.create";
+    { m = Mutex.create (); c = Condition.create ();
+      parties; waiting = 0; phase = 0 }
+
+  let wait t =
+    Mutex.lock t.m;
+    let my_phase = t.phase in
+    t.waiting <- t.waiting + 1;
+    if t.waiting = t.parties then begin
+      t.waiting <- 0;
+      t.phase <- t.phase + 1;
+      Condition.broadcast t.c
+    end else
+      while t.phase = my_phase do
+        Condition.wait t.c t.m
+      done;
+    Mutex.unlock t.m
+end
+
+(* Run [f 0 .. f (domains-1)] in parallel and return their results in
+   index order. [domains = 1] runs inline on the calling domain — no
+   spawn, no barrier cost — which is what keeps the single-domain sim
+   path byte-exact and scheduler-free. An exception in any worker is
+   re-raised after all domains have been joined. *)
+let run ~domains f =
+  if domains < 1 then invalid_arg "Domainpool.run: domains must be >= 1";
+  if domains = 1 then [| f 0 |]
+  else begin
+    let workers =
+      Array.init domains (fun i -> Domain.spawn (fun () -> f i))
+    in
+    let results = Array.make domains None in
+    let first_exn = ref None in
+    Array.iteri
+      (fun i d ->
+        match Domain.join d with
+        | v -> results.(i) <- Some v
+        | exception e -> if !first_exn = None then first_exn := Some e)
+      workers;
+    (match !first_exn with Some e -> raise e | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false)
+      results
+  end

@@ -1,0 +1,44 @@
+(** Parallel-execution primitives for OCaml 5 domains.
+
+    Shared-nothing model: partition work per domain, communicate through
+    explicit channels. See DESIGN.md "Multicore execution model". *)
+
+module Chan : sig
+  (** Unbounded multi-producer multi-consumer channel (mutex + condvar). *)
+
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val send : 'a t -> 'a -> unit
+  (** Raises [Invalid_argument] if the channel has been closed. *)
+
+  val close : 'a t -> unit
+  (** Wake all blocked receivers; subsequent [recv] drains then returns
+      [None]. Idempotent. *)
+
+  val recv : 'a t -> 'a option
+  (** Block until a value is available or the channel is closed and
+      empty ([None]). *)
+
+  val try_recv : 'a t -> 'a option
+  (** Non-blocking receive. *)
+
+  val length : 'a t -> int
+end
+
+module Barrier : sig
+  (** Reusable phase barrier for [parties] participants. *)
+
+  type t
+
+  val create : int -> t
+  val wait : t -> unit
+end
+
+val run : domains:int -> (int -> 'a) -> 'a array
+(** [run ~domains f] evaluates [f i] for each domain index
+    [0 <= i < domains] in parallel and returns results in index order.
+    [domains = 1] runs inline on the caller (no spawn) so the
+    deterministic single-domain path is untouched. If a worker raises,
+    the first exception is re-raised after every domain has joined. *)

@@ -1,0 +1,11 @@
+(* Monotonic wall-clock readings for benchmark timing.
+
+   [Unix.gettimeofday] is subject to NTP steps and manual clock changes,
+   which can make a benchmark interval negative or wildly wrong;
+   CLOCK_MONOTONIC cannot go backwards. All wall-clock measurement in
+   bench/ and the multicore harness goes through here. The simulator's
+   virtual clock ([Simclock]) is unrelated. *)
+
+external now : unit -> float = "sias_monotime_now"
+
+let elapsed_since t0 = now () -. t0

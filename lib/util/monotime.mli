@@ -1,0 +1,13 @@
+(** Monotonic wall-clock time for benchmark measurement.
+
+    Backed by [Unix.clock_gettime CLOCK_MONOTONIC]: immune to NTP steps
+    and clock slew, so intervals are always non-negative and readings
+    are non-decreasing. Use this — never [Unix.gettimeofday] — whenever
+    measuring real elapsed time. *)
+
+val now : unit -> float
+(** Seconds from an arbitrary fixed origin; non-decreasing. *)
+
+val elapsed_since : float -> float
+(** [elapsed_since t0] is [now () -. t0]; non-negative when [t0] came
+    from {!now}. *)

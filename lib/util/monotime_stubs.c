@@ -1,0 +1,16 @@
+/* CLOCK_MONOTONIC reading for Monotime. The OCaml Unix library exposes
+   only gettimeofday (wall time, steppable by NTP); benchmark intervals
+   need a clock that cannot go backwards. */
+
+#include <time.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+CAMLprim value sias_monotime_now(value unit)
+{
+  CAMLparam1(unit);
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  CAMLreturn(caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9));
+}

@@ -1,4 +1,4 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; gamma : int64 }
 
 (* splitmix64 constants; see Steele, Lea & Flood, OOPSLA'14. *)
 let golden = 0x9E3779B97F4A7C15L
@@ -8,15 +8,52 @@ let mix z =
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let create seed = { state = mix (Int64.of_int seed) }
+let create seed = { state = mix (Int64.of_int seed); gamma = golden }
 
 let int64 t =
-  t.state <- Int64.add t.state golden;
+  t.state <- Int64.add t.state t.gamma;
   mix t.state
 
-let split t = { state = int64 t }
+let split t = { state = int64 t; gamma = t.gamma }
 
-let copy t = { state = t.state }
+let copy t = { state = t.state; gamma = t.gamma }
+
+(* Mix used to derive per-stream gammas; distinct from [mix] so a stream's
+   gamma never collides with a state value produced from the same bits. *)
+let mix_gamma z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xFF51AFD7ED558CCDL in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 33)) 0xC4CEB9FE1A85EC53L in
+  Int64.logxor z (Int64.shift_right_logical z 33)
+
+let stream ~seed ~stream:idx =
+  if idx < 0 then invalid_arg "Rng.stream: stream index must be >= 0";
+  if idx = 0 then create seed
+  else begin
+    (* Stream 0 is exactly [create seed]; streams >= 1 get an additive
+       constant (gamma) of their own, so the sequences are driven by
+       different Weyl increments and cannot phase-lock. Gammas must be odd
+       for splitmix64 to cover the full period. *)
+    let base = mix (Int64.of_int seed) in
+    let g = mix_gamma (Int64.add golden (Int64.of_int idx)) in
+    let gamma = Int64.logor g 1L in
+    { state = mix (Int64.logxor base (mix_gamma (Int64.of_int idx))); gamma }
+  end
+
+let fingerprint t = (t.state, t.gamma)
+
+let assert_independent rngs =
+  let n = Array.length rngs in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = rngs.(i) and b = rngs.(j) in
+      if Int64.equal a.gamma b.gamma && Int64.equal a.state b.state then
+        failwith
+          (Printf.sprintf
+             "Rng.assert_independent: streams %d and %d are identical \
+              (state=%Lx gamma=%Lx); every domain must own a distinct stream"
+             i j a.state a.gamma)
+    done
+  done
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

@@ -12,6 +12,24 @@ val create : int -> t
 val split : t -> t
 (** Derive an independent generator; the parent stream advances by one. *)
 
+val stream : seed:int -> stream:int -> t
+(** [stream ~seed ~stream:i] is the [i]-th member of a family of
+    independent generators derived from [seed]. Stream 0 is exactly
+    [create seed]; streams [i >= 1] advance with their own odd additive
+    constant (splitmix64 gamma) so no two streams can phase-lock.
+    Intended use: one stream per domain, indexed by domain id.
+    Raises [Invalid_argument] on a negative index. *)
+
+val fingerprint : t -> int64 * int64
+(** Current [(state, gamma)] pair. Two generators with equal fingerprints
+    will produce identical output forever. *)
+
+val assert_independent : t array -> unit
+(** Fail loudly (with [Failure]) if any two generators in the array are
+    the same stream, i.e. have identical fingerprints. Call after handing
+    a stream to each domain: silent correlation between domains would
+    invalidate every stochastic experiment. *)
+
 val copy : t -> t
 (** Snapshot the generator: the copy replays the same stream from the
     current position without advancing the original. *)

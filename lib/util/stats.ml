@@ -53,7 +53,11 @@ module Sample = struct
   let ensure_sorted t =
     if not t.sorted then begin
       let live = Array.sub t.data 0 t.len in
-      Array.sort compare live;
+      (* Float.compare, not polymorphic compare: monomorphic (no boxing
+         through the generic compare runtime path) and total on floats —
+         NaNs sort below every number instead of poisoning comparisons,
+         so percentiles stay well-defined on samples containing NaN. *)
+      Array.sort Float.compare live;
       Array.blit live 0 t.data 0 t.len;
       t.sorted <- true
     end

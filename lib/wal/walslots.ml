@@ -1,0 +1,273 @@
+(* Per-domain WAL insert slots feeding one flusher domain.
+
+   Shape of the problem: N domains produce log records; the log itself
+   is a strictly ordered append stream with one durability horizon, so
+   something must serialize. Instead of a contended insert lock, each
+   producing domain owns a private slot (its message queue — the lwkt
+   model again) and a single flusher domain drains the slots in slot
+   order, appends to the one [Wal.t], and pushes every commit in the
+   batch through [Commitpipe]'s group machinery: one fsync per drained
+   batch covers every commit in it, exactly the group-commit economics
+   the single-domain pipeline already measures.
+
+   Producers never touch the Wal/Commitpipe/clock — those are owned by
+   the flusher domain outright; the slot mutex is the only shared state
+   between a producer and the flusher, and [wait_durable] is the ack
+   path back. *)
+
+type ticket = { t_slot : int; t_seq : int }
+
+type pending = {
+  seq : int;
+  xid : int;
+  rel : int;
+  kind : Wal.kind;
+  payload : bytes;
+  commit : bool;
+}
+
+type slot = {
+  id : int;
+  m : Mutex.t;
+  resolved : Condition.t;
+  mutable buf : pending list; (* newest first *)
+  mutable next_seq : int;
+  mutable durable_seq : int; (* highest seq known durable *)
+}
+
+type stats = {
+  appended : int;
+  batches : int;
+  max_batch : int;
+  commits : int;
+  commit_fsyncs : int;
+  fsyncs_saved : int;
+}
+
+type t = {
+  wal : Wal.t;
+  pipe : Commitpipe.t;
+  clock : Sias_util.Simclock.t;
+  slots : slot array;
+  wake_m : Mutex.t;
+  wake_c : Condition.t;
+  mutable work : bool;
+  mutable stopping : bool;
+  flush_m : Mutex.t; (* serializes batch processing (flusher vs inline) *)
+  mutable flusher : unit Domain.t option;
+  (* flusher-owned counters, read after [stop] *)
+  mutable appended : int;
+  mutable batches : int;
+  mutable max_batch : int;
+  mutable commits : int;
+}
+
+let create ?device ?bus ~slots () =
+  if slots < 1 then invalid_arg "Walslots.create: slots must be >= 1";
+  let clock = Sias_util.Simclock.create () in
+  let wal = Wal.create ?device ?bus ~clock () in
+  (* A tiny positive delay keeps the group open until [close_due
+     ~upto:infinity]: the flusher closes one group per drained batch, so
+     batch size — not a sim-time window — decides group membership. *)
+  let pipe = Commitpipe.create ~wal ~clock ?bus (Commitpipe.Group { delay = 1e-9 }) in
+  {
+    wal;
+    pipe;
+    clock;
+    slots =
+      Array.init slots (fun id ->
+          {
+            id;
+            m = Mutex.create ();
+            resolved = Condition.create ();
+            buf = [];
+            next_seq = 0;
+            durable_seq = -1;
+          });
+    wake_m = Mutex.create ();
+    wake_c = Condition.create ();
+    work = false;
+    stopping = false;
+    flush_m = Mutex.create ();
+    flusher = None;
+    appended = 0;
+    batches = 0;
+    max_batch = 0;
+    commits = 0;
+  }
+
+let wal t = t.wal
+let slot_count t = Array.length t.slots
+
+let signal t =
+  Mutex.lock t.wake_m;
+  t.work <- true;
+  Condition.signal t.wake_c;
+  Mutex.unlock t.wake_m
+
+let append t ~slot ~xid ~rel ~kind ~payload =
+  if slot < 0 || slot >= Array.length t.slots then
+    invalid_arg "Walslots.append: no such slot";
+  let s = t.slots.(slot) in
+  Mutex.lock s.m;
+  let seq = s.next_seq in
+  s.next_seq <- seq + 1;
+  s.buf <- { seq; xid; rel; kind; payload; commit = kind = Wal.Commit } :: s.buf;
+  Mutex.unlock s.m;
+  signal t;
+  { t_slot = slot; t_seq = seq }
+
+(* Drain every slot (in slot order, each slot's records in seq order),
+   append the batch to the log, group-commit the commits, then advance
+   each slot's durable horizon to the flushed lsn and wake waiters.
+   Runs on the flusher domain, or inline in single-domain tests. *)
+let flush_batch t =
+  Mutex.lock t.flush_m;
+  let drained =
+    Array.map
+      (fun s ->
+        Mutex.lock s.m;
+        let buf = List.rev s.buf in
+        s.buf <- [];
+        Mutex.unlock s.m;
+        buf)
+      t.slots
+  in
+  let batch_n = Array.fold_left (fun acc l -> acc + List.length l) 0 drained in
+  if batch_n > 0 then begin
+    let commits = ref [] in
+    let lsn_of =
+      Array.map
+        (fun recs ->
+          List.map
+            (fun p ->
+              let lsn =
+                Wal.append t.wal ~xid:p.xid ~rel:p.rel ~kind:p.kind
+                  ~payload:p.payload
+              in
+              if p.commit then commits := (p.xid, lsn) :: !commits;
+              (p.seq, lsn))
+            recs)
+        drained
+    in
+    t.appended <- t.appended + batch_n;
+    t.batches <- t.batches + 1;
+    if batch_n > t.max_batch then t.max_batch <- batch_n;
+    let durable_upto =
+      if !commits = [] then
+        (* no commit in the batch: records ride along unsynced until the
+           next commit's group fsync (or the final stop flush) *)
+        Wal.flushed_lsn t.wal
+      else begin
+        List.iter
+          (fun (xid, lsn) ->
+            t.commits <- t.commits + 1;
+            ignore (Commitpipe.commit t.pipe ~xid ~lsn))
+          (List.rev !commits);
+        ignore (Commitpipe.close_due t.pipe ~upto:infinity);
+        ignore (Commitpipe.drain_resolved t.pipe);
+        Wal.flushed_lsn t.wal
+      end
+    in
+    Array.iteri
+      (fun i seqs ->
+        let s = t.slots.(i) in
+        let durable =
+          List.fold_left
+            (fun acc (seq, lsn) -> if lsn <= durable_upto then seq else acc)
+            s.durable_seq seqs
+        in
+        if durable > s.durable_seq then begin
+          Mutex.lock s.m;
+          s.durable_seq <- durable;
+          Condition.broadcast s.resolved;
+          Mutex.unlock s.m
+        end)
+      lsn_of
+  end;
+  Mutex.unlock t.flush_m;
+  batch_n
+
+let flusher_loop t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.wake_m;
+    while (not t.work) && not t.stopping do
+      Condition.wait t.wake_c t.wake_m
+    done;
+    t.work <- false;
+    let stop_after = t.stopping in
+    Mutex.unlock t.wake_m;
+    ignore (flush_batch t);
+    if stop_after then begin
+      (* final sweep: catch records appended between the drain and now,
+         then force the tail durable so every waiter resolves *)
+      ignore (flush_batch t);
+      Mutex.lock t.flush_m;
+      Wal.flush t.wal ~sync:true;
+      Array.iter
+        (fun s ->
+          Mutex.lock s.m;
+          s.durable_seq <- s.next_seq - 1;
+          Condition.broadcast s.resolved;
+          Mutex.unlock s.m)
+        t.slots;
+      Mutex.unlock t.flush_m;
+      running := false
+    end
+  done
+
+let start t =
+  match t.flusher with
+  | Some _ -> invalid_arg "Walslots.start: flusher already running"
+  | None -> t.flusher <- Some (Domain.spawn (fun () -> flusher_loop t))
+
+let stop t =
+  Mutex.lock t.wake_m;
+  t.stopping <- true;
+  Condition.broadcast t.wake_c;
+  Mutex.unlock t.wake_m;
+  (match t.flusher with
+  | Some d ->
+      Domain.join d;
+      t.flusher <- None
+  | None ->
+      (* inline mode: settle synchronously *)
+      ignore (flush_batch t);
+      Mutex.lock t.flush_m;
+      Wal.flush t.wal ~sync:true;
+      Array.iter (fun s -> s.durable_seq <- s.next_seq - 1) t.slots;
+      Mutex.unlock t.flush_m);
+  t.stopping <- false
+
+let wait_durable t ticket =
+  let s = t.slots.(ticket.t_slot) in
+  Mutex.lock s.m;
+  while s.durable_seq < ticket.t_seq do
+    Condition.wait s.resolved s.m
+  done;
+  Mutex.unlock s.m
+
+let is_durable t ticket =
+  let s = t.slots.(ticket.t_slot) in
+  Mutex.lock s.m;
+  let r = s.durable_seq >= ticket.t_seq in
+  Mutex.unlock s.m;
+  r
+
+let stats t =
+  let ps = Commitpipe.stats t.pipe in
+  {
+    appended = t.appended;
+    batches = t.batches;
+    max_batch = t.max_batch;
+    commits = t.commits;
+    commit_fsyncs = ps.Commitpipe.commit_fsyncs;
+    fsyncs_saved = ps.Commitpipe.fsyncs_saved;
+  }
+
+let pp_stats ppf (s : stats) =
+  Format.fprintf ppf
+    "wal-slots: %d records in %d batches (max %d), %d commits, %d fsyncs \
+     (%d saved by batching)"
+    s.appended s.batches s.max_batch s.commits s.commit_fsyncs s.fsyncs_saved

@@ -1,0 +1,67 @@
+(** Per-domain WAL insert slots with a single flusher domain.
+
+    N producing domains append log records into private slots (their
+    message queues); one flusher domain drains the slots in order,
+    appends to a single {!Wal.t}, and routes every commit in the drained
+    batch through {!Commitpipe}'s group-commit machinery — one fsync per
+    batch covers all of them. Producers never touch the Wal, the commit
+    pipeline or its clock; the only shared state between a producer and
+    the flusher is the slot mutex, and {!wait_durable} is the
+    acknowledgement path back.
+
+    Can also run without a flusher domain ({!start} never called):
+    {!flush_batch} then drains inline, which is what deterministic
+    single-domain tests drive. *)
+
+type t
+
+type ticket
+(** Handle for one appended record, resolved when it is durable. *)
+
+type stats = {
+  appended : int;  (** records written to the log *)
+  batches : int;  (** drain cycles that found work *)
+  max_batch : int;  (** largest single batch *)
+  commits : int;  (** commit records among them *)
+  commit_fsyncs : int;  (** fsyncs issued by the group pipeline *)
+  fsyncs_saved : int;  (** commits that shared another commit's fsync *)
+}
+
+val create :
+  ?device:Flashsim.Device.t -> ?bus:Sias_obs.Bus.t -> slots:int -> unit -> t
+(** [slots] is the number of producing domains; slot [i] belongs to
+    domain [i] exclusively. The log and its commit pipeline run on a
+    private simulated clock owned by the flusher. *)
+
+val wal : t -> Wal.t
+(** The underlying log. Owned by the flusher domain while it runs: only
+    inspect after {!stop}. *)
+
+val slot_count : t -> int
+
+val append :
+  t -> slot:int -> xid:int -> rel:int -> kind:Wal.kind -> payload:bytes -> ticket
+(** Enqueue a record into the caller's slot and wake the flusher.
+    Non-blocking; per-slot order is preserved in the log. *)
+
+val start : t -> unit
+(** Spawn the flusher domain. *)
+
+val stop : t -> unit
+(** Drain everything, force the tail durable, and join the flusher (or
+    settle inline if {!start} was never called). Every ticket issued
+    before [stop] is durable afterwards. Do not [append] after [stop]. *)
+
+val flush_batch : t -> int
+(** Drain and append one batch inline (single-domain/test mode; also
+    safe while the flusher runs — batch processing is serialized).
+    Returns the number of records drained. *)
+
+val wait_durable : t -> ticket -> unit
+(** Block until the record is durable (its covering group fsync, or the
+    final [stop] flush, completed). *)
+
+val is_durable : t -> ticket -> bool
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit

@@ -31,4 +31,5 @@ let () =
       ("ssi", Test_ssi.suite);
       ("obs", Test_obs.suite);
       ("chaos", Test_chaos.suite);
+      ("multicore", Test_multicore.suite);
     ]

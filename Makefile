@@ -1,6 +1,6 @@
 # Convenience targets; `make check` is what CI runs.
 
-.PHONY: all build test check bench micro determinism multicore demo contention obs groupcommit repl isolation chaos clean
+.PHONY: all build test check bench micro determinism multicore demo contention obs groupcommit repl isolation chaos index clean
 
 all: build
 
@@ -126,6 +126,25 @@ chaos:
 	mkdir -p _obs
 	dune exec bin/sias_cli.exe -- chaos --standby \
 	  $(if $(CHAOS_FULL),--full,) | tee _obs/chaos_report.txt
+	dune exec bin/sias_cli.exe -- chaos --index paged \
+	  $(if $(CHAOS_FULL),--full,) | tee _obs/chaos_report_paged.txt
+
+# Paged-index smoke: a beyond-RAM TPC-C run on the WAL-logged paged
+# B+Tree for each engine (array is the default and stays on the golden
+# path), the paged-index crash schedules, and the index
+# write-amplification bench chapter (BENCH_index.json: per-engine index
+# vs heap device writes under buffer pressure).
+index:
+	mkdir -p _obs
+	for e in si si-cv sias sias-v; do \
+	  echo "== $$e/paged =="; \
+	  dune exec bin/sias_cli.exe -- run -e $$e --index paged -w 4 -d 10 \
+	    --scale-div 300 --buffer 256 --check-si || exit 1; \
+	done
+	dune exec bin/sias_cli.exe -- chaos --index paged --engines sias,sias-v \
+	  --modes sync --budget 40 --oos false
+	dune exec bench/main.exe -- index --bench-out _obs/BENCH_index.json
+	@echo "index OK: _obs/BENCH_index.json"
 
 clean:
 	dune clean

@@ -31,6 +31,11 @@ let repl_results : (string * (string * float) list) list ref = ref []
 (* per engine/level (metric, value) rows collected by the isolation bench *)
 let isolation_results : (string * (string * float) list) list ref = ref []
 
+(* per engine/configuration (metric, value) rows from the index bench;
+   gate failures accumulate so the process can exit non-zero at the end *)
+let index_results : (string * (string * float) list) list ref = ref []
+let index_gate_failures = ref 0
+
 (* per engine/domain-count (metric, value) rows from the multicore bench;
    violations accumulate so the process can exit non-zero at the end *)
 let multicore_results : (string * (string * float) list) list ref = ref []
@@ -780,6 +785,158 @@ let ablation_isolation () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* bench index: paged B+Tree write amplification + buffer pressure     *)
+
+(* The index write-amplification chapter. Two legs:
+
+   Beyond-RAM leg: every engine on the paged, WAL-logged B+Tree at a
+   warehouse count whose heap + index working set exceeds the buffer
+   pool, with the page-flush classifier splitting device writes into
+   index-page vs heap traffic. Index write amplification = MB of index
+   pages flushed / MB of logical entry volume (insertions x 16 bytes).
+   The append engines must not lose their headline: SIAS/SIAS-V total
+   device writes stay <= SI on the same run, or the bench exits
+   non-zero.
+
+   Buffer-pressure leg: the same run across shrinking pools. As frames
+   get scarce, index pages compete with heap pages for residency and
+   the index share of the write traffic grows -- the figure the paged
+   design pays for crash-recoverable indexes with. *)
+
+let ablation_index () =
+  section
+    "Index: paged WAL-logged B+Tree -- write amplification, beyond-RAM TPC-C";
+  let run ~engine ~index ~buffer_pages =
+    run_tpcc
+      {
+        (default_setup ~engine ~warehouses:20) with
+        index;
+        measure_index_io = true;
+        buffer_pages;
+        duration_s = (if !full then 120.0 else 30.0);
+        gc_interval_s = Some 30.0;
+        keep_trace_records = false;
+      }
+  in
+  let tbl =
+    T.create
+      [
+        "engine"; "NOTPM"; "W MB"; "ix W MB"; "heap W MB"; "ix logical";
+        "ix WA"; "splits"; "merges"; "height";
+      ]
+  in
+  let si_write_mb = ref 0.0 in
+  List.iter
+    (fun engine ->
+      let o = run ~engine ~index:"paged" ~buffer_pages:512 in
+      let io = Option.get o.index_io in
+      let wa = io.ix_flush_mb /. Float.max 1e-9 io.ix_logical_mb in
+      if engine = "si" then si_write_mb := o.run_write_mb;
+      (* the paper's headline must survive the paged index: the append
+         engines cannot write more to the device than SI on this run *)
+      if
+        (engine = "sias" || engine = "sias-v")
+        && o.run_write_mb > !si_write_mb +. 0.05
+      then begin
+        incr index_gate_failures;
+        note "!! %s wrote %.1f MB > SI's %.1f MB with the paged index" engine
+          o.run_write_mb !si_write_mb
+      end;
+      T.add_row tbl
+        [
+          engine_name engine;
+          T.fmt_float ~decimals:0 o.result.W.notpm;
+          T.fmt_float ~decimals:1 o.run_write_mb;
+          T.fmt_float ~decimals:2 io.ix_flush_mb;
+          T.fmt_float ~decimals:2 io.heap_flush_mb;
+          T.fmt_float ~decimals:2 io.ix_logical_mb;
+          T.fmt_float ~decimals:2 wa;
+          string_of_int io.ix_splits;
+          string_of_int io.ix_merges;
+          string_of_int io.ix_height;
+        ];
+      index_results :=
+        !index_results
+        @ [
+            ( engine ^ "/paged",
+              [
+                ("notpm", o.result.W.notpm);
+                ("device_write_mb", o.run_write_mb);
+                ("device_read_mb", o.run_read_mb);
+                ("index_flush_mb", io.ix_flush_mb);
+                ("index_flush_pages", float_of_int io.ix_flush_count);
+                ("heap_flush_mb", io.heap_flush_mb);
+                ("index_logical_mb", io.ix_logical_mb);
+                ("index_write_amplification", wa);
+                ("index_entries", float_of_int io.ix_entries);
+                ("index_nodes", float_of_int io.ix_nodes);
+                ("index_height", float_of_int io.ix_height);
+                ("index_splits", float_of_int io.ix_splits);
+                ("index_merges", float_of_int io.ix_merges);
+              ] );
+          ])
+    [ "si"; "si-cv"; "sias"; "sias-v" ];
+  T.print tbl;
+  note "ix WA = index MB flushed / logical entry MB: slotted 8 KB pages";
+  note "re-flushed across checkpoints amplify each 16-byte entry; the array";
+  note "index writes nothing (rebuilt from the heap) but loses crash recovery.";
+  (* array-vs-paged device-write delta on one append engine, same run *)
+  let arr = run ~engine:"sias-v" ~index:"array" ~buffer_pages:512 in
+  let arr_io = Option.get arr.index_io in
+  note "";
+  note "sias-v array index, same run: %.0f NOTPM, %.1f MB written (ix %.2f MB)"
+    arr.result.W.notpm arr.run_write_mb arr_io.ix_flush_mb;
+  index_results :=
+    !index_results
+    @ [
+        ( "sias-v/array",
+          [
+            ("notpm", arr.result.W.notpm);
+            ("device_write_mb", arr.run_write_mb);
+            ("index_flush_mb", arr_io.ix_flush_mb);
+            ("heap_flush_mb", arr_io.heap_flush_mb);
+          ] );
+      ];
+  (* buffer-pressure sweep: index share of the writes vs pool size *)
+  let buffers = if !full then [ 256; 512; 1024; 2048; 4096 ] else [ 256; 1024; 4096 ] in
+  let tbl =
+    T.create [ "buffer pages"; "NOTPM"; "ix W MB"; "heap W MB"; "ix share %" ]
+  in
+  List.iter
+    (fun buffer_pages ->
+      let o = run ~engine:"sias-v" ~index:"paged" ~buffer_pages in
+      let io = Option.get o.index_io in
+      let share =
+        100.0 *. io.ix_flush_mb
+        /. Float.max 1e-9 (io.ix_flush_mb +. io.heap_flush_mb)
+      in
+      T.add_row tbl
+        [
+          string_of_int buffer_pages;
+          T.fmt_float ~decimals:0 o.result.W.notpm;
+          T.fmt_float ~decimals:2 io.ix_flush_mb;
+          T.fmt_float ~decimals:2 io.heap_flush_mb;
+          T.fmt_float ~decimals:1 share;
+        ];
+      index_results :=
+        !index_results
+        @ [
+            ( Printf.sprintf "sias-v/paged/buf%d" buffer_pages,
+              [
+                ("buffer_pages", float_of_int buffer_pages);
+                ("notpm", o.result.W.notpm);
+                ("index_flush_mb", io.ix_flush_mb);
+                ("heap_flush_mb", io.heap_flush_mb);
+                ("index_write_share_pct", share);
+              ] );
+          ])
+    buffers;
+  T.print tbl;
+  note "shrinking the pool forces index pages out through the same bgwriter/";
+  note "checkpoint machinery as heap pages: the index share of device writes";
+  note "is the residency price of a crash-recoverable index."
+
+(* ------------------------------------------------------------------ *)
 (* bench micro: wall-clock ops/sec on the engine hot paths             *)
 
 (* Unlike everything above, these measure host wall time, not simulated
@@ -851,6 +1008,45 @@ let micro_engine key (module E : Mvcc.Engine.S) =
         E.commit eng txn |> Result.get_ok;
         !ok)
   in
+  (* paged B+Tree probes: the same hot paths routed through the
+     WAL-logged slotted-page index instead of the in-memory array tree
+     (decode-on-access, buffer-pool pins, WAL-first inserts) *)
+  let db = Mvcc.Db.create ~buffer_pages:4096 ~index:`Paged () in
+  let eng_p = E.create db in
+  let paged = E.create_table eng_p ~name:"paged" ~pk_col:0 () in
+  let n_paged = 2_000 in
+  let txn = E.begin_txn eng_p in
+  for k = 1 to n_paged do
+    E.insert eng_p txn paged [| V.Int k; V.Str (String.make 40 'q') |]
+    |> Result.get_ok
+  done;
+  E.commit eng_p txn |> Result.get_ok;
+  let reader = E.begin_txn eng_p in
+  let btree_point =
+    time_ops ~min_time (fun () ->
+        for _ = 1 to 256 do
+          ignore (E.read eng_p reader paged ~pk:(1 + Sias_util.Rng.int rng n_paged))
+        done;
+        256)
+  in
+  let btree_range =
+    time_ops ~min_time (fun () ->
+        let lo = 1 + Sias_util.Rng.int rng (n_paged - 128) in
+        List.length (E.range_pk eng_p reader paged ~lo ~hi:(lo + 127)))
+  in
+  E.commit eng_p reader |> Result.get_ok;
+  let next_key = ref (n_paged + 1) in
+  let btree_insert =
+    time_ops ~min_time (fun () ->
+        let txn = E.begin_txn eng_p in
+        for _ = 1 to 64 do
+          E.insert eng_p txn paged [| V.Int !next_key; V.Str "i" |]
+          |> Result.get_ok;
+          incr next_key
+        done;
+        E.commit eng_p txn |> Result.get_ok;
+        64)
+  in
   (* visibility-heavy scan: deep version history read under snapshots
      with a large concurrent set -- the hot path the hint bits, array
      CLOG and binary-search snapshots attack *)
@@ -897,6 +1093,9 @@ let micro_engine key (module E : Mvcc.Engine.S) =
     ("point_read_ops_per_s", point_read);
     ("scan_rows_per_s", scan);
     ("update_ops_per_s", update);
+    ("btree_point_lookup_ops_per_s", btree_point);
+    ("btree_range_scan_rows_per_s", btree_range);
+    ("btree_insert_ops_per_s", btree_insert);
     ("visibility_scan_rows_per_s", vis_scan);
     ("notpm", o.result.W.notpm);
     ("tpcc_wall_s", tpcc_wall);
@@ -979,6 +1178,22 @@ let micro () =
           T.fmt_float ~decimals:0 (get "update_ops_per_s");
           T.fmt_float ~decimals:0 (get "visibility_scan_rows_per_s");
           T.fmt_float ~decimals:0 (get "notpm");
+        ])
+    !micro_results;
+  T.print tbl;
+  let tbl =
+    T.create
+      [ "engine (paged B+Tree)"; "point lookup/s"; "range rows/s"; "insert/s" ]
+  in
+  List.iter
+    (fun (key, fields) ->
+      let get f = List.assoc f fields in
+      T.add_row tbl
+        [
+          engine_name key;
+          T.fmt_float ~decimals:0 (get "btree_point_lookup_ops_per_s");
+          T.fmt_float ~decimals:0 (get "btree_range_scan_rows_per_s");
+          T.fmt_float ~decimals:0 (get "btree_insert_ops_per_s");
         ])
     !micro_results;
   T.print tbl;
@@ -1069,6 +1284,21 @@ let write_bench_json ~wall_s =
               fields;
             Buffer.add_string buf "\n    }")
           !isolation_results;
+        Buffer.add_string buf "\n  }"
+      end;
+      if !index_results <> [] then begin
+        Buffer.add_string buf ",\n  \"index\": {";
+        List.iteri
+          (fun i (key, fields) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_string buf (Printf.sprintf "\n    %S: {" key);
+            List.iteri
+              (fun j (f, v) ->
+                if j > 0 then Buffer.add_char buf ',';
+                Buffer.add_string buf (Printf.sprintf "\n      %S: %.3f" f v))
+              fields;
+            Buffer.add_string buf "\n    }")
+          !index_results;
         Buffer.add_string buf "\n  }"
       end;
       if !multicore_results <> [] then begin
@@ -1270,6 +1500,7 @@ let experiments =
     ("groupcommit", ablation_groupcommit);
     ("repl", ablation_repl);
     ("isolation", ablation_isolation);
+    ("index", ablation_index);
     ("micro", micro);
     ("structs", micro_structs);
     ("multicore", multicore_bench);
@@ -1364,5 +1595,12 @@ let () =
   if !multicore_violations > 0 then begin
     Printf.printf "FAIL: SI checker reported %d violations during the multicore bench\n"
       !multicore_violations;
+    exit 1
+  end;
+  if !index_gate_failures > 0 then begin
+    Printf.printf
+      "FAIL: %d index-bench gate violation(s) -- SIAS/SIAS-V device writes \
+       must stay <= SI with the paged index\n"
+      !index_gate_failures;
     exit 1
   end

@@ -71,6 +71,25 @@ let isolation_arg =
           "Isolation level: si (default), ssi (serializable) or wsi \
            (write-snapshot).")
 
+let index_conv =
+  Arg.conv
+    ( (function
+      | "array" -> Ok "array"
+      | "paged" -> Ok "paged"
+      | s -> Error (`Msg (Printf.sprintf "unknown index kind %S (array|paged)" s))),
+      Format.pp_print_string )
+
+let index_arg =
+  Arg.(
+    value
+    & opt index_conv "array"
+    & info [ "index" ]
+        ~doc:
+          "Index implementation: array (in-memory node images rebuilt from \
+           the heap at recovery; the default and the determinism oracle) or \
+           paged (WAL-logged slotted B+Tree pages resident in the buffer \
+           pool, replayed byte-exact at recovery).")
+
 let warehouses_arg =
   Arg.(value & opt int 20 & info [ "w"; "warehouses" ] ~doc:"TPC-C warehouses.")
 
@@ -273,13 +292,14 @@ let wal_device_arg =
            raid2, raid6) so commit fsyncs cost simulated time; default \
            in-memory sink.")
 
-let mk_setup engine isolation device warehouses duration_s buffer_pages flush gc scale_div seed
+let mk_setup engine isolation index device warehouses duration_s buffer_pages flush gc scale_div seed
     fault_seed fault_profile policy retries max_inflight check_si terminals
     metrics_out trace_out stats_interval_s sync_commit commit_delay wal_device
     repl_mode repl_link repl_seed keep =
   {
     (default_setup ~engine ~warehouses) with
     isolation;
+    index;
     device;
     duration_s;
     buffer_pages;
@@ -357,12 +377,13 @@ let domains_arg =
    meaningful per shard are honored; device/fault/replication topology
    flags are single-domain concerns and rejected loudly rather than
    silently ignored. *)
-let reject_single_domain_flags ~device ~fault_seed ~repl ~wal_device =
+let reject_single_domain_flags ~device ~fault_seed ~repl ~wal_device ~index =
   let bad = ref [] in
   if device <> Ssd_single then bad := "--device" :: !bad;
   if fault_seed <> None then bad := "--faults" :: !bad;
   if repl <> None then bad := "--repl" :: !bad;
   if wal_device <> None then bad := "--wal-device" :: !bad;
+  if index <> "array" then bad := "--index paged" :: !bad;
   match !bad with
   | [] -> ()
   | flags ->
@@ -402,7 +423,7 @@ let run_multicore ~engine ~isolation ~domains ~warehouses ~duration ~buffer ~gc
   end
 
 let run_cmd =
-  let run engine isolation device warehouses duration buffer flush gc scale seed
+  let run engine isolation index device warehouses duration buffer flush gc scale seed
       fault_seed fault_profile policy retries max_inflight check_si terminals
       metrics_out trace_out stats_interval sync_commit commit_delay wal_device
       repl repl_link repl_seed domains =
@@ -411,14 +432,14 @@ let run_cmd =
       exit 2
     end;
     if domains > 1 then begin
-      reject_single_domain_flags ~device ~fault_seed ~repl ~wal_device;
+      reject_single_domain_flags ~device ~fault_seed ~repl ~wal_device ~index;
       run_multicore ~engine ~isolation ~domains ~warehouses ~duration ~buffer ~gc
         ~scale ~seed ~check_si ~terminals
     end
     else
     let o =
       run_tpcc
-        (mk_setup engine isolation device warehouses duration buffer flush gc scale
+        (mk_setup engine isolation index device warehouses duration buffer flush gc scale
            seed fault_seed fault_profile policy retries max_inflight check_si
            terminals metrics_out trace_out stats_interval sync_commit commit_delay
            wal_device repl repl_link repl_seed false)
@@ -451,7 +472,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run a TPC-C benchmark and report throughput, latency and I/O.")
     Term.(
-      const run $ engine_arg $ isolation_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
+      const run $ engine_arg $ isolation_arg $ index_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
@@ -462,13 +483,13 @@ let trace_cmd =
   let csv_arg =
     Arg.(value & opt (some string) None & info [ "csv" ] ~doc:"Write the trace to $(docv).")
   in
-  let run engine isolation device warehouses duration buffer flush gc scale seed
+  let run engine isolation index device warehouses duration buffer flush gc scale seed
       fault_seed fault_profile policy retries max_inflight check_si terminals
       metrics_out trace_out stats_interval sync_commit commit_delay wal_device
       repl repl_link repl_seed csv =
     let o =
       run_tpcc
-        (mk_setup engine isolation device warehouses duration buffer flush gc scale
+        (mk_setup engine isolation index device warehouses duration buffer flush gc scale
            seed fault_seed fault_profile policy retries max_inflight check_si
            terminals metrics_out trace_out stats_interval sync_commit commit_delay
            wal_device repl repl_link repl_seed true)
@@ -491,7 +512,7 @@ let trace_cmd =
   Cmd.v
     (Cmd.info "trace" ~doc:"Run a workload and render its block trace (paper Figures 3/4).")
     Term.(
-      const run $ engine_arg $ isolation_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
+      const run $ engine_arg $ isolation_arg $ index_arg $ device_arg $ warehouses_arg $ duration_arg $ buffer_arg
       $ flush_arg $ gc_arg $ scale_arg $ seed_arg $ faults_arg $ fault_profile_arg
       $ policy_arg $ retries_arg $ max_inflight_arg $ check_si_arg $ terminals_arg
       $ metrics_out_arg $ trace_out_arg $ stats_interval_arg $ sync_commit_arg
@@ -541,7 +562,7 @@ let chaos_cmd =
       & info [ "oos" ] ~docv:"BOOL"
           ~doc:"Also run the out-of-space reclamation/degradation scenarios.")
   in
-  let run engines isolation modes standby budget full oos =
+  let run engines isolation index modes standby budget full oos =
     let failures = ref 0 in
     let mode_of = function
       | "sync" -> Commitpipe.Sync
@@ -578,13 +599,13 @@ let chaos_cmd =
             report
               (Printf.sprintf "%s/%s" e m)
               (Chaosrun.explore ~cfg:(cfg ())
-                 (Chaosrun.config ~isolation ~commit_mode:(mode_of m) e)))
+                 (Chaosrun.config ~isolation ~index ~commit_mode:(mode_of m) e)))
           modes;
         if standby then
           report (e ^ "/standby")
             (Chaosrun.explore
                ~cfg:(cfg ~depth2:false ())
-               (Chaosrun.config ~isolation ~standby:true e)))
+               (Chaosrun.config ~isolation ~index ~standby:true e)))
       engines;
     if oos then
       List.iter
@@ -623,7 +644,7 @@ let chaos_cmd =
           degradation scenarios; non-zero exit if any schedule fails to \
           recover to the model prefix.")
     Term.(
-      const run $ engines_arg $ isolation_arg $ modes_arg $ standby_arg
+      const run $ engines_arg $ isolation_arg $ index_arg $ modes_arg $ standby_arg
       $ budget_arg $ full_arg $ oos_arg)
 
 let () =

@@ -30,15 +30,23 @@ let () =
 type config = {
   engine : string;
   isolation : string;
+  index : string; (* "array" or "paged" *)
   commit_mode : Commitpipe.mode;
   standby : bool;
   ops : int;
   seed : int;
 }
 
-let config ?(isolation = "si") ?(commit_mode = Commitpipe.Sync)
-    ?(standby = false) ?(ops = 60) ?(seed = 11) engine =
-  { engine; isolation; commit_mode; standby; ops; seed }
+let config ?(isolation = "si") ?(index = "array")
+    ?(commit_mode = Commitpipe.Sync) ?(standby = false) ?(ops = 60)
+    ?(seed = 11) engine =
+  { engine; isolation; index; commit_mode; standby; ops; seed }
+
+let index_kind = function
+  | "array" -> `Array
+  | "paged" -> `Paged
+  | other ->
+      invalid_arg (Printf.sprintf "unknown index kind %S (array or paged)" other)
 
 (* Deterministic op stream: a plain LCG, so every replay of the same
    config reaches every crash point the census saw, in the same order. *)
@@ -82,14 +90,14 @@ module Make (E : Engine.S) = struct
     let db =
       Db.create ~buffer_pages:128 ~commit_mode:cfg.commit_mode
         ~isolation:(Mvcc.Isolation.of_string_exn cfg.isolation)
-        ()
+        ~index:(index_kind cfg.index) ()
     in
     let eng = E.create db in
     let table = E.create_table eng ~name:"t" ~pk_col:0 () in
     let standby =
       if not cfg.standby then None
       else begin
-        let sdb = Db.create ~buffer_pages:128 () in
+        let sdb = Db.create ~buffer_pages:128 ~index:(index_kind cfg.index) () in
         let seng = E.create sdb in
         let stable = E.create_table seng ~name:"t" ~pk_col:0 () in
         let link = Link.create ~profile:Link.clean ~seed:cfg.seed () in

@@ -24,6 +24,7 @@ exception Divergence of string
 type config = {
   engine : string;  (** registry key: "si", "si-cv", "sias", "sias-v" *)
   isolation : string;  (** isolation key: "si", "ssi", "wsi" *)
+  index : string;  (** index kind: "array" or "paged" *)
   commit_mode : Sias_wal.Commitpipe.mode;
   standby : bool;  (** crash the primary, fail over to a hot standby *)
   ops : int;  (** workload length (committed txns, ticks, reads) *)
@@ -32,17 +33,21 @@ type config = {
 
 val config :
   ?isolation:string ->
+  ?index:string ->
   ?commit_mode:Sias_wal.Commitpipe.mode ->
   ?standby:bool ->
   ?ops:int ->
   ?seed:int ->
   string ->
   config
-(** Defaults: isolation "si", sync commit, no standby, 60 ops, seed 11.
-    The workload is serial, so the schedule census is identical at every
-    isolation level; what an SSI/WSI run adds is the check that the
-    volatile SIREAD/conflict state never leaks across {!Mvcc.Db.crash} —
-    a commit refused after recovery raises {!Divergence}. *)
+(** Defaults: isolation "si", index "array", sync commit, no standby,
+    60 ops, seed 11. The workload is serial, so the schedule census is
+    identical at every isolation level; what an SSI/WSI run adds is the
+    check that the volatile SIREAD/conflict state never leaks across
+    {!Mvcc.Db.crash} — a commit refused after recovery raises
+    {!Divergence}. An [index:"paged"] run additionally walks through the
+    paged-index crash points ([index.fpw.pre], [index.wal.pre-apply],
+    [index.split.mid]), adjudicating WAL-logged index recovery. *)
 
 val session : config -> Sias_chaos.Explorer.session
 (** A fresh database/engine/workload instance. The database is built

@@ -49,6 +49,11 @@ type setup = {
   repl_mode : Repl.mode option;
   repl_link : Link.profile;
   repl_seed : int;
+  index : string;  (** "array" (default, golden) or "paged" *)
+  measure_index_io : bool;
+      (** subscribe a page-flush classifier that splits device writes into
+          index-page vs heap-page traffic (off by default: subscribing
+          activates the bus, which golden runs must not do) *)
 }
 
 let fault_override : (int * Flashsim.Faultdev.profile) option ref = ref None
@@ -87,7 +92,26 @@ let default_setup ~engine ~warehouses =
     repl_mode = None;
     repl_link = Link.clean;
     repl_seed = 7;
+    index = "array";
+    measure_index_io = false;
   }
+
+(* Index-vs-heap split of the measured run's page-flush traffic, plus
+   the index's own logical volume — together the index write
+   amplification: physical index MB flushed per logical MB of entries
+   ever inserted (16 bytes each). *)
+type index_io = {
+  ix_flush_mb : float;
+  ix_flush_count : int;
+  heap_flush_mb : float;  (** every non-index page flush: heap + VID_map *)
+  heap_flush_count : int;
+  ix_logical_mb : float;
+  ix_entries : int;
+  ix_nodes : int;
+  ix_height : int;
+  ix_splits : int;
+  ix_merges : int;
+}
 
 type output = {
   setup : setup;
@@ -108,6 +132,7 @@ type output = {
   checker : Mvcc.Sichecker.t option;
   metrics : Metrics.t option;
   repl_stats : Repl.stats option;
+  index_io : index_io option;
 }
 
 let make_device = function
@@ -219,6 +244,14 @@ let run_tpcc setup =
     else Commitpipe.Sync
   in
   let bus = Bus.create () in
+  let index_kind =
+    match setup.index with
+    | "array" -> `Array
+    | "paged" -> `Paged
+    | other ->
+        invalid_arg
+          (Printf.sprintf "unknown index kind %S (array or paged)" other)
+  in
   let db =
     Db.create ~bus ~device ?wal_device ?faults ~buffer_pages:setup.buffer_pages
       ~flush_policy:(flush_policy setup.flush)
@@ -228,7 +261,7 @@ let run_tpcc setup =
       ~vidmap_paged:setup.vidmap_paged ~contention:setup.contention
       ~commit_mode
       ~isolation:(isolation_level setup.isolation)
-      ()
+      ~index:index_kind ()
   in
   let checker = if setup.check_si then Some (Mvcc.Sichecker.attach bus) else None in
   let want_metrics =
@@ -262,7 +295,7 @@ let run_tpcc setup =
           Db.create ~buffer_pages:setup.buffer_pages
             ?append_seal_interval:
               (match setup.flush with T1 -> Some 0.2 | T2 -> None)
-            ~vidmap_paged:setup.vidmap_paged ()
+            ~vidmap_paged:setup.vidmap_paged ~index:index_kind ()
         in
         let seng = E.create sdb in
         let (_ : WE.tables) = WE.create_tables seng in
@@ -310,6 +343,36 @@ let run_tpcc setup =
   Option.iter Metrics.reset metrics;
   let tracer =
     Option.map (fun _ -> Tracer.attach ~clock:db.Db.clock bus) setup.trace_out
+  in
+  (* the classifier subscribes only on request: it covers exactly the
+     measured run (the trace was just reset), and golden runs must not
+     activate the bus *)
+  let index_flush_cells =
+    if setup.measure_index_io then begin
+      let rels =
+        List.sort_uniq compare
+          (List.concat_map
+             (fun (_, l) -> List.map (fun s -> s.Mvcc.Index.s_rel) l)
+             (E.index_summary eng))
+      in
+      let page_mb =
+        float_of_int (Bufpool.page_size db.Db.pool) /. (1024.0 *. 1024.0)
+      in
+      let ix_mb = ref 0.0 and ix_n = ref 0 and hp_mb = ref 0.0 and hp_n = ref 0 in
+      Bus.subscribe bus (function
+        | Bus.Page_flush { rel; _ } ->
+            if List.mem rel rels then begin
+              ix_mb := !ix_mb +. page_mb;
+              incr ix_n
+            end
+            else begin
+              hp_mb := !hp_mb +. page_mb;
+              incr hp_n
+            end
+        | _ -> ());
+      Some (ix_mb, ix_n, hp_mb, hp_n)
+    end
+    else None
   in
   let result = WE.run eng tables cfg in
   Bufpool.flush_os_cache db.Db.pool;
@@ -408,6 +471,30 @@ let run_tpcc setup =
     checker;
     metrics;
     repl_stats = Option.map Repl.stats repl;
+    index_io =
+      (match index_flush_cells with
+      | None -> None
+      | Some (ix_mb, ix_n, hp_mb, hp_n) ->
+          let summaries = List.concat_map snd (E.index_summary eng) in
+          let sum f = List.fold_left (fun acc s -> acc + f s) 0 summaries in
+          Some
+            {
+              ix_flush_mb = !ix_mb;
+              ix_flush_count = !ix_n;
+              heap_flush_mb = !hp_mb;
+              heap_flush_count = !hp_n;
+              ix_logical_mb =
+                float_of_int (sum (fun s -> s.Mvcc.Index.s_inserts) * 16)
+                /. (1024.0 *. 1024.0);
+              ix_entries = sum (fun s -> s.Mvcc.Index.s_entries);
+              ix_nodes = sum (fun s -> s.Mvcc.Index.s_nodes);
+              ix_height =
+                List.fold_left
+                  (fun acc s -> Stdlib.max acc s.Mvcc.Index.s_height)
+                  0 summaries;
+              ix_splits = sum (fun s -> s.Mvcc.Index.s_splits);
+              ix_merges = sum (fun s -> s.Mvcc.Index.s_merges);
+            });
   }
 
 let pp_output_summary fmt o =

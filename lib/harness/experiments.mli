@@ -82,6 +82,16 @@ type setup = {
       (** simulated replication-link fault profile (clean, wan, lossy,
           chaos) used when [repl_mode] is set *)
   repl_seed : int;  (** seed for the link's deterministic fault stream *)
+  index : string;
+      (** index implementation the engines build through {!Mvcc.Index}:
+          ["array"] (default — the golden, heap-rebuilt node-image tree)
+          or ["paged"] (WAL-logged slotted pages, crash-recovered in
+          place) *)
+  measure_index_io : bool;
+      (** subscribe a page-flush classifier splitting device writes into
+          index-page vs other traffic for the measured run; off by
+          default because subscribing activates the bus, which golden
+          runs must not do *)
 }
 
 val fault_override : (int * Flashsim.Faultdev.profile) option ref
@@ -102,6 +112,24 @@ val commit_override : (bool * float) option ref
 val default_setup : engine:string -> warehouses:int -> setup
 (** Single SSD, T2, 2048 buffer pages, 1/100 scale, 60 s, 1 terminal/WH,
     1 s think time; no observability outputs. *)
+
+(* Index-vs-heap split of the run's page-flush traffic plus the index's
+   logical volume; the ratio ix_flush_mb / ix_logical_mb is the index
+   write amplification the bench reports. *)
+type index_io = {
+  ix_flush_mb : float;  (** index pages flushed to the device, MB *)
+  ix_flush_count : int;
+  heap_flush_mb : float;  (** every other page flush: heap + VID_map *)
+  heap_flush_count : int;
+  ix_logical_mb : float;
+      (** cumulative logical entry volume: insertions (including later
+          deleted ones) x 16 bytes *)
+  ix_entries : int;  (** live entries across all indexes at end of run *)
+  ix_nodes : int;
+  ix_height : int;  (** tallest index *)
+  ix_splits : int;
+  ix_merges : int;
+}
 
 type output = {
   setup : setup;
@@ -133,6 +161,9 @@ type output = {
           [repl_mode] was set: batches/records/bytes shipped, records
           installed on the standby, standby lag, go-back-N retransmits,
           degraded remote-flush acknowledgements and raw link loss *)
+  index_io : index_io option;
+      (** present when [measure_index_io] was set; covers exactly the
+          measured run (same window as the block trace) *)
 }
 
 val run_tpcc : setup -> output

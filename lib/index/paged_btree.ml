@@ -1,0 +1,577 @@
+(* Paged, WAL-logged B+Tree over slotted 8 KB buffer-pool pages.
+
+   Node page layout — slot 0 is a fixed 32-byte header item, every other
+   live slot one entry:
+     [0]      tag: 0 = leaf, 1 = internal
+     [1]      level (u8): 0 = leaf
+     [2]      flags: bit 0 = high key valid
+     [3]      pad
+     [4..7]   right-sibling block + 1 (i32 LE; 0 = none)
+     [8..15]  high key (i64 LE)
+     [16..23] high payload (i64 LE)
+     [24..31] ref key (i64 LE) — prefix-truncation base, internal nodes
+   Leaf entry (16 bytes): key i64 LE, payload i64 LE.
+   Internal entry: shared u8, (8 - shared) big-endian key-suffix bytes
+   against the node's ref key, payload i64 LE, child block i32 LE — the
+   TPC-C composite keys share their warehouse/district high bytes, so
+   separators shrink toward 14 bytes.
+   Block 0 is the metadata page: root i64, height i64, nblocks i64.
+
+   Entries order lexicographically by (key, payload), the same relation
+   as {!Btree.cmp_pair}, so duplicate keys order deterministically.
+   Internal entries are (minimum pair, child) with leftmost fallback: a
+   probe below every separator descends into the first child.
+
+   WAL-first: every structural change is planned as a list of page
+   deltas against the current byte state, logged as one atomic Ix_batch
+   record through the injected [log], and only then applied to the pool
+   pages (stamping the batch LSN). Replay applies the identical deltas
+   to identical bytes behind a page-LSN gate, so recovery is byte-exact
+   and idempotent. [Ins] deltas carry no slot on purpose: slot choice is
+   a deterministic function of the page bytes. *)
+
+module Bufpool = Sias_storage.Bufpool
+module Page = Sias_storage.Page
+module Bus = Sias_obs.Bus
+module Crashpoint = Sias_chaos.Crashpoint
+
+type op = Ins of bytes | Upd of int * bytes | Del of int
+type delta = { d_block : int; d_new : bool; d_op : op }
+
+type stats = { inserts : int; deletes : int; splits : int; merges : int; lookups : int }
+
+type t = {
+  pool : Bufpool.t;
+  rel : int;
+  log : delta list -> int;
+  bus : Bus.t option;
+  mutable root : int;
+  mutable height : int; (* 1 = the root is a leaf *)
+  mutable nblocks : int; (* including the metadata block 0 *)
+  mutable entries : int;
+  mutable inserts : int;
+  mutable deletes : int;
+  mutable splits : int;
+  mutable merges : int;
+  mutable lookups : int;
+}
+
+let leaf_cap = 300
+let internal_cap = 250
+
+let cmp_pair (k1, p1) (k2, p2) = if k1 <> k2 then compare k1 k2 else compare p1 p2
+
+(* ---------------- item codecs ---------------- *)
+
+let i64 b off = Int64.to_int (Bytes.get_int64_le b off)
+
+let header_item ~leaf ~level ~right ~high ~ref_key =
+  let b = Bytes.make 32 '\000' in
+  Bytes.set_uint8 b 0 (if leaf then 0 else 1);
+  Bytes.set_uint8 b 1 level;
+  (match high with
+  | Some (hk, hp) ->
+      Bytes.set_uint8 b 2 1;
+      Bytes.set_int64_le b 8 (Int64.of_int hk);
+      Bytes.set_int64_le b 16 (Int64.of_int hp)
+  | None -> ());
+  Bytes.set_int32_le b 4 (Int32.of_int (right + 1));
+  Bytes.set_int64_le b 24 (Int64.of_int ref_key);
+  b
+
+let leaf_item ~key ~payload =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 (Int64.of_int key);
+  Bytes.set_int64_le b 8 (Int64.of_int payload);
+  b
+
+let be_key k =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 (Int64.of_int k);
+  b
+
+let internal_item ~ref_key ~key ~payload ~child =
+  let rb = be_key ref_key and kb = be_key key in
+  let shared = ref 0 in
+  while !shared < 8 && Bytes.get rb !shared = Bytes.get kb !shared do
+    incr shared
+  done;
+  let s = !shared in
+  let b = Bytes.create (1 + (8 - s) + 12) in
+  Bytes.set_uint8 b 0 s;
+  Bytes.blit kb s b 1 (8 - s);
+  Bytes.set_int64_le b (9 - s) (Int64.of_int payload);
+  Bytes.set_int32_le b (17 - s) (Int32.of_int child);
+  b
+
+let decode_internal ~ref_key item =
+  let s = Bytes.get_uint8 item 0 in
+  let kb = be_key ref_key in
+  Bytes.blit item 1 kb s (8 - s);
+  let key = Int64.to_int (Bytes.get_int64_be kb 0) in
+  (key, i64 item (9 - s), Int32.to_int (Bytes.get_int32_le item (17 - s)))
+
+let meta_item ~root ~height ~nblocks =
+  let b = Bytes.create 24 in
+  Bytes.set_int64_le b 0 (Int64.of_int root);
+  Bytes.set_int64_le b 8 (Int64.of_int height);
+  Bytes.set_int64_le b 16 (Int64.of_int nblocks);
+  b
+
+(* ---------------- decoded node view (transient; never cached) ---------------- *)
+
+type entry = { e_key : int; e_payload : int; e_child : int; e_slot : int }
+
+type node = {
+  nd_block : int;
+  nd_leaf : bool;
+  nd_level : int;
+  nd_right : int; (* -1 = none *)
+  nd_high : (int * int) option;
+  nd_ref_key : int;
+  nd_entries : entry array; (* sorted by (key, payload) *)
+}
+
+let decode_node t block =
+  Bufpool.with_page t.pool ~rel:t.rel ~block (fun page ->
+      match Page.read page 0 with
+      | None -> failwith "Paged_btree: missing node header"
+      | Some hdr ->
+          let leaf = Bytes.get_uint8 hdr 0 = 0 in
+          let ref_key = i64 hdr 24 in
+          let acc = ref [] in
+          Page.iter page (fun slot item ->
+              if slot <> 0 then
+                if leaf then
+                  acc :=
+                    { e_key = i64 item 0; e_payload = i64 item 8; e_child = -1; e_slot = slot }
+                    :: !acc
+                else begin
+                  let k, p, c = decode_internal ~ref_key item in
+                  acc := { e_key = k; e_payload = p; e_child = c; e_slot = slot } :: !acc
+                end);
+          let entries = Array.of_list !acc in
+          Array.sort
+            (fun a b -> cmp_pair (a.e_key, a.e_payload) (b.e_key, b.e_payload))
+            entries;
+          {
+            nd_block = block;
+            nd_leaf = leaf;
+            nd_level = Bytes.get_uint8 hdr 1;
+            nd_right = Int32.to_int (Bytes.get_int32_le hdr 4) - 1;
+            nd_high =
+              (if Bytes.get_uint8 hdr 2 land 1 = 1 then Some (i64 hdr 8, i64 hdr 16)
+               else None);
+            nd_ref_key = ref_key;
+            nd_entries = entries;
+          })
+
+let node_header node ~right ~high =
+  header_item ~leaf:node.nd_leaf ~level:node.nd_level ~right ~high
+    ~ref_key:node.nd_ref_key
+
+(* Rightmost entry whose pair <= probe; leftmost fallback. *)
+let route node key payload =
+  let es = node.nd_entries in
+  let n = Array.length es in
+  let lo = ref 0 and hi = ref (n - 1) and best = ref 0 in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if cmp_pair (es.(mid).e_key, es.(mid).e_payload) (key, payload) <= 0 then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  !best
+
+let rec find_leaf t block key payload =
+  let node = decode_node t block in
+  if node.nd_leaf then node
+  else find_leaf t node.nd_entries.(route node key payload).e_child key payload
+
+(* ---------------- delta application ---------------- *)
+
+let apply_delta page d =
+  match d.d_op with
+  | Ins item -> (
+      match Page.insert page item with
+      | Some _ -> ()
+      | None -> failwith "Paged_btree.apply_delta: page full (replay divergence)")
+  | Upd (slot, item) ->
+      if not (Page.update page slot item) then
+        failwith "Paged_btree.apply_delta: update does not fit (replay divergence)"
+  | Del slot -> Page.delete page slot
+
+let observed t = match t.bus with Some b -> Bus.active b | None -> false
+let emit t e = match t.bus with Some b -> Bus.publish b e | None -> ()
+
+(* WAL-first commit of one structural change: log the batch (the logger
+   adds full-page-write protection), then apply the deltas block by
+   block, stamping the batch LSN. The two crash points model losing
+   power after the record is durable but before any page changed, and
+   between the page writes of a multi-page change (a torn split). *)
+let run_batch t deltas =
+  let lsn = t.log deltas in
+  Crashpoint.reach "index.wal.pre-apply";
+  let blocks =
+    List.fold_left
+      (fun acc d -> if List.mem d.d_block acc then acc else d.d_block :: acc)
+      [] deltas
+    |> List.rev
+  in
+  List.iteri
+    (fun i block ->
+      if i > 0 then Crashpoint.reach "index.split.mid";
+      Bufpool.with_page t.pool ~rel:t.rel ~block (fun page ->
+          if Page.lsn page < lsn then begin
+            List.iter (fun d -> if d.d_block = block then apply_delta page d) deltas;
+            Page.set_lsn page lsn
+          end);
+      Bufpool.mark_dirty t.pool ~rel:t.rel ~block;
+      if observed t then
+        emit t
+          (Bus.Index_page_io
+             {
+               rel = t.rel;
+               block;
+               deltas = List.length (List.filter (fun d -> d.d_block = block) deltas);
+             }))
+    blocks
+
+(* ---------------- create / restore ---------------- *)
+
+let fresh pool ~rel ~log ~bus =
+  {
+    pool;
+    rel;
+    log;
+    bus;
+    root = 1;
+    height = 1;
+    nblocks = 2;
+    entries = 0;
+    inserts = 0;
+    deletes = 0;
+    splits = 0;
+    merges = 0;
+    lookups = 0;
+  }
+
+let init_batch t =
+  run_batch t
+    [
+      {
+        d_block = 1;
+        d_new = true;
+        d_op = Ins (header_item ~leaf:true ~level:0 ~right:(-1) ~high:None ~ref_key:0);
+      };
+      { d_block = 0; d_new = true; d_op = Ins (meta_item ~root:1 ~height:1 ~nblocks:2) };
+    ]
+
+let create pool ~rel ~log ?bus () =
+  let t = fresh pool ~rel ~log ~bus in
+  init_batch t;
+  t
+
+let rec leftmost_leaf t block =
+  let node = decode_node t block in
+  if node.nd_leaf then node else leftmost_leaf t node.nd_entries.(0).e_child
+
+let restore pool ~rel ~log ?bus () =
+  let t = fresh pool ~rel ~log ~bus in
+  let meta = Bufpool.with_page t.pool ~rel ~block:0 (fun page -> Page.read page 0) in
+  (match meta with
+  | None ->
+      (* The creation batch never reached the durable WAL prefix, so at
+         this recovery horizon the tree never existed — and neither did
+         any heap row logged after it (WAL flushing is prefix-ordered).
+         Re-initialize it empty rather than failing recovery. *)
+      init_batch t
+  | Some m ->
+      t.root <- i64 m 0;
+      t.height <- i64 m 8;
+      t.nblocks <- i64 m 16;
+      let count = ref 0 in
+      let rec walk node =
+        count := !count + Array.length node.nd_entries;
+        if node.nd_right >= 0 then walk (decode_node t node.nd_right)
+      in
+      walk (leftmost_leaf t t.root);
+      t.entries <- !count);
+  t
+
+(* ---------------- insert ---------------- *)
+
+exception Duplicate
+
+(* Plan the insert along one root-to-leaf path, splitting full nodes
+   bottom-up into the same batch. Returns [Some (sep_key, sep_payload,
+   right_block)] when the caller's level must absorb a new separator. *)
+let rec plan_insert t deltas alloc splits block ~key ~payload =
+  let node = decode_node t block in
+  if node.nd_leaf then begin
+    let exists =
+      Array.exists (fun e -> e.e_key = key && e.e_payload = payload) node.nd_entries
+    in
+    if exists then raise Duplicate;
+    if Array.length node.nd_entries < leaf_cap then begin
+      deltas :=
+        { d_block = block; d_new = false; d_op = Ins (leaf_item ~key ~payload) }
+        :: !deltas;
+      None
+    end
+    else begin
+      (* split around the median of the post-insert entry list; the
+         separator is the right node's first pair and stays in the leaf *)
+      let all =
+        Array.to_list node.nd_entries
+        @ [ { e_key = key; e_payload = payload; e_child = -1; e_slot = -1 } ]
+        |> List.sort (fun a b -> cmp_pair (a.e_key, a.e_payload) (b.e_key, b.e_payload))
+      in
+      let n = List.length all in
+      let m = n / 2 in
+      let left, right = (List.filteri (fun i _ -> i < m) all, List.filteri (fun i _ -> i >= m) all) in
+      let sep = List.hd right in
+      let rb = alloc () in
+      let rd =
+        { d_block = rb; d_new = true;
+          d_op = Ins (header_item ~leaf:true ~level:0 ~right:node.nd_right
+                        ~high:node.nd_high ~ref_key:sep.e_key) }
+        :: List.map
+             (fun e ->
+               { d_block = rb; d_new = true;
+                 d_op = Ins (leaf_item ~key:e.e_key ~payload:e.e_payload) })
+             right
+      in
+      let ld =
+        (* slots of pre-existing entries that moved right *)
+        List.filter_map
+          (fun e -> if e.e_slot >= 0 then Some { d_block = block; d_new = false; d_op = Del e.e_slot } else None)
+          right
+        @ (if List.exists (fun e -> e.e_slot = -1) left then
+             [ { d_block = block; d_new = false; d_op = Ins (leaf_item ~key ~payload) } ]
+           else [])
+        @ [ { d_block = block; d_new = false;
+              d_op = Upd (0, node_header node ~right:rb ~high:(Some (sep.e_key, sep.e_payload))) } ]
+      in
+      deltas := List.rev_append rd (List.rev_append ld !deltas);
+      splits := (node.nd_level, rb) :: !splits;
+      Some (sep.e_key, sep.e_payload, rb)
+    end
+  end
+  else begin
+    let i = route node key payload in
+    match plan_insert t deltas alloc splits node.nd_entries.(i).e_child ~key ~payload with
+    | None -> None
+    | Some (sk, sp, child) ->
+        if Array.length node.nd_entries < internal_cap then begin
+          deltas :=
+            { d_block = block; d_new = false;
+              d_op = Ins (internal_item ~ref_key:node.nd_ref_key ~key:sk ~payload:sp ~child) }
+            :: !deltas;
+          None
+        end
+        else begin
+          let all =
+            Array.to_list node.nd_entries
+            @ [ { e_key = sk; e_payload = sp; e_child = child; e_slot = -1 } ]
+            |> List.sort (fun a b ->
+                   cmp_pair (a.e_key, a.e_payload) (b.e_key, b.e_payload))
+          in
+          let n = List.length all in
+          let m = n / 2 in
+          let left, right =
+            (List.filteri (fun i _ -> i < m) all, List.filteri (fun i _ -> i >= m) all)
+          in
+          let sep = List.hd right in
+          let rb = alloc () in
+          let rd =
+            { d_block = rb; d_new = true;
+              d_op = Ins (header_item ~leaf:false ~level:node.nd_level
+                            ~right:node.nd_right ~high:node.nd_high ~ref_key:sep.e_key) }
+            :: List.map
+                 (fun e ->
+                   { d_block = rb; d_new = true;
+                     d_op = Ins (internal_item ~ref_key:sep.e_key ~key:e.e_key
+                                   ~payload:e.e_payload ~child:e.e_child) })
+                 right
+          in
+          let ld =
+            List.filter_map
+              (fun e ->
+                if e.e_slot >= 0 then
+                  Some { d_block = block; d_new = false; d_op = Del e.e_slot }
+                else None)
+              right
+            @ (if List.exists (fun e -> e.e_slot = -1) left then
+                 [ { d_block = block; d_new = false;
+                     d_op = Ins (internal_item ~ref_key:node.nd_ref_key ~key:sk
+                                   ~payload:sp ~child) } ]
+               else [])
+            @ [ { d_block = block; d_new = false;
+                  d_op = Upd (0, node_header node ~right:rb
+                                   ~high:(Some (sep.e_key, sep.e_payload))) } ]
+          in
+          deltas := List.rev_append rd (List.rev_append ld !deltas);
+          splits := (node.nd_level, rb) :: !splits;
+          Some (sep.e_key, sep.e_payload, rb)
+        end
+  end
+
+let insert t ~key ~payload =
+  let deltas = ref [] in
+  let nalloc = ref t.nblocks in
+  let alloc () =
+    let b = !nalloc in
+    incr nalloc;
+    b
+  in
+  let splits = ref [] in
+  match
+    let up = plan_insert t deltas alloc splits t.root ~key ~payload in
+    (match up with
+    | None -> ()
+    | Some (sk, sp, rb) ->
+        (* root split: a fresh root routes everything below the first
+           separator into the old root via a min-pair leftmost entry *)
+        let nr = alloc () in
+        let level = t.height in
+        deltas :=
+          { d_block = 0; d_new = false;
+            d_op = Upd (0, meta_item ~root:nr ~height:(t.height + 1) ~nblocks:!nalloc) }
+          :: { d_block = nr; d_new = true;
+               d_op = Ins (internal_item ~ref_key:min_int ~key:sk ~payload:sp ~child:rb) }
+          :: { d_block = nr; d_new = true;
+               d_op = Ins (internal_item ~ref_key:min_int ~key:min_int
+                             ~payload:min_int ~child:t.root) }
+          :: { d_block = nr; d_new = true;
+               d_op = Ins (header_item ~leaf:false ~level ~right:(-1) ~high:None
+                             ~ref_key:min_int) }
+          :: !deltas);
+    if up = None && !nalloc > t.nblocks then
+      deltas :=
+        { d_block = 0; d_new = false;
+          d_op = Upd (0, meta_item ~root:t.root ~height:t.height ~nblocks:!nalloc) }
+        :: !deltas;
+    run_batch t (List.rev !deltas);
+    t.nblocks <- !nalloc;
+    (match up with
+    | Some _ ->
+        t.root <- !nalloc - 1;
+        t.height <- t.height + 1
+    | None -> ());
+    t.entries <- t.entries + 1;
+    t.inserts <- t.inserts + 1;
+    t.splits <- t.splits + List.length !splits;
+    if observed t then
+      List.iter
+        (fun (level, _) -> emit t (Bus.Index_split { rel = t.rel; level }))
+        (List.rev !splits)
+  with
+  | () -> ()
+  | exception Duplicate -> ()
+
+(* ---------------- delete ---------------- *)
+
+let delete t ~key ~payload =
+  (* descend with the exact pair, remembering the parent for the merge *)
+  let rec descend block parent =
+    let node = decode_node t block in
+    if node.nd_leaf then (node, parent)
+    else
+      let i = route node key payload in
+      descend node.nd_entries.(i).e_child (Some (node, i))
+  in
+  let leaf, parent = descend t.root None in
+  match
+    Array.find_opt (fun e -> e.e_key = key && e.e_payload = payload) leaf.nd_entries
+  with
+  | None -> false
+  | Some e ->
+      let deltas = ref [ { d_block = leaf.nd_block; d_new = false; d_op = Del e.e_slot } ] in
+      let merged = ref None in
+      (match parent with
+      | Some (p, i) when Array.length leaf.nd_entries = 1 && i > 0 ->
+          (* the leaf empties and has a left sibling under the same
+             parent: absorb its right link and high key into the left
+             sibling, drop the parent separator, and let the empty page
+             leak (a right-link orphan, skipped by every traversal) *)
+          let lb = decode_node t p.nd_entries.(i - 1).e_child in
+          deltas :=
+            { d_block = p.nd_block; d_new = false; d_op = Del p.nd_entries.(i).e_slot }
+            :: { d_block = lb.nd_block; d_new = false;
+                 d_op = Upd (0, node_header lb ~right:leaf.nd_right ~high:leaf.nd_high) }
+            :: !deltas;
+          merged := Some leaf.nd_level;
+          if p.nd_block = t.root && Array.length p.nd_entries = 2 && t.height >= 2
+          then begin
+            (* the root would keep a single separator: collapse it onto
+               the surviving child *)
+            let child = p.nd_entries.(0).e_child in
+            deltas :=
+              { d_block = 0; d_new = false;
+                d_op = Upd (0, meta_item ~root:child ~height:(t.height - 1)
+                              ~nblocks:t.nblocks) }
+              :: !deltas;
+            merged := Some leaf.nd_level;
+            t.root <- child;
+            t.height <- t.height - 1
+          end
+      | _ -> ());
+      run_batch t (List.rev !deltas);
+      t.entries <- t.entries - 1;
+      t.deletes <- t.deletes + 1;
+      (match !merged with
+      | Some level ->
+          t.merges <- t.merges + 1;
+          if observed t then emit t (Bus.Index_merge { rel = t.rel; level })
+      | None -> ());
+      true
+
+(* ---------------- reads ---------------- *)
+
+let range t ~lo ~hi =
+  t.lookups <- t.lookups + 1;
+  if lo > hi then []
+  else begin
+    let acc = ref [] in
+    let rec walk node =
+      let beyond = ref false in
+      Array.iter
+        (fun e ->
+          if e.e_key > hi then beyond := true
+          else if e.e_key >= lo then acc := (e.e_key, e.e_payload) :: !acc)
+        node.nd_entries;
+      if (not !beyond) && node.nd_right >= 0 then walk (decode_node t node.nd_right)
+    in
+    walk (find_leaf t t.root lo min_int);
+    List.rev !acc
+  end
+
+let lookup t ~key = List.map snd (range t ~lo:key ~hi:key)
+
+let mem t ~key ~payload =
+  let leaf = find_leaf t t.root key payload in
+  Array.exists (fun e -> e.e_key = key && e.e_payload = payload) leaf.nd_entries
+
+let iter t f =
+  let rec walk node =
+    Array.iter (fun e -> f e.e_key e.e_payload) node.nd_entries;
+    if node.nd_right >= 0 then walk (decode_node t node.nd_right)
+  in
+  walk (leftmost_leaf t t.root)
+
+let entry_count t = t.entries
+let height t = t.height
+let node_count t = t.nblocks - 1
+let rel t = t.rel
+
+let stats t =
+  {
+    inserts = t.inserts;
+    deletes = t.deletes;
+    splits = t.splits;
+    merges = t.merges;
+    lookups = t.lookups;
+  }

@@ -34,6 +34,7 @@ type t = {
   mutable last_reclaim_lsn : int;
   isolation : Isolation.level;
   ssi : Ssimgr.t option;
+  index_kind : [ `Array | `Paged ];
 }
 
 exception Read_only of { reason : string }
@@ -66,7 +67,8 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     ?(flush_policy = Bgwriter.T2_checkpoint_only) ?(checkpoint_interval = 30.0)
     ?(cpu_op_s = 5e-6) ?append_seal_interval ?os_cache_interval ?os_cache_pages ?(vidmap_paged = false) ?faults
     ?(contention = Contention.default_settings) ?(commit_mode = Commitpipe.Sync)
-    ?wal_capacity_bytes ?(isolation = `Si) ?(bufpool_shards = 1) () =
+    ?wal_capacity_bytes ?(isolation = `Si) ?(bufpool_shards = 1)
+    ?(index = `Array) () =
   let clock = Simclock.create () in
   let bus = match bus with Some b -> b | None -> Bus.create () in
   let device =
@@ -125,6 +127,7 @@ let create ?bus ?device ?wal_device ?(buffer_pages = 2048)
     last_reclaim_lsn = -1;
     isolation;
     ssi;
+    index_kind = index;
   }
 
 let alloc_rel t =

@@ -69,6 +69,13 @@ type t = {
       (** serializability tracking state, present under [`Ssi]/[`Wsi]
           only; [None] under the default [`Si], so every hook is a
           single branch and SI runs stay byte-identical *)
+  index_kind : [ `Array | `Paged ];
+      (** which secondary/pk index implementation engines build through
+          {!Index.create}: [`Array] — the node-image {!Sias_index.Btree}
+          rebuilt from the heap at recovery (the historical, golden
+          behavior) — or [`Paged], the WAL-logged
+          {!Sias_index.Paged_btree} whose pages are crash-recovered in
+          place *)
 }
 
 exception Read_only of { reason : string }
@@ -112,6 +119,7 @@ val create :
   ?wal_capacity_bytes:int ->
   ?isolation:Isolation.level ->
   ?bufpool_shards:int ->
+  ?index:[ `Array | `Paged ] ->
   unit ->
   t
 (** Defaults: a fresh X25-E-class SSD data device, an in-memory WAL sink,
@@ -126,7 +134,11 @@ val create :
     byte-identical output; [`Ssi]/[`Wsi] add serializability tracking,
     see {!Ssimgr}). [bufpool_shards] (default 1) partitions the buffer
     pool's frame table for multi-domain access; the default single
-    shard takes no locks and is byte-identical to the unsharded pool. *)
+    shard takes no locks and is byte-identical to the unsharded pool.
+    [index] selects the index implementation engines build (default
+    [`Array], byte-identical to the historical behavior; [`Paged]
+    switches to the WAL-logged paged B+Tree — see the [index_kind]
+    field). *)
 
 val alloc_rel : t -> int
 (** Relation ids place each relation in its own device region. *)

@@ -58,6 +58,7 @@ module type S = sig
   val gc : t -> unit
   val recover : t -> unit
   val table_stats : t -> table -> table_stats
+  val index_summary : t -> (string * Index.summary list) list
 end
 
 (* ---------------- first-class-module registry ----------------

@@ -85,6 +85,12 @@ module type S = sig
       after {!Sias_storage.Bufpool.drop_cache} on the context's pool. *)
 
   val table_stats : t -> table -> table_stats
+
+  val index_summary : t -> (string * Index.summary list) list
+  (** Per table (by name), one stats snapshot per index — primary key
+      first, then secondaries in declaration order. Drives the bench's
+      index-write-amplification accounting (index relations, logical
+      entry volume, split/merge counts). *)
 end
 
 (** {1 Engine registry}

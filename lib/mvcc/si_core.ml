@@ -25,8 +25,8 @@ module Make (P : PROFILE) = struct
     rel : int;
     mutable heap : Heapfile.t;
     pk_col : int;
-    mutable pk_index : Btree.t;
-    mutable secondary : (int * Btree.t) array;
+    mutable pk_index : Index.t;
+    mutable secondary : (int * Index.t) array;
   }
 
   type t = {
@@ -53,10 +53,9 @@ module Make (P : PROFILE) = struct
   let create_table t ~name:tname ~pk_col ?(secondary = []) () =
     let rel = Db.alloc_rel t.db in
     let heap = Heapfile.create t.db.Db.pool ~rel ~placement:P.placement in
-    let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
+    let pk_index = Index.create t.db in
     let secondary =
-      Array.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
-        (Array.of_list secondary)
+      Array.map (fun col -> (col, Index.create t.db)) (Array.of_list secondary)
     in
     let table = { tname; rel; heap; pk_col; pk_index; secondary } in
     t.tables <- t.tables @ [ table ];
@@ -89,17 +88,17 @@ module Make (P : PROFILE) = struct
      primary and every secondary index on each (non-HOT) update. *)
   let index_version table ~tid row =
     let tidi = Tid.to_int tid in
-    Btree.insert table.pk_index ~key:(pk_of table row) ~payload:tidi;
+    Index.insert table.pk_index ~key:(pk_of table row) ~payload:tidi;
     Array.iter
-      (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:tidi)
+      (fun (col, index) -> Index.insert index ~key:(Value.to_key row.(col)) ~payload:tidi)
       table.secondary
 
   let unindex_version table ~tid row =
     let tidi = Tid.to_int tid in
-    ignore (Btree.delete table.pk_index ~key:(pk_of table row) ~payload:tidi);
+    ignore (Index.delete table.pk_index ~key:(pk_of table row) ~payload:tidi);
     Array.iter
       (fun (col, index) ->
-        ignore (Btree.delete index ~key:(Value.to_key row.(col)) ~payload:tidi))
+        ignore (Index.delete index ~key:(Value.to_key row.(col)) ~payload:tidi))
       table.secondary
 
   (* Secondary indexes live in a small array probed linearly (tables have
@@ -127,7 +126,7 @@ module Make (P : PROFILE) = struct
      primary key, newest first is not guaranteed, so every candidate is
      checked. Returns (tid, item image, header, row). *)
   let find_visible t txn table pk =
-    let candidates = Btree.lookup table.pk_index ~key:pk in
+    let candidates = Index.lookup table.pk_index ~key:pk in
     Db.charge_cpu t.db (List.length candidates);
     let check tidi =
       let tid = Tid.of_int tidi in
@@ -150,7 +149,7 @@ module Make (P : PROFILE) = struct
      write conflict under first-updater-wins. *)
   let insert_conflict t txn table pk =
     let mgr = t.db.Db.txnmgr in
-    let candidates = Btree.lookup table.pk_index ~key:pk in
+    let candidates = Index.lookup table.pk_index ~key:pk in
     Db.charge_cpu t.db (List.length candidates);
     let verdict_of tidi =
       let tid = Tid.of_int tidi in
@@ -270,7 +269,7 @@ module Make (P : PROFILE) = struct
     match find_index_on table col with
     | None -> invalid_arg "Si_engine.lookup: no index on column"
     | Some index ->
-        let tids = Btree.lookup index ~key in
+        let tids = Index.lookup index ~key in
         Db.charge_cpu t.db (List.length tids);
         List.filter_map
           (fun tidi ->
@@ -293,7 +292,7 @@ module Make (P : PROFILE) = struct
           tids
 
   let range_pk t txn table ~lo ~hi =
-    let entries = Btree.range table.pk_index ~lo ~hi in
+    let entries = Index.range table.pk_index ~lo ~hi in
     Db.charge_cpu t.db (List.length entries);
     List.filter_map
       (fun (key, tidi) ->
@@ -365,14 +364,18 @@ module Make (P : PROFILE) = struct
         let nblocks = discover_nblocks t.db.Db.pool ~rel:table.rel in
         table.heap <-
           Heapfile.restore t.db.Db.pool ~rel:table.rel ~placement:P.placement ~nblocks;
-        table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
+        table.pk_index <- Index.recover t.db table.pk_index;
         table.secondary <-
-          Array.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
-            table.secondary;
-        Heapfile.iter table.heap (fun tid item ->
-            let h = Tuple.Si.header item in
-            if Txn.status t.db.Db.txnmgr h.xmin <> Txn.Aborted then
-              index_version table ~tid (Tuple.Si.row item)))
+          Array.map (fun (col, idx) -> (col, Index.recover t.db idx)) table.secondary;
+        (* paged indexes came back from their own replayed pages; only the
+           array implementation is rebuilt from the heap (any entries of
+           crashed — hence aborted — transactions that redo re-applied to
+           a paged index are filtered by visibility, like lazy deletion) *)
+        if Index.needs_rebuild table.pk_index then
+          Heapfile.iter table.heap (fun tid item ->
+              let h = Tuple.Si.header item in
+              if Txn.status t.db.Db.txnmgr h.xmin <> Txn.Aborted then
+                index_version table ~tid (Tuple.Si.row item)))
       t.tables
 
   let table_stats t table =
@@ -393,5 +396,13 @@ module Make (P : PROFILE) = struct
     }
 
   let vacuum_stats t = (t.vacuumed_versions, t.vacuumed_pages)
+
+  let index_summary t =
+    List.map
+      (fun table ->
+        ( table.tname,
+          Index.summary table.pk_index
+          :: Array.to_list (Array.map (fun (_, i) -> Index.summary i) table.secondary) ))
+      t.tables
 
 end

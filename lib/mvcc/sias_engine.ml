@@ -14,8 +14,8 @@ type table = {
   mutable heap : Heapfile.t;
   pk_col : int;
   mutable vidmap : Vidmap.t;
-  mutable pk_index : Btree.t; (* key = pk, payload = vid *)
-  mutable secondary : (int * Btree.t) array; (* key = column value, payload = vid *)
+  mutable pk_index : Index.t; (* key = pk, payload = vid *)
+  mutable secondary : (int * Index.t) array; (* key = column value, payload = vid *)
 }
 
 (* Per-transaction undo: restores the VID_map on abort. [old_entry = None]
@@ -66,10 +66,9 @@ let create_table t ~name:tname ~pk_col ?(secondary = []) () =
     Heapfile.create ?seal_interval:t.db.Db.append_seal_interval t.db.Db.pool ~rel
       ~placement:Heapfile.Append_only
   in
-  let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
+  let pk_index = Index.create t.db in
   let secondary =
-    Array.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
-      (Array.of_list secondary)
+    Array.map (fun col -> (col, Index.create t.db)) (Array.of_list secondary)
   in
   let vidmap =
     if t.db.Db.vidmap_paged then Vidmap.create ~backing:(t.db.Db.pool, Db.alloc_rel t.db) ()
@@ -127,7 +126,7 @@ let abort t txn =
           match (u.u_old, u.u_pk) with
           | None, Some pk ->
               (* fresh insert: retract the data item's index entry *)
-              ignore (Btree.delete u.u_table.pk_index ~key:pk ~payload:u.u_vid)
+              ignore (Index.delete u.u_table.pk_index ~key:pk ~payload:u.u_vid)
           | _ -> ())
         !cell);
   forget_txn t txn.Txn.xid;
@@ -203,7 +202,7 @@ let append_version t table ~xid ~seq ~vid ~pred ~tombstone row =
 (* Find the data item carrying [pk]: resolve candidate VIDs through the
    index, then pick the one whose visible version really has the key. *)
 let find_item t txn table pk =
-  let vids = Btree.lookup table.pk_index ~key:pk in
+  let vids = Index.lookup table.pk_index ~key:pk in
   Db.charge_cpu t.db (List.length vids);
   List.find_map
     (fun vid ->
@@ -222,7 +221,7 @@ let insert_conflict t txn table pk =
   if find_item t txn table pk <> None then Some Engine.Duplicate_key
   else begin
     let mgr = t.db.Db.txnmgr in
-    let vids = Btree.lookup table.pk_index ~key:pk in
+    let vids = Index.lookup table.pk_index ~key:pk in
     let conflict vid =
       match effective_entrypoint t table vid with
       | None -> false
@@ -259,9 +258,9 @@ let insert t txn table row =
       in
       Vidmap.set table.vidmap ~vid tid;
       push_undo t xid { u_table = table; u_vid = vid; u_old = None; u_pk = Some pk };
-      Btree.insert table.pk_index ~key:pk ~payload:vid;
+      Index.insert table.pk_index ~key:pk ~payload:vid;
       Array.iter
-        (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
+        (fun (col, index) -> Index.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + Array.length table.secondary);
@@ -317,7 +316,7 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                     (fun (col, index) ->
                       let old_key = Value.to_key old_row.(col) in
                       let new_key = Value.to_key row.(col) in
-                      if old_key <> new_key then Btree.insert index ~key:new_key ~payload:vid)
+                      if old_key <> new_key then Index.insert index ~key:new_key ~payload:vid)
                     table.secondary;
                 Db.charge_cpu t.db 1;
                 if t.track then Db.note_write t.db ~xid ~rel:table.rel ~pk;
@@ -365,7 +364,7 @@ let lookup t txn table ~col ~key =
   match find_index_on table col with
   | None -> invalid_arg "Sias_engine.lookup: no index on column"
   | Some index ->
-      let vids = Btree.lookup index ~key in
+      let vids = Index.lookup index ~key in
       Db.charge_cpu t.db (List.length vids);
       List.filter_map
         (fun vid ->
@@ -384,7 +383,7 @@ let lookup t txn table ~col ~key =
         vids
 
 let range_pk t txn table ~lo ~hi =
-  let entries = Btree.range table.pk_index ~lo ~hi in
+  let entries = Index.range table.pk_index ~lo ~hi in
   Db.charge_cpu t.db (List.length entries);
   List.filter_map
     (fun (key, vid) ->
@@ -509,7 +508,7 @@ let mark_live t table =
                         Vidmap.clear table.vidmap ~vid;
                         let row = Tuple.Sias.row item in
                         ignore
-                          (Btree.delete table.pk_index ~key:(pk_of table row) ~payload:vid)
+                          (Index.delete table.pk_index ~key:(pk_of table row) ~payload:vid)
                       end
                     end
                     else begin
@@ -640,10 +639,13 @@ let recover t =
         (if t.db.Db.vidmap_paged then
            Vidmap.create ~backing:(t.db.Db.pool, Db.alloc_rel t.db) ()
          else Vidmap.create ());
-      table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
+      table.pk_index <- Index.recover t.db table.pk_index;
       table.secondary <-
-        Array.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
-          table.secondary;
+        Array.map (fun (col, idx) -> (col, Index.recover t.db idx)) table.secondary;
+      (* paged indexes were replayed in place; only the array
+         implementation is rebuilt below (stale entries of crashed
+         transactions in a paged index are filtered by visibility) *)
+      let rebuild = Index.needs_rebuild table.pk_index in
       (* newest committed version per VID becomes the entrypoint *)
       let best = Hashtbl.create 1024 in
       let max_vid = ref (-1) in
@@ -661,12 +663,12 @@ let recover t =
         (fun vid (_, _, (tid, item)) ->
           Vidmap.set table.vidmap ~vid tid;
           let h = Tuple.Sias.header item in
-          if not h.Tuple.Sias.tombstone then begin
+          if rebuild && not h.Tuple.Sias.tombstone then begin
             let row = Tuple.Sias.row item in
-            Btree.insert table.pk_index ~key:(pk_of table row) ~payload:vid;
+            Index.insert table.pk_index ~key:(pk_of table row) ~payload:vid;
             Array.iter
               (fun (col, index) ->
-                Btree.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
+                Index.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
               table.secondary
           end)
         best)
@@ -715,7 +717,7 @@ let check_invariants t table =
             (* index reachability for live items *)
             if (not h.tombstone) && Txn.status mgr h.create = Txn.Committed then begin
               let pk = pk_of table (Tuple.Sias.row item) in
-              if not (List.mem vid (Btree.lookup table.pk_index ~key:pk)) then
+              if not (List.mem vid (Index.lookup table.pk_index ~key:pk)) then
                 failwith (Printf.sprintf "vid %d unreachable through pk index" vid)
             end)
   done
@@ -739,5 +741,13 @@ let gc_stats t =
   { pruned_versions = t.pruned; relocated_versions = t.relocated; reclaimed_pages = t.reclaimed }
 
 let chain_walk_stats t = (t.walks, t.visited)
+
+let index_summary t =
+  List.map
+    (fun table ->
+      ( table.tname,
+        Index.summary table.pk_index
+        :: Array.to_list (Array.map (fun (_, i) -> Index.summary i) table.secondary) ))
+    t.tables
 
 let table_vidmap _t table = table.vidmap

@@ -120,8 +120,8 @@ type table = {
   mutable heap : Heapfile.t;
   pk_col : int;
   mutable vidmap : Vidmap.t;
-  mutable pk_index : Btree.t;
-  mutable secondary : (int * Btree.t) array;
+  mutable pk_index : Index.t;
+  mutable secondary : (int * Index.t) array;
 }
 
 type undo = { u_table : table; u_vid : int; u_old : Tid.t option; u_pk : int option }
@@ -170,10 +170,9 @@ let create_table t ~name:tname ~pk_col ?(secondary = []) () =
     Heapfile.create ?seal_interval:t.db.Db.append_seal_interval t.db.Db.pool ~rel
       ~placement:Heapfile.Append_only
   in
-  let pk_index = Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db) in
+  let pk_index = Index.create t.db in
   let secondary =
-    Array.map (fun col -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
-      (Array.of_list secondary)
+    Array.map (fun col -> (col, Index.create t.db)) (Array.of_list secondary)
   in
   let vidmap =
     if t.db.Db.vidmap_paged then Vidmap.create ~backing:(t.db.Db.pool, Db.alloc_rel t.db) ()
@@ -229,7 +228,7 @@ let abort t txn =
           | Some tid -> Vidmap.set u.u_table.vidmap ~vid:u.u_vid tid
           | None -> Vidmap.clear u.u_table.vidmap ~vid:u.u_vid);
           match (u.u_old, u.u_pk) with
-          | None, Some pk -> ignore (Btree.delete u.u_table.pk_index ~key:pk ~payload:u.u_vid)
+          | None, Some pk -> ignore (Index.delete u.u_table.pk_index ~key:pk ~payload:u.u_vid)
           | _ -> ())
         !cell);
   forget_txn t txn.Txn.xid;
@@ -311,7 +310,7 @@ let effective_head t table vid =
       scan entry
 
 let find_item t txn table pk =
-  let vids = Btree.lookup table.pk_index ~key:pk in
+  let vids = Index.lookup table.pk_index ~key:pk in
   Db.charge_cpu t.db (List.length vids);
   List.find_map
     (fun vid ->
@@ -324,7 +323,7 @@ let insert_conflict t txn table pk =
   if find_item t txn table pk <> None then Some Engine.Duplicate_key
   else begin
     let mgr = t.db.Db.txnmgr in
-    let vids = Btree.lookup table.pk_index ~key:pk in
+    let vids = Index.lookup table.pk_index ~key:pk in
     let conflict vid =
       match effective_head t table vid with
       | None -> false
@@ -362,9 +361,9 @@ let insert t txn table row =
       in
       Vidmap.set table.vidmap ~vid tid;
       push_undo t xid { u_table = table; u_vid = vid; u_old = None; u_pk = Some pk };
-      Btree.insert table.pk_index ~key:pk ~payload:vid;
+      Index.insert table.pk_index ~key:pk ~payload:vid;
       Array.iter
-        (fun (col, index) -> Btree.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
+        (fun (col, index) -> Index.insert index ~key:(Value.to_key row.(col)) ~payload:vid)
         table.secondary;
       (* index maintenance happens once per data item, not per version *)
       Db.charge_cpu t.db (2 + Array.length table.secondary);
@@ -441,7 +440,7 @@ let write_version t txn table ~pk ~make_row ~tombstone =
                               let old_key = Value.to_key old_row.(col) in
                               let new_key = Value.to_key row.(col) in
                               if old_key <> new_key then
-                                Btree.insert index ~key:new_key ~payload:vid)
+                                Index.insert index ~key:new_key ~payload:vid)
                             table.secondary;
                         Db.charge_cpu t.db 1;
                         if t.track then Db.note_write t.db ~xid ~rel:table.rel ~pk;
@@ -489,7 +488,7 @@ let lookup t txn table ~col ~key =
   match find_index_on table col with
   | None -> invalid_arg "Sias_vector.lookup: no index on column"
   | Some index ->
-      let vids = Btree.lookup index ~key in
+      let vids = Index.lookup index ~key in
       Db.charge_cpu t.db (List.length vids);
       List.filter_map
         (fun vid ->
@@ -503,7 +502,7 @@ let lookup t txn table ~col ~key =
         vids
 
 let range_pk t txn table ~lo ~hi =
-  let entries = Btree.range table.pk_index ~lo ~hi in
+  let entries = Index.range table.pk_index ~lo ~hi in
   Db.charge_cpu t.db (List.length entries);
   List.filter_map
     (fun (key, vid) ->
@@ -625,7 +624,7 @@ let compact_chains t table =
             Vidmap.clear table.vidmap ~vid;
             match versions with
             | v :: _ ->
-                ignore (Btree.delete table.pk_index ~key:(pk_of table v.v_row) ~payload:vid)
+                ignore (Index.delete table.pk_index ~key:(pk_of table v.v_row) ~payload:vid)
             | [] -> ()
           end
           else begin
@@ -765,10 +764,13 @@ let recover t =
         (if t.db.Db.vidmap_paged then
            Vidmap.create ~backing:(t.db.Db.pool, Db.alloc_rel t.db) ()
          else Vidmap.create ());
-      table.pk_index <- Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db);
+      table.pk_index <- Index.recover t.db table.pk_index;
       table.secondary <-
-        Array.map (fun (col, _) -> (col, Btree.create t.db.Db.pool ~rel:(Db.alloc_rel t.db)))
-          table.secondary;
+        Array.map (fun (col, idx) -> (col, Index.recover t.db idx)) table.secondary;
+      (* paged indexes were replayed in place; only the array
+         implementation is rebuilt below (stale entries of crashed
+         transactions in a paged index are filtered by visibility) *)
+      let rebuild = Index.needs_rebuild table.pk_index in
       let mgr = t.db.Db.txnmgr in
       let best = Hashtbl.create 1024 in
       let max_vid = ref (-1) in
@@ -794,11 +796,11 @@ let recover t =
           match
             find_version (fun v -> Txn.status mgr v.v_create = Txn.Committed) vec.versions
           with
-          | Some v when not v.v_tombstone ->
-              Btree.insert table.pk_index ~key:(pk_of table v.v_row) ~payload:vid;
+          | Some v when rebuild && not v.v_tombstone ->
+              Index.insert table.pk_index ~key:(pk_of table v.v_row) ~payload:vid;
               Array.iter
                 (fun (col, index) ->
-                  Btree.insert index ~key:(Value.to_key v.v_row.(col)) ~payload:vid)
+                  Index.insert index ~key:(Value.to_key v.v_row.(col)) ~payload:vid)
                 table.secondary
           | _ -> ())
         best)
@@ -849,3 +851,11 @@ let table_vidmap _t table = table.vidmap
 
 let fetches_per_read t =
   if t.reads = 0 then 0.0 else float_of_int t.fetches /. float_of_int t.reads
+
+let index_summary t =
+  List.map
+    (fun table ->
+      ( table.tname,
+        Index.summary table.pk_index
+        :: Array.to_list (Array.map (fun (_, i) -> Index.summary i) table.secondary) ))
+    t.tables

@@ -38,6 +38,73 @@ let decode b =
   let append_only = Bytes.get_uint8 b 8 land 1 = 1 in
   (tid, append_only, Bytes.sub b 9 (Bytes.length b - 9))
 
+module Pbt = Sias_index.Paged_btree
+
+(* Ix_batch payload — one logical paged-index structural change as an
+   atomic list of per-page slot deltas: u16 delta count, then per delta
+   an i32 LE block, a u8 tag (0 = Ins, 1 = Upd, 2 = Del; bit 7 = the
+   block was first allocated by this very batch, so it has no pre-image
+   to protect), a u16 slot (meaningful for Upd/Del; Ins replays its slot
+   deterministically from the page bytes), a u16 item length and the
+   item bytes. The record CRC covers the whole list, which is what makes
+   a multi-page split or merge all-or-nothing at replay. *)
+let encode_deltas (deltas : Pbt.delta list) =
+  let buf = Buffer.create 256 in
+  Buffer.add_uint16_le buf (List.length deltas);
+  List.iter
+    (fun (d : Pbt.delta) ->
+      Buffer.add_int32_le buf (Int32.of_int d.d_block);
+      let tag, slot, item =
+        match d.d_op with
+        | Pbt.Ins b -> (0, 0, b)
+        | Pbt.Upd (s, b) -> (1, s, b)
+        | Pbt.Del s -> (2, s, Bytes.empty)
+      in
+      Buffer.add_uint8 buf (tag lor if d.d_new then 0x80 else 0);
+      Buffer.add_uint16_le buf slot;
+      Buffer.add_uint16_le buf (Bytes.length item);
+      Buffer.add_bytes buf item)
+    deltas;
+  Buffer.to_bytes buf
+
+let decode_deltas b =
+  let pos = ref 0 in
+  let u16 () =
+    let v = Bytes.get_uint16_le b !pos in
+    pos := !pos + 2;
+    v
+  in
+  let n = u16 () in
+  let rec go i acc =
+    if i = n then List.rev acc
+    else begin
+      let block = Int32.to_int (Bytes.get_int32_le b !pos) in
+      pos := !pos + 4;
+      let tag = Bytes.get_uint8 b !pos in
+      incr pos;
+      let slot = u16 () in
+      let len = u16 () in
+      let item = Bytes.sub b !pos len in
+      pos := !pos + len;
+      let d_op =
+        match tag land 0x7f with
+        | 0 -> Pbt.Ins item
+        | 1 -> Pbt.Upd (slot, item)
+        | 2 -> Pbt.Del slot
+        | t -> failwith (Printf.sprintf "Walcodec.decode_deltas: bad tag %d" t)
+      in
+      go (i + 1) ({ Pbt.d_block = block; d_new = tag land 0x80 <> 0; d_op } :: acc)
+    end
+  in
+  go 0 []
+
+let delta_blocks deltas =
+  List.fold_left
+    (fun acc (d : Pbt.delta) ->
+      if List.mem_assoc d.d_block acc then acc else (d.d_block, d.d_new) :: acc)
+    [] deltas
+  |> List.rev
+
 (* Full-page writes: the first modification of a (rel, block) after a
    checkpoint logs the whole post-change page image instead of the item
    record (PostgreSQL's backup blocks). The image is stamped with its own
@@ -77,6 +144,41 @@ let log_heap ?append_only db ~xid ~rel ~kind ~tid ~item =
     let lsn = Db.log_op db ~xid ~rel ~kind ~payload:(encode ?append_only tid item) in
     Bufpool.with_page db.Db.pool ~rel ~block (fun page -> Page.set_lsn page lsn)
   end
+
+(* WAL-first logger injected into {!Sias_index.Paged_btree}: full-page-
+   write protect every touched pre-existing block on its first
+   modification since the last checkpoint (the captured image is the
+   {e pre}-batch page — the batch's own deltas replay on top of it),
+   then append the whole structural change as one atomic Ix_batch
+   record and return its LSN. The tree applies the deltas only after
+   this returns, so a crash at any point leaves either no trace or a
+   fully replayable record. xid 0: index deltas are redo-only and
+   belong to no transaction — heap visibility decides what the entries
+   mean. *)
+let log_index db ~rel (deltas : Pbt.delta list) =
+  List.iter
+    (fun (block, is_new) ->
+      if (not is_new) && not (Hashtbl.mem db.Db.fpw_done (rel, block)) then begin
+        Crashpoint.reach "index.fpw.pre";
+        Hashtbl.replace db.Db.fpw_done (rel, block) ();
+        let lsn = Wal.next_lsn db.Db.wal in
+        let image =
+          Bufpool.with_page db.Db.pool ~rel ~block (fun page ->
+              Page.set_lsn page lsn;
+              Page.to_bytes page)
+        in
+        let lsn' =
+          Db.log_op db ~xid:0 ~rel ~kind:Wal.Full_page
+            ~payload:(encode (Tid.make ~block ~slot:0) image)
+        in
+        (* same emergency-reclamation race as in [log_heap] *)
+        assert (lsn' >= lsn);
+        if lsn' <> lsn then
+          Bufpool.with_page db.Db.pool ~rel ~block (fun page ->
+              Page.set_lsn page lsn')
+      end)
+    (delta_blocks deltas);
+  Db.log_op db ~xid:0 ~rel ~kind:Wal.Ix_batch ~payload:(encode_deltas deltas)
 
 (* Apply one heap record to a bare page, guarded by the page LSN.
    Returns whether the page changed. Shared by buffer-pool redo and
@@ -146,6 +248,40 @@ let redo db ~since_lsn =
           Bufpool.with_page db.Db.pool ~rel:r.rel ~block:(Tid.block tid) (fun page ->
               if apply_to_page page r then
                 Bufpool.mark_dirty db.Db.pool ~rel:r.rel ~block:(Tid.block tid))
+      | Wal.Ix_batch when r.rel >= 0 ->
+          (* one atomic paged-index structural change: apply each touched
+             block's deltas in order behind its page-LSN gate, so blocks
+             flushed after the original apply are not double-applied and
+             blocks the crash caught unwritten are completed *)
+          let deltas = decode_deltas r.payload in
+          List.iter
+            (fun (block, _) ->
+              let changed = ref false in
+              Bufpool.with_page db.Db.pool ~rel:r.rel ~block (fun page ->
+                  if Page.lsn page < r.lsn then begin
+                    List.iter
+                      (fun (d : Pbt.delta) ->
+                        if d.d_block = block then Pbt.apply_delta page d)
+                      deltas;
+                    Page.set_lsn page r.lsn;
+                    changed := true
+                  end);
+              if !changed then begin
+                Bufpool.mark_dirty db.Db.pool ~rel:r.rel ~block;
+                if Db.observed db then
+                  Db.emit db
+                    (Sias_obs.Bus.Index_page_io
+                       {
+                         rel = r.rel;
+                         block;
+                         deltas =
+                           List.length
+                             (List.filter
+                                (fun (d : Pbt.delta) -> d.d_block = block)
+                                deltas);
+                       })
+              end)
+            (delta_blocks deltas)
       | _ -> ())
     records
 
@@ -190,8 +326,10 @@ let replay_clog db =
    latest Full_page record for the block, or an empty page when the log
    is complete from the beginning; every later heap record for the block
    is applied on top. [None] when the block never appears in the log
-   (index and VID_map pages are not WAL-logged and cannot be repaired —
-   the read then fails loudly with [Corrupt_page]). *)
+   (array-index and VID_map pages are not WAL-logged and cannot be
+   repaired — the read then fails loudly with [Corrupt_page]; paged-index
+   pages are covered through their Ix_batch deltas and full-page
+   images exactly like heap pages). *)
 let repair_page db ~rel ~block =
   Crashpoint.reach "walcodec.repair.pre";
   let records, _tail = Wal.verified_from db.Db.wal ~lsn:0 in
@@ -204,6 +342,10 @@ let repair_page db ~rel ~block =
         | Wal.Insert | Wal.Update | Wal.Delete | Wal.Trim | Wal.Full_page ->
             let tid, _, _ = decode r.payload in
             Tid.block tid = block
+        | Wal.Ix_batch ->
+            List.exists
+              (fun (d : Pbt.delta) -> d.d_block = block)
+              (decode_deltas r.payload)
         | _ -> false)
       records
   in
@@ -226,6 +368,14 @@ let repair_page db ~rel ~block =
                 Page.overwrite page
                   (Page.to_bytes (Page.create ~size:(Page.size page)));
                 Page.set_lsn page r.lsn
+            | Wal.Ix_batch ->
+                if Page.lsn page < r.lsn then begin
+                  List.iter
+                    (fun (d : Pbt.delta) ->
+                      if d.d_block = block then Pbt.apply_delta page d)
+                    (decode_deltas r.payload);
+                  Page.set_lsn page r.lsn
+                end
             | _ -> ignore (apply_to_page page r))
         mine;
       Some page
@@ -234,3 +384,12 @@ let repair_page db ~rel ~block =
 
 let install_repair db =
   Bufpool.set_repair db.Db.pool (fun ~rel ~block -> repair_page db ~rel ~block)
+
+(* Paged-index factories: bind the tree to this context's pool, logger
+   and bus. [make_index] logs the tree's creation; [restore_index]
+   re-opens it from its (already redone) pages after a crash. *)
+let make_index db ~rel =
+  Pbt.create db.Db.pool ~rel ~log:(log_index db ~rel) ~bus:db.Db.bus ()
+
+let restore_index db ~rel =
+  Pbt.restore db.Db.pool ~rel ~log:(log_index db ~rel) ~bus:db.Db.bus ()

@@ -23,6 +23,20 @@ exception Redo_divergence of { rel : int; block : int; detail : string }
 val encode : ?append_only:bool -> Sias_storage.Tid.t -> bytes -> bytes
 val decode : bytes -> Sias_storage.Tid.t * bool * bytes
 
+val encode_deltas : Sias_index.Paged_btree.delta list -> bytes
+(** [Ix_batch] payload: one paged-index structural change as an atomic
+    list of per-page slot deltas (the record CRC makes a multi-page
+    split or merge all-or-nothing at replay). *)
+
+val decode_deltas : bytes -> Sias_index.Paged_btree.delta list
+
+val log_index : Db.t -> rel:int -> Sias_index.Paged_btree.delta list -> int
+(** The WAL-first logger injected into {!Sias_index.Paged_btree}:
+    full-page-write protect every touched pre-existing block on its
+    first post-checkpoint modification, then append the change as one
+    [Ix_batch] record and return its LSN. The tree applies the deltas
+    only after this returns. *)
+
 val log_heap :
   ?append_only:bool ->
   Db.t ->
@@ -37,9 +51,11 @@ val log_heap :
     logged instead (it subsumes the item record). *)
 
 val redo : Db.t -> since_lsn:int -> unit
-(** Replay verified heap records with LSN >= [since_lsn]. Indexes and
-    VID_maps are not logged: engines rebuild them from the heap after
-    redo. Raises [Wal.Corrupt_wal] on mid-log corruption. *)
+(** Replay verified heap and paged-index records with LSN >=
+    [since_lsn]. Array indexes and VID_maps are not logged: engines
+    rebuild them from the heap after redo; paged-index pages come back
+    byte-exact from their [Ix_batch] deltas and full-page images.
+    Raises [Wal.Corrupt_wal] on mid-log corruption. *)
 
 val replay_clog : Db.t -> unit
 (** Rebuild transaction statuses from commit/abort records over the whole
@@ -60,3 +76,11 @@ val install_repair : Db.t -> unit
 (** Register {!repair_page} as the pool's corruption-repair handler, so a
     checksum failure on read-in triggers WAL-based reconstruction before
     giving up. Engines call this at creation. *)
+
+val make_index : Db.t -> rel:int -> Sias_index.Paged_btree.t
+(** A fresh paged B+Tree in relation [rel], wired to this context's
+    buffer pool, WAL-first logger and event bus. Logs its own creation. *)
+
+val restore_index : Db.t -> rel:int -> Sias_index.Paged_btree.t
+(** Re-open a paged B+Tree from its pages after {!redo} replayed the
+    log — never rebuilt from the heap. *)

@@ -44,6 +44,9 @@ type event +=
   | Ssi_pivot_abort of { xid : int; confirmed : bool }
   | Wsi_certify_abort of { xid : int }
   | Ssi_safe_snapshot of { xid : int }
+  | Index_split of { rel : int; level : int }
+  | Index_merge of { rel : int; level : int }
+  | Index_page_io of { rel : int; block : int; deltas : int }
 
 let io_op_to_string = function Io_read -> "read" | Io_write -> "write"
 

@@ -96,6 +96,15 @@ type event +=
   | Ssi_safe_snapshot of { xid : int }
       (** a read-only transaction began on a safe snapshot (no concurrent
           transactions) and is exempt from SIREAD tracking *)
+  | Index_split of { rel : int; level : int }
+      (** a paged-index node at [level] (0 = leaf) split, allocating a
+          new right sibling in relation [rel] *)
+  | Index_merge of { rel : int; level : int }
+      (** an emptied paged-index node at [level] was unlinked into its
+          left sibling *)
+  | Index_page_io of { rel : int; block : int; deltas : int }
+      (** one index page received [deltas] logged slot deltas from a
+          WAL-first structural change (normal path or redo) *)
 
 val io_op_to_string : io_op -> string
 (** ["read"] or ["write"]. *)

@@ -39,6 +39,9 @@ type state = {
   (* created on the first SSI/WSI event so plain-SI runs export exactly
      the historical metric set *)
   ssi : (string, Metrics.counter) Hashtbl.t;
+  (* created on the first paged-index event so array-index runs export
+     exactly the historical metric set *)
+  ix : (string, Metrics.counter) Hashtbl.t;
   mutable ssi_pivot_total : int;
   mutable ssi_pivot_confirmed : int;
   mutable ssi_fpr : Metrics.gauge option;
@@ -307,6 +310,28 @@ let on_event st e =
              Metrics.counter st.m
                ~help:"Read-only transactions granted a safe snapshot (no tracking)"
                "sias_ssi_safe_snapshots_total"))
+  | Bus.Index_split _ ->
+      Metrics.incr
+        (memo st.ix "splits" (fun () ->
+             Metrics.counter st.m ~help:"Paged-index node splits"
+               "sias_index_splits_total"))
+  | Bus.Index_merge _ ->
+      Metrics.incr
+        (memo st.ix "merges" (fun () ->
+             Metrics.counter st.m ~help:"Paged-index node merges"
+               "sias_index_merges_total"))
+  | Bus.Index_page_io { deltas; _ } ->
+      Metrics.incr
+        (memo st.ix "pages_written" (fun () ->
+             Metrics.counter st.m
+               ~help:"Index pages modified by WAL-logged structural changes"
+               "sias_index_pages_written_total"));
+      Metrics.add
+        (memo st.ix "deltas" (fun () ->
+             Metrics.counter st.m
+               ~help:"Index slot deltas applied to pages"
+               "sias_index_deltas_total"))
+        deltas
   | _ -> ()
 
 let attach m bus =
@@ -344,6 +369,7 @@ let attach m bus =
       repl = None;
       pressure = Hashtbl.create 4;
       ssi = Hashtbl.create 8;
+      ix = Hashtbl.create 4;
       ssi_pivot_total = 0;
       ssi_pivot_confirmed = 0;
       ssi_fpr = None;

@@ -15,6 +15,10 @@ type kind =
   | Abort
   | Checkpoint
   | Full_page
+  | Ix_batch
+      (* one logical index structural change (insert, split, delete,
+         merge) as an atomic batch of per-page deltas; the record CRC
+         makes multi-page changes all-or-nothing at replay *)
 
 let kind_to_string = function
   | Insert -> "insert"
@@ -25,6 +29,7 @@ let kind_to_string = function
   | Abort -> "abort"
   | Checkpoint -> "checkpoint"
   | Full_page -> "full_page"
+  | Ix_batch -> "ix_batch"
 
 let kind_tag = function
   | Insert -> 0
@@ -35,6 +40,7 @@ let kind_tag = function
   | Abort -> 5
   | Checkpoint -> 6
   | Full_page -> 7
+  | Ix_batch -> 8
 
 type record = {
   lsn : int;

@@ -28,6 +28,12 @@ type kind =
       (** full post-image of a heap page, logged instead of the item
           record on the first modification after a checkpoint so a torn
           data-page write can be repaired (PostgreSQL full-page writes) *)
+  | Ix_batch
+      (** one logical index structural change (insert, split, delete,
+          merge) encoded as a batch of per-page slot deltas; the record
+          CRC makes multi-page changes atomic at replay — either the
+          whole split redoes or none of it ({!Mvcc.Walcodec} owns the
+          payload codec) *)
 
 val kind_to_string : kind -> string
 

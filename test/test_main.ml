@@ -13,6 +13,7 @@ let () =
       ("contention", Test_contention.suite);
       ("vidmap", Test_vidmap.suite);
       ("index", Test_index.suite);
+      ("paged-index", Test_paged_index.suite);
       ("mvcc-parts", Test_mvcc_parts.suite);
       ("engine-si", Test_engines.Si_suite.suite);
       ("engine-sias", Test_engines.Sias_suite.suite);

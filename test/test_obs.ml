@@ -470,6 +470,48 @@ let test_ssi_metrics_reconcile () =
     (metric "sias_wsi_certify_aborts_total" []);
   check bool "certify abort was observed" true (S.certify_aborts mgr2 > 0)
 
+(* The paged-index counters are driven purely by bus events; with a
+   manual subscriber and the recorder on the same bus, the recorder's
+   metrics must agree event-for-event with the raw stream, and the
+   split/merge counters must agree with the tree's own stats. *)
+let test_index_metrics_reconcile () =
+  let module Db = Mvcc.Db in
+  let module Pbt = Sias_index.Paged_btree in
+  let bus = Bus.create () in
+  let m = Metrics.create () in
+  Sias_obs.Recorder.attach m bus;
+  let pages = ref 0 and deltas = ref 0 and splits = ref 0 and merges = ref 0 in
+  Bus.subscribe bus (function
+    | Bus.Index_split _ -> incr splits
+    | Bus.Index_merge _ -> incr merges
+    | Bus.Index_page_io { deltas = d; _ } ->
+        incr pages;
+        deltas := !deltas + d
+    | _ -> ());
+  (* subscribe before the tree exists: creation logs a batch too *)
+  let db = Db.create ~bus ~index:`Paged () in
+  let rel = Db.alloc_rel db in
+  let t = Mvcc.Walcodec.make_index db ~rel in
+  for k = 1 to 1_000 do
+    Pbt.insert t ~key:k ~payload:k
+  done;
+  for k = 1 to 400 do
+    ignore (Pbt.delete t ~key:k ~payload:k)
+  done;
+  let metric name =
+    match Metrics.value m name with Some v -> int_of_float v | None -> 0
+  in
+  let st = Pbt.stats t in
+  check bool "splits happened" true (st.Pbt.splits > 0);
+  checki "split events match tree stats" st.Pbt.splits !splits;
+  checki "merge events match tree stats" st.Pbt.merges !merges;
+  checki "split metric reconciles" !splits (metric "sias_index_splits_total");
+  checki "merge metric reconciles" !merges (metric "sias_index_merges_total");
+  checki "page-write metric reconciles" !pages
+    (metric "sias_index_pages_written_total");
+  checki "delta metric reconciles" !deltas (metric "sias_index_deltas_total");
+  check bool "page writes observed" true (!pages > 0)
+
 let suite =
   [
     test_case "bus: subscribe/publish/active" `Quick test_bus_basics;
@@ -491,4 +533,6 @@ let suite =
       test_recorder_reconciles_blocktrace;
     test_case "ssi/wsi metrics reconcile with ssimgr counters" `Quick
       test_ssi_metrics_reconcile;
+    test_case "paged-index metrics reconcile with bus events" `Quick
+      test_index_metrics_reconcile;
   ]
